@@ -1,0 +1,81 @@
+// Ablation (§4.2.2): how the switch resource constraints shape the
+// partition. Sweeps the pipeline depth, the per-packet metadata cap, the
+// transfer-byte cap, and the switch memory budget, and reports how many
+// statements stay offloaded for each middlebox.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+struct Counts {
+  int pre = 0, server = 0, post = 0;
+};
+
+gallium::Result<Counts> CountWith(
+    const gallium::mbox::MiddleboxSpec& spec,
+    gallium::partition::SwitchConstraints constraints) {
+  gallium::partition::Partitioner partitioner(*spec.fn, constraints);
+  GALLIUM_ASSIGN_OR_RETURN(auto plan, partitioner.Run());
+  return Counts{plan.num_pre, plan.num_non_offloaded, plan.num_post};
+}
+
+}  // namespace
+
+int main() {
+  using namespace gallium;
+
+  std::printf("Ablation: offloaded statements vs switch constraints\n");
+
+  for (const auto& entry : bench::PaperMiddleboxes()) {
+    auto spec = entry.build();
+    if (!spec.ok()) continue;
+    std::printf("\n%s\n", entry.display_name.c_str());
+    bench::PrintRule(70);
+    std::printf("%-34s %8s %8s %8s\n", "constraint setting", "pre", "server",
+                "post");
+    bench::PrintRule(70);
+
+    auto report = [&](const char* label,
+                      partition::SwitchConstraints constraints) {
+      auto counts = CountWith(*spec, constraints);
+      if (!counts.ok()) {
+        std::printf("%-34s  error: %s\n", label,
+                    counts.status().ToString().c_str());
+        return;
+      }
+      std::printf("%-34s %8d %8d %8d\n", label, counts->pre, counts->server,
+                  counts->post);
+    };
+
+    report("defaults (k=12, meta=96B, xfer=20B)", {});
+
+    for (int depth : {8, 4, 2, 1}) {
+      partition::SwitchConstraints c;
+      c.pipeline_depth = depth;
+      report(("pipeline depth k=" + std::to_string(depth)).c_str(), c);
+    }
+    for (int meta : {32, 8}) {
+      partition::SwitchConstraints c;
+      c.metadata_bytes = meta;
+      report(("metadata cap = " + std::to_string(meta) + "B").c_str(), c);
+    }
+    for (int xfer : {8, 4, 1}) {
+      partition::SwitchConstraints c;
+      c.transfer_bytes = xfer;
+      report(("transfer cap = " + std::to_string(xfer) + "B").c_str(), c);
+    }
+    {
+      partition::SwitchConstraints c;
+      c.memory_bytes = 64 * 1024;  // 64 KiB: too small for the big tables
+      report("switch memory = 64 KiB", c);
+    }
+  }
+  std::printf(
+      "\nExpected: offloading degrades gracefully — tighter constraints\n"
+      "move statements to the server, never break compilation; with\n"
+      "extreme settings everything lands in the non-offloaded partition\n"
+      "(which trivially satisfies all constraints, §4.2.2).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation (§7's cost-model discussion): how sensitive is the offloaded
+// middlebox's throughput to the fraction of packets that take the slow
+// path, and to how often slow-path packets trigger state synchronization?
+//
+// This quantifies why Gallium's benefits depend on fast-path coverage: at
+// 0.1% slow path (NAT/LB steady state) the server barely matters; as the
+// slow-path share grows, the single server core becomes the bottleneck and
+// the offloaded middlebox degenerates to the software baseline.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "perf/harness.h"
+
+int main() {
+  using namespace gallium;
+  const perf::CostModel cost;
+
+  auto profile_result =
+      perf::ProfileMiddlebox([] { return mbox::BuildMazuNat(); }, 20);
+  if (!profile_result.ok()) {
+    std::printf("profile error: %s\n",
+                profile_result.status().ToString().c_str());
+    return 1;
+  }
+  perf::MiddleboxProfile profile = *profile_result;
+
+  std::printf(
+      "Ablation: offloaded throughput vs slow-path fraction (MazuNAT, 1500B "
+      "packets)\n");
+  bench::PrintRule(66);
+  std::printf("%14s %16s %16s %16s\n", "slow fraction", "Offloaded Gbps",
+              "Click-4c Gbps", "speedup");
+  bench::PrintRule(66);
+  const double click4 =
+      perf::ClickThroughputGbps(cost, profile.baseline_stats, 1500, 4);
+  for (double slow : {0.0, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5,
+                      1.0}) {
+    perf::MiddleboxProfile p = profile;
+    p.fast_path_fraction = 1.0 - slow;
+    const double off = perf::OffloadedThroughputGbps(cost, p, 1500);
+    std::printf("%14.4f %16.1f %16.1f %15.2fx\n", slow, off, click4,
+                off / click4);
+  }
+  bench::PrintRule(66);
+  std::printf(
+      "Expected: full line rate until the single server core saturates\n"
+      "(slow_fraction * line_pps > core_pps, ~20%% at 1500B), then\n"
+      "hyperbolic decay toward software-only performance. The paper's\n"
+      "NAT/LB run at ~0.1%% slow path (§6.3), far inside the plateau —\n"
+      "at 100B packets the plateau already ends near 2%%.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the evaluation harnesses in bench/.
+//
+// Each binary regenerates one table or figure from the paper's §6 and
+// prints rows in the paper's layout. Absolute values come from the
+// calibrated cost model (see EXPERIMENTS.md); the *shape* — who wins, by
+// what factor, where crossovers fall — is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mbox/middleboxes.h"
+#include "util/status.h"
+
+namespace gallium::bench {
+
+struct MiddleboxEntry {
+  std::string display_name;
+  std::function<Result<mbox::MiddleboxSpec>()> build;
+};
+
+inline std::vector<MiddleboxEntry> PaperMiddleboxes() {
+  return {
+      {"MazuNAT", [] { return mbox::BuildMazuNat(); }},
+      {"Load Balancer", [] { return mbox::BuildLoadBalancer(); }},
+      {"Firewall",
+       [] {
+         // Whitelists are populated at configuration time; give the
+         // firewall a representative rule set.
+         std::vector<mbox::MapInitEntry> rules;
+         for (uint32_t i = 0; i < 1024; ++i) {
+           rules.push_back(mbox::MapInitEntry{
+               {0xc0a80000u + i, 0xac100000u + i,
+                static_cast<uint64_t>(1024 + i), 80ull, 6ull},
+               {1}});
+         }
+         return mbox::BuildFirewall(rules, rules);
+       }},
+      {"Proxy", [] { return mbox::BuildProxy(); }},
+      {"Trojan Detector", [] { return mbox::BuildTrojanDetector(); }},
+  };
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace gallium::bench

@@ -1,0 +1,51 @@
+// Table 1: lines of code before and after Gallium compiles the five
+// Click-based middleboxes — input (Click/C++), output P4, output C++ —
+// plus the statement-level offloading breakdown behind them.
+//
+// Note on absolute numbers: the paper's inputs are full Click element
+// graphs (1687/1447/1151/953/882 LoC including element wiring and
+// configuration); our frontend renders the packet-processing logic only, so
+// input counts are smaller. The reproduction target is the qualitative
+// result: every middlebox splits into a deployable P4 program plus a small
+// server program, with the bulk of per-packet statements offloaded.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/compiler.h"
+
+int main() {
+  using namespace gallium;
+
+  std::printf("Table 1: Lines of code before and after Gallium compilation\n");
+  bench::PrintRule();
+  std::printf("%-16s %10s %10s %10s   %s\n", "Middlebox", "Input(C++)",
+              "Out(P4)", "Out(C++)", "stmts pre/server/post");
+  bench::PrintRule();
+
+  core::Compiler compiler;
+  for (const auto& entry : bench::PaperMiddleboxes()) {
+    auto spec = entry.build();
+    if (!spec.ok()) {
+      std::printf("%-16s  BUILD ERROR: %s\n", entry.display_name.c_str(),
+                  spec.status().ToString().c_str());
+      continue;
+    }
+    auto result = compiler.Compile(*spec->fn);
+    if (!result.ok()) {
+      std::printf("%-16s  COMPILE ERROR: %s\n", entry.display_name.c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-16s %10d %10d %10d   %d/%d/%d\n",
+                entry.display_name.c_str(), result->input_loc,
+                result->p4_loc, result->server_loc, result->plan.num_pre,
+                result->plan.num_non_offloaded, result->plan.num_post);
+  }
+  bench::PrintRule();
+  std::printf(
+      "Paper (Table 1): MazuNAT 1687/516/579, LB 1447/522/602, Firewall\n"
+      "1151/506/403, Proxy 953/292/279, Trojan 882/571/418. Shape target:\n"
+      "P4 output in the hundreds of lines, server C++ smaller than input,\n"
+      "all five split successfully.\n");
+  return 0;
+}

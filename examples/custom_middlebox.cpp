@@ -1,0 +1,146 @@
+// Authoring tutorial: build a new middlebox from scratch against the
+// Click-style frontend, compile it with Gallium, and deploy it offloaded.
+//
+// The middlebox is a simple UDP/DNS response rate limiter (a DDoS
+// mitigation): it counts DNS responses (UDP sport 53) per client and drops
+// responses to clients whose count exceeds a threshold. The per-client
+// counter table lands on the switch (reads at line rate); counter updates
+// go through the server, which synchronizes them back — so enforcement of
+// an already-exceeded limit costs the server nothing.
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "frontend/middlebox_builder.h"
+#include "runtime/offloaded_middlebox.h"
+#include "workload/packet_gen.h"
+
+using namespace gallium;
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+namespace {
+
+constexpr uint64_t kLimit = 10;  // responses per client per window
+
+Result<mbox::MiddleboxSpec> BuildDnsRateLimiter() {
+  MiddleboxBuilder mb("dns_rate_limiter");
+  // client address -> (count, blocked flag). Annotated so the table can
+  // live on the switch (§4.3.1).
+  auto counters = mb.DeclareMap("client_counters", {Width::kU32},
+                                {Width::kU32, Width::kU8},
+                                /*max_entries=*/65536);
+
+  auto& b = mb.b();
+  const ir::Reg proto = b.HeaderRead(HeaderField::kIpProto, "proto");
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const ir::Reg daddr = b.HeaderRead(HeaderField::kIpDst, "client");
+
+  const ir::Reg is_udp = b.Alu(AluOp::kEq, R(proto), Imm(net::kIpProtoUdp),
+                               "is_udp");
+  const ir::Reg is_dns = b.Alu(AluOp::kEq, R(sport), Imm(53), "is_dns");
+  const ir::Reg is_resp =
+      b.Alu(AluOp::kAnd, R(is_udp), R(is_dns), Width::kU1, "is_dns_resp");
+
+  mb.IfElse(
+      R(is_resp),
+      [&] {
+        const auto entry = counters.Find({R(daddr)}, "ctr");
+        mb.IfElse(
+            R(entry.values[1]),  // blocked flag
+            [&] {  // fast path: known-bad client, drop on the switch
+              b.Drop();
+              b.Ret();
+            },
+            [&] {  // count on the server, block when over the limit
+              const ir::Reg next = b.Alu(AluOp::kAdd, R(entry.values[0]),
+                                         Imm(1), Width::kU32, "next");
+              const ir::Reg over =
+                  b.Alu(AluOp::kGt, R(next), Imm(kLimit), "over_limit");
+              counters.Insert({R(daddr)}, {R(next), R(over)});
+              b.Send(Imm(mbox::kPortInternal));
+              b.Ret();
+            });
+      },
+      [&] {  // non-DNS traffic passes through on the switch
+        b.Send(Imm(mbox::kPortInternal));
+        b.Ret();
+      });
+
+  mbox::MiddleboxSpec spec;
+  spec.name = "dns_rate_limiter";
+  spec.description = "DNS response rate limiter (authoring tutorial)";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  auto spec = BuildDnsRateLimiter();
+  if (!spec.ok()) {
+    std::printf("build failed: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+
+  // Compile and show what Gallium decided.
+  core::Compiler compiler;
+  auto compiled = compiler.Compile(*spec->fn);
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n",
+                compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== dns_rate_limiter compiled ==\n%s",
+              compiled->plan.Summary(*spec->fn).c_str());
+
+  // Deploy and attack.
+  auto mbx = runtime::OffloadedMiddlebox::Create(*spec);
+  if (!mbx.ok()) return 1;
+
+  const net::FiveTuple dns_response{net::MakeIpv4(172, 16, 0, 53),
+                                    net::MakeIpv4(192, 168, 0, 42), 53,
+                                    33333, net::kIpProtoUdp};
+  int forwarded = 0, dropped = 0, dropped_on_switch = 0;
+  for (int i = 0; i < 40; ++i) {
+    net::Packet pkt = net::MakeUdpPacket(dns_response, 512);
+    pkt.set_ingress_port(mbox::kPortExternal);
+    auto outcome = (*mbx)->Process(pkt);
+    if (!outcome.status.ok()) {
+      std::printf("runtime error: %s\n", outcome.status.ToString().c_str());
+      return 1;
+    }
+    if (outcome.verdict.kind == runtime::Verdict::Kind::kDrop) {
+      ++dropped;
+      dropped_on_switch += outcome.fast_path;
+    } else {
+      ++forwarded;
+    }
+  }
+  std::printf(
+      "\n40 DNS responses to one client (limit %llu):\n"
+      "  forwarded: %d\n  dropped:   %d (%d of them by the switch alone)\n",
+      static_cast<unsigned long long>(kLimit), forwarded, dropped,
+      dropped_on_switch);
+  std::printf(
+      "\nOnce the client crossed the limit, the blocked flag was\n"
+      "synchronized to the switch table and every further response was\n"
+      "dropped at line rate without touching the server.\n");
+
+  // Legitimate traffic still flows.
+  net::Packet web = net::MakeTcpPacket({net::MakeIpv4(172, 16, 0, 1),
+                                        net::MakeIpv4(192, 168, 0, 42), 80,
+                                        5555, net::kIpProtoTcp},
+                                       net::kTcpAck, 400);
+  web.set_ingress_port(mbox::kPortExternal);
+  auto outcome = (*mbx)->Process(web);
+  std::printf("\nnon-DNS packet: %s (%s)\n",
+              outcome.verdict.kind == runtime::Verdict::Kind::kSend
+                  ? "forwarded"
+                  : "dropped",
+              outcome.fast_path ? "switch fast path" : "server");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: compile a middlebox with Gallium and run it offloaded.
+//
+// This walks the full pipeline on MiniLB (the paper's running example):
+//   1. author the middlebox against the Click-style frontend,
+//   2. compile: dependency extraction -> partitioning -> P4 + C++ codegen,
+//   3. deploy on the simulated switch + server pair,
+//   4. send packets and watch the fast path and the slow path at work.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "mbox/middleboxes.h"
+#include "runtime/offloaded_middlebox.h"
+#include "workload/packet_gen.h"
+
+int main() {
+  using namespace gallium;
+
+  // --- 1. The input middlebox ---------------------------------------------
+  auto spec = mbox::BuildMiniLb(/*num_backends=*/8);
+  if (!spec.ok()) {
+    std::printf("build failed: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Input middlebox: %s ==\n%s\n", spec->name.c_str(),
+              spec->description.c_str());
+
+  // --- 2. Compile -----------------------------------------------------------
+  core::Compiler compiler;
+  auto compiled = compiler.Compile(*spec->fn);
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", compiled->plan.Summary(*spec->fn).c_str());
+  std::printf("Generated %d lines of P4 and %d lines of server C++.\n\n",
+              compiled->p4_loc, compiled->server_loc);
+
+  // --- 3. Deploy -------------------------------------------------------------
+  auto mbx = runtime::OffloadedMiddlebox::Create(*spec);
+  if (!mbx.ok()) {
+    std::printf("deploy failed: %s\n", mbx.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 4. Traffic --------------------------------------------------------------
+  Rng rng(1);
+  const net::FiveTuple flow = workload::RandomFlow(rng);
+  std::printf("Sending a 3-packet TCP flow %s\n", flow.ToString().c_str());
+  int n = 0;
+  for (net::Packet& pkt : workload::TcpFlowPackets(flow, 2000)) {
+    pkt.set_ingress_port(mbox::kPortInternal);
+    auto outcome = (*mbx)->Process(pkt);
+    if (!outcome.status.ok()) {
+      std::printf("runtime error: %s\n", outcome.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("  packet %d: %s path%s", ++n,
+                outcome.fast_path ? "FAST (switch only)" : "slow (server)",
+                outcome.state_synced ? ", state synced to switch" : "");
+    if (outcome.verdict.kind == runtime::Verdict::Kind::kSend) {
+      std::printf(" -> backend %s\n",
+                  net::Ipv4ToString(outcome.out_packet.ip().daddr).c_str());
+    } else {
+      std::printf(" -> dropped\n");
+    }
+  }
+  std::printf(
+      "\nFast-path fraction: %.2f (first packet installs the mapping via "
+      "the\nserver; every later packet is handled by the switch alone)\n",
+      (*mbx)->FastPathFraction());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// The trojan detector: per-host protocol-sequence tracking with deep packet
+// inspection only where it is needed.
+//
+// Simulates two endhosts:
+//   - a clean host browsing the web (all data packets ride the switch), and
+//   - an infected host that opens SSH, downloads a file over HTTP, then
+//     starts IRC traffic — each stage escalates the host's state on the
+//     server, and the IRC packet is dropped.
+#include <cstdio>
+
+#include "mbox/middleboxes.h"
+#include "runtime/offloaded_middlebox.h"
+#include "workload/packet_gen.h"
+
+namespace {
+
+using namespace gallium;
+
+runtime::OffloadedMiddlebox::Outcome Send(
+    runtime::OffloadedMiddlebox& mbx, const net::FiveTuple& flow,
+    uint8_t flags, const std::string& payload_marker, size_t payload_bytes) {
+  net::Packet pkt = net::MakeTcpPacket(flow, flags, payload_bytes);
+  if (!payload_marker.empty()) {
+    workload::SetPayloadWithMarker(&pkt, payload_marker, payload_bytes);
+  }
+  pkt.set_ingress_port(mbox::kPortInternal);
+  auto outcome = mbx.Process(pkt);
+  return outcome;
+}
+
+void Describe(const char* what,
+              const runtime::OffloadedMiddlebox::Outcome& outcome) {
+  std::printf("  %-44s %-18s dpi=%-3s %s\n", what,
+              outcome.fast_path ? "switch fast path" : "server slow path",
+              outcome.server_stats.payload_ops > 0 ? "yes" : "no",
+              outcome.verdict.kind == runtime::Verdict::Kind::kDrop
+                  ? "** DROPPED **"
+                  : "forwarded");
+}
+
+}  // namespace
+
+int main() {
+  auto spec = mbox::BuildTrojanDetector();
+  if (!spec.ok()) return 1;
+  auto mbx = runtime::OffloadedMiddlebox::Create(*spec);
+  if (!mbx.ok()) {
+    std::printf("deploy failed: %s\n", mbx.status().ToString().c_str());
+    return 1;
+  }
+
+  const net::Ipv4Addr clean_host = net::MakeIpv4(192, 168, 1, 10);
+  const net::Ipv4Addr infected_host = net::MakeIpv4(192, 168, 1, 66);
+  const net::Ipv4Addr web = net::MakeIpv4(172, 16, 0, 1);
+  const net::Ipv4Addr irc_server = net::MakeIpv4(172, 16, 0, 9);
+
+  std::printf("== Clean host: ordinary web browsing ==\n");
+  {
+    const net::FiveTuple flow{clean_host, web, 40001, 80, net::kIpProtoTcp};
+    Describe("SYN to web server",
+             Send(**mbx, flow, net::kTcpSyn, "", 0));
+    Describe("HTTP GET (data)",
+             Send(**mbx, flow, net::kTcpAck | net::kTcpPsh,
+                  mbox::kPatternHttpGet, 400));
+    Describe("more data packets",
+             Send(**mbx, flow, net::kTcpAck, "", 1200));
+  }
+
+  std::printf("\n== Infected host: SSH -> download -> IRC ==\n");
+  {
+    const net::FiveTuple ssh{infected_host, web, 40002, 22, net::kIpProtoTcp};
+    Describe("stage 1: SSH SYN (host flagged)",
+             Send(**mbx, ssh, net::kTcpSyn, "", 0));
+
+    const net::FiveTuple http{infected_host, web, 40003, 80,
+                              net::kIpProtoTcp};
+    Describe("HTTP SYN", Send(**mbx, http, net::kTcpSyn, "", 0));
+    Describe("stage 2: file download (DPI on server)",
+             Send(**mbx, http, net::kTcpAck | net::kTcpPsh,
+                  mbox::kPatternHttpGet, 600));
+
+    const net::FiveTuple irc{infected_host, irc_server, 40004, 6667,
+                             net::kIpProtoTcp};
+    Describe("IRC SYN", Send(**mbx, irc, net::kTcpSyn, "", 0));
+    Describe("stage 3: IRC traffic (detected!)",
+             Send(**mbx, irc, net::kTcpAck | net::kTcpPsh,
+                  mbox::kPatternIrc, 200));
+  }
+
+  std::printf("\n== Clean host is unaffected ==\n");
+  {
+    const net::FiveTuple flow{clean_host, web, 40005, 80, net::kIpProtoTcp};
+    Describe("SYN", Send(**mbx, flow, net::kTcpSyn, "", 0));
+    Describe("data packet",
+             Send(**mbx, flow, net::kTcpAck, "", 1000));
+  }
+
+  std::printf(
+      "\nHost-stage table after the run (server copy == switch copy):\n");
+  const ir::StateIndex host_stage = spec->MapIndex("host_stage");
+  for (const auto& [key, value] :
+       (*mbx)->server_state().map_contents(host_stage)) {
+    std::printf("  host %-16s stage %llu\n",
+                net::Ipv4ToString(static_cast<uint32_t>(key[0])).c_str(),
+                static_cast<unsigned long long>(value[0]));
+  }
+  return 0;
+}

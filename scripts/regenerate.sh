@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates the full evaluation: builds, runs the test suite, and runs
+# every bench harness, capturing test_output.txt and bench_output.txt at the
+# repository root (the artifacts EXPERIMENTS.md describes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,173 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gallium::analysis {
+
+using ir::Opcode;
+
+CfgInfo::CfgInfo(const ir::Function& fn) : fn_(&fn), index_(fn.BuildIndex()) {
+  const int n = fn.num_blocks();
+  succs_.resize(n);
+  preds_.resize(n);
+  for (const ir::BasicBlock& bb : fn.blocks()) {
+    const ir::Instruction& term = bb.terminator();
+    if (term.op == Opcode::kBranch) {
+      succs_[bb.id] = {term.target_true, term.target_false};
+    } else if (term.op == Opcode::kJump) {
+      succs_[bb.id] = {term.target_true};
+    }
+    for (int s : succs_[bb.id]) preds_[s].push_back(bb.id);
+  }
+  ComputeReachability();
+  ComputePostDominators();
+  ComputeControlDependence();
+}
+
+void CfgInfo::ComputeReachability() {
+  const int n = fn_->num_blocks();
+  reachable_.assign(n, false);
+  std::vector<int> stack{fn_->entry_block()};
+  reachable_[fn_->entry_block()] = true;
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    for (int s : succs_[b]) {
+      if (!reachable_[s]) {
+        reachable_[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+
+  // Strict reachability (path length >= 1) via iterated relaxation; CFGs are
+  // small (tens of blocks) so the O(n^3) closure is fine.
+  block_reach_.assign(n, std::vector<bool>(n, false));
+  for (int b = 0; b < n; ++b) {
+    for (int s : succs_[b]) block_reach_[b][s] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (!block_reach_[a][b]) continue;
+        for (int c : succs_[b]) {
+          if (!block_reach_[a][c]) {
+            block_reach_[a][c] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void CfgInfo::ComputePostDominators() {
+  const int n = fn_->num_blocks();
+  const int exit = n;  // virtual exit node
+  // postdom sets over n+1 nodes, bit i set => node i post-dominates b.
+  std::vector<std::vector<bool>> pdom(n + 1,
+                                      std::vector<bool>(n + 1, true));
+  pdom[exit].assign(n + 1, false);
+  pdom[exit][exit] = true;
+
+  auto exit_succs = [&](int b) {
+    // Blocks whose terminator is kReturn flow to the virtual exit.
+    std::vector<int> out = succs_[b];
+    if (out.empty()) out.push_back(exit);
+    return out;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < n; ++b) {
+      if (!reachable_[b]) continue;
+      std::vector<bool> next(n + 1, true);
+      bool first = true;
+      for (int s : exit_succs(b)) {
+        const std::vector<bool>& ps = pdom[s];
+        if (first) {
+          next = ps;
+          first = false;
+        } else {
+          for (int i = 0; i <= n; ++i) next[i] = next[i] && ps[i];
+        }
+      }
+      next[b] = true;
+      if (next != pdom[b]) {
+        pdom[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  // Immediate post-dominator: the strict post-dominator with the smallest
+  // strict-postdominator set.
+  ipostdom_.assign(n, -1);
+  auto count = [&](int b) {
+    int c = 0;
+    for (int i = 0; i <= n; ++i) c += pdom[b][i];
+    return c;
+  };
+  for (int b = 0; b < n; ++b) {
+    if (!reachable_[b]) continue;
+    const int want = count(b) - 1;
+    for (int p = 0; p <= n; ++p) {
+      if (p == b || !pdom[b][p]) continue;
+      const int pc = p == exit ? 1 : count(p);
+      if (pc == want) {
+        ipostdom_[b] = p == exit ? -1 : p;
+        break;
+      }
+    }
+  }
+
+  // Stash pdom for control-dependence computation through a member-free
+  // trick: recompute there. (Control dependence uses ipostdom_ and pdom; we
+  // keep pdom local by folding the computation here.)
+  control_deps_.assign(n, {});
+  for (int a = 0; a < n; ++a) {
+    if (!reachable_[a]) continue;
+    const ir::Instruction& term = fn_->block(a).terminator();
+    if (term.op != Opcode::kBranch) continue;
+    for (int b : succs_[a]) {
+      // Walk up from b through the post-dominator tree until reaching
+      // ipostdom(a); every node on the way is control-dependent on term.
+      int cur = b;
+      while (cur != -1 && cur != ipostdom_[a]) {
+        if (!pdom[b][cur] && cur != b) break;  // safety: stay on the chain
+        auto& deps = control_deps_[cur];
+        if (std::find(deps.begin(), deps.end(), term.id) == deps.end()) {
+          deps.push_back(term.id);
+        }
+        cur = ipostdom_[cur];
+      }
+    }
+  }
+}
+
+void CfgInfo::ComputeControlDependence() {
+  // Folded into ComputePostDominators (needs the pdom sets).
+}
+
+bool CfgInfo::CanHappenAfter(ir::InstId later, ir::InstId earlier) const {
+  const ir::InstRef ra = index_[earlier];
+  const ir::InstRef rb = index_[later];
+  if (!ra.valid() || !rb.valid()) return false;
+  if (ra.block == rb.block) {
+    if (rb.index > ra.index) return true;
+    return block_reach_[ra.block][ra.block];  // via a cycle
+  }
+  return block_reach_[ra.block][rb.block];
+}
+
+bool CfgInfo::InLoop(ir::InstId inst) const {
+  const ir::InstRef r = index_[inst];
+  if (!r.valid()) return false;
+  return block_reach_[r.block][r.block];
+}
+
+}  // namespace gallium::analysis

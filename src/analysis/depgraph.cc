@@ -1,0 +1,137 @@
+#include "analysis/depgraph.h"
+
+#include <algorithm>
+
+namespace gallium::analysis {
+
+const char* DepKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::kData: return "data";
+    case DepKind::kReverseData: return "reverse-data";
+    case DepKind::kControl: return "control";
+  }
+  return "?";
+}
+
+DependencyGraph::DependencyGraph(const ir::Function& fn, const CfgInfo& cfg)
+    : n_(fn.num_insts()),
+      deps_of_(n_),
+      users_of_(n_),
+      sets_(n_) {
+  // Collect instructions in a flat list and compute read/write sets.
+  std::vector<const ir::Instruction*> insts(n_, nullptr);
+  for (const ir::BasicBlock& bb : fn.blocks()) {
+    if (!cfg.BlockReachable(bb.id)) continue;
+    for (const ir::Instruction& inst : bb.insts) {
+      insts[inst.id] = &inst;
+      sets_[inst.id] = ComputeReadWriteSets(fn, inst);
+    }
+  }
+
+  // Data and reverse-data dependencies over all "can happen after" pairs.
+  for (int s1 = 0; s1 < n_; ++s1) {
+    if (insts[s1] == nullptr) continue;
+    for (int s2 = 0; s2 < n_; ++s2) {
+      if (insts[s2] == nullptr || s1 == s2) continue;
+      if (!cfg.CanHappenAfter(s2, s1)) continue;
+      const ReadWriteSets& a = sets_[s1];
+      const ReadWriteSets& b = sets_[s2];
+      // Data: S1 writes what S2 reads or writes.
+      if (Intersects(a.writes, b.reads) || Intersects(a.writes, b.writes)) {
+        AddEdge(s1, s2, DepKind::kData);
+      } else if (Intersects(a.reads, b.writes)) {
+        // Reverse data: S1 reads what S2 modifies (WAR).
+        AddEdge(s1, s2, DepKind::kReverseData);
+      }
+    }
+  }
+
+  // Control dependencies: every instruction in a control-dependent block
+  // depends on the controlling branch instruction.
+  for (const ir::BasicBlock& bb : fn.blocks()) {
+    if (!cfg.BlockReachable(bb.id)) continue;
+    for (ir::InstId branch : cfg.ControllingBranches(bb.id)) {
+      for (const ir::Instruction& inst : bb.insts) {
+        if (inst.id != branch) AddEdge(branch, inst.id, DepKind::kControl);
+      }
+    }
+  }
+
+  // Self edges for loop statements: a statement inside a cycle can happen
+  // after itself; if it conflicts with itself (any write) it depends on
+  // itself (the paper's rule-5 precondition).
+  for (int s = 0; s < n_; ++s) {
+    if (insts[s] == nullptr) continue;
+    if (!cfg.CanHappenAfter(s, s)) continue;
+    const ReadWriteSets& rw = sets_[s];
+    if (!rw.writes.empty() || insts[s]->op == ir::Opcode::kBranch) {
+      AddEdge(s, s, DepKind::kData);
+    }
+  }
+
+  ComputeClosure();
+  ComputeDistances();
+}
+
+void DependencyGraph::AddEdge(ir::InstId from, ir::InstId to, DepKind kind) {
+  // Dedup: only the first kind for a pair is recorded (kind is diagnostic).
+  auto& deps = deps_of_[to];
+  if (std::find(deps.begin(), deps.end(), from) != deps.end()) return;
+  deps.push_back(from);
+  users_of_[from].push_back(to);
+  edges_.push_back(DepEdge{from, to, kind});
+}
+
+bool DependencyGraph::DependsOn(ir::InstId s2, ir::InstId s1) const {
+  const auto& deps = deps_of_[s2];
+  return std::find(deps.begin(), deps.end(), s1) != deps.end();
+}
+
+void DependencyGraph::ComputeClosure() {
+  closure_.assign(n_, std::vector<bool>(n_, false));
+  for (const DepEdge& e : edges_) closure_[e.from][e.to] = true;
+  // Floyd-Warshall style boolean closure; n is a few hundred at most.
+  for (int k = 0; k < n_; ++k) {
+    for (int i = 0; i < n_; ++i) {
+      if (!closure_[i][k]) continue;
+      const std::vector<bool>& row_k = closure_[k];
+      std::vector<bool>& row_i = closure_[i];
+      for (int j = 0; j < n_; ++j) {
+        if (row_k[j]) row_i[j] = true;
+      }
+    }
+  }
+}
+
+void DependencyGraph::ComputeDistances() {
+  dist_entry_.assign(n_, 0);
+  dist_exit_.assign(n_, 0);
+  // Longest-path by repeated relaxation, n rounds max; nodes in dependency
+  // cycles (self-reachable) are pinned at kUnbounded.
+  for (int s = 0; s < n_; ++s) {
+    if (closure_.empty() ? false : closure_[s][s]) {
+      dist_entry_[s] = kUnbounded;
+      dist_exit_[s] = kUnbounded;
+    }
+  }
+  for (int round = 0; round < n_; ++round) {
+    bool changed = false;
+    for (const DepEdge& e : edges_) {
+      if (e.from == e.to) continue;
+      if (dist_entry_[e.from] != kUnbounded &&
+          dist_entry_[e.to] != kUnbounded &&
+          dist_entry_[e.to] < dist_entry_[e.from] + 1) {
+        dist_entry_[e.to] = dist_entry_[e.from] + 1;
+        changed = true;
+      }
+      if (dist_exit_[e.to] != kUnbounded && dist_exit_[e.from] != kUnbounded &&
+          dist_exit_[e.from] < dist_exit_[e.to] + 1) {
+        dist_exit_[e.from] = dist_exit_[e.to] + 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+}  // namespace gallium::analysis

@@ -1,0 +1,50 @@
+#include "analysis/liveness.h"
+
+namespace gallium::analysis {
+
+Liveness::Liveness(const ir::Function& fn, const CfgInfo& cfg) {
+  const int nblocks = fn.num_blocks();
+  const size_t nregs = static_cast<size_t>(fn.num_regs());
+  const int ninsts = fn.num_insts();
+
+  live_in_.assign(ninsts, std::vector<bool>(nregs, false));
+  live_out_.assign(ninsts, std::vector<bool>(nregs, false));
+  block_in_.assign(nblocks, std::vector<bool>(nregs, false));
+  std::vector<std::vector<bool>> block_out(nblocks,
+                                           std::vector<bool>(nregs, false));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = nblocks - 1; b >= 0; --b) {
+      if (!cfg.BlockReachable(b)) continue;
+      // OUT[b] = union of IN[succ].
+      std::vector<bool> out(nregs, false);
+      for (int s : cfg.successors(b)) {
+        for (size_t r = 0; r < nregs; ++r) {
+          if (block_in_[s][r]) out[r] = true;
+        }
+      }
+      block_out[b] = out;
+
+      // Walk the block backwards.
+      const ir::BasicBlock& bb = fn.block(b);
+      std::vector<bool> live = out;
+      for (int i = static_cast<int>(bb.insts.size()) - 1; i >= 0; --i) {
+        const ir::Instruction& inst = bb.insts[i];
+        live_out_[inst.id] = live;
+        for (ir::Reg r : inst.dsts) live[r] = false;
+        for (const ir::Value& v : inst.args) {
+          if (v.is_reg()) live[v.reg] = true;
+        }
+        live_in_[inst.id] = live;
+      }
+      if (live != block_in_[b]) {
+        block_in_[b] = std::move(live);
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace gallium::analysis

@@ -1,0 +1,40 @@
+// Classic backward live-variable analysis over virtual registers.
+//
+// Used for (a) the partition-boundary "variable liveness test" that decides
+// which temporaries must be carried in the synthesized packet header
+// (§4.2.2 Constraint 5, §4.3.2) and (b) metadata-slot reuse on the switch
+// (§4.3.1: "Gallium records when temporary variables are first and last used
+// [and] reuses the memory consumed by variables that are no longer useful").
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "ir/function.h"
+
+namespace gallium::analysis {
+
+class Liveness {
+ public:
+  Liveness(const ir::Function& fn, const CfgInfo& cfg);
+
+  // Registers live immediately before / after instruction `id` executes.
+  const std::vector<bool>& LiveIn(ir::InstId id) const {
+    return live_in_[id];
+  }
+  const std::vector<bool>& LiveOut(ir::InstId id) const {
+    return live_out_[id];
+  }
+
+  // Registers live on entry to a block.
+  const std::vector<bool>& BlockLiveIn(int block) const {
+    return block_in_[block];
+  }
+
+ private:
+  std::vector<std::vector<bool>> live_in_;    // per InstId
+  std::vector<std::vector<bool>> live_out_;   // per InstId
+  std::vector<std::vector<bool>> block_in_;   // per block
+};
+
+}  // namespace gallium::analysis

@@ -1,0 +1,139 @@
+#include "click/elements.h"
+
+#include <functional>
+
+namespace gallium::click {
+
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+Status ToDevice::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  ctx.b().Send(Imm(port_));
+  ctx.b().Ret();
+  return Status::Ok();
+}
+
+Status Discard::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  ctx.b().Drop();
+  ctx.b().Ret();
+  return Status::Ok();
+}
+
+Status CheckIpHeader::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  auto& b = ctx.b();
+  const ir::Reg ttl = b.HeaderRead(HeaderField::kIpTtl, "ttl");
+  const ir::Reg expired = b.Alu(AluOp::kLe, R(ttl), Imm(1), "ttl_expired");
+  Status status = Status::Ok();
+  ctx.mb().IfElse(
+      R(expired),
+      [&] {
+        b.Drop();
+        b.Ret();
+      },
+      [&] { status = ctx.PushTo(this, 0); });
+  return status;
+}
+
+Status DecIpTtl::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  auto& b = ctx.b();
+  const ir::Reg ttl = b.HeaderRead(HeaderField::kIpTtl, "ttl_in");
+  const ir::Reg next = b.Alu(AluOp::kSub, R(ttl), Imm(1), Width::kU8,
+                             "ttl_next");
+  b.HeaderWrite(HeaderField::kIpTtl, R(next));
+  return ctx.PushTo(this, 0);
+}
+
+Status SetField::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  ctx.b().HeaderWrite(field_, Imm(value_));
+  return ctx.PushTo(this, 0);
+}
+
+Status Classifier::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  auto& b = ctx.b();
+
+  // Emit rules as a nested if/else chain, first match wins; the final else
+  // is the fall-through output.
+  Status status = Status::Ok();
+  std::function<void(size_t)> emit_rule = [&](size_t rule_index) {
+    if (!status.ok()) return;
+    if (rule_index >= rules_.size()) {
+      status = ctx.PushTo(this, static_cast<int>(rules_.size()));
+      return;
+    }
+    // Conjunction of the rule's terms.
+    const Rule& rule = rules_[rule_index];
+    ir::Reg match = b.Alu(AluOp::kEq, Imm(1), Imm(1),
+                          "rule" + std::to_string(rule_index) + "_true");
+    for (size_t t = 0; t < rule.size(); ++t) {
+      const ir::Reg field = b.HeaderRead(rule[t].field);
+      const ir::Reg eq = b.Alu(AluOp::kEq, R(field), Imm(rule[t].value));
+      match = b.Alu(AluOp::kAnd, R(match), R(eq), Width::kU1,
+                    "rule" + std::to_string(rule_index) + "_m" +
+                        std::to_string(t));
+    }
+    ctx.mb().IfElse(
+        R(match),
+        [&] {
+          if (status.ok()) status = ctx.PushTo(this, static_cast<int>(rule_index));
+        },
+        [&] { emit_rule(rule_index + 1); });
+  };
+  emit_rule(0);
+  return status;
+}
+
+Status Counter::Declare(frontend::MiddleboxBuilder& mb) {
+  global_ = mb.DeclareGlobal(name_, Width::kU64, 0);
+  return Status::Ok();
+}
+
+Status Counter::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  auto& b = ctx.b();
+  const ir::Reg count = global_.Read(name_ + "_val");
+  global_.Write(R(b.Alu(AluOp::kAdd, R(count), Imm(1), Width::kU64,
+                        name_ + "_next")));
+  return ctx.PushTo(this, 0);
+}
+
+Status FlowLookup::Declare(frontend::MiddleboxBuilder& mb) {
+  map_ = mb.DeclareMap(map_name_,
+                       {Width::kU32, Width::kU32, Width::kU16, Width::kU16,
+                        Width::kU8},
+                       {Width::kU8}, max_entries_);
+  return Status::Ok();
+}
+
+Status FlowLookup::Lower(LowerContext& ctx, int in_port) {
+  (void)in_port;
+  auto& b = ctx.b();
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc);
+  const ir::Reg daddr = b.HeaderRead(HeaderField::kIpDst);
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort);
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort);
+  const ir::Reg proto = b.HeaderRead(HeaderField::kIpProto);
+  const auto hit =
+      map_.Find({R(saddr), R(daddr), R(sport), R(dport), R(proto)},
+                map_name_);
+  Status status = Status::Ok();
+  ctx.mb().IfElse(
+      R(hit.found), [&] { status = ctx.PushTo(this, 0); },
+      [&] {
+        if (status.ok()) {
+          const Status miss_status = ctx.PushTo(this, 1);
+          if (!miss_status.ok()) status = miss_status;
+        }
+      });
+  return status;
+}
+
+}  // namespace gallium::click

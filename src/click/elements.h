@@ -1,0 +1,137 @@
+// The standard element library — the subset of Click's vocabulary the
+// paper's middleboxes use, each lowering to Gallium IR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "click/graph.h"
+#include "net/headers.h"
+
+namespace gallium::click {
+
+// --- Terminals -------------------------------------------------------------------
+
+// Emits the packet on a switch port (Click's ToDevice).
+class ToDevice : public Element {
+ public:
+  explicit ToDevice(uint32_t port) : port_(port) {}
+  std::string class_name() const override { return "ToDevice"; }
+  Status Lower(LowerContext& ctx, int in_port) override;
+
+ private:
+  uint32_t port_;
+};
+
+// Drops every packet (Click's Discard).
+class Discard : public Element {
+ public:
+  std::string class_name() const override { return "Discard"; }
+  Status Lower(LowerContext& ctx, int in_port) override;
+};
+
+// --- Header sanity & rewriting -----------------------------------------------------
+
+// Drops packets with an expired TTL, passes the rest (CheckIPHeader-lite).
+// Output 0: valid packets; packets with ttl <= 1 are dropped.
+class CheckIpHeader : public Element {
+ public:
+  std::string class_name() const override { return "CheckIPHeader"; }
+  Status Lower(LowerContext& ctx, int in_port) override;
+};
+
+// Decrements the IP TTL (Click's DecIPTTL).
+class DecIpTtl : public Element {
+ public:
+  std::string class_name() const override { return "DecIPTTL"; }
+  Status Lower(LowerContext& ctx, int in_port) override;
+};
+
+// Rewrites fixed header fields (SetIPAddress / SetTCPDstPort style).
+class SetField : public Element {
+ public:
+  SetField(ir::HeaderField field, uint64_t value)
+      : field_(field), value_(value) {}
+  std::string class_name() const override { return "SetField"; }
+  Status Lower(LowerContext& ctx, int in_port) override;
+
+ private:
+  ir::HeaderField field_;
+  uint64_t value_;
+};
+
+// --- Classification ---------------------------------------------------------------
+
+// IPClassifier-lite: routes packets to the output of the first matching
+// rule; a rule is a conjunction of (header field == value) terms. The last
+// output (rules.size()) is the fall-through for unmatched packets.
+class Classifier : public Element {
+ public:
+  struct Term {
+    ir::HeaderField field;
+    uint64_t value;
+  };
+  using Rule = std::vector<Term>;
+  using Rules = std::vector<Rule>;
+
+  explicit Classifier(Rules rules) : rules_(std::move(rules)) {}
+  std::string class_name() const override { return "Classifier"; }
+  Status Lower(LowerContext& ctx, int in_port) override;
+
+  // Convenience terms.
+  static Term Tcp() { return {ir::HeaderField::kIpProto, net::kIpProtoTcp}; }
+  static Term Udp() { return {ir::HeaderField::kIpProto, net::kIpProtoUdp}; }
+  static Term DstPort(uint16_t port) {
+    return {ir::HeaderField::kDstPort, port};
+  }
+  static Term SrcPort(uint16_t port) {
+    return {ir::HeaderField::kSrcPort, port};
+  }
+
+ private:
+  Rules rules_;
+};
+
+// --- Measurement -------------------------------------------------------------------
+
+// Counts packets passing through (Click's Counter). The count lives in a
+// global; reads are offloadable, the increment follows Gallium's placement
+// rules.
+class Counter : public Element {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string class_name() const override { return "Counter"; }
+  Status Declare(frontend::MiddleboxBuilder& mb) override;
+  Status Lower(LowerContext& ctx, int in_port) override;
+
+  const std::string& counter_name() const { return name_; }
+
+ private:
+  std::string name_;
+  frontend::GlobalHandle global_;
+};
+
+// --- Stateful lookup ----------------------------------------------------------------
+
+// A five-tuple membership filter backed by an annotated HashMap: output 0 on
+// hit, output 1 on miss (the building block of the firewall's whitelist and
+// the proxy's port list).
+class FlowLookup : public Element {
+ public:
+  FlowLookup(std::string map_name, uint64_t max_entries)
+      : map_name_(std::move(map_name)), max_entries_(max_entries) {}
+  std::string class_name() const override { return "FlowLookup"; }
+  Status Declare(frontend::MiddleboxBuilder& mb) override;
+  Status Lower(LowerContext& ctx, int in_port) override;
+
+  const std::string& map_name() const { return map_name_; }
+
+ private:
+  std::string map_name_;
+  uint64_t max_entries_;
+  frontend::HashMapHandle map_;
+};
+
+}  // namespace gallium::click

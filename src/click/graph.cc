@@ -1,0 +1,69 @@
+#include "click/graph.h"
+
+#include <sstream>
+
+namespace gallium::click {
+
+void ElementGraph::Connect(Element* from, int out_port, Element* to,
+                           int in_port) {
+  edges_.push_back(Edge{from->id(), out_port, to->id(), in_port});
+}
+
+const ElementGraph::Edge* ElementGraph::FindEdge(int from_element,
+                                                 int out_port) const {
+  for (const Edge& edge : edges_) {
+    if (edge.from_element == from_element && edge.out_port == out_port) {
+      return &edge;
+    }
+  }
+  return nullptr;
+}
+
+Status LowerContext::PushTo(const Element* from, int out_port) {
+  constexpr int kMaxDepth = 64;  // inline-expansion guard (graphs are DAGs)
+  const auto* edge = graph_->FindEdge(from->id(), out_port);
+  if (edge == nullptr) {
+    // Click drops packets pushed to unconnected ports.
+    b().Drop();
+    b().Ret();
+    return Status::Ok();
+  }
+  if (++depth_ > kMaxDepth) {
+    return FailedPrecondition(
+        "element graph too deep (cycle, or pathological inlining)");
+  }
+  const Status status = graph_->elements_[edge->to_element]->Lower(
+      *this, edge->in_port);
+  --depth_;
+  return status;
+}
+
+Result<mbox::MiddleboxSpec> ElementGraph::Lower(const std::string& name,
+                                                Element* input) {
+  frontend::MiddleboxBuilder mb(name);
+  for (auto& element : elements_) {
+    GALLIUM_RETURN_IF_ERROR(element->Declare(mb));
+  }
+  LowerContext ctx(this, &mb);
+  GALLIUM_RETURN_IF_ERROR(input->Lower(ctx, 0));
+
+  mbox::MiddleboxSpec spec;
+  spec.name = name;
+  spec.description = "Click element graph: " + RenderConfig();
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+  return spec;
+}
+
+std::string ElementGraph::RenderConfig() const {
+  std::ostringstream out;
+  for (const auto& element : elements_) {
+    out << "e" << element->id() << " :: " << element->class_name() << "; ";
+  }
+  for (const Edge& edge : edges_) {
+    out << "e" << edge.from_element << "[" << edge.out_port << "] -> ["
+        << edge.in_port << "]e" << edge.to_element << "; ";
+  }
+  return out.str();
+}
+
+}  // namespace gallium::click

@@ -1,0 +1,117 @@
+// A Click-style element graph (Morris et al., SOSP'99) lowered to Gallium IR.
+//
+// The paper's input middleboxes are Click configurations: packet-processing
+// *elements* (Classifier, CheckIPHeader, Counter, ...) wired into a push
+// graph. This layer provides that authoring model: compose elements, connect
+// their ports, and Lower() inlines the graph — following Click's push
+// semantics — into a single verified ir::Function that the Gallium compiler
+// partitions like any other middlebox.
+//
+//   ElementGraph graph;
+//   auto* check = graph.Add<CheckIpHeader>();
+//   auto* classify = graph.Add<Classifier>(Classifier::Rules{...});
+//   auto* out = graph.Add<ToDevice>(1);
+//   graph.Connect(check, 0, classify);
+//   graph.Connect(classify, 0, out);
+//   ...
+//   auto spec = graph.Lower("my_gateway", check);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "util/status.h"
+
+namespace gallium::click {
+
+class ElementGraph;
+
+// Lowering context handed to each element: the underlying builder plus the
+// continuation into the element's downstream neighbors.
+class LowerContext {
+ public:
+  LowerContext(ElementGraph* graph, frontend::MiddleboxBuilder* mb)
+      : graph_(graph), mb_(mb) {}
+
+  frontend::MiddleboxBuilder& mb() { return *mb_; }
+  ir::IrBuilder& b() { return mb_->b(); }
+
+  // Emits the element connected to `from`'s output port `out_port` (inline
+  // expansion, Click push semantics). Unconnected ports drop the packet.
+  Status PushTo(const class Element* from, int out_port);
+
+ private:
+  friend class ElementGraph;
+  ElementGraph* graph_;
+  frontend::MiddleboxBuilder* mb_;
+  int depth_ = 0;
+};
+
+// Base class of all elements. Elements are stateless at lowering time
+// except for the IR state handles they declare in Declare().
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  // Click class name, e.g. "Classifier" (used in diagnostics and rendering).
+  virtual std::string class_name() const = 0;
+
+  // Declares IR state (maps/globals) before any lowering. Default: none.
+  virtual Status Declare(frontend::MiddleboxBuilder& mb) {
+    (void)mb;
+    return Status::Ok();
+  }
+
+  // Emits this element's statements for a packet arriving on `in_port` and
+  // pushes to downstream elements via ctx.PushTo(this, out_port).
+  virtual Status Lower(LowerContext& ctx, int in_port) = 0;
+
+  int id() const { return id_; }
+
+ private:
+  friend class ElementGraph;
+  int id_ = -1;
+};
+
+class ElementGraph {
+ public:
+  template <typename T, typename... Args>
+  T* Add(Args&&... args) {
+    auto element = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = element.get();
+    raw->id_ = static_cast<int>(elements_.size());
+    elements_.push_back(std::move(element));
+    return raw;
+  }
+
+  // Wires `from`'s output `out_port` to `to`'s input `in_port`.
+  void Connect(Element* from, int out_port, Element* to, int in_port = 0);
+
+  // Lowers the graph into a middlebox spec, starting at `input` (the
+  // element that receives packets from the network).
+  Result<mbox::MiddleboxSpec> Lower(const std::string& name, Element* input);
+
+  // Renders a Click-config-style description ("check :: CheckIPHeader; ...").
+  std::string RenderConfig() const;
+
+  int num_elements() const { return static_cast<int>(elements_.size()); }
+
+ private:
+  friend class LowerContext;
+  struct Edge {
+    int from_element;
+    int out_port;
+    int to_element;
+    int in_port;
+  };
+
+  const Edge* FindEdge(int from_element, int out_port) const;
+
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace gallium::click

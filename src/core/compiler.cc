@@ -1,0 +1,40 @@
+#include "core/compiler.h"
+
+#include "ir/passes.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "util/strings.h"
+
+namespace gallium::core {
+
+Result<CompileResult> Compiler::Compile(const ir::Function& input_fn) const {
+  GALLIUM_RETURN_IF_ERROR(ir::VerifyFunction(input_fn));
+
+  // The optimizer works on a copy; the caller's function is never mutated.
+  ir::Function optimized = input_fn;
+  if (options_.optimize) {
+    ir::OptimizeFunction(&optimized);
+    GALLIUM_RETURN_IF_ERROR(ir::VerifyFunction(optimized));
+  }
+  const ir::Function& fn = options_.optimize ? optimized : input_fn;
+
+  CompileResult result;
+
+  partition::Partitioner partitioner(fn, options_.constraints);
+  GALLIUM_ASSIGN_OR_RETURN(result.plan, partitioner.Run());
+
+  GALLIUM_ASSIGN_OR_RETURN(result.p4_program,
+                           p4::GenerateP4(fn, result.plan, options_.p4));
+  result.p4_source = p4::EmitP4(result.p4_program);
+  GALLIUM_ASSIGN_OR_RETURN(
+      result.server_source,
+      cppgen::GenerateServerCpp(fn, result.plan, options_.cpp));
+  result.click_source = ir::RenderClickSource(fn);
+
+  result.input_loc = CountCodeLines(result.click_source);
+  result.p4_loc = CountCodeLines(result.p4_source);
+  result.server_loc = CountCodeLines(result.server_source);
+  return result;
+}
+
+}  // namespace gallium::core

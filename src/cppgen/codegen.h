@@ -1,0 +1,27 @@
+// Server (non-offloaded partition) C++ code generation.
+//
+// Emits the DPDK application the paper deploys on the middlebox server:
+// state declarations for server-resident structures, the process() routine
+// covering the non-offloaded partition (consuming the Gallium transfer
+// header, re-reading stable header fields, resolving transferred branch
+// bits), control-plane synchronization stubs for replicated state, and the
+// configuration/driver boilerplate.
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+#include "partition/plan.h"
+#include "util/status.h"
+
+namespace gallium::cppgen {
+
+struct CppGenOptions {
+  int server_port = 192;
+};
+
+Result<std::string> GenerateServerCpp(const ir::Function& fn,
+                                      const partition::PartitionPlan& plan,
+                                      CppGenOptions options = {});
+
+}  // namespace gallium::cppgen

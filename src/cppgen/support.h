@@ -1,0 +1,29 @@
+// Support headers shipped alongside generated server code.
+//
+// The generated DPDK application includes "gallium/runtime.h" and
+// "gallium/dpdk_glue.h"; these functions return their contents so tools
+// (and tests) can materialize a self-contained, compilable artifact
+// directory. The artifact-compilation test runs a real C++ compiler over
+// the emitted program against exactly these headers.
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace gallium::cppgen {
+
+// Packet / Verdict / SwitchSync / helpers (the middlebox-server runtime).
+std::string RuntimeSupportHeader();
+
+// DpdkInit / RxTxLoop (the I/O shim the generated main() drives).
+std::string DpdkGlueHeader();
+
+// Writes the generated server source plus both support headers into
+// `directory` (creating gallium/ under it). Returns the path of the
+// written source file.
+Result<std::string> MaterializeServerArtifact(const std::string& directory,
+                                              const std::string& name,
+                                              const std::string& source);
+
+}  // namespace gallium::cppgen

@@ -1,0 +1,111 @@
+#include "frontend/middlebox_builder.h"
+
+namespace gallium::frontend {
+
+MiddleboxBuilder::MiddleboxBuilder(std::string name)
+    : fn_(std::make_unique<ir::Function>(std::move(name))),
+      builder_(fn_.get()) {
+  const int entry = fn_->AddBlock("entry");
+  fn_->set_entry_block(entry);
+  builder_.SetInsertPoint(entry);
+}
+
+HashMapHandle MiddleboxBuilder::DeclareMap(std::string name,
+                                           std::vector<ir::Width> keys,
+                                           std::vector<ir::Width> values,
+                                           uint64_t max_entries,
+                                           bool has_p4_impl) {
+  ir::MapDecl decl;
+  decl.name = std::move(name);
+  decl.key_widths = std::move(keys);
+  decl.value_widths = std::move(values);
+  decl.max_entries = max_entries;
+  decl.has_p4_impl = has_p4_impl;
+  return HashMapHandle(&builder_, fn_->AddMap(std::move(decl)));
+}
+
+VectorHandle MiddleboxBuilder::DeclareVector(std::string name, ir::Width elem,
+                                             uint64_t max_size,
+                                             bool has_p4_impl) {
+  ir::VectorDecl decl;
+  decl.name = std::move(name);
+  decl.elem_width = elem;
+  decl.max_size = max_size;
+  decl.has_p4_impl = has_p4_impl;
+  return VectorHandle(&builder_, fn_->AddVector(std::move(decl)));
+}
+
+GlobalHandle MiddleboxBuilder::DeclareGlobal(std::string name, ir::Width width,
+                                             uint64_t init) {
+  ir::GlobalDecl decl;
+  decl.name = std::move(name);
+  decl.width = width;
+  decl.init = init;
+  return GlobalHandle(&builder_, fn_->AddGlobal(std::move(decl)));
+}
+
+uint32_t MiddleboxBuilder::DeclarePattern(std::string pattern) {
+  return fn_->AddPattern(std::move(pattern));
+}
+
+bool MiddleboxBuilder::CurrentBlockTerminated() const {
+  return fn_->block(builder_.insert_block()).HasTerminator();
+}
+
+void MiddleboxBuilder::If(ir::Value cond,
+                          const std::function<void()>& then_body) {
+  const int bb_then = builder_.CreateBlock("if_then");
+  const int bb_join = builder_.CreateBlock("if_join");
+  builder_.Branch(cond, bb_then, bb_join);
+  builder_.SetInsertPoint(bb_then);
+  then_body();
+  if (!CurrentBlockTerminated()) builder_.Jump(bb_join);
+  builder_.SetInsertPoint(bb_join);
+}
+
+void MiddleboxBuilder::IfElse(ir::Value cond,
+                              const std::function<void()>& then_body,
+                              const std::function<void()>& else_body) {
+  const int bb_then = builder_.CreateBlock("if_then");
+  const int bb_else = builder_.CreateBlock("if_else");
+  const int bb_join = builder_.CreateBlock("if_join");
+  builder_.Branch(cond, bb_then, bb_else);
+  builder_.SetInsertPoint(bb_then);
+  then_body();
+  if (!CurrentBlockTerminated()) builder_.Jump(bb_join);
+  builder_.SetInsertPoint(bb_else);
+  else_body();
+  if (!CurrentBlockTerminated()) builder_.Jump(bb_join);
+  builder_.SetInsertPoint(bb_join);
+}
+
+void MiddleboxBuilder::While(const std::function<ir::Value()>& header,
+                             const std::function<void()>& body) {
+  const int bb_head = builder_.CreateBlock("while_head");
+  const int bb_body = builder_.CreateBlock("while_body");
+  const int bb_exit = builder_.CreateBlock("while_exit");
+  builder_.Jump(bb_head);
+  builder_.SetInsertPoint(bb_head);
+  const ir::Value cond = header();
+  builder_.Branch(cond, bb_body, bb_exit);
+  builder_.SetInsertPoint(bb_body);
+  body();
+  if (!CurrentBlockTerminated()) builder_.Jump(bb_head);
+  builder_.SetInsertPoint(bb_exit);
+}
+
+Result<std::unique_ptr<ir::Function>> MiddleboxBuilder::Finish() && {
+  if (!CurrentBlockTerminated()) builder_.Ret();
+  // Ensure every block is terminated (join blocks of If bodies that always
+  // return remain empty; give them a Ret).
+  for (ir::BasicBlock& bb : fn_->blocks()) {
+    if (!bb.HasTerminator()) {
+      builder_.SetInsertPoint(bb.id);
+      builder_.Ret();
+    }
+  }
+  GALLIUM_RETURN_IF_ERROR(ir::VerifyFunction(*fn_));
+  return std::move(fn_);
+}
+
+}  // namespace gallium::frontend

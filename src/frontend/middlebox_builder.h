@@ -1,0 +1,135 @@
+// Click-style frontend for authoring middlebox programs.
+//
+// The paper's input is C++ written against Click APIs, lowered by Clang to
+// LLVM IR. This frontend is the equivalent entry point in our substitution:
+// middlebox authors use HashMap/Vector/packet-header handles with the same
+// shape and the same read/write-set annotations as the paper's annotated
+// Click APIs, and the builder records Gallium IR statements directly.
+//
+// Structured-control helpers (If/IfElse/While) build the CFG safely; the
+// verifier still checks the result.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ir/builder.h"
+#include "ir/function.h"
+#include "ir/verifier.h"
+#include "util/status.h"
+
+namespace gallium::frontend {
+
+// Click HashMap<K, V> handle. find/insert/erase record annotated IR map ops.
+class HashMapHandle {
+ public:
+  HashMapHandle() = default;
+  HashMapHandle(ir::IrBuilder* b, ir::StateIndex index)
+      : b_(b), index_(index) {}
+
+  ir::MapGetResult Find(std::initializer_list<ir::Value> keys,
+                        std::string name_prefix = "") const {
+    return b_->MapGet(index_, std::span(keys.begin(), keys.size()),
+                      std::move(name_prefix));
+  }
+  void Insert(std::initializer_list<ir::Value> keys,
+              std::initializer_list<ir::Value> values) const {
+    b_->MapPut(index_, std::span(keys.begin(), keys.size()),
+               std::span(values.begin(), values.size()));
+  }
+  void Erase(std::initializer_list<ir::Value> keys) const {
+    b_->MapDel(index_, std::span(keys.begin(), keys.size()));
+  }
+  ir::StateIndex index() const { return index_; }
+
+ private:
+  ir::IrBuilder* b_ = nullptr;
+  ir::StateIndex index_ = 0;
+};
+
+// Click Vector<T> handle.
+class VectorHandle {
+ public:
+  VectorHandle() = default;
+  VectorHandle(ir::IrBuilder* b, ir::StateIndex index)
+      : b_(b), index_(index) {}
+
+  ir::Reg At(ir::Value index, std::string name = "") const {
+    return b_->VectorGet(index_, index, std::move(name));
+  }
+  ir::Reg Size(std::string name = "") const {
+    return b_->VectorLen(index_, std::move(name));
+  }
+  ir::StateIndex index() const { return index_; }
+
+ private:
+  ir::IrBuilder* b_ = nullptr;
+  ir::StateIndex index_ = 0;
+};
+
+// Scalar global handle (counters, flags).
+class GlobalHandle {
+ public:
+  GlobalHandle() = default;
+  GlobalHandle(ir::IrBuilder* b, ir::StateIndex index)
+      : b_(b), index_(index) {}
+
+  ir::Reg Read(std::string name = "") const {
+    return b_->GlobalRead(index_, std::move(name));
+  }
+  void Write(ir::Value v) const { b_->GlobalWrite(index_, v); }
+  ir::StateIndex index() const { return index_; }
+
+ private:
+  ir::IrBuilder* b_ = nullptr;
+  ir::StateIndex index_ = 0;
+};
+
+// Builds one middlebox program. Typical use:
+//
+//   MiddleboxBuilder mb("mini_lb");
+//   auto map = mb.DeclareMap("map", {Width::kU16}, {Width::kU32}, 65536);
+//   ... mb.b().HeaderRead(...), mb.IfElse(...) ...
+//   auto fn = std::move(mb).Finish();   // verified ir::Function
+class MiddleboxBuilder {
+ public:
+  explicit MiddleboxBuilder(std::string name);
+
+  ir::IrBuilder& b() { return builder_; }
+  ir::Function& fn() { return *fn_; }
+
+  // --- State declarations (the paper's annotated Click structures) -----------
+  HashMapHandle DeclareMap(std::string name, std::vector<ir::Width> keys,
+                           std::vector<ir::Width> values,
+                           uint64_t max_entries,  // 0 = not offloadable
+                           bool has_p4_impl = true);
+  VectorHandle DeclareVector(std::string name, ir::Width elem,
+                             uint64_t max_size, bool has_p4_impl = true);
+  GlobalHandle DeclareGlobal(std::string name, ir::Width width,
+                             uint64_t init = 0);
+  uint32_t DeclarePattern(std::string pattern);
+
+  // --- Structured control flow -------------------------------------------------
+  void If(ir::Value cond, const std::function<void()>& then_body);
+  void IfElse(ir::Value cond, const std::function<void()>& then_body,
+              const std::function<void()>& else_body);
+  // While loop: `header` emits the condition computation and returns the
+  // condition value; `body` emits the loop body.
+  void While(const std::function<ir::Value()>& header,
+             const std::function<void()>& body);
+
+  // True when the current block already ends in a terminator (a body that
+  // called Send+Ret, for example).
+  bool CurrentBlockTerminated() const;
+
+  // Verifies and returns the finished function. The builder must not be
+  // used afterwards.
+  Result<std::unique_ptr<ir::Function>> Finish() &&;
+
+ private:
+  std::unique_ptr<ir::Function> fn_;
+  ir::IrBuilder builder_;
+};
+
+}  // namespace gallium::frontend

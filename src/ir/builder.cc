@@ -1,0 +1,193 @@
+#include "ir/builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gallium::ir {
+
+Instruction& IrBuilder::Append(Opcode op) {
+  BasicBlock& bb = fn_->block(block_);
+  assert(!bb.HasTerminator() && "appending after a terminator");
+  Instruction inst;
+  inst.op = op;
+  inst.id = fn_->NextInstId();
+  bb.insts.push_back(std::move(inst));
+  return bb.insts.back();
+}
+
+Width IrBuilder::ValueWidth(const Value& v) const {
+  if (v.is_reg()) return fn_->reg_width(v.reg);
+  return Width::kU64;
+}
+
+Reg IrBuilder::Assign(Value v, Width w, std::string name) {
+  const Reg dst = fn_->AddReg(w, std::move(name));
+  Instruction& inst = Append(Opcode::kAssign);
+  inst.dsts = {dst};
+  inst.args = {v};
+  return dst;
+}
+
+Reg IrBuilder::Alu(AluOp op, Value a, Value b, std::string name) {
+  Width w;
+  if (AluOpIsComparison(op)) {
+    w = Width::kU1;
+  } else {
+    // Result width = the wider operand (immediates do not widen).
+    w = a.is_reg() ? ValueWidth(a) : Width::kU32;
+    if (b.is_reg() && BitWidth(ValueWidth(b)) > BitWidth(w)) w = ValueWidth(b);
+  }
+  return Alu(op, a, b, w, std::move(name));
+}
+
+Reg IrBuilder::Alu(AluOp op, Value a, Value b, Width result_width,
+                   std::string name) {
+  const Reg dst = fn_->AddReg(result_width, std::move(name));
+  Instruction& inst = Append(Opcode::kAlu);
+  inst.alu = op;
+  inst.dsts = {dst};
+  if (AluOpIsUnary(op)) {
+    inst.args = {a};
+  } else {
+    inst.args = {a, b};
+  }
+  return dst;
+}
+
+Reg IrBuilder::Not(Value a, std::string name) {
+  return Alu(AluOp::kNot, a, Imm(0), ValueWidth(a), std::move(name));
+}
+
+Reg IrBuilder::HeaderRead(HeaderField f, std::string name) {
+  if (name.empty()) name = HeaderFieldName(f);
+  const Reg dst = fn_->AddReg(HeaderFieldWidth(f), std::move(name));
+  Instruction& inst = Append(Opcode::kHeaderRead);
+  inst.field = f;
+  inst.dsts = {dst};
+  return dst;
+}
+
+Reg IrBuilder::PayloadMatch(uint32_t pattern, std::string name) {
+  const Reg dst = fn_->AddReg(Width::kU1, std::move(name));
+  Instruction& inst = Append(Opcode::kPayloadMatch);
+  inst.pattern = pattern;
+  inst.dsts = {dst};
+  return dst;
+}
+
+Reg IrBuilder::PayloadLen(std::string name) {
+  const Reg dst = fn_->AddReg(Width::kU32, std::move(name));
+  Append(Opcode::kPayloadLen).dsts = {dst};
+  return dst;
+}
+
+MapGetResult IrBuilder::MapGet(StateIndex map, std::span<const Value> keys,
+                               std::string name_prefix) {
+  const MapDecl& decl = fn_->map(map);
+  assert(keys.size() == decl.key_widths.size());
+  if (name_prefix.empty()) name_prefix = decl.name;
+
+  MapGetResult result;
+  result.found = fn_->AddReg(Width::kU1, name_prefix + "_found");
+  Instruction& inst = Append(Opcode::kMapGet);
+  inst.state = map;
+  inst.dsts.push_back(result.found);
+  for (size_t i = 0; i < decl.value_widths.size(); ++i) {
+    const Reg v = fn_->AddReg(decl.value_widths[i],
+                              name_prefix + "_v" + std::to_string(i));
+    result.values.push_back(v);
+    inst.dsts.push_back(v);
+  }
+  inst.args.assign(keys.begin(), keys.end());
+  return result;
+}
+
+Reg IrBuilder::GlobalRead(StateIndex global, std::string name) {
+  const GlobalDecl& decl = fn_->global(global);
+  if (name.empty()) name = decl.name + "_val";
+  const Reg dst = fn_->AddReg(decl.width, std::move(name));
+  Instruction& inst = Append(Opcode::kGlobalRead);
+  inst.state = global;
+  inst.dsts = {dst};
+  return dst;
+}
+
+Reg IrBuilder::VectorGet(StateIndex vec, Value index, std::string name) {
+  const VectorDecl& decl = fn_->vector(vec);
+  if (name.empty()) name = decl.name + "_elem";
+  const Reg dst = fn_->AddReg(decl.elem_width, std::move(name));
+  Instruction& inst = Append(Opcode::kVectorGet);
+  inst.state = vec;
+  inst.dsts = {dst};
+  inst.args = {index};
+  return dst;
+}
+
+Reg IrBuilder::VectorLen(StateIndex vec, std::string name) {
+  const VectorDecl& decl = fn_->vector(vec);
+  if (name.empty()) name = decl.name + "_size";
+  const Reg dst = fn_->AddReg(Width::kU32, std::move(name));
+  Instruction& inst = Append(Opcode::kVectorLen);
+  inst.state = vec;
+  inst.dsts = {dst};
+  return dst;
+}
+
+Reg IrBuilder::TimeRead(std::string name) {
+  if (name.empty()) name = "now_ms";
+  const Reg dst = fn_->AddReg(Width::kU64, std::move(name));
+  Append(Opcode::kTimeRead).dsts = {dst};
+  return dst;
+}
+
+void IrBuilder::HeaderWrite(HeaderField f, Value v) {
+  Instruction& inst = Append(Opcode::kHeaderWrite);
+  inst.field = f;
+  inst.args = {v};
+}
+
+void IrBuilder::MapPut(StateIndex map, std::span<const Value> keys,
+                       std::span<const Value> values) {
+  const MapDecl& decl = fn_->map(map);
+  assert(keys.size() == decl.key_widths.size());
+  assert(values.size() == decl.value_widths.size());
+  (void)decl;
+  Instruction& inst = Append(Opcode::kMapPut);
+  inst.state = map;
+  inst.args.assign(keys.begin(), keys.end());
+  inst.args.insert(inst.args.end(), values.begin(), values.end());
+}
+
+void IrBuilder::MapDel(StateIndex map, std::span<const Value> keys) {
+  assert(keys.size() == fn_->map(map).key_widths.size());
+  Instruction& inst = Append(Opcode::kMapDel);
+  inst.state = map;
+  inst.args.assign(keys.begin(), keys.end());
+}
+
+void IrBuilder::GlobalWrite(StateIndex global, Value v) {
+  Instruction& inst = Append(Opcode::kGlobalWrite);
+  inst.state = global;
+  inst.args = {v};
+}
+
+void IrBuilder::Send(Value egress_port) {
+  Append(Opcode::kSend).args = {egress_port};
+}
+
+void IrBuilder::Drop() { Append(Opcode::kDrop); }
+
+void IrBuilder::Branch(Value cond, int if_true, int if_false) {
+  Instruction& inst = Append(Opcode::kBranch);
+  inst.args = {cond};
+  inst.target_true = if_true;
+  inst.target_false = if_false;
+}
+
+void IrBuilder::Jump(int target) {
+  Append(Opcode::kJump).target_true = target;
+}
+
+void IrBuilder::Ret() { Append(Opcode::kReturn); }
+
+}  // namespace gallium::ir

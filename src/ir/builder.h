@@ -1,0 +1,73 @@
+// Low-level IR construction API. The Click-style frontend (src/frontend)
+// wraps this with packet/data-structure handles; tests also use it directly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace gallium::ir {
+
+struct MapGetResult {
+  Reg found;                // u1: true if the key was present
+  std::vector<Reg> values;  // one register per declared value word
+};
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Function* fn) : fn_(fn) {}
+
+  Function* function() { return fn_; }
+
+  // --- Block management -----------------------------------------------------
+  int CreateBlock(std::string name) { return fn_->AddBlock(std::move(name)); }
+  void SetInsertPoint(int block) { block_ = block; }
+  int insert_block() const { return block_; }
+
+  // --- Value producers --------------------------------------------------------
+  Reg Assign(Value v, Width w, std::string name = "");
+  Reg Alu(AluOp op, Value a, Value b, std::string name = "");
+  Reg Alu(AluOp op, Value a, Value b, Width result_width,
+          std::string name = "");
+  Reg Not(Value a, std::string name = "");
+  Reg HeaderRead(HeaderField f, std::string name = "");
+  Reg PayloadMatch(uint32_t pattern, std::string name = "");
+  Reg PayloadLen(std::string name = "");
+  MapGetResult MapGet(StateIndex map, std::span<const Value> keys,
+                      std::string name_prefix = "");
+  Reg GlobalRead(StateIndex global, std::string name = "");
+  Reg VectorGet(StateIndex vec, Value index, std::string name = "");
+  Reg VectorLen(StateIndex vec, std::string name = "");
+  Reg TimeRead(std::string name = "");
+
+  // --- Side effects -----------------------------------------------------------
+  void HeaderWrite(HeaderField f, Value v);
+  void MapPut(StateIndex map, std::span<const Value> keys,
+              std::span<const Value> values);
+  void MapDel(StateIndex map, std::span<const Value> keys);
+  void GlobalWrite(StateIndex global, Value v);
+  void Send(Value egress_port);
+  void Drop();
+
+  // --- Terminators ---------------------------------------------------------------
+  void Branch(Value cond, int if_true, int if_false);
+  void Jump(int target);
+  void Ret();
+
+  // Width of a value (register width, or u64 for immediates unless narrowed).
+  Width ValueWidth(const Value& v) const;
+
+ private:
+  Instruction& Append(Opcode op);
+
+  Function* fn_;
+  int block_ = 0;
+};
+
+// Shorthand constructors.
+inline Value R(Reg r) { return Value::MakeReg(r); }
+inline Value Imm(uint64_t v) { return Value::MakeImm(v); }
+
+}  // namespace gallium::ir

@@ -1,0 +1,123 @@
+#include "ir/function.h"
+
+namespace gallium::ir {
+
+namespace {
+int SumBytes(const std::vector<Width>& widths) {
+  int total = 0;
+  for (Width w : widths) total += ByteWidth(w);
+  return total;
+}
+}  // namespace
+
+int MapDecl::KeyBytes() const { return SumBytes(key_widths); }
+int MapDecl::ValueBytes() const { return SumBytes(value_widths); }
+
+uint64_t MapDecl::SwitchBytes() const {
+  // Per-entry overhead models the match-unit key replication + validity bit
+  // found in real TCAM/SRAM table layouts.
+  constexpr uint64_t kPerEntryOverhead = 4;
+  return max_entries *
+         (static_cast<uint64_t>(KeyBytes() + ValueBytes()) + kPerEntryOverhead);
+}
+
+uint64_t VectorDecl::SwitchBytes() const {
+  constexpr uint64_t kPerEntryOverhead = 4;  // index key bytes
+  return max_size * (static_cast<uint64_t>(ByteWidth(elem_width)) +
+                     kPerEntryOverhead);
+}
+
+std::string StateRef::ToString() const {
+  const char* kind_name = kind == Kind::kMap      ? "map"
+                          : kind == Kind::kVector ? "vector"
+                                                  : "global";
+  return std::string(kind_name) + "#" + std::to_string(index);
+}
+
+int Function::AddBlock(std::string block_name) {
+  const int id = static_cast<int>(blocks_.size());
+  BasicBlock bb;
+  bb.id = id;
+  bb.name = std::move(block_name);
+  blocks_.push_back(std::move(bb));
+  return id;
+}
+
+Reg Function::AddReg(Width width, std::string reg_name) {
+  const Reg r = static_cast<Reg>(reg_widths_.size());
+  reg_widths_.push_back(width);
+  if (reg_name.empty()) reg_name = "t" + std::to_string(r);
+  reg_names_.push_back(std::move(reg_name));
+  return r;
+}
+
+StateIndex Function::AddMap(MapDecl decl) {
+  maps_.push_back(std::move(decl));
+  return static_cast<StateIndex>(maps_.size() - 1);
+}
+
+StateIndex Function::AddVector(VectorDecl decl) {
+  vectors_.push_back(std::move(decl));
+  return static_cast<StateIndex>(vectors_.size() - 1);
+}
+
+StateIndex Function::AddGlobal(GlobalDecl decl) {
+  globals_.push_back(std::move(decl));
+  return static_cast<StateIndex>(globals_.size() - 1);
+}
+
+uint32_t Function::AddPattern(std::string pattern) {
+  patterns_.push_back(std::move(pattern));
+  return static_cast<uint32_t>(patterns_.size() - 1);
+}
+
+std::vector<InstRef> Function::BuildIndex() const {
+  std::vector<InstRef> index(next_inst_id_, InstRef{});
+  for (const BasicBlock& bb : blocks_) {
+    for (int i = 0; i < static_cast<int>(bb.insts.size()); ++i) {
+      const InstId id = bb.insts[i].id;
+      if (id >= 0 && id < next_inst_id_) index[id] = InstRef{bb.id, i};
+    }
+  }
+  return index;
+}
+
+const Instruction* Function::Find(InstId id) const {
+  for (const BasicBlock& bb : blocks_) {
+    for (const Instruction& inst : bb.insts) {
+      if (inst.id == id) return &inst;
+    }
+  }
+  return nullptr;
+}
+
+std::string Function::StateName(const StateRef& ref) const {
+  switch (ref.kind) {
+    case StateRef::Kind::kMap: return maps_[ref.index].name;
+    case StateRef::Kind::kVector: return vectors_[ref.index].name;
+    case StateRef::Kind::kGlobal: return globals_[ref.index].name;
+  }
+  return "?";
+}
+
+bool Function::InstStateRef(const Instruction& inst, StateRef* out) {
+  switch (inst.op) {
+    case Opcode::kMapGet:
+    case Opcode::kMapPut:
+    case Opcode::kMapDel:
+      *out = StateRef{StateRef::Kind::kMap, inst.state};
+      return true;
+    case Opcode::kVectorGet:
+    case Opcode::kVectorLen:
+      *out = StateRef{StateRef::Kind::kVector, inst.state};
+      return true;
+    case Opcode::kGlobalRead:
+    case Opcode::kGlobalWrite:
+      *out = StateRef{StateRef::Kind::kGlobal, inst.state};
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gallium::ir

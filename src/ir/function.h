@@ -1,0 +1,161 @@
+// Function: the unit of compilation — one middlebox packet-processing entry
+// point plus its state declarations (maps, vectors, globals) and payload
+// patterns.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "ir/types.h"
+#include "util/status.h"
+
+namespace gallium::ir {
+
+// A hash map declaration (Click HashMap). `max_entries` is the developer
+// annotation the paper requires before a map may be placed on the switch
+// (§4.3.1: "Gallium requires a middlebox developer to annotate a maximum
+// size for each HashMap that the developer wishes to offload").
+//
+// kLpm implements §7's "extra functionalities" extension: the map holds
+// (prefix, prefix_len) entries installed at configuration time / through
+// the control plane, and a lookup with a single address key returns the
+// longest matching prefix's value — P4's native lpm match kind. Per-packet
+// inserts into an LPM map are rejected by the verifier (entry keys carry a
+// prefix length the data path cannot provide).
+struct MapDecl {
+  enum class MatchKind : uint8_t { kExact, kLpm };
+
+  std::string name;
+  std::vector<Width> key_widths;
+  std::vector<Width> value_widths;
+  uint64_t max_entries = 0;   // 0 = unannotated; not offloadable
+  bool has_p4_impl = true;    // false for structures with no P4 counterpart
+  MatchKind match_kind = MatchKind::kExact;
+
+  bool is_lpm() const { return match_kind == MatchKind::kLpm; }
+
+  int KeyBytes() const;
+  int ValueBytes() const;
+  // Switch memory footprint if offloaded: entries × (key + value + overhead).
+  uint64_t SwitchBytes() const;
+};
+
+// A read-mostly array (Click Vector). Offloadable as a P4 table indexed by
+// position when `max_size` is annotated.
+struct VectorDecl {
+  std::string name;
+  Width elem_width = Width::kU32;
+  uint64_t max_size = 0;
+  bool has_p4_impl = true;
+
+  uint64_t SwitchBytes() const;
+};
+
+// A scalar global (e.g. MazuNAT's port-allocation counter). Maps to a P4
+// register when offloaded (§4.3.1).
+struct GlobalDecl {
+  std::string name;
+  Width width = Width::kU32;
+  uint64_t init = 0;
+
+  uint64_t SwitchBytes() const { return ByteWidth(width); }
+};
+
+// Identifies one global-state object for the single-access constraint
+// (Constraint 3) and replication decisions.
+struct StateRef {
+  enum class Kind : uint8_t { kMap, kVector, kGlobal };
+  Kind kind = Kind::kMap;
+  StateIndex index = 0;
+
+  auto operator<=>(const StateRef&) const = default;
+  std::string ToString() const;
+};
+
+struct BasicBlock {
+  int id = -1;
+  std::string name;
+  std::vector<Instruction> insts;
+
+  const Instruction& terminator() const { return insts.back(); }
+  bool HasTerminator() const {
+    return !insts.empty() && insts.back().IsTerminator();
+  }
+};
+
+// Addresses an instruction by position; `Function::Locate` maps InstId to it.
+struct InstRef {
+  int block = -1;
+  int index = -1;
+  bool valid() const { return block >= 0; }
+  auto operator<=>(const InstRef&) const = default;
+};
+
+class Function {
+ public:
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- Blocks -----------------------------------------------------------------
+  int AddBlock(std::string block_name);
+  BasicBlock& block(int id) { return blocks_[id]; }
+  const BasicBlock& block(int id) const { return blocks_[id]; }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  int entry_block() const { return entry_; }
+  void set_entry_block(int id) { entry_ = id; }
+  std::vector<BasicBlock>& blocks() { return blocks_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  // --- Registers ----------------------------------------------------------------
+  Reg AddReg(Width width, std::string reg_name);
+  Width reg_width(Reg r) const { return reg_widths_[r]; }
+  const std::string& reg_name(Reg r) const { return reg_names_[r]; }
+  int num_regs() const { return static_cast<int>(reg_widths_.size()); }
+
+  // --- State declarations ------------------------------------------------------
+  StateIndex AddMap(MapDecl decl);
+  StateIndex AddVector(VectorDecl decl);
+  StateIndex AddGlobal(GlobalDecl decl);
+  const std::vector<MapDecl>& maps() const { return maps_; }
+  const std::vector<VectorDecl>& vectors() const { return vectors_; }
+  const std::vector<GlobalDecl>& globals() const { return globals_; }
+  MapDecl& map(StateIndex i) { return maps_[i]; }
+  const MapDecl& map(StateIndex i) const { return maps_[i]; }
+  const VectorDecl& vector(StateIndex i) const { return vectors_[i]; }
+  const GlobalDecl& global(StateIndex i) const { return globals_[i]; }
+
+  uint32_t AddPattern(std::string pattern);
+  const std::vector<std::string>& patterns() const { return patterns_; }
+
+  // --- Instruction identity ------------------------------------------------------
+  InstId NextInstId() { return next_inst_id_++; }
+  int num_insts() const { return next_inst_id_; }
+
+  // Recomputes the InstId -> position index (call after structural edits).
+  std::vector<InstRef> BuildIndex() const;
+  const Instruction* Find(InstId id) const;
+
+  // Human-readable state name for diagnostics.
+  std::string StateName(const StateRef& ref) const;
+
+  // Returns the state object an instruction touches, if any.
+  static bool InstStateRef(const Instruction& inst, StateRef* out);
+
+ private:
+  std::string name_;
+  std::vector<BasicBlock> blocks_;
+  int entry_ = 0;
+  std::vector<Width> reg_widths_;
+  std::vector<std::string> reg_names_;
+  std::vector<MapDecl> maps_;
+  std::vector<VectorDecl> vectors_;
+  std::vector<GlobalDecl> globals_;
+  std::vector<std::string> patterns_;
+  InstId next_inst_id_ = 0;
+};
+
+}  // namespace gallium::ir

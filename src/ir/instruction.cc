@@ -1,0 +1,38 @@
+#include "ir/instruction.h"
+
+namespace gallium::ir {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kAssign: return "assign";
+    case Opcode::kAlu: return "alu";
+    case Opcode::kHeaderRead: return "hdr_read";
+    case Opcode::kHeaderWrite: return "hdr_write";
+    case Opcode::kPayloadMatch: return "payload_match";
+    case Opcode::kPayloadLen: return "payload_len";
+    case Opcode::kMapGet: return "map_get";
+    case Opcode::kMapPut: return "map_put";
+    case Opcode::kMapDel: return "map_del";
+    case Opcode::kGlobalRead: return "global_read";
+    case Opcode::kGlobalWrite: return "global_write";
+    case Opcode::kVectorGet: return "vec_get";
+    case Opcode::kVectorLen: return "vec_len";
+    case Opcode::kTimeRead: return "time_read";
+    case Opcode::kSend: return "send";
+    case Opcode::kDrop: return "drop";
+    case Opcode::kBranch: return "br";
+    case Opcode::kJump: return "jmp";
+    case Opcode::kReturn: return "ret";
+  }
+  return "?";
+}
+
+std::vector<Reg> Instruction::UsedRegs() const {
+  std::vector<Reg> regs;
+  for (const Value& v : args) {
+    if (v.is_reg()) regs.push_back(v.reg);
+  }
+  return regs;
+}
+
+}  // namespace gallium::ir

@@ -1,0 +1,113 @@
+// IR instructions ("statements" in the paper's vocabulary).
+//
+// Each instruction corresponds to one partitionable statement: an ALU
+// operation, a packet-header access, an annotated abstract-data-type call
+// (map/vector/global), payload inspection, packet send/drop, or control flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace gallium::ir {
+
+enum class Opcode : uint8_t {
+  kAssign,       // dsts[0] <- args[0]
+  kAlu,          // dsts[0] <- alu(args[0], args[1])
+  kHeaderRead,   // dsts[0] <- header[field]
+  kHeaderWrite,  // header[field] <- args[0]
+  kPayloadMatch, // dsts[0] <- payload contains pattern `pattern` (DPI)
+  kPayloadLen,   // dsts[0] <- payload length in bytes
+  kMapGet,       // (dsts[0]=found, dsts[1..]) <- map[state].find(args[0..])
+  kMapPut,       // map[state].insert(keys=args[0..k), values=args[k..))
+  kMapDel,       // map[state].erase(args[0..))
+  kGlobalRead,   // dsts[0] <- global[state]
+  kGlobalWrite,  // global[state] <- args[0]
+  kVectorGet,    // dsts[0] <- vector[state][args[0]]
+  kVectorLen,    // dsts[0] <- vector[state].size()
+  kTimeRead,     // dsts[0] <- current time (ms); never offloadable
+  kSend,         // emit packet on port args[0]
+  kDrop,         // drop packet
+  kBranch,       // if args[0] goto block[target_true] else block[target_false]
+  kJump,         // goto block[target_true]
+  kReturn,       // end of packet processing
+};
+
+const char* OpcodeName(Opcode op);
+
+// Stable identifier of an instruction within its Function. Used as the vertex
+// key of the dependency graph and as the subject of partition labels.
+using InstId = int32_t;
+inline constexpr InstId kInvalidInst = -1;
+
+struct Instruction {
+  Opcode op = Opcode::kReturn;
+  InstId id = kInvalidInst;
+
+  // Destination registers. kMapGet defines [found, value words...]; all other
+  // value-producing opcodes define exactly dsts[0].
+  std::vector<Reg> dsts;
+
+  // Operand values. Layout by opcode:
+  //   kAlu:     [a] or [a, b]
+  //   kMapGet:  key words
+  //   kMapPut:  key words then value words (split given by map declaration)
+  //   kMapDel:  key words
+  //   kSend:    [egress port]
+  //   kBranch:  [condition]
+  //   others:   see opcode comment
+  std::vector<Value> args;
+
+  AluOp alu = AluOp::kAdd;
+  HeaderField field = HeaderField::kIpSrc;
+  StateIndex state = 0;   // which map/vector/global declaration
+  uint32_t pattern = 0;   // payload pattern index (kPayloadMatch)
+
+  // Control-flow targets (block ids). kBranch uses both; kJump uses
+  // target_true only.
+  int target_true = -1;
+  int target_false = -1;
+
+  bool IsTerminator() const {
+    return op == Opcode::kBranch || op == Opcode::kJump ||
+           op == Opcode::kReturn;
+  }
+
+  // True for ops whose *only* effect is defining dsts (no state/packet/IO
+  // side effects) — candidates for dead-code elimination after partitioning.
+  bool IsPure() const {
+    switch (op) {
+      case Opcode::kAssign:
+      case Opcode::kAlu:
+      case Opcode::kHeaderRead:
+      case Opcode::kPayloadMatch:
+      case Opcode::kPayloadLen:
+      case Opcode::kMapGet:     // reads state but has no side effect
+      case Opcode::kGlobalRead:
+      case Opcode::kVectorGet:
+      case Opcode::kVectorLen:
+      case Opcode::kTimeRead:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  bool AccessesMap() const {
+    return op == Opcode::kMapGet || op == Opcode::kMapPut ||
+           op == Opcode::kMapDel;
+  }
+  bool WritesState() const {
+    return op == Opcode::kMapPut || op == Opcode::kMapDel ||
+           op == Opcode::kGlobalWrite;
+  }
+
+  // All register operands read by this instruction.
+  std::vector<Reg> UsedRegs() const;
+  // All registers defined by this instruction (== dsts).
+  const std::vector<Reg>& DefinedRegs() const { return dsts; }
+};
+
+}  // namespace gallium::ir

@@ -1,0 +1,113 @@
+#include "ir/passes.h"
+
+#include <map>
+#include <vector>
+
+namespace gallium::ir {
+
+namespace {
+
+// Register use counts across the whole function (args of every statement,
+// including terminators).
+std::vector<int> CountUses(const Function& fn) {
+  std::vector<int> uses(fn.num_regs(), 0);
+  for (const BasicBlock& bb : fn.blocks()) {
+    for (const Instruction& inst : bb.insts) {
+      for (const Value& v : inst.args) {
+        if (v.is_reg()) ++uses[v.reg];
+      }
+    }
+  }
+  return uses;
+}
+
+}  // namespace
+
+int EliminateDeadCode(Function* fn) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<int> uses = CountUses(*fn);
+    for (BasicBlock& bb : fn->blocks()) {
+      for (auto it = bb.insts.begin(); it != bb.insts.end();) {
+        const Instruction& inst = *it;
+        bool dead = inst.IsPure() && !inst.dsts.empty();
+        for (Reg r : inst.dsts) {
+          if (uses[r] > 0) dead = false;
+        }
+        if (dead) {
+          it = bb.insts.erase(it);
+          ++removed;
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+int FoldConstants(Function* fn) {
+  int simplified = 0;
+
+  // 1. Fold all-immediate ALU operations into assignments.
+  for (BasicBlock& bb : fn->blocks()) {
+    for (Instruction& inst : bb.insts) {
+      if (inst.op != Opcode::kAlu) continue;
+      bool all_imm = true;
+      for (const Value& v : inst.args) all_imm &= v.is_imm();
+      if (!all_imm) continue;
+      const uint64_t a = inst.args[0].imm;
+      const uint64_t b = inst.args.size() > 1 ? inst.args[1].imm : 0;
+      const uint64_t folded =
+          EvalAluOp(inst.alu, a, b, fn->reg_width(inst.dsts[0]));
+      inst.op = Opcode::kAssign;
+      inst.args = {Value::MakeImm(folded)};
+      ++simplified;
+    }
+  }
+
+  // 2. Propagate single-definition immediate assignments into uses. A
+  // register with exactly one defining statement that is `r = <imm>` always
+  // holds that immediate wherever it is readable (the verifier's definite
+  // assignment guarantees the def precedes every use).
+  std::map<Reg, int> def_count;
+  std::map<Reg, uint64_t> imm_value;
+  for (const BasicBlock& bb : fn->blocks()) {
+    for (const Instruction& inst : bb.insts) {
+      for (Reg r : inst.dsts) {
+        ++def_count[r];
+        if (inst.op == Opcode::kAssign && inst.args[0].is_imm()) {
+          imm_value[r] = inst.args[0].imm & WidthMask(fn->reg_width(r));
+        } else {
+          imm_value.erase(r);
+        }
+      }
+    }
+  }
+  for (BasicBlock& bb : fn->blocks()) {
+    for (Instruction& inst : bb.insts) {
+      for (Value& v : inst.args) {
+        if (!v.is_reg()) continue;
+        const auto it = imm_value.find(v.reg);
+        if (it == imm_value.end() || def_count[v.reg] != 1) continue;
+        v = Value::MakeImm(it->second);
+        ++simplified;
+      }
+    }
+  }
+  return simplified;
+}
+
+int OptimizeFunction(Function* fn) {
+  int total = 0;
+  for (;;) {
+    const int round = FoldConstants(fn) + EliminateDeadCode(fn);
+    total += round;
+    if (round == 0) return total;
+  }
+}
+
+}  // namespace gallium::ir

@@ -1,0 +1,31 @@
+// IR cleanup passes.
+//
+// Middlebox source (especially machine-generated or heavily-macroed Click
+// code) carries dead temporaries and constant expressions; cleaning them
+// before partitioning shrinks the dependency graph, the switch metadata
+// footprint, and the transfer sets. Both passes preserve semantics exactly
+// — the property fuzzer checks optimized and unoptimized programs against
+// each other.
+#pragma once
+
+#include "ir/function.h"
+
+namespace gallium::ir {
+
+// Removes side-effect-free statements whose results are never used,
+// iterating to a fixpoint (removing one dead statement can orphan its
+// inputs). Control flow, state writes, payload-less sends/drops, and
+// anything with observable effects are never touched. Returns the number
+// of statements removed.
+int EliminateDeadCode(Function* fn);
+
+// Folds ALU operations whose operands are all immediates into plain
+// assignments, and propagates single-definition immediate assignments into
+// their uses. Returns the number of statements simplified.
+int FoldConstants(Function* fn);
+
+// Convenience: runs FoldConstants and EliminateDeadCode alternately until
+// neither makes progress. Returns total simplifications.
+int OptimizeFunction(Function* fn);
+
+}  // namespace gallium::ir

@@ -1,0 +1,329 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace gallium::ir {
+
+namespace {
+
+std::string ValueStr(const Function& fn, const Value& v) {
+  if (v.is_imm()) return std::to_string(v.imm);
+  return "%" + fn.reg_name(v.reg);
+}
+
+std::string DstStr(const Function& fn, Reg r) {
+  return "%" + fn.reg_name(r);
+}
+
+std::string ArgsStr(const Function& fn, const Instruction& inst) {
+  std::ostringstream out;
+  for (size_t i = 0; i < inst.args.size(); ++i) {
+    if (i) out << ", ";
+    out << ValueStr(fn, inst.args[i]);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string PrintInstruction(const Function& fn, const Instruction& inst) {
+  std::ostringstream out;
+  out << "[" << inst.id << "] ";
+  switch (inst.op) {
+    case Opcode::kAssign:
+      out << DstStr(fn, inst.dsts[0]) << " = " << ValueStr(fn, inst.args[0]);
+      break;
+    case Opcode::kAlu:
+      out << DstStr(fn, inst.dsts[0]) << " = " << AluOpName(inst.alu) << " "
+          << ArgsStr(fn, inst);
+      break;
+    case Opcode::kHeaderRead:
+      out << DstStr(fn, inst.dsts[0]) << " = hdr_read "
+          << HeaderFieldName(inst.field);
+      break;
+    case Opcode::kHeaderWrite:
+      out << "hdr_write " << HeaderFieldName(inst.field) << ", "
+          << ValueStr(fn, inst.args[0]);
+      break;
+    case Opcode::kPayloadMatch:
+      out << DstStr(fn, inst.dsts[0]) << " = payload_match \""
+          << fn.patterns()[inst.pattern] << "\"";
+      break;
+    case Opcode::kPayloadLen:
+      out << DstStr(fn, inst.dsts[0]) << " = payload_len";
+      break;
+    case Opcode::kMapGet: {
+      out << "(";
+      for (size_t i = 0; i < inst.dsts.size(); ++i) {
+        if (i) out << ", ";
+        out << DstStr(fn, inst.dsts[i]);
+      }
+      out << ") = map_get " << fn.map(inst.state).name << "["
+          << ArgsStr(fn, inst) << "]";
+      break;
+    }
+    case Opcode::kMapPut: {
+      const MapDecl& m = fn.map(inst.state);
+      const size_t nkeys = m.key_widths.size();
+      out << "map_put " << m.name << "[";
+      for (size_t i = 0; i < nkeys; ++i) {
+        if (i) out << ", ";
+        out << ValueStr(fn, inst.args[i]);
+      }
+      out << "] = (";
+      for (size_t i = nkeys; i < inst.args.size(); ++i) {
+        if (i > nkeys) out << ", ";
+        out << ValueStr(fn, inst.args[i]);
+      }
+      out << ")";
+      break;
+    }
+    case Opcode::kMapDel:
+      out << "map_del " << fn.map(inst.state).name << "[" << ArgsStr(fn, inst)
+          << "]";
+      break;
+    case Opcode::kGlobalRead:
+      out << DstStr(fn, inst.dsts[0]) << " = global_read "
+          << fn.global(inst.state).name;
+      break;
+    case Opcode::kGlobalWrite:
+      out << "global_write " << fn.global(inst.state).name << ", "
+          << ValueStr(fn, inst.args[0]);
+      break;
+    case Opcode::kVectorGet:
+      out << DstStr(fn, inst.dsts[0]) << " = vec_get "
+          << fn.vector(inst.state).name << "[" << ArgsStr(fn, inst) << "]";
+      break;
+    case Opcode::kVectorLen:
+      out << DstStr(fn, inst.dsts[0]) << " = vec_len "
+          << fn.vector(inst.state).name;
+      break;
+    case Opcode::kTimeRead:
+      out << DstStr(fn, inst.dsts[0]) << " = time_read";
+      break;
+    case Opcode::kSend:
+      out << "send port=" << ValueStr(fn, inst.args[0]);
+      break;
+    case Opcode::kDrop:
+      out << "drop";
+      break;
+    case Opcode::kBranch:
+      out << "br " << ValueStr(fn, inst.args[0]) << ", bb"
+          << inst.target_true << ", bb" << inst.target_false;
+      break;
+    case Opcode::kJump:
+      out << "jmp bb" << inst.target_true;
+      break;
+    case Opcode::kReturn:
+      out << "ret";
+      break;
+  }
+  return out.str();
+}
+
+std::string PrintFunction(const Function& fn) {
+  std::ostringstream out;
+  out << "function " << fn.name() << " {\n";
+  for (const MapDecl& m : fn.maps()) {
+    out << "  map " << m.name << " (keys=" << m.key_widths.size()
+        << " vals=" << m.value_widths.size() << " max=" << m.max_entries
+        << ")\n";
+  }
+  for (const VectorDecl& v : fn.vectors()) {
+    out << "  vector " << v.name << " (max=" << v.max_size << ")\n";
+  }
+  for (const GlobalDecl& g : fn.globals()) {
+    out << "  global " << g.name << " : " << WidthName(g.width) << " = "
+        << g.init << "\n";
+  }
+  for (const BasicBlock& bb : fn.blocks()) {
+    out << "bb" << bb.id << " (" << bb.name << "):\n";
+    for (const Instruction& inst : bb.insts) {
+      out << "  " << PrintInstruction(fn, inst) << "\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+namespace {
+
+// Renders a Value as a C++ expression.
+std::string CppValue(const Function& fn, const Value& v) {
+  if (v.is_imm()) return std::to_string(v.imm) + "u";
+  return SanitizeIdentifier(fn.reg_name(v.reg));
+}
+
+std::string CppHeaderLvalue(HeaderField f) {
+  switch (f) {
+    case HeaderField::kEthSrc: return "eth->src";
+    case HeaderField::kEthDst: return "eth->dst";
+    case HeaderField::kEthType: return "eth->ether_type";
+    case HeaderField::kIpSrc: return "ip->saddr";
+    case HeaderField::kIpDst: return "ip->daddr";
+    case HeaderField::kIpProto: return "ip->protocol";
+    case HeaderField::kIpTtl: return "ip->ttl";
+    case HeaderField::kSrcPort: return "l4->sport";
+    case HeaderField::kDstPort: return "l4->dport";
+    case HeaderField::kTcpFlags: return "tcp->flags";
+    case HeaderField::kTcpSeq: return "tcp->seq";
+    case HeaderField::kTcpAck: return "tcp->ack";
+    case HeaderField::kIngressPort: return "pkt->ingress_port()";
+  }
+  return "?";
+}
+
+std::string CppArgs(const Function& fn, const Instruction& inst,
+                    size_t begin = 0, size_t end = SIZE_MAX) {
+  std::ostringstream out;
+  if (end == SIZE_MAX) end = inst.args.size();
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin) out << ", ";
+    out << CppValue(fn, inst.args[i]);
+  }
+  return out.str();
+}
+
+std::string CppAluExpr(const Function& fn, const Instruction& inst) {
+  auto a = [&] { return CppValue(fn, inst.args[0]); };
+  auto b = [&] { return CppValue(fn, inst.args[1]); };
+  switch (inst.alu) {
+    case AluOp::kAdd: return a() + " + " + b();
+    case AluOp::kSub: return a() + " - " + b();
+    case AluOp::kAnd: return a() + " & " + b();
+    case AluOp::kOr: return a() + " | " + b();
+    case AluOp::kXor: return a() + " ^ " + b();
+    case AluOp::kNot: return "~" + a();
+    case AluOp::kShl: return a() + " << " + b();
+    case AluOp::kShr: return a() + " >> " + b();
+    case AluOp::kEq: return a() + " == " + b();
+    case AluOp::kNe: return a() + " != " + b();
+    case AluOp::kLt: return a() + " < " + b();
+    case AluOp::kLe: return a() + " <= " + b();
+    case AluOp::kGt: return a() + " > " + b();
+    case AluOp::kGe: return a() + " >= " + b();
+    case AluOp::kMul: return a() + " * " + b();
+    case AluOp::kDiv: return a() + " / " + b();
+    case AluOp::kMod: return a() + " % " + b();
+    case AluOp::kHash: return "hash_mix(" + a() + ", " + b() + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderClickSource(const Function& fn) {
+  std::ostringstream out;
+  out << "class " << SanitizeIdentifier(fn.name()) << " : public Element {\n";
+  for (const MapDecl& m : fn.maps()) {
+    out << "  HashMap<Key" << m.key_widths.size() << ", Value"
+        << m.value_widths.size() << "> " << SanitizeIdentifier(m.name)
+        << ";  // max_entries=" << m.max_entries << "\n";
+  }
+  for (const VectorDecl& v : fn.vectors()) {
+    out << "  Vector<" << WidthCppName(v.elem_width) << "> "
+        << SanitizeIdentifier(v.name) << ";  // max_size=" << v.max_size
+        << "\n";
+  }
+  for (const GlobalDecl& g : fn.globals()) {
+    out << "  " << WidthCppName(g.width) << " " << SanitizeIdentifier(g.name)
+        << " = " << g.init << ";\n";
+  }
+  out << "\n  void process(Packet* pkt) {\n";
+
+  auto dst_decl = [&](const Instruction& inst) {
+    const Reg r = inst.dsts[0];
+    return std::string(WidthCppName(fn.reg_width(r))) + " " +
+           SanitizeIdentifier(fn.reg_name(r));
+  };
+
+  for (const BasicBlock& bb : fn.blocks()) {
+    out << "  bb" << bb.id << ":  // " << bb.name << "\n";
+    for (const Instruction& inst : bb.insts) {
+      out << "    ";
+      switch (inst.op) {
+        case Opcode::kAssign:
+          out << dst_decl(inst) << " = " << CppValue(fn, inst.args[0]) << ";";
+          break;
+        case Opcode::kAlu:
+          out << dst_decl(inst) << " = " << CppAluExpr(fn, inst) << ";";
+          break;
+        case Opcode::kHeaderRead:
+          out << dst_decl(inst) << " = " << CppHeaderLvalue(inst.field) << ";";
+          break;
+        case Opcode::kHeaderWrite:
+          out << CppHeaderLvalue(inst.field) << " = "
+              << CppValue(fn, inst.args[0]) << ";";
+          break;
+        case Opcode::kPayloadMatch:
+          out << dst_decl(inst) << " = pkt->payload_matches(\""
+              << fn.patterns()[inst.pattern] << "\");";
+          break;
+        case Opcode::kPayloadLen:
+          out << dst_decl(inst) << " = pkt->payload_length();";
+          break;
+        case Opcode::kMapGet: {
+          const MapDecl& m = fn.map(inst.state);
+          out << "auto* " << SanitizeIdentifier(fn.reg_name(inst.dsts[0]))
+              << "_ptr = " << SanitizeIdentifier(m.name) << ".find({"
+              << CppArgs(fn, inst) << "});";
+          break;
+        }
+        case Opcode::kMapPut: {
+          const MapDecl& m = fn.map(inst.state);
+          out << SanitizeIdentifier(m.name) << ".insert({" << CppArgs(fn, inst)
+              << "});";
+          break;
+        }
+        case Opcode::kMapDel:
+          out << SanitizeIdentifier(fn.map(inst.state).name) << ".erase({"
+              << CppArgs(fn, inst) << "});";
+          break;
+        case Opcode::kGlobalRead:
+          out << dst_decl(inst) << " = "
+              << SanitizeIdentifier(fn.global(inst.state).name) << ";";
+          break;
+        case Opcode::kGlobalWrite:
+          out << SanitizeIdentifier(fn.global(inst.state).name) << " = "
+              << CppValue(fn, inst.args[0]) << ";";
+          break;
+        case Opcode::kVectorGet:
+          out << dst_decl(inst) << " = "
+              << SanitizeIdentifier(fn.vector(inst.state).name) << "["
+              << CppValue(fn, inst.args[0]) << "];";
+          break;
+        case Opcode::kVectorLen:
+          out << dst_decl(inst) << " = "
+              << SanitizeIdentifier(fn.vector(inst.state).name) << ".size();";
+          break;
+        case Opcode::kTimeRead:
+          out << dst_decl(inst) << " = Timestamp::now_msec();";
+          break;
+        case Opcode::kSend:
+          out << "output(" << CppValue(fn, inst.args[0]) << ").push(pkt);";
+          break;
+        case Opcode::kDrop:
+          out << "pkt->kill();";
+          break;
+        case Opcode::kBranch:
+          out << "if (" << CppValue(fn, inst.args[0]) << ") goto bb"
+              << inst.target_true << "; else goto bb" << inst.target_false
+              << ";";
+          break;
+        case Opcode::kJump:
+          out << "goto bb" << inst.target_true << ";";
+          break;
+        case Opcode::kReturn:
+          out << "return;";
+          break;
+      }
+      out << "\n";
+    }
+  }
+  out << "  }\n};\n";
+  return out.str();
+}
+
+}  // namespace gallium::ir

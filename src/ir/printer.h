@@ -1,0 +1,21 @@
+// Textual renderings of IR functions.
+//
+// Two forms are produced:
+//  - PrintFunction: the IR assembly listing used in diagnostics and tests.
+//  - RenderClickSource: a C++/Click-style source rendering of the program
+//    (one statement per IR instruction, gotos for control flow). This is the
+//    "input middlebox source" whose line count Table 1 reports.
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace gallium::ir {
+
+std::string PrintInstruction(const Function& fn, const Instruction& inst);
+std::string PrintFunction(const Function& fn);
+
+std::string RenderClickSource(const Function& fn);
+
+}  // namespace gallium::ir

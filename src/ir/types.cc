@@ -1,0 +1,204 @@
+#include "ir/types.h"
+
+#include <cassert>
+
+namespace gallium::ir {
+
+int BitWidth(Width w) {
+  switch (w) {
+    case Width::kU1: return 1;
+    case Width::kU8: return 8;
+    case Width::kU16: return 16;
+    case Width::kU32: return 32;
+    case Width::kU64: return 64;
+  }
+  return 0;
+}
+
+int ByteWidth(Width w) { return w == Width::kU1 ? 1 : BitWidth(w) / 8; }
+
+const char* WidthName(Width w) {
+  switch (w) {
+    case Width::kU1: return "u1";
+    case Width::kU8: return "u8";
+    case Width::kU16: return "u16";
+    case Width::kU32: return "u32";
+    case Width::kU64: return "u64";
+  }
+  return "?";
+}
+
+const char* WidthCppName(Width w) {
+  switch (w) {
+    case Width::kU1: return "bool";
+    case Width::kU8: return "uint8_t";
+    case Width::kU16: return "uint16_t";
+    case Width::kU32: return "uint32_t";
+    case Width::kU64: return "uint64_t";
+  }
+  return "?";
+}
+
+uint64_t WidthMask(Width w) {
+  switch (w) {
+    case Width::kU1: return 1;
+    case Width::kU8: return 0xff;
+    case Width::kU16: return 0xffff;
+    case Width::kU32: return 0xffffffff;
+    case Width::kU64: return ~0ULL;
+  }
+  return 0;
+}
+
+const char* HeaderFieldName(HeaderField f) {
+  switch (f) {
+    case HeaderField::kEthSrc: return "eth.src";
+    case HeaderField::kEthDst: return "eth.dst";
+    case HeaderField::kEthType: return "eth.type";
+    case HeaderField::kIpSrc: return "ip.saddr";
+    case HeaderField::kIpDst: return "ip.daddr";
+    case HeaderField::kIpProto: return "ip.proto";
+    case HeaderField::kIpTtl: return "ip.ttl";
+    case HeaderField::kSrcPort: return "l4.sport";
+    case HeaderField::kDstPort: return "l4.dport";
+    case HeaderField::kTcpFlags: return "tcp.flags";
+    case HeaderField::kTcpSeq: return "tcp.seq";
+    case HeaderField::kTcpAck: return "tcp.ack";
+    case HeaderField::kIngressPort: return "meta.ingress_port";
+  }
+  return "?";
+}
+
+Width HeaderFieldWidth(HeaderField f) {
+  switch (f) {
+    case HeaderField::kEthSrc:
+    case HeaderField::kEthDst:
+      return Width::kU64;  // 48 bits stored in a u64 register
+    case HeaderField::kEthType:
+      return Width::kU16;
+    case HeaderField::kIpSrc:
+    case HeaderField::kIpDst:
+      return Width::kU32;
+    case HeaderField::kIpProto:
+    case HeaderField::kIpTtl:
+      return Width::kU8;
+    case HeaderField::kSrcPort:
+    case HeaderField::kDstPort:
+      return Width::kU16;
+    case HeaderField::kTcpFlags:
+      return Width::kU8;
+    case HeaderField::kTcpSeq:
+    case HeaderField::kTcpAck:
+      return Width::kU32;
+    case HeaderField::kIngressPort:
+      return Width::kU32;
+  }
+  return Width::kU32;
+}
+
+const char* AluOpName(AluOp op) {
+  switch (op) {
+    case AluOp::kAdd: return "add";
+    case AluOp::kSub: return "sub";
+    case AluOp::kAnd: return "and";
+    case AluOp::kOr: return "or";
+    case AluOp::kXor: return "xor";
+    case AluOp::kNot: return "not";
+    case AluOp::kShl: return "shl";
+    case AluOp::kShr: return "shr";
+    case AluOp::kEq: return "eq";
+    case AluOp::kNe: return "ne";
+    case AluOp::kLt: return "lt";
+    case AluOp::kLe: return "le";
+    case AluOp::kGt: return "gt";
+    case AluOp::kGe: return "ge";
+    case AluOp::kMul: return "mul";
+    case AluOp::kDiv: return "div";
+    case AluOp::kMod: return "mod";
+    case AluOp::kHash: return "hash";
+  }
+  return "?";
+}
+
+bool AluOpSupportedByP4(AluOp op) {
+  switch (op) {
+    case AluOp::kAdd:
+    case AluOp::kSub:
+    case AluOp::kAnd:
+    case AluOp::kOr:
+    case AluOp::kXor:
+    case AluOp::kNot:
+    case AluOp::kShl:
+    case AluOp::kShr:
+    case AluOp::kEq:
+    case AluOp::kNe:
+    case AluOp::kLt:
+    case AluOp::kLe:
+    case AluOp::kGt:
+    case AluOp::kGe:
+      return true;
+    case AluOp::kMul:
+    case AluOp::kDiv:
+    case AluOp::kMod:
+    case AluOp::kHash:
+      return false;
+  }
+  return false;
+}
+
+bool AluOpIsComparison(AluOp op) {
+  switch (op) {
+    case AluOp::kEq:
+    case AluOp::kNe:
+    case AluOp::kLt:
+    case AluOp::kLe:
+    case AluOp::kGt:
+    case AluOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool AluOpIsUnary(AluOp op) { return op == AluOp::kNot; }
+
+uint64_t EvalAluOp(AluOp op, uint64_t a, uint64_t b, Width width) {
+  const uint64_t mask = WidthMask(width);
+  a &= mask;
+  b &= mask;
+  uint64_t r = 0;
+  switch (op) {
+    case AluOp::kAdd: r = a + b; break;
+    case AluOp::kSub: r = a - b; break;
+    case AluOp::kAnd: r = a & b; break;
+    case AluOp::kOr: r = a | b; break;
+    case AluOp::kXor: r = a ^ b; break;
+    case AluOp::kNot: r = ~a; break;
+    case AluOp::kShl: r = b >= 64 ? 0 : a << b; break;
+    case AluOp::kShr: r = b >= 64 ? 0 : a >> b; break;
+    case AluOp::kEq: r = a == b; break;
+    case AluOp::kNe: r = a != b; break;
+    case AluOp::kLt: r = a < b; break;
+    case AluOp::kLe: r = a <= b; break;
+    case AluOp::kGt: r = a > b; break;
+    case AluOp::kGe: r = a >= b; break;
+    case AluOp::kMul: r = a * b; break;
+    case AluOp::kDiv: r = b == 0 ? 0 : a / b; break;
+    case AluOp::kMod: r = b == 0 ? 0 : a % b; break;
+    case AluOp::kHash: {
+      // FNV-1a style mix of both operands; deterministic everywhere.
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (uint64_t v : {a, b}) {
+        for (int i = 0; i < 8; ++i) {
+          h ^= (v >> (8 * i)) & 0xff;
+          h *= 0x100000001b3ULL;
+        }
+      }
+      r = h;
+      break;
+    }
+  }
+  return r & mask;
+}
+
+}  // namespace gallium::ir

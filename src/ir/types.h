@@ -1,0 +1,105 @@
+// Core type vocabulary of the Gallium IR.
+//
+// The IR is a register-based, statement-level intermediate representation
+// standing in for the LLVM IR the paper compiles from (§5). It keeps exactly
+// the properties Gallium's analyses need: one statement per packet-processing
+// operation, explicit operands, and annotated abstract-data-type operations
+// (maps/vectors/globals) so read/write sets can be constructed per §4.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gallium::ir {
+
+// Integer widths supported by the IR. Programmable switches operate on
+// integers only (§2.2); kU1 models branch-condition booleans.
+enum class Width : uint8_t { kU1, kU8, kU16, kU32, kU64 };
+
+int BitWidth(Width w);
+int ByteWidth(Width w);
+const char* WidthName(Width w);     // "u1", "u8", ...
+const char* WidthCppName(Width w);  // "bool", "uint8_t", ...
+uint64_t WidthMask(Width w);
+
+// Virtual register index within one Function.
+using Reg = uint32_t;
+inline constexpr Reg kInvalidReg = 0xffffffff;
+
+// An operand: either a virtual register or an immediate constant.
+struct Value {
+  enum class Kind : uint8_t { kReg, kImm };
+  Kind kind = Kind::kImm;
+  Reg reg = kInvalidReg;
+  uint64_t imm = 0;
+
+  static Value MakeReg(Reg r) { return Value{Kind::kReg, r, 0}; }
+  static Value MakeImm(uint64_t v) { return Value{Kind::kImm, kInvalidReg, v}; }
+
+  bool is_reg() const { return kind == Kind::kReg; }
+  bool is_imm() const { return kind == Kind::kImm; }
+
+  bool operator==(const Value&) const = default;
+};
+
+// Packet header fields the IR can address. Payload access is modeled by
+// dedicated payload opcodes because it is never offloadable (§2.2: switches
+// read/write only the first bytes of a packet).
+enum class HeaderField : uint8_t {
+  kEthSrc,
+  kEthDst,
+  kEthType,
+  kIpSrc,
+  kIpDst,
+  kIpProto,
+  kIpTtl,
+  kSrcPort,   // TCP or UDP source port
+  kDstPort,   // TCP or UDP destination port
+  kTcpFlags,
+  kTcpSeq,
+  kTcpAck,
+  kIngressPort,  // switch/NIC metadata: which port the packet arrived on
+};
+inline constexpr int kNumHeaderFields = 13;
+
+const char* HeaderFieldName(HeaderField f);
+Width HeaderFieldWidth(HeaderField f);
+
+// ALU operations. The P4-supported subset is integer add/sub, bitwise ops,
+// shifts, and comparisons (§2.2). Mul/div/mod and hashing are not offloaded
+// (the paper's §7 notes hardware hash primitives exist but are unused).
+enum class AluOp : uint8_t {
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,  // unary
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kMul,
+  kDiv,
+  kMod,
+  kHash,  // multi-word mixing hash (used for five-tuple hashing)
+};
+
+const char* AluOpName(AluOp op);
+bool AluOpSupportedByP4(AluOp op);
+bool AluOpIsComparison(AluOp op);
+bool AluOpIsUnary(AluOp op);
+
+// Evaluates `op` on width-masked operands (shared by the interpreter and the
+// switch simulator so both sides agree bit-for-bit).
+uint64_t EvalAluOp(AluOp op, uint64_t a, uint64_t b, Width width);
+
+// Index of a state object (map / vector / global) within a Function's
+// declaration lists.
+using StateIndex = uint32_t;
+
+}  // namespace gallium::ir

@@ -1,0 +1,269 @@
+#include "ir/verifier.h"
+
+#include <set>
+#include <vector>
+
+namespace gallium::ir {
+
+namespace {
+
+// Bitset over registers, sized dynamically.
+using RegSet = std::vector<bool>;
+
+RegSet Intersect(const RegSet& a, const RegSet& b) {
+  RegSet out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] && b[i];
+  return out;
+}
+
+Status CheckArity(const Function& fn, const Instruction& inst) {
+  auto fail = [&](const std::string& what) {
+    return Internal("inst " + std::to_string(inst.id) + " (" +
+                    OpcodeName(inst.op) + "): " + what);
+  };
+  switch (inst.op) {
+    case Opcode::kAssign:
+      if (inst.dsts.size() != 1 || inst.args.size() != 1)
+        return fail("assign arity");
+      break;
+    case Opcode::kAlu:
+      if (inst.dsts.size() != 1) return fail("alu dst arity");
+      if (AluOpIsUnary(inst.alu) ? inst.args.size() != 1
+                                 : inst.args.size() != 2)
+        return fail("alu arg arity");
+      break;
+    case Opcode::kHeaderRead:
+    case Opcode::kPayloadMatch:
+    case Opcode::kPayloadLen:
+    case Opcode::kGlobalRead:
+    case Opcode::kVectorLen:
+    case Opcode::kTimeRead:
+      if (inst.dsts.size() != 1 || !inst.args.empty())
+        return fail("producer arity");
+      break;
+    case Opcode::kHeaderWrite:
+    case Opcode::kGlobalWrite:
+      if (!inst.dsts.empty() || inst.args.size() != 1)
+        return fail("writer arity");
+      break;
+    case Opcode::kVectorGet:
+      if (inst.dsts.size() != 1 || inst.args.size() != 1)
+        return fail("vec_get arity");
+      break;
+    case Opcode::kMapGet: {
+      if (inst.state >= fn.maps().size()) return fail("map index");
+      const MapDecl& m = fn.map(inst.state);
+      if (inst.args.size() != m.key_widths.size())
+        return fail("map_get key arity");
+      if (inst.dsts.size() != 1 + m.value_widths.size())
+        return fail("map_get dst arity");
+      break;
+    }
+    case Opcode::kMapPut: {
+      if (inst.state >= fn.maps().size()) return fail("map index");
+      const MapDecl& m = fn.map(inst.state);
+      if (m.is_lpm()) {
+        return fail("LPM maps are configuration-time only (no data-path put)");
+      }
+      if (inst.args.size() != m.key_widths.size() + m.value_widths.size())
+        return fail("map_put arity");
+      if (!inst.dsts.empty()) return fail("map_put has dsts");
+      break;
+    }
+    case Opcode::kMapDel: {
+      if (inst.state >= fn.maps().size()) return fail("map index");
+      if (fn.map(inst.state).is_lpm()) {
+        return fail("LPM maps are configuration-time only (no data-path del)");
+      }
+      if (inst.args.size() != fn.map(inst.state).key_widths.size())
+        return fail("map_del arity");
+      break;
+    }
+    case Opcode::kSend:
+      if (inst.args.size() != 1) return fail("send arity");
+      break;
+    case Opcode::kDrop:
+    case Opcode::kReturn:
+      if (!inst.args.empty() || !inst.dsts.empty()) return fail("nullary op");
+      break;
+    case Opcode::kBranch:
+      if (inst.args.size() != 1) return fail("branch arity");
+      break;
+    case Opcode::kJump:
+      if (!inst.args.empty()) return fail("jump arity");
+      break;
+  }
+
+  // State-index range checks for vector/global ops.
+  if (inst.op == Opcode::kVectorGet || inst.op == Opcode::kVectorLen) {
+    if (inst.state >= fn.vectors().size()) return fail("vector index");
+  }
+  if (inst.op == Opcode::kGlobalRead || inst.op == Opcode::kGlobalWrite) {
+    if (inst.state >= fn.globals().size()) return fail("global index");
+  }
+  if (inst.op == Opcode::kPayloadMatch) {
+    if (inst.pattern >= fn.patterns().size()) return fail("pattern index");
+  }
+
+  // Register range checks.
+  for (Reg r : inst.dsts) {
+    if (r >= static_cast<Reg>(fn.num_regs())) return fail("dst reg range");
+  }
+  for (const Value& v : inst.args) {
+    if (v.is_reg() && v.reg >= static_cast<Reg>(fn.num_regs()))
+      return fail("arg reg range");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status VerifyFunction(const Function& fn) {
+  if (fn.num_blocks() == 0) return Internal("function has no blocks");
+  if (fn.entry_block() < 0 || fn.entry_block() >= fn.num_blocks()) {
+    return Internal("bad entry block");
+  }
+
+  std::set<InstId> seen_ids;
+  for (const BasicBlock& bb : fn.blocks()) {
+    if (bb.insts.empty()) {
+      return Internal("block " + bb.name + " is empty");
+    }
+    for (size_t i = 0; i < bb.insts.size(); ++i) {
+      const Instruction& inst = bb.insts[i];
+      const bool is_last = i + 1 == bb.insts.size();
+      if (inst.IsTerminator() != is_last) {
+        return Internal("block " + bb.name +
+                        ": terminator placement at index " +
+                        std::to_string(i));
+      }
+      if (!seen_ids.insert(inst.id).second) {
+        return Internal("duplicate instruction id " + std::to_string(inst.id));
+      }
+      GALLIUM_RETURN_IF_ERROR(CheckArity(fn, inst));
+      if (inst.op == Opcode::kBranch || inst.op == Opcode::kJump) {
+        if (inst.target_true < 0 || inst.target_true >= fn.num_blocks()) {
+          return Internal("bad branch target in " + bb.name);
+        }
+        if (inst.op == Opcode::kBranch &&
+            (inst.target_false < 0 || inst.target_false >= fn.num_blocks())) {
+          return Internal("bad branch false-target in " + bb.name);
+        }
+      }
+    }
+  }
+
+  // Definite-assignment dataflow: IN[b] = intersection of OUT[preds];
+  // OUT[b] = IN[b] plus defs in b. Entry starts empty. Iterate to fixpoint.
+  const int nblocks = fn.num_blocks();
+  const size_t nregs = static_cast<size_t>(fn.num_regs());
+  std::vector<RegSet> out(nblocks, RegSet(nregs, false));
+  std::vector<bool> reachable(nblocks, false);
+  // Initialize OUT of reachable blocks pessimistically to "all defined" so
+  // the intersection converges from above.
+  for (auto& set : out) set.assign(nregs, true);
+
+  bool changed = true;
+  reachable[fn.entry_block()] = true;
+  std::vector<std::vector<int>> preds(nblocks);
+  for (const BasicBlock& bb : fn.blocks()) {
+    const Instruction& term = bb.insts.back();
+    if (term.op == Opcode::kBranch) {
+      preds[term.target_true].push_back(bb.id);
+      preds[term.target_false].push_back(bb.id);
+    } else if (term.op == Opcode::kJump) {
+      preds[term.target_true].push_back(bb.id);
+    }
+  }
+  // Reachability fixpoint.
+  {
+    bool r_changed = true;
+    while (r_changed) {
+      r_changed = false;
+      for (const BasicBlock& bb : fn.blocks()) {
+        if (!reachable[bb.id]) continue;
+        const Instruction& term = bb.insts.back();
+        for (int t : {term.target_true, term.target_false}) {
+          if (t >= 0 && !reachable[t]) {
+            reachable[t] = true;
+            r_changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::string first_error;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock& bb : fn.blocks()) {
+      if (!reachable[bb.id]) continue;
+      RegSet in(nregs, bb.id != fn.entry_block());
+      if (bb.id == fn.entry_block()) {
+        in.assign(nregs, false);
+      } else {
+        bool first = true;
+        for (int p : preds[bb.id]) {
+          if (!reachable[p]) continue;
+          if (first) {
+            in = out[p];
+            first = false;
+          } else {
+            in = Intersect(in, out[p]);
+          }
+        }
+        if (first) in.assign(nregs, false);  // unreachable preds only
+      }
+      RegSet cur = in;
+      for (const Instruction& inst : bb.insts) {
+        for (const Value& v : inst.args) {
+          if (v.is_reg() && !cur[v.reg] && first_error.empty()) {
+            first_error = "register %" + fn.reg_name(v.reg) +
+                          " possibly used before assignment in block " +
+                          bb.name + " (inst " + std::to_string(inst.id) + ")";
+          }
+        }
+        for (Reg r : inst.dsts) cur[r] = true;
+      }
+      if (cur != out[bb.id]) {
+        out[bb.id] = std::move(cur);
+        changed = true;
+      }
+    }
+  }
+  if (!first_error.empty()) {
+    // Re-run the per-instruction check once more now that the fixpoint is
+    // reached; the error recorded during iteration may have been transient.
+    first_error.clear();
+    for (const BasicBlock& bb : fn.blocks()) {
+      if (!reachable[bb.id]) continue;
+      RegSet in(nregs, false);
+      bool first = true;
+      if (bb.id != fn.entry_block()) {
+        for (int p : preds[bb.id]) {
+          if (!reachable[p]) continue;
+          if (first) {
+            in = out[p];
+            first = false;
+          } else {
+            in = Intersect(in, out[p]);
+          }
+        }
+      }
+      RegSet cur = in;
+      for (const Instruction& inst : bb.insts) {
+        for (const Value& v : inst.args) {
+          if (v.is_reg() && !cur[v.reg]) {
+            return Internal("register %" + fn.reg_name(v.reg) +
+                            " used before assignment in block " + bb.name);
+          }
+        }
+        for (Reg r : inst.dsts) cur[r] = true;
+      }
+    }
+  }
+
+  return Status::Ok();
+}
+
+}  // namespace gallium::ir

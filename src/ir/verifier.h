@@ -1,0 +1,23 @@
+// Structural and dataflow validation of IR functions.
+//
+// Every middlebox program is verified before compilation; the partitioner
+// also re-verifies the three partition CFGs it produces.
+#pragma once
+
+#include "ir/function.h"
+#include "util/status.h"
+
+namespace gallium::ir {
+
+// Checks:
+//  - the entry block exists and every block ends in exactly one terminator
+//    (no terminators mid-block),
+//  - branch/jump targets are valid block ids,
+//  - register operands are in range and every register is definitely
+//    assigned before use on all paths from entry,
+//  - map get/put/del arities match the map declaration,
+//  - state indices and payload pattern ids are in range,
+//  - instruction ids are unique.
+Status VerifyFunction(const Function& fn);
+
+}  // namespace gallium::ir

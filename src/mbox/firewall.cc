@@ -1,0 +1,90 @@
+// Firewall (§6.1), adapted from the Click paper's example: a five-tuple
+// whitelist per direction. Traffic arriving on the internal port is checked
+// against the outbound whitelist, traffic from the external port against the
+// inbound whitelist; packets without a matching entry are dropped.
+//
+// Rule construction — the bulk of the non-offloaded C++ the paper reports
+// for this middlebox — happens at configuration time (Click's initialize()),
+// so it appears here as initial state and as generated control-plane code,
+// not as per-packet statements. Both whitelists compile to switch
+// match-action tables; the paper reports that all firewall packet
+// processing then happens on the switch.
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+
+namespace gallium::mbox {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+Result<MiddleboxSpec> BuildFirewall(const std::vector<MapInitEntry>& out_rules,
+                                    const std::vector<MapInitEntry>& in_rules) {
+  MiddleboxBuilder mb("firewall");
+  const std::vector<Width> five_tuple = {Width::kU32, Width::kU32, Width::kU16,
+                                         Width::kU16, Width::kU8};
+  auto wl_out = mb.DeclareMap("whitelist_out", five_tuple, {Width::kU8},
+                              /*max_entries=*/131072);
+  auto wl_in = mb.DeclareMap("whitelist_in", five_tuple, {Width::kU8},
+                             /*max_entries=*/131072);
+
+  auto& b = mb.b();
+  const ir::Reg ingress = b.HeaderRead(HeaderField::kIngressPort, "ingress");
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  const ir::Reg daddr = b.HeaderRead(HeaderField::kIpDst, "daddr");
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+  const ir::Reg proto = b.HeaderRead(HeaderField::kIpProto, "proto");
+  const ir::Reg outbound =
+      b.Alu(AluOp::kEq, R(ingress), Imm(kPortInternal), "outbound");
+
+  mb.IfElse(
+      R(outbound),
+      [&] {
+        const auto hit =
+            wl_out.Find({R(saddr), R(daddr), R(sport), R(dport), R(proto)},
+                        "out_rule");
+        mb.IfElse(
+            R(hit.found),
+            [&] {
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            },
+            [&] {
+              b.Drop();
+              b.Ret();
+            });
+      },
+      [&] {
+        const auto hit =
+            wl_in.Find({R(saddr), R(daddr), R(sport), R(dport), R(proto)},
+                       "in_rule");
+        mb.IfElse(
+            R(hit.found),
+            [&] {
+              b.Send(Imm(kPortInternal));
+              b.Ret();
+            },
+            [&] {
+              b.Drop();
+              b.Ret();
+            });
+      });
+
+  MiddleboxSpec spec;
+  spec.name = "firewall";
+  spec.description = "Firewall: per-direction five-tuple whitelist";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+  if (!out_rules.empty()) {
+    spec.init.maps.push_back({wl_out.index(), out_rules});
+  }
+  if (!in_rules.empty()) {
+    spec.init.maps.push_back({wl_in.index(), in_rules});
+  }
+  return spec;
+}
+
+}  // namespace gallium::mbox

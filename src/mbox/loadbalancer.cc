@@ -1,0 +1,122 @@
+// L4 load balancer (§6.1): assigns TCP/UDP connections to backends by
+// five-tuple hash, keeps an affinity map so a connection always reaches the
+// same backend even if the backend list changes, garbage-collects flows on
+// TCP RST/FIN, and records creation times for the idle-flow collector (the
+// five-minute timeout runs as a server-side maintenance task; see
+// runtime/offloaded_middlebox.h).
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "net/headers.h"
+
+namespace gallium::mbox {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+Result<MiddleboxSpec> BuildLoadBalancer(int num_backends) {
+  MiddleboxBuilder mb("l4_lb");
+  // Five-tuple -> backend address. Annotated to fit on the switch.
+  auto flows = mb.DeclareMap(
+      "flows",
+      {Width::kU32, Width::kU32, Width::kU16, Width::kU16, Width::kU8},
+      {Width::kU32}, /*max_entries=*/131072);
+  // Five-tuple -> creation time (ms). Consulted only by the server-side
+  // idle collector, so it needs no switch annotation.
+  auto flow_created = mb.DeclareMap(
+      "flow_created",
+      {Width::kU32, Width::kU32, Width::kU16, Width::kU16, Width::kU8},
+      {Width::kU64}, /*max_entries=*/0);
+  auto backends = mb.DeclareVector("backends", Width::kU32, /*max_size=*/64);
+
+  auto& b = mb.b();
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  const ir::Reg daddr = b.HeaderRead(HeaderField::kIpDst, "daddr");
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+  const ir::Reg proto = b.HeaderRead(HeaderField::kIpProto, "proto");
+  const ir::Reg flags = b.HeaderRead(HeaderField::kTcpFlags, "flags");
+
+  const auto entry =
+      flows.Find({R(saddr), R(daddr), R(sport), R(dport), R(proto)}, "flow");
+
+  const ir::Reg is_tcp =
+      b.Alu(AluOp::kEq, R(proto), Imm(net::kIpProtoTcp), "is_tcp");
+  const ir::Reg fin_rst = b.Alu(AluOp::kAnd, R(flags),
+                                Imm(net::kTcpFin | net::kTcpRst), Width::kU8,
+                                "fin_rst");
+  const ir::Reg has_fin_rst =
+      b.Alu(AluOp::kNe, R(fin_rst), Imm(0), "has_fin_rst");
+  const ir::Reg is_teardown =
+      b.Alu(AluOp::kAnd, R(is_tcp), R(has_fin_rst), Width::kU1, "teardown");
+
+  mb.IfElse(
+      R(is_teardown),
+      [&] {  // connection teardown: forward and garbage-collect (server)
+        mb.IfElse(
+            R(entry.found),
+            [&] {
+              flows.Erase({R(saddr), R(daddr), R(sport), R(dport), R(proto)});
+              flow_created.Erase(
+                  {R(saddr), R(daddr), R(sport), R(dport), R(proto)});
+              b.HeaderWrite(HeaderField::kIpDst, R(entry.values[0]));
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            },
+            [&] {  // teardown of an unknown flow: pass through unchanged
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            });
+      },
+      [&] {
+        mb.IfElse(
+            R(entry.found),
+            [&] {  // fast path: steer to the assigned backend
+              b.HeaderWrite(HeaderField::kIpDst, R(entry.values[0]));
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            },
+            [&] {  // new connection: consistent hash onto the backend list
+              const ir::Reg nb = backends.Size("nbackends");
+              const ir::Reg h1 =
+                  b.Alu(AluOp::kHash, R(saddr), R(daddr), Width::kU64, "h1");
+              const ir::Reg ports = b.Alu(AluOp::kShl, R(sport), Imm(16),
+                                          Width::kU32, "ports_hi");
+              const ir::Reg ports2 =
+                  b.Alu(AluOp::kOr, R(ports), R(dport), Width::kU32, "ports");
+              const ir::Reg h2 =
+                  b.Alu(AluOp::kHash, R(h1), R(ports2), Width::kU64, "h2");
+              const ir::Reg idx =
+                  b.Alu(AluOp::kMod, R(h2), R(nb), Width::kU32, "idx");
+              const ir::Reg bk = backends.At(R(idx), "bk_new");
+              const ir::Reg now = b.TimeRead("created_ms");
+              flows.Insert({R(saddr), R(daddr), R(sport), R(dport), R(proto)},
+                           {R(bk)});
+              flow_created.Insert(
+                  {R(saddr), R(daddr), R(sport), R(dport), R(proto)},
+                  {R(now)});
+              b.HeaderWrite(HeaderField::kIpDst, R(bk));
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            });
+      });
+
+  MiddleboxSpec spec;
+  spec.name = "l4_lb";
+  spec.description =
+      "L4 load balancer: five-tuple affinity, consistent hashing, TCP GC";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+
+  std::vector<uint64_t> backend_addrs;
+  for (int i = 0; i < num_backends; ++i) {
+    backend_addrs.push_back(
+        net::MakeIpv4(10, 2, 0, static_cast<uint8_t>(i + 1)));
+  }
+  spec.init.vectors.push_back({backends.index(), std::move(backend_addrs)});
+  return spec;
+}
+
+}  // namespace gallium::mbox

@@ -1,0 +1,96 @@
+// MazuNAT (§6.1): a gateway NAT between an internal network (switch port 0)
+// and the external network (switch port 1).
+//
+// Internal -> external: look up (saddr, sport) in the outbound translation
+// map; on a hit rewrite the source to (NAT_IP, ext_port) — the fast path.
+// On a miss, allocate a new external port from a monotonically increasing
+// counter, install both directions of the mapping (server slow path), and
+// rewrite. External -> internal: look up dport in the inbound map; rewrite
+// the destination on a hit, drop unknown traffic.
+//
+// Matches the paper's offload result: both translation maps become switch
+// tables (with the annotation that at most 65536 port mappings exist), the
+// port counter becomes a P4 register whose current value is packed into the
+// transfer header for the server to consume (§6.2).
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+
+namespace gallium::mbox {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+Result<MiddleboxSpec> BuildMazuNat() {
+  MiddleboxBuilder mb("mazu_nat");
+  // (internal saddr, internal sport) -> external port. 2^16 ports max.
+  auto nat_out = mb.DeclareMap("nat_out", {Width::kU32, Width::kU16},
+                               {Width::kU16}, /*max_entries=*/65536);
+  // external port -> (internal addr, internal port).
+  auto nat_in = mb.DeclareMap("nat_in", {Width::kU16},
+                              {Width::kU32, Width::kU16},
+                              /*max_entries=*/65536);
+  // Next external port to allocate.
+  auto port_counter =
+      mb.DeclareGlobal("port_counter", Width::kU16, /*init=*/1024);
+
+  auto& b = mb.b();
+  const ir::Reg ingress = b.HeaderRead(HeaderField::kIngressPort, "ingress");
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+  const ir::Reg from_internal =
+      b.Alu(AluOp::kEq, R(ingress), Imm(kPortInternal), "from_internal");
+
+  mb.IfElse(
+      R(from_internal),
+      [&] {
+        const auto mapping = nat_out.Find({R(saddr), R(sport)}, "out");
+        mb.IfElse(
+            R(mapping.found),
+            [&] {  // fast path: rewrite with the existing mapping
+              b.HeaderWrite(HeaderField::kIpSrc, Imm(kNatExternalIp));
+              b.HeaderWrite(HeaderField::kSrcPort, R(mapping.values[0]));
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            },
+            [&] {  // slow path: allocate a port and install both directions
+              const ir::Reg cur = port_counter.Read("alloc_port");
+              const ir::Reg next =
+                  b.Alu(AluOp::kAdd, R(cur), Imm(1), Width::kU16, "next_port");
+              port_counter.Write(R(next));
+              nat_out.Insert({R(saddr), R(sport)}, {R(cur)});
+              nat_in.Insert({R(cur)}, {R(saddr), R(sport)});
+              b.HeaderWrite(HeaderField::kIpSrc, Imm(kNatExternalIp));
+              b.HeaderWrite(HeaderField::kSrcPort, R(cur));
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            });
+      },
+      [&] {
+        const auto mapping = nat_in.Find({R(dport)}, "in");
+        mb.IfElse(
+            R(mapping.found),
+            [&] {  // rewrite back to the internal endpoint
+              b.HeaderWrite(HeaderField::kIpDst, R(mapping.values[0]));
+              b.HeaderWrite(HeaderField::kDstPort, R(mapping.values[1]));
+              b.Send(Imm(kPortInternal));
+              b.Ret();
+            },
+            [&] {  // unsolicited external traffic
+              b.Drop();
+              b.Ret();
+            });
+      });
+
+  MiddleboxSpec spec;
+  spec.name = "mazu_nat";
+  spec.description = "MazuNAT: bidirectional NAT with port allocation";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+  return spec;
+}
+
+}  // namespace gallium::mbox

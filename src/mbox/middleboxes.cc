@@ -1,0 +1,37 @@
+#include "mbox/middleboxes.h"
+
+#include <cassert>
+
+namespace gallium::mbox {
+
+ir::StateIndex MiddleboxSpec::MapIndex(const std::string& map_name) const {
+  for (ir::StateIndex i = 0; i < fn->maps().size(); ++i) {
+    if (fn->maps()[i].name == map_name) return i;
+  }
+  assert(false && "unknown map name");
+  return 0;
+}
+
+ir::StateIndex MiddleboxSpec::VectorIndex(const std::string& vec_name) const {
+  for (ir::StateIndex i = 0; i < fn->vectors().size(); ++i) {
+    if (fn->vectors()[i].name == vec_name) return i;
+  }
+  assert(false && "unknown vector name");
+  return 0;
+}
+
+std::vector<MiddleboxSpec> BuildAllPaperMiddleboxes() {
+  std::vector<MiddleboxSpec> specs;
+  auto add = [&specs](Result<MiddleboxSpec> r) {
+    assert(r.ok());
+    specs.push_back(std::move(r).value());
+  };
+  add(BuildMazuNat());
+  add(BuildLoadBalancer());
+  add(BuildFirewall());
+  add(BuildProxy());
+  add(BuildTrojanDetector());
+  return specs;
+}
+
+}  // namespace gallium::mbox

@@ -1,0 +1,109 @@
+// The middlebox programs evaluated in the paper (§6.1), authored against the
+// Click-style frontend:
+//   - MiniLB          — the running example of §4
+//   - MazuNAT         — bidirectional NAT with port allocation
+//   - L4 load balancer — five-tuple flow affinity + control-packet GC
+//   - Firewall        — two-direction five-tuple whitelist
+//   - Transparent proxy — destination-port redirect to a web proxy
+//   - Trojan detector — per-host protocol-sequence state machine with DPI
+//
+// Each factory returns the verified IR plus the middlebox's initial state
+// (the contents Click would install in configure()/initialize(), e.g.
+// firewall rules and backend lists).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "util/status.h"
+
+namespace gallium::mbox {
+
+// Switch data ports used by all middleboxes: port 0 faces the internal /
+// client side, port 1 the external / backend side. (The switch-to-server
+// link has its own port defined by the runtime.)
+inline constexpr uint32_t kPortInternal = 0;
+inline constexpr uint32_t kPortExternal = 1;
+
+// Externally visible NAT address used by MazuNAT (10.0.0.1).
+inline constexpr uint32_t kNatExternalIp = 0x0a000001;
+
+// Web-proxy address/port the transparent proxy redirects to.
+inline constexpr uint32_t kWebProxyIp = 0x0a00000a;  // 10.0.0.10
+inline constexpr uint16_t kWebProxyPort = 3128;
+
+struct MapInitEntry {
+  std::vector<uint64_t> key;
+  std::vector<uint64_t> value;
+};
+
+struct StateInit {
+  // Per map StateIndex: initial entries.
+  std::vector<std::pair<ir::StateIndex, std::vector<MapInitEntry>>> maps;
+  // Per vector StateIndex: initial contents.
+  std::vector<std::pair<ir::StateIndex, std::vector<uint64_t>>> vectors;
+};
+
+struct MiddleboxSpec {
+  std::string name;
+  std::string description;
+  std::unique_ptr<ir::Function> fn;
+  StateInit init;
+
+  // Named state indices commonly needed by tests/benches (e.g. the firewall
+  // whitelists for rule installation). Looked up by declaration name.
+  ir::StateIndex MapIndex(const std::string& map_name) const;
+  ir::StateIndex VectorIndex(const std::string& vec_name) const;
+};
+
+// §4's running example: consistent-assignment L4 balancer over src^dst.
+Result<MiddleboxSpec> BuildMiniLb(int num_backends = 8);
+
+// MazuNAT (§6.1): address translation maps in both directions plus a
+// monotonically increasing port-allocation counter.
+Result<MiddleboxSpec> BuildMazuNat();
+
+// L4 load balancer (§6.1): five-tuple affinity map, consistent hashing onto
+// a backend list, RST/FIN-triggered garbage collection, and creation-time
+// tracking used by the idle-flow collector.
+Result<MiddleboxSpec> BuildLoadBalancer(int num_backends = 16);
+
+// Firewall (§6.1): per-direction five-tuple whitelists.
+Result<MiddleboxSpec> BuildFirewall(
+    const std::vector<MapInitEntry>& out_rules = {},
+    const std::vector<MapInitEntry>& in_rules = {});
+
+// Transparent proxy (§6.1): redirects configured TCP destination ports to
+// the web proxy.
+Result<MiddleboxSpec> BuildProxy(
+    const std::vector<uint16_t>& redirect_ports = {80, 8080});
+
+// Trojan detector (§6.1): flags a host that (1) opens an SSH connection,
+// (2) downloads an HTML/.zip/.exe file, and (3) produces IRC traffic.
+Result<MiddleboxSpec> BuildTrojanDetector();
+
+// A static route: destination prefix -> (egress port, next-hop MAC).
+struct RouteEntry {
+  uint32_t prefix = 0;
+  uint32_t prefix_len = 0;  // 0..32
+  uint32_t egress_port = 0;
+  uint64_t next_hop_mac = 0;
+};
+
+// IP router (§7 "extra functionalities" extension): a longest-prefix-match
+// route table compiled to P4's native lpm match kind; fully offloaded.
+Result<MiddleboxSpec> BuildIpRouter(const std::vector<RouteEntry>& routes);
+
+// All five paper middleboxes (not MiniLB), for evaluation sweeps.
+std::vector<MiddleboxSpec> BuildAllPaperMiddleboxes();
+
+// Payload-pattern names used by the trojan detector; the workload generator
+// crafts payloads containing these byte strings.
+inline constexpr const char* kPatternHttpGet = "GET /";
+inline constexpr const char* kPatternFileDownload = "RETR ";
+inline constexpr const char* kPatternIrc = "IRC ";
+
+}  // namespace gallium::mbox

@@ -1,0 +1,81 @@
+// MiniLB — the running example of §4. Mirrors the paper's listing:
+//
+//   class MiniLB {
+//     HashMap<uint16_t, uint32_t> map;
+//     Vector<uint32_t> backends;
+//     void process(Packet *pkt) {
+//       iphdr *ip = pkt->network_header();
+//       uint32_t hash32 = ip->saddr ^ ip->daddr;
+//       uint16_t key = (uint16_t)(hash32 & 0xFFFF);
+//       uint32_t *bk_addr = map.find(&key);
+//       if (bk_addr != NULL) { ip->daddr = *bk_addr; pkt->send(); }
+//       else {
+//         uint32_t idx = hash32 % backends.size();
+//         uint32_t bk_addr = backends[idx];
+//         ip->daddr = bk_addr;
+//         map.insert(&key, &bk_addr);
+//         pkt->send();
+//       }
+//     }
+//   };
+#include "mbox/middleboxes.h"
+
+#include "frontend/middlebox_builder.h"
+#include "net/headers.h"
+
+namespace gallium::mbox {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+Result<MiddleboxSpec> BuildMiniLb(int num_backends) {
+  MiddleboxBuilder mb("mini_lb");
+  auto map = mb.DeclareMap("map", {Width::kU16}, {Width::kU32},
+                           /*max_entries=*/65536);
+  auto backends = mb.DeclareVector("backends", Width::kU32,
+                                   /*max_size=*/64);
+
+  auto& b = mb.b();
+  const ir::Reg saddr = b.HeaderRead(ir::HeaderField::kIpSrc, "saddr");
+  const ir::Reg daddr = b.HeaderRead(ir::HeaderField::kIpDst, "daddr");
+  const ir::Reg hash32 =
+      b.Alu(AluOp::kXor, R(saddr), R(daddr), Width::kU32, "hash32");
+  const ir::Reg key =
+      b.Alu(AluOp::kAnd, R(hash32), Imm(0xFFFF), Width::kU16, "key");
+  const auto found = map.Find({R(key)}, "bk");
+
+  mb.IfElse(
+      R(found.found),
+      [&] {  // existing connection: steer to the remembered backend
+        b.HeaderWrite(ir::HeaderField::kIpDst, R(found.values[0]));
+        b.Send(Imm(kPortExternal));
+        b.Ret();
+      },
+      [&] {  // new connection: pick a backend and remember the choice
+        const ir::Reg size = backends.Size("nbackends");
+        const ir::Reg idx =
+            b.Alu(AluOp::kMod, R(hash32), R(size), Width::kU32, "idx");
+        const ir::Reg bk = backends.At(R(idx), "bk_new");
+        b.HeaderWrite(ir::HeaderField::kIpDst, R(bk));
+        map.Insert({R(key)}, {R(bk)});
+        b.Send(Imm(kPortExternal));
+        b.Ret();
+      });
+
+  MiddleboxSpec spec;
+  spec.name = "mini_lb";
+  spec.description = "MiniLB: xor-hash load balancer (running example, §4)";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+
+  std::vector<uint64_t> backend_addrs;
+  for (int i = 0; i < num_backends; ++i) {
+    backend_addrs.push_back(net::MakeIpv4(10, 1, 0, static_cast<uint8_t>(i + 1)));
+  }
+  spec.init.vectors.push_back({backends.index(), std::move(backend_addrs)});
+  return spec;
+}
+
+}  // namespace gallium::mbox

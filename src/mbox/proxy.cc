@@ -1,0 +1,69 @@
+// Transparent proxy (§6.1), adapted from the Click paper's example: TCP
+// traffic whose destination port is in a configured redirect list is steered
+// to a web proxy by rewriting the destination address and port; everything
+// else passes through unchanged.
+//
+// The redirect list compiles to a single switch match-action table on the
+// TCP destination port; the paper reports the proxy runs entirely on the
+// switch.
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "net/headers.h"
+
+namespace gallium::mbox {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+Result<MiddleboxSpec> BuildProxy(const std::vector<uint16_t>& redirect_ports) {
+  MiddleboxBuilder mb("proxy");
+  // TCP destination port -> 1 (membership). Tiny table.
+  auto ports = mb.DeclareMap("redirect_ports", {Width::kU16}, {Width::kU8},
+                             /*max_entries=*/64);
+
+  auto& b = mb.b();
+  const ir::Reg proto = b.HeaderRead(HeaderField::kIpProto, "proto");
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+  const ir::Reg is_tcp =
+      b.Alu(AluOp::kEq, R(proto), Imm(net::kIpProtoTcp), "is_tcp");
+
+  mb.IfElse(
+      R(is_tcp),
+      [&] {
+        const auto hit = ports.Find({R(dport)}, "redirect");
+        mb.IfElse(
+            R(hit.found),
+            [&] {  // steer to the web proxy
+              b.HeaderWrite(HeaderField::kIpDst, Imm(kWebProxyIp));
+              b.HeaderWrite(HeaderField::kDstPort, Imm(kWebProxyPort));
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            },
+            [&] {
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            });
+      },
+      [&] {  // non-TCP traffic passes through
+        b.Send(Imm(kPortExternal));
+        b.Ret();
+      });
+
+  MiddleboxSpec spec;
+  spec.name = "proxy";
+  spec.description = "Transparent proxy: TCP dport redirect to web proxy";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+
+  std::vector<MapInitEntry> entries;
+  for (uint16_t port : redirect_ports) {
+    entries.push_back(MapInitEntry{{port}, {1}});
+  }
+  spec.init.maps.push_back({ports.index(), std::move(entries)});
+  return spec;
+}
+
+}  // namespace gallium::mbox

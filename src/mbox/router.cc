@@ -1,0 +1,75 @@
+// IP router — exercises the §7 "extra functionalities" extension: a
+// longest-prefix-match route table compiled to P4's native lpm match kind.
+//
+// The route table maps destination prefixes to an egress port and a
+// next-hop MAC. Routes are installed at configuration time (LPM tables are
+// control-plane-only by construction); the per-packet path is a TTL check,
+// the LPM lookup, a MAC/TTL rewrite, and the forward — all of which offload,
+// so the router runs entirely on the switch.
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "net/headers.h"
+
+namespace gallium::mbox {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+Result<MiddleboxSpec> BuildIpRouter(const std::vector<RouteEntry>& routes) {
+  MiddleboxBuilder mb("ip_router");
+  ir::MapDecl decl;
+  decl.name = "routes";
+  decl.key_widths = {Width::kU32};                 // destination address
+  decl.value_widths = {Width::kU32, Width::kU64};  // egress port, next hop
+  decl.max_entries = 65536;
+  decl.match_kind = ir::MapDecl::MatchKind::kLpm;
+  const ir::StateIndex routes_map = mb.fn().AddMap(std::move(decl));
+
+  auto& b = mb.b();
+  const ir::Reg ttl = b.HeaderRead(HeaderField::kIpTtl, "ttl");
+  const ir::Reg expired = b.Alu(AluOp::kLe, R(ttl), Imm(1), "ttl_expired");
+  mb.IfElse(
+      R(expired),
+      [&] {  // TTL exhausted: a router drops (ICMP generation is host work)
+        b.Drop();
+        b.Ret();
+      },
+      [&] {
+        const ir::Reg daddr = b.HeaderRead(HeaderField::kIpDst, "daddr");
+        const ir::Value key[] = {R(daddr)};
+        const auto route = b.MapGet(routes_map, key, "route");
+        mb.IfElse(
+            R(route.found),
+            [&] {  // rewrite the frame and forward out the route's port
+              b.HeaderWrite(HeaderField::kEthDst, R(route.values[1]));
+              const ir::Reg next_ttl =
+                  b.Alu(AluOp::kSub, R(ttl), Imm(1), Width::kU8, "next_ttl");
+              b.HeaderWrite(HeaderField::kIpTtl, R(next_ttl));
+              b.Send(R(route.values[0]));
+              b.Ret();
+            },
+            [&] {  // no route
+              b.Drop();
+              b.Ret();
+            });
+      });
+
+  MiddleboxSpec spec;
+  spec.name = "ip_router";
+  spec.description = "IP router: LPM route table (§7 extension)";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+
+  std::vector<MapInitEntry> entries;
+  for (const RouteEntry& route : routes) {
+    entries.push_back(MapInitEntry{{route.prefix, route.prefix_len},
+                                   {route.egress_port, route.next_hop_mac}});
+  }
+  spec.init.maps.push_back({routes_map, std::move(entries)});
+  return spec;
+}
+
+}  // namespace gallium::mbox

@@ -1,0 +1,152 @@
+// Trojan detector (§6.1), after De Carli et al.: tracks per-endhost protocol
+// sequences and flags a host as running a Trojan when it (1) opens an SSH
+// connection, (2) downloads an HTML/.zip/.exe file over HTTP/FTP, and then
+// (3) produces IRC traffic.
+//
+// Structure mirrors the paper's offload result (§6.2): the TCP flow-state
+// table lives on the switch; TCP control packets (SYN/FIN/RST) trigger table
+// updates on the server; packets from hosts in a suspicious stage need deep
+// packet inspection on the server; all other TCP data packets are handled
+// solely by the switch.
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "net/headers.h"
+
+namespace gallium::mbox {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Width;
+
+namespace {
+// Host stages of the detection state machine.
+constexpr uint64_t kStageSshSeen = 1;
+constexpr uint64_t kStageFileSeen = 2;
+}  // namespace
+
+Result<MiddleboxSpec> BuildTrojanDetector() {
+  MiddleboxBuilder mb("trojan_detector");
+  const std::vector<Width> five_tuple = {Width::kU32, Width::kU32, Width::kU16,
+                                         Width::kU16, Width::kU8};
+  // Established-connection table (switch-resident).
+  auto flow_state = mb.DeclareMap("flow_state", five_tuple, {Width::kU8},
+                                  /*max_entries=*/131072);
+  // Per-endhost detection stage (switch-resident reads, server updates).
+  auto host_stage = mb.DeclareMap("host_stage", {Width::kU32}, {Width::kU8},
+                                  /*max_entries=*/65536);
+
+  const uint32_t pat_http = mb.DeclarePattern(kPatternHttpGet);
+  const uint32_t pat_file = mb.DeclarePattern(kPatternFileDownload);
+  const uint32_t pat_irc = mb.DeclarePattern(kPatternIrc);
+
+  auto& b = mb.b();
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  const ir::Reg daddr = b.HeaderRead(HeaderField::kIpDst, "daddr");
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+  const ir::Reg proto = b.HeaderRead(HeaderField::kIpProto, "proto");
+  const ir::Reg flags = b.HeaderRead(HeaderField::kTcpFlags, "flags");
+
+  const auto flow =
+      flow_state.Find({R(saddr), R(daddr), R(sport), R(dport), R(proto)},
+                      "flow");
+  const auto stage = host_stage.Find({R(saddr)}, "stage");
+
+  const ir::Reg ctl_bits =
+      b.Alu(AluOp::kAnd, R(flags),
+            Imm(net::kTcpSyn | net::kTcpFin | net::kTcpRst), Width::kU8,
+            "ctl_bits");
+  const ir::Reg is_ctl = b.Alu(AluOp::kNe, R(ctl_bits), Imm(0), "is_ctl");
+
+  mb.IfElse(
+      R(is_ctl),
+      [&] {  // connection tracking: control packets update the flow table
+        const ir::Reg syn_bit = b.Alu(AluOp::kAnd, R(flags),
+                                      Imm(net::kTcpSyn), Width::kU8, "syn");
+        const ir::Reg is_syn =
+            b.Alu(AluOp::kNe, R(syn_bit), Imm(0), "is_syn");
+        mb.IfElse(
+            R(is_syn),
+            [&] {
+              flow_state.Insert(
+                  {R(saddr), R(daddr), R(sport), R(dport), R(proto)}, {Imm(1)});
+              // An SSH SYN advances the host to stage 1.
+              const ir::Reg is_ssh =
+                  b.Alu(AluOp::kEq, R(dport), Imm(22), "is_ssh");
+              mb.If(R(is_ssh), [&] {
+                host_stage.Insert({R(saddr)}, {Imm(kStageSshSeen)});
+              });
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            },
+            [&] {  // FIN/RST tears the connection down
+              flow_state.Erase(
+                  {R(saddr), R(daddr), R(sport), R(dport), R(proto)});
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            });
+      },
+      [&] {  // data packets
+        const ir::Reg st1 = b.Alu(AluOp::kEq, R(stage.values[0]),
+                                  Imm(kStageSshSeen), "at_stage1");
+        mb.IfElse(
+            R(st1),
+            [&] {  // stage 1: DPI for an HTTP/FTP file download (server)
+              const ir::Reg http = b.PayloadMatch(pat_http, "http_get");
+              const ir::Reg file = b.PayloadMatch(pat_file, "file_fetch");
+              const ir::Reg dl =
+                  b.Alu(AluOp::kOr, R(http), R(file), Width::kU1, "download");
+              mb.If(R(dl), [&] {
+                host_stage.Insert({R(saddr)}, {Imm(kStageFileSeen)});
+              });
+              b.Send(Imm(kPortExternal));
+              b.Ret();
+            },
+            [&] {
+              const ir::Reg st2 = b.Alu(AluOp::kEq, R(stage.values[0]),
+                                        Imm(kStageFileSeen), "at_stage2");
+              mb.IfElse(
+                  R(st2),
+                  [&] {  // stage 2: IRC traffic confirms the Trojan — drop it
+                    const ir::Reg irc = b.PayloadMatch(pat_irc, "irc");
+                    mb.IfElse(
+                        R(irc),
+                        [&] {
+                          b.Drop();
+                          b.Ret();
+                        },
+                        [&] {
+                          b.Send(Imm(kPortExternal));
+                          b.Ret();
+                        });
+                  },
+                  [&] {
+                    mb.IfElse(
+                        R(flow.found),
+                        [&] {  // fast path: untainted host, tracked flow
+                          b.Send(Imm(kPortExternal));
+                          b.Ret();
+                        },
+                        [&] {  // data on an untracked flow: start tracking
+                          flow_state.Insert({R(saddr), R(daddr), R(sport),
+                                             R(dport), R(proto)},
+                                            {Imm(1)});
+                          b.Send(Imm(kPortExternal));
+                          b.Ret();
+                        });
+                  });
+            });
+      });
+
+  MiddleboxSpec spec;
+  spec.name = "trojan_detector";
+  spec.description =
+      "Trojan detector: per-host SSH->download->IRC sequence detection";
+  GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+  return spec;
+}
+
+}  // namespace gallium::mbox

@@ -1,0 +1,101 @@
+#include "net/headers.h"
+
+#include <cstdio>
+
+namespace gallium::net {
+
+MacAddr MacAddr::FromUint64(uint64_t v) {
+  MacAddr m;
+  for (int i = 5; i >= 0; --i) {
+    m.bytes[i] = static_cast<uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return m;
+}
+
+uint64_t MacAddr::ToUint64() const {
+  uint64_t v = 0;
+  for (uint8_t b : bytes) v = (v << 8) | b;
+  return v;
+}
+
+std::string MacAddr::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+Ipv4Addr MakeIpv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+         (static_cast<uint32_t>(c) << 8) | d;
+}
+
+std::string Ipv4ToString(Ipv4Addr addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+uint64_t FiveTuple::Hash() const {
+  // 64-bit FNV-1a over the packed tuple; deterministic across platforms.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(saddr, 4);
+  mix(daddr, 4);
+  mix(sport, 2);
+  mix(dport, 2);
+  mix(protocol, 1);
+  return h;
+}
+
+std::string FiveTuple::ToString() const {
+  std::string out = Ipv4ToString(saddr);
+  out += ":" + std::to_string(sport) + " -> " + Ipv4ToString(daddr) + ":" +
+         std::to_string(dport);
+  out += (protocol == kIpProtoTcp ? " tcp" : protocol == kIpProtoUdp ? " udp"
+                                                                     : " ?");
+  return out;
+}
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+uint16_t GetU16(std::span<const uint8_t> in, size_t offset) {
+  return static_cast<uint16_t>((in[offset] << 8) | in[offset + 1]);
+}
+
+uint32_t GetU32(std::span<const uint8_t> in, size_t offset) {
+  return (static_cast<uint32_t>(in[offset]) << 24) |
+         (static_cast<uint32_t>(in[offset + 1]) << 16) |
+         (static_cast<uint32_t>(in[offset + 2]) << 8) |
+         static_cast<uint32_t>(in[offset + 3]);
+}
+
+uint16_t InternetChecksum(std::span<const uint8_t> data) {
+  uint64_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<uint16_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<uint16_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+}  // namespace gallium::net

@@ -1,0 +1,142 @@
+// Wire-format protocol headers: Ethernet, IPv4, TCP, UDP, and the synthesized
+// Gallium transfer header that carries temporary state between the switch and
+// the middlebox server (paper §4.3.2, Fig. 5).
+//
+// All multi-byte fields are kept in host order inside the structs; byte-order
+// conversion happens only in Serialize/Parse.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gallium::net {
+
+// --- Addresses -------------------------------------------------------------
+
+struct MacAddr {
+  std::array<uint8_t, 6> bytes{};
+
+  static MacAddr FromUint64(uint64_t v);
+  uint64_t ToUint64() const;
+  std::string ToString() const;  // "aa:bb:cc:dd:ee:ff"
+
+  auto operator<=>(const MacAddr&) const = default;
+};
+
+// IPv4 address stored as a host-order uint32 (10.0.0.1 == 0x0a000001).
+using Ipv4Addr = uint32_t;
+
+Ipv4Addr MakeIpv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+std::string Ipv4ToString(Ipv4Addr addr);
+
+// --- EtherTypes / protocols --------------------------------------------------
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+// EtherType claimed by the Gallium transfer header (locally administered /
+// experimental range). A transfer header is always followed by IPv4.
+inline constexpr uint16_t kEtherTypeGallium = 0x88B5;
+
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+// TCP flag bits.
+inline constexpr uint8_t kTcpFin = 0x01;
+inline constexpr uint8_t kTcpSyn = 0x02;
+inline constexpr uint8_t kTcpRst = 0x04;
+inline constexpr uint8_t kTcpPsh = 0x08;
+inline constexpr uint8_t kTcpAck = 0x10;
+
+// --- Headers ---------------------------------------------------------------
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  uint16_t ether_type = kEtherTypeIpv4;
+
+  static constexpr size_t kSize = 14;
+  auto operator<=>(const EthernetHeader&) const = default;
+};
+
+struct Ipv4Header {
+  uint8_t ttl = 64;
+  uint8_t protocol = kIpProtoTcp;
+  Ipv4Addr saddr = 0;
+  Ipv4Addr daddr = 0;
+  uint16_t total_length = 0;  // filled in by serialization
+  uint16_t checksum = 0;      // filled in by serialization
+
+  static constexpr size_t kSize = 20;  // no options
+  auto operator<=>(const Ipv4Header&) const = default;
+};
+
+struct TcpHeader {
+  uint16_t sport = 0;
+  uint16_t dport = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  uint16_t window = 65535;
+
+  static constexpr size_t kSize = 20;  // no options
+  auto operator<=>(const TcpHeader&) const = default;
+};
+
+struct UdpHeader {
+  uint16_t sport = 0;
+  uint16_t dport = 0;
+  uint16_t length = 0;  // filled in by serialization
+
+  static constexpr size_t kSize = 8;
+  auto operator<=>(const UdpHeader&) const = default;
+};
+
+// The Gallium transfer header is synthesized per middlebox by the compiler:
+// a bitmap of branch-condition bits followed by N 32-bit variable slots
+// (§4.3.2). The *layout* lives in the compiler output; at the wire level it
+// is an opaque sequence of bytes with a fixed length for a given program.
+struct GalliumHeader {
+  // One bit per transferred branch condition, packed little-endian.
+  uint32_t cond_bits = 0;
+  // Transferred 32-bit variables, in the order given by the format descriptor.
+  std::vector<uint32_t> vars;
+
+  // Wire layout: u16 var count, u16 reserved, u32 cond bits, N×u32 vars.
+  size_t WireSize() const { return 8 + 4 * vars.size(); }
+  bool operator==(const GalliumHeader&) const = default;
+};
+
+// --- Five tuple --------------------------------------------------------------
+
+struct FiveTuple {
+  Ipv4Addr saddr = 0;
+  Ipv4Addr daddr = 0;
+  uint16_t sport = 0;
+  uint16_t dport = 0;
+  uint8_t protocol = kIpProtoTcp;
+
+  FiveTuple Reversed() const {
+    return FiveTuple{daddr, saddr, dport, sport, protocol};
+  }
+  uint64_t Hash() const;
+  std::string ToString() const;
+  auto operator<=>(const FiveTuple&) const = default;
+};
+
+// --- Byte-order & checksum helpers ------------------------------------------
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v);
+void PutU32(std::vector<uint8_t>& out, uint32_t v);
+uint16_t GetU16(std::span<const uint8_t> in, size_t offset);
+uint32_t GetU32(std::span<const uint8_t> in, size_t offset);
+
+// RFC 1071 internet checksum over the given bytes.
+uint16_t InternetChecksum(std::span<const uint8_t> data);
+
+}  // namespace gallium::net

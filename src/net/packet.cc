@@ -1,0 +1,234 @@
+#include "net/packet.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gallium::net {
+
+GalliumHeader& Packet::mutable_gallium() {
+  if (!gallium_.has_value()) set_gallium(GalliumHeader{});
+  return *gallium_;
+}
+
+void Packet::set_gallium(GalliumHeader h) {
+  gallium_ = std::move(h);
+  eth_.ether_type = kEtherTypeGallium;
+}
+
+void Packet::clear_gallium() {
+  gallium_.reset();
+  eth_.ether_type = kEtherTypeIpv4;
+}
+
+uint16_t Packet::sport() const {
+  if (tcp_) return tcp_->sport;
+  if (udp_) return udp_->sport;
+  return 0;
+}
+
+uint16_t Packet::dport() const {
+  if (tcp_) return tcp_->dport;
+  if (udp_) return udp_->dport;
+  return 0;
+}
+
+void Packet::set_sport(uint16_t p) {
+  if (tcp_) tcp_->sport = p;
+  else if (udp_) udp_->sport = p;
+}
+
+void Packet::set_dport(uint16_t p) {
+  if (tcp_) tcp_->dport = p;
+  else if (udp_) udp_->dport = p;
+}
+
+FiveTuple Packet::five_tuple() const {
+  return FiveTuple{ip_.saddr, ip_.daddr, sport(), dport(), ip_.protocol};
+}
+
+size_t Packet::WireSize() const {
+  size_t size = EthernetHeader::kSize + Ipv4Header::kSize + payload_.size();
+  if (gallium_) size += gallium_->WireSize();
+  if (tcp_) size += TcpHeader::kSize;
+  if (udp_) size += UdpHeader::kSize;
+  return size;
+}
+
+std::vector<uint8_t> Packet::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(WireSize());
+
+  // Ethernet.
+  out.insert(out.end(), eth_.dst.bytes.begin(), eth_.dst.bytes.end());
+  out.insert(out.end(), eth_.src.bytes.begin(), eth_.src.bytes.end());
+  PutU16(out, gallium_ ? kEtherTypeGallium : kEtherTypeIpv4);
+
+  // Gallium transfer header: u16 var count, u16 reserved, u32 cond bits,
+  // then the 32-bit variable slots.
+  if (gallium_) {
+    PutU16(out, static_cast<uint16_t>(gallium_->vars.size()));
+    PutU16(out, 0);
+    PutU32(out, gallium_->cond_bits);
+    for (uint32_t v : gallium_->vars) PutU32(out, v);
+  }
+
+  // IPv4 (no options). Lengths and checksum are computed here.
+  const size_t l4_size = (tcp_ ? TcpHeader::kSize : 0) +
+                         (udp_ ? UdpHeader::kSize : 0) + payload_.size();
+  const uint16_t total_len =
+      static_cast<uint16_t>(Ipv4Header::kSize + l4_size);
+  const size_t ip_start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0);     // DSCP/ECN
+  PutU16(out, total_len);
+  PutU16(out, 0);  // identification
+  PutU16(out, 0x4000);  // DF, no fragmentation
+  out.push_back(ip_.ttl);
+  out.push_back(ip_.protocol);
+  PutU16(out, 0);  // checksum placeholder
+  PutU32(out, ip_.saddr);
+  PutU32(out, ip_.daddr);
+  const uint16_t csum = InternetChecksum(
+      std::span(out).subspan(ip_start, Ipv4Header::kSize));
+  out[ip_start + 10] = static_cast<uint8_t>(csum >> 8);
+  out[ip_start + 11] = static_cast<uint8_t>(csum & 0xff);
+
+  if (tcp_) {
+    PutU16(out, tcp_->sport);
+    PutU16(out, tcp_->dport);
+    PutU32(out, tcp_->seq);
+    PutU32(out, tcp_->ack);
+    out.push_back(0x50);  // data offset 5
+    out.push_back(tcp_->flags);
+    PutU16(out, tcp_->window);
+    PutU16(out, 0);  // checksum omitted (link-local simulation)
+    PutU16(out, 0);  // urgent pointer
+  } else if (udp_) {
+    PutU16(out, udp_->sport);
+    PutU16(out, udp_->dport);
+    PutU16(out, static_cast<uint16_t>(UdpHeader::kSize + payload_.size()));
+    PutU16(out, 0);  // checksum omitted
+  }
+
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+Result<Packet> Packet::Parse(std::span<const uint8_t> bytes) {
+  Packet pkt;
+  size_t off = 0;
+  if (bytes.size() < EthernetHeader::kSize) {
+    return InvalidArgument("packet shorter than Ethernet header");
+  }
+  std::copy_n(bytes.begin(), 6, pkt.eth_.dst.bytes.begin());
+  std::copy_n(bytes.begin() + 6, 6, pkt.eth_.src.bytes.begin());
+  pkt.eth_.ether_type = GetU16(bytes, 12);
+  off = EthernetHeader::kSize;
+
+  if (pkt.eth_.ether_type == kEtherTypeGallium) {
+    if (bytes.size() < off + 8) {
+      return InvalidArgument("truncated Gallium header");
+    }
+    GalliumHeader gh;
+    const uint16_t var_count = GetU16(bytes, off);
+    gh.cond_bits = GetU32(bytes, off + 4);
+    off += 8;
+    if (bytes.size() < off + 4ul * var_count) {
+      return InvalidArgument("truncated Gallium variable block");
+    }
+    for (uint16_t i = 0; i < var_count; ++i) {
+      gh.vars.push_back(GetU32(bytes, off));
+      off += 4;
+    }
+    pkt.gallium_ = std::move(gh);
+  } else if (pkt.eth_.ether_type != kEtherTypeIpv4) {
+    return Unsupported("unknown EtherType");
+  }
+
+  if (bytes.size() < off + Ipv4Header::kSize || bytes[off] != 0x45) {
+    return InvalidArgument("bad IPv4 header");
+  }
+  const size_t ip_start = off;
+  pkt.ip_.total_length = GetU16(bytes, off + 2);
+  pkt.ip_.ttl = bytes[off + 8];
+  pkt.ip_.protocol = bytes[off + 9];
+  pkt.ip_.checksum = GetU16(bytes, off + 10);
+  pkt.ip_.saddr = GetU32(bytes, off + 12);
+  pkt.ip_.daddr = GetU32(bytes, off + 16);
+  off += Ipv4Header::kSize;
+
+  size_t l4_end = ip_start + pkt.ip_.total_length;
+  if (l4_end > bytes.size()) return InvalidArgument("IPv4 length overruns");
+
+  if (pkt.ip_.protocol == kIpProtoTcp) {
+    if (off + TcpHeader::kSize > l4_end) {
+      return InvalidArgument("truncated TCP header");
+    }
+    TcpHeader tcp;
+    tcp.sport = GetU16(bytes, off);
+    tcp.dport = GetU16(bytes, off + 2);
+    tcp.seq = GetU32(bytes, off + 4);
+    tcp.ack = GetU32(bytes, off + 8);
+    tcp.flags = bytes[off + 13];
+    tcp.window = GetU16(bytes, off + 14);
+    pkt.tcp_ = tcp;
+    off += TcpHeader::kSize;
+  } else if (pkt.ip_.protocol == kIpProtoUdp) {
+    if (off + UdpHeader::kSize > l4_end) {
+      return InvalidArgument("truncated UDP header");
+    }
+    UdpHeader udp;
+    udp.sport = GetU16(bytes, off);
+    udp.dport = GetU16(bytes, off + 2);
+    udp.length = GetU16(bytes, off + 4);
+    pkt.udp_ = udp;
+    off += UdpHeader::kSize;
+  }
+
+  pkt.payload_.assign(bytes.begin() + off, bytes.begin() + l4_end);
+  return pkt;
+}
+
+std::string Packet::ToString() const {
+  std::string out = five_tuple().ToString();
+  if (tcp_) {
+    out += " flags=";
+    if (tcp_->flags & kTcpSyn) out += "S";
+    if (tcp_->flags & kTcpAck) out += "A";
+    if (tcp_->flags & kTcpFin) out += "F";
+    if (tcp_->flags & kTcpRst) out += "R";
+    if (tcp_->flags & kTcpPsh) out += "P";
+  }
+  out += " len=" + std::to_string(WireSize());
+  if (gallium_) out += " +gallium(" + std::to_string(gallium_->WireSize()) + "B)";
+  return out;
+}
+
+Packet MakeTcpPacket(const FiveTuple& flow, uint8_t tcp_flags,
+                     size_t payload_bytes, uint32_t seq) {
+  Packet pkt;
+  pkt.ip().saddr = flow.saddr;
+  pkt.ip().daddr = flow.daddr;
+  TcpHeader tcp;
+  tcp.sport = flow.sport;
+  tcp.dport = flow.dport;
+  tcp.flags = tcp_flags;
+  tcp.seq = seq;
+  pkt.set_tcp(tcp);
+  pkt.payload().assign(payload_bytes, 0xab);
+  return pkt;
+}
+
+Packet MakeUdpPacket(const FiveTuple& flow, size_t payload_bytes) {
+  Packet pkt;
+  pkt.ip().saddr = flow.saddr;
+  pkt.ip().daddr = flow.daddr;
+  UdpHeader udp;
+  udp.sport = flow.sport;
+  udp.dport = flow.dport;
+  pkt.set_udp(udp);
+  pkt.payload().assign(payload_bytes, 0xcd);
+  return pkt;
+}
+
+}  // namespace gallium::net

@@ -1,0 +1,92 @@
+// Packet representation used throughout the simulator and runtimes.
+//
+// A Packet keeps its headers in parsed (host-order struct) form plus an
+// opaque payload; Serialize()/Parse() produce and consume the exact wire
+// format, including the synthesized Gallium transfer header when present
+// (inserted between Ethernet and IPv4, paper §4.3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/headers.h"
+#include "util/status.h"
+
+namespace gallium::net {
+
+class Packet {
+ public:
+  Packet() = default;
+
+  // --- Header access ---------------------------------------------------------
+  EthernetHeader& eth() { return eth_; }
+  const EthernetHeader& eth() const { return eth_; }
+
+  Ipv4Header& ip() { return ip_; }
+  const Ipv4Header& ip() const { return ip_; }
+
+  bool has_tcp() const { return tcp_.has_value(); }
+  TcpHeader& tcp() { return *tcp_; }
+  const TcpHeader& tcp() const { return *tcp_; }
+  void set_tcp(TcpHeader h) { tcp_ = h; udp_.reset(); ip_.protocol = kIpProtoTcp; }
+
+  bool has_udp() const { return udp_.has_value(); }
+  UdpHeader& udp() { return *udp_; }
+  const UdpHeader& udp() const { return *udp_; }
+  void set_udp(UdpHeader h) { udp_ = h; tcp_.reset(); ip_.protocol = kIpProtoUdp; }
+
+  bool has_gallium() const { return gallium_.has_value(); }
+  GalliumHeader& mutable_gallium();
+  const GalliumHeader& gallium() const { return *gallium_; }
+  void set_gallium(GalliumHeader h);
+  void clear_gallium();
+
+  std::vector<uint8_t>& payload() { return payload_; }
+  const std::vector<uint8_t>& payload() const { return payload_; }
+
+  // Transport ports (0 when neither TCP nor UDP is present).
+  uint16_t sport() const;
+  uint16_t dport() const;
+  void set_sport(uint16_t p);
+  void set_dport(uint16_t p);
+
+  FiveTuple five_tuple() const;
+
+  // --- Metadata (never serialized) -------------------------------------------
+  uint64_t id() const { return id_; }
+  void set_id(uint64_t id) { id_ = id; }
+  uint32_t ingress_port() const { return ingress_port_; }
+  void set_ingress_port(uint32_t port) { ingress_port_ = port; }
+
+  // --- Wire format ------------------------------------------------------------
+  // Total on-the-wire size in bytes (headers + payload), as Serialize emits.
+  size_t WireSize() const;
+  std::vector<uint8_t> Serialize() const;
+  static Result<Packet> Parse(std::span<const uint8_t> bytes);
+
+  std::string ToString() const;
+
+  bool SameFlowAs(const Packet& other) const {
+    return five_tuple() == other.five_tuple();
+  }
+
+ private:
+  EthernetHeader eth_;
+  std::optional<GalliumHeader> gallium_;
+  Ipv4Header ip_;
+  std::optional<TcpHeader> tcp_;
+  std::optional<UdpHeader> udp_;
+  std::vector<uint8_t> payload_;
+
+  uint64_t id_ = 0;
+  uint32_t ingress_port_ = 0;
+};
+
+// Convenience builders used by tests and workload generators.
+Packet MakeTcpPacket(const FiveTuple& flow, uint8_t tcp_flags,
+                     size_t payload_bytes, uint32_t seq = 0);
+Packet MakeUdpPacket(const FiveTuple& flow, size_t payload_bytes);
+
+}  // namespace gallium::net

@@ -1,0 +1,72 @@
+// A compact P4-16 program representation, at the granularity the emitter
+// needs: headers, parser states, tables (with write-back shadows), actions,
+// registers, and structured control blocks. Expression text is carried as
+// strings — the typing/verification burden lives in the IR layer; this layer
+// is the printable shape of the generated program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gallium::p4 {
+
+struct P4Field {
+  std::string name;
+  int bits = 32;
+};
+
+struct P4Header {
+  std::string name;  // type name, e.g. "gallium_t"
+  std::vector<P4Field> fields;
+};
+
+struct P4ParserState {
+  std::string name;
+  std::vector<std::string> statements;  // extract/transition lines
+};
+
+struct P4Action {
+  std::string name;
+  std::vector<std::string> params;  // "bit<32> value0" style
+  std::vector<std::string> body;    // one primitive per line
+};
+
+struct P4Table {
+  std::string name;
+  std::vector<std::string> keys;     // "hdr.ipv4.srcAddr: exact" style
+  std::vector<std::string> actions;  // action names
+  std::string default_action;
+  int size = 1024;
+  bool is_write_back = false;  // shadow table for atomic updates
+};
+
+struct P4Register {
+  std::string name;
+  int bits = 32;
+  int size = 1;
+};
+
+struct P4Control {
+  std::string name;
+  std::vector<std::string> apply_body;  // structured statements, one per line
+};
+
+struct P4Program {
+  std::string program_name;
+  std::vector<P4Header> headers;
+  std::vector<P4Field> metadata_fields;
+  std::vector<P4ParserState> parser_states;
+  std::vector<P4Register> registers;
+  std::vector<P4Action> actions;
+  std::vector<P4Table> tables;
+  P4Control ingress;
+
+  // Statistics consumed by the resource checker and Table 1.
+  int num_match_tables() const;
+  int metadata_bits() const;
+};
+
+// Renders the program as P4-16 (v1model-flavored) source text.
+std::string EmitP4(const P4Program& program);
+
+}  // namespace gallium::p4

@@ -1,0 +1,50 @@
+// P4 code generation (§4.3.1–4.3.2, Fig. 5 & 6).
+//
+// Maps the pre- and post-processing partitions of a middlebox program onto a
+// single P4 program:
+//   temporary variables -> metadata fields (with liveness-based slot reuse),
+//   maps               -> match-action tables (+ write-back shadows),
+//   global variables   -> registers,
+//   map lookups        -> table lookups,
+//   branches / header accesses / ALU ops -> their P4 counterparts.
+//
+// The two partitions share the program; an ingress-port dispatch decides
+// whether a packet runs pre-processing (from the network) or
+// post-processing (returning from the middlebox server). The synthesized
+// Gallium header carries branch-condition bits and live temporaries between
+// the devices.
+#pragma once
+
+#include "analysis/cfg.h"
+#include "analysis/liveness.h"
+#include "ir/function.h"
+#include "p4/ast.h"
+#include "partition/plan.h"
+#include "util/status.h"
+
+namespace gallium::p4 {
+
+struct P4GenOptions {
+  int server_port = 192;       // switch port wired to the middlebox server
+  int max_metadata_bits = 96 * 8;
+};
+
+Result<P4Program> GenerateP4(const ir::Function& fn,
+                             const partition::PartitionPlan& plan,
+                             P4GenOptions options = {});
+
+// Metadata slot allocation with lifetime-based reuse ("Gallium records when
+// temporary variables are first and last used [and] reuses the memory
+// consumed by variables that are no longer useful", §4.3.1). Exposed for
+// tests: returns reg -> slot name for every switch-resident register, and
+// reports how many bits of scratchpad the allocation uses.
+struct MetadataAllocation {
+  std::vector<std::string> slot_of_reg;  // empty string = not switch-resident
+  std::vector<P4Field> slots;
+  int total_bits = 0;
+};
+
+MetadataAllocation AllocateMetadata(const ir::Function& fn,
+                                    const partition::PartitionPlan& plan);
+
+}  // namespace gallium::p4

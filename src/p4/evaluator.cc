@@ -1,0 +1,326 @@
+#include "p4/evaluator.h"
+
+#include <algorithm>
+
+namespace gallium::p4::exec {
+
+namespace {
+uint64_t MaskBits(uint64_t value, int bits) {
+  if (bits <= 0 || bits >= 64) return value;
+  return value & ((1ull << bits) - 1);
+}
+}  // namespace
+
+P4Evaluator::P4Evaluator(const ParsedProgram& program) : program_(program) {
+  for (const RegisterDecl& reg : program.registers) {
+    register_values_[reg.name].assign(reg.size, 0);
+  }
+}
+
+Status P4Evaluator::InstallEntry(const std::string& table, TableEntry entry) {
+  const TableDecl* decl = program_.FindTable(table);
+  if (decl == nullptr) return NotFound("no table '" + table + "'");
+  // LPM entries carry an extra prefix-length word beyond the match key.
+  const size_t expected_key_words =
+      decl->key_fields.size() + (decl->lpm ? 1 : 0);
+  if (entry.key.size() != expected_key_words) {
+    return InvalidArgument("key arity for " + table);
+  }
+  if (std::find(decl->actions.begin(), decl->actions.end(), entry.action) ==
+      decl->actions.end()) {
+    return InvalidArgument("action '" + entry.action + "' not in table");
+  }
+  auto& entries = table_entries_[table];
+  // Replace an existing entry with the same key.
+  for (auto& existing : entries) {
+    if (existing.key == entry.key) {
+      existing = std::move(entry);
+      return Status::Ok();
+    }
+  }
+  entries.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status P4Evaluator::SetRegister(const std::string& reg, int index,
+                                uint64_t value) {
+  auto it = register_values_.find(reg);
+  if (it == register_values_.end()) return NotFound("no register '" + reg + "'");
+  if (index < 0 || index >= static_cast<int>(it->second.size())) {
+    return InvalidArgument("register index");
+  }
+  it->second[index] = value;
+  return Status::Ok();
+}
+
+uint64_t P4Evaluator::Field(const std::string& name) const {
+  const auto it = fields_.find(name);
+  return it == fields_.end() ? 0 : it->second;
+}
+
+void P4Evaluator::SetField(const std::string& name, uint64_t value) {
+  const auto bits = program_.field_bits.find(name);
+  if (bits != program_.field_bits.end()) {
+    value = MaskBits(value, bits->second);
+  }
+  fields_[name] = value;
+}
+
+Result<uint64_t> P4Evaluator::Eval(const Expr& expr) const {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kField: {
+      // Action parameters shadow fields inside an action body.
+      if (action_args_ != nullptr) {
+        const auto it = action_args_->find(expr.field);
+        if (it != action_args_->end()) return it->second;
+      }
+      const auto it = fields_.find(expr.field);
+      if (it != fields_.end()) return it->second;
+      return uint64_t{0};
+    }
+    case Expr::Kind::kUnaryNot: {
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t a, Eval(*expr.a));
+      return ~a;
+    }
+    case Expr::Kind::kIsValid: {
+      const auto it = header_valid_.find(expr.field);
+      return static_cast<uint64_t>(it != header_valid_.end() && it->second);
+    }
+    case Expr::Kind::kCast: {
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t a, Eval(*expr.a));
+      return MaskBits(a, expr.cast_bits);
+    }
+    case Expr::Kind::kTernary: {
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t c, Eval(*expr.c));
+      return c != 0 ? Eval(*expr.a) : Eval(*expr.b);
+    }
+    case Expr::Kind::kBinary: {
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t a, Eval(*expr.a));
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t b, Eval(*expr.b));
+      switch (expr.op) {
+        case Expr::Op::kAdd: return a + b;
+        case Expr::Op::kSub: return a - b;
+        case Expr::Op::kAnd: return a & b;
+        case Expr::Op::kOr: return a | b;
+        case Expr::Op::kXor: return a ^ b;
+        case Expr::Op::kShl: return b >= 64 ? 0 : a << b;
+        case Expr::Op::kShr: return b >= 64 ? 0 : a >> b;
+        case Expr::Op::kEq: return static_cast<uint64_t>(a == b);
+        case Expr::Op::kNe: return static_cast<uint64_t>(a != b);
+        case Expr::Op::kLt: return static_cast<uint64_t>(a < b);
+        case Expr::Op::kLe: return static_cast<uint64_t>(a <= b);
+        case Expr::Op::kGt: return static_cast<uint64_t>(a > b);
+        case Expr::Op::kGe: return static_cast<uint64_t>(a >= b);
+      }
+      return Internal("bad binary op");
+    }
+  }
+  return Internal("bad expression kind");
+}
+
+Status P4Evaluator::ApplyTable(const std::string& name) {
+  const TableDecl* decl = program_.FindTable(name);
+  if (decl == nullptr) return NotFound("apply of unknown table " + name);
+
+  std::vector<uint64_t> key;
+  for (const std::string& field : decl->key_fields) {
+    key.push_back(Field(field));
+  }
+
+  const TableEntry* hit = nullptr;
+  const auto entries = table_entries_.find(name);
+  if (entries != table_entries_.end()) {
+    if (decl->lpm) {
+      // LPM entries carry {prefix, prefix_len}; the lookup key is the
+      // single address. The longest matching prefix wins.
+      const uint64_t addr = key.empty() ? 0 : key[0];
+      uint64_t best_len = 0;
+      bool found = false;
+      for (const TableEntry& entry : entries->second) {
+        if (entry.key.size() != 2) continue;
+        const uint64_t prefix = entry.key[0];
+        const uint64_t len = entry.key[1];
+        if (len > 32) continue;
+        const uint64_t mask =
+            len == 0 ? 0 : (~0ull << (32 - len)) & 0xffffffffull;
+        if ((addr & mask) == (prefix & mask) && (!found || len >= best_len)) {
+          best_len = len;
+          hit = &entry;
+          found = true;
+        }
+      }
+    } else {
+      for (const TableEntry& entry : entries->second) {
+        if (entry.key == key) {
+          hit = &entry;
+          break;
+        }
+      }
+    }
+  }
+
+  std::string action_name;
+  std::map<std::string, uint64_t> args;
+  if (hit != nullptr) {
+    action_name = hit->action;
+    const ActionDecl* action = program_.FindAction(action_name);
+    if (action == nullptr) return NotFound("action " + action_name);
+    if (hit->args.size() != action->params.size()) {
+      return InvalidArgument("action arg arity for " + action_name);
+    }
+    for (size_t i = 0; i < action->params.size(); ++i) {
+      args[action->params[i].first] =
+          MaskBits(hit->args[i], action->params[i].second);
+    }
+  } else {
+    action_name = decl->default_action;
+    if (action_name.empty() || action_name == "NoAction") return Status::Ok();
+  }
+
+  const ActionDecl* action = program_.FindAction(action_name);
+  if (action == nullptr) return NotFound("action " + action_name);
+  const auto* saved = action_args_;
+  action_args_ = &args;
+  const Status status = Exec(action->body);
+  action_args_ = saved;
+  return status;
+}
+
+Status P4Evaluator::ExecOne(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kAssign: {
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t value, Eval(*stmt.value));
+      SetField(stmt.target, value);
+      return Status::Ok();
+    }
+    case Stmt::Kind::kIf: {
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t cond, Eval(*stmt.value));
+      return Exec(cond != 0 ? stmt.then_body : stmt.else_body);
+    }
+    case Stmt::Kind::kApplyTable:
+      return ApplyTable(stmt.target);
+    case Stmt::Kind::kRegRead: {
+      const auto it = register_values_.find(stmt.target);
+      if (it == register_values_.end()) {
+        return NotFound("register " + stmt.target);
+      }
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t index, Eval(*stmt.index));
+      if (index >= it->second.size()) return InvalidArgument("reg index");
+      SetField(stmt.value->field, it->second[index]);
+      return Status::Ok();
+    }
+    case Stmt::Kind::kRegWrite: {
+      auto it = register_values_.find(stmt.target);
+      if (it == register_values_.end()) {
+        return NotFound("register " + stmt.target);
+      }
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t index, Eval(*stmt.index));
+      GALLIUM_ASSIGN_OR_RETURN(uint64_t value, Eval(*stmt.value));
+      if (index >= it->second.size()) return InvalidArgument("reg index");
+      it->second[index] = value;
+      return Status::Ok();
+    }
+    case Stmt::Kind::kMarkDrop:
+      dropped_ = true;
+      return Status::Ok();
+    case Stmt::Kind::kSetValid:
+      header_valid_[stmt.target] = true;
+      return Status::Ok();
+    case Stmt::Kind::kSetInvalid:
+      header_valid_[stmt.target] = false;
+      return Status::Ok();
+  }
+  return Internal("bad statement kind");
+}
+
+Status P4Evaluator::Exec(const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& stmt : stmts) {
+    GALLIUM_RETURN_IF_ERROR(ExecOne(*stmt));
+  }
+  return Status::Ok();
+}
+
+void P4Evaluator::LoadPacket(const net::Packet& pkt) {
+  SetField("hdr.ethernet.dstAddr", pkt.eth().dst.ToUint64());
+  SetField("hdr.ethernet.srcAddr", pkt.eth().src.ToUint64());
+  SetField("hdr.ethernet.etherType", pkt.eth().ether_type);
+  SetField("hdr.ipv4.srcAddr", pkt.ip().saddr);
+  SetField("hdr.ipv4.dstAddr", pkt.ip().daddr);
+  SetField("hdr.ipv4.protocol", pkt.ip().protocol);
+  SetField("hdr.ipv4.ttl", pkt.ip().ttl);
+  header_valid_["hdr.ethernet"] = true;
+  header_valid_["hdr.ipv4"] = true;
+  header_valid_["hdr.tcp"] = pkt.has_tcp();
+  header_valid_["hdr.udp"] = pkt.has_udp();
+  if (pkt.has_tcp()) {
+    SetField("hdr.tcp.srcPort", pkt.tcp().sport);
+    SetField("hdr.tcp.dstPort", pkt.tcp().dport);
+    SetField("hdr.tcp.seqNo", pkt.tcp().seq);
+    SetField("hdr.tcp.ackNo", pkt.tcp().ack);
+    SetField("hdr.tcp.flags", pkt.tcp().flags);
+  }
+  if (pkt.has_udp()) {
+    SetField("hdr.udp.srcPort", pkt.udp().sport);
+    SetField("hdr.udp.dstPort", pkt.udp().dport);
+  }
+  // What the emitted parser states compute:
+  SetField("meta.l4_sport", pkt.sport());
+  SetField("meta.l4_dport", pkt.dport());
+  if (pkt.has_gallium()) {
+    SetField("hdr.gallium.cond_bits", pkt.gallium().cond_bits);
+    SetField("hdr.gallium.var_count", pkt.gallium().vars.size());
+    for (size_t i = 0; i < pkt.gallium().vars.size(); ++i) {
+      SetField("hdr.gallium.var" + std::to_string(i), pkt.gallium().vars[i]);
+    }
+    header_valid_["hdr.gallium"] = true;
+  }
+  SetField("standard_metadata.ingress_port", pkt.ingress_port());
+  SetField("standard_metadata.egress_spec", 0);
+}
+
+void P4Evaluator::StorePacket(net::Packet* pkt) const {
+  pkt->eth().dst = net::MacAddr::FromUint64(Field("hdr.ethernet.dstAddr"));
+  pkt->eth().src = net::MacAddr::FromUint64(Field("hdr.ethernet.srcAddr"));
+  pkt->ip().saddr = static_cast<uint32_t>(Field("hdr.ipv4.srcAddr"));
+  pkt->ip().daddr = static_cast<uint32_t>(Field("hdr.ipv4.dstAddr"));
+  pkt->ip().ttl = static_cast<uint8_t>(Field("hdr.ipv4.ttl"));
+  if (pkt->has_tcp()) {
+    pkt->tcp().sport = static_cast<uint16_t>(Field("hdr.tcp.srcPort"));
+    pkt->tcp().dport = static_cast<uint16_t>(Field("hdr.tcp.dstPort"));
+    pkt->tcp().seq = static_cast<uint32_t>(Field("hdr.tcp.seqNo"));
+    pkt->tcp().ack = static_cast<uint32_t>(Field("hdr.tcp.ackNo"));
+    pkt->tcp().flags = static_cast<uint8_t>(Field("hdr.tcp.flags"));
+  }
+  if (pkt->has_udp()) {
+    pkt->udp().sport = static_cast<uint16_t>(Field("hdr.udp.srcPort"));
+    pkt->udp().dport = static_cast<uint16_t>(Field("hdr.udp.dstPort"));
+  }
+}
+
+Result<P4Evaluator::RunResult> P4Evaluator::RunIngress(net::Packet& pkt) {
+  dropped_ = false;
+  header_valid_["hdr.gallium"] = false;
+  LoadPacket(pkt);
+  GALLIUM_RETURN_IF_ERROR(Exec(program_.ingress_apply));
+
+  RunResult result;
+  result.dropped = dropped_;
+  result.egress_port =
+      static_cast<int>(Field("standard_metadata.egress_spec"));
+  result.gallium_valid = header_valid_.at("hdr.gallium");
+  if (result.gallium_valid) {
+    result.gallium_cond_bits =
+        static_cast<uint32_t>(Field("hdr.gallium.cond_bits"));
+    const int vars = static_cast<int>(Field("hdr.gallium.var_count"));
+    for (int i = 0; i < vars; ++i) {
+      result.gallium_vars.push_back(
+          static_cast<uint32_t>(Field("hdr.gallium.var" + std::to_string(i))));
+    }
+  }
+  StorePacket(&pkt);
+  return result;
+}
+
+}  // namespace gallium::p4::exec

@@ -1,0 +1,686 @@
+#include "p4/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gallium::p4::exec {
+
+const ActionDecl* ParsedProgram::FindAction(const std::string& name) const {
+  for (const auto& action : actions) {
+    if (action.name == name) return &action;
+  }
+  return nullptr;
+}
+
+const TableDecl* ParsedProgram::FindTable(const std::string& name) const {
+  for (const auto& table : tables) {
+    if (table.name == name) return &table;
+  }
+  return nullptr;
+}
+
+const RegisterDecl* ParsedProgram::FindRegister(
+    const std::string& name) const {
+  for (const auto& reg : registers) {
+    if (reg.name == name) return &reg;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// --- Lexer ---------------------------------------------------------------------
+
+struct Token {
+  enum class Kind : uint8_t {
+    kIdent,   // foo, foo.bar.baz assembled by the parser
+    kNumber,
+    kPunct,   // single/multi char punctuation, text in `text`
+    kEof,
+  };
+  Kind kind = Kind::kEof;
+  std::string text;
+  uint64_t number = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) { Advance(); }
+
+  const Token& peek() const { return current_; }
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+  int line() const { return line_; }
+
+  // Splits a '>>' token into two '>'s — needed for nested angle brackets
+  // like register<bit<32>>(1), where the lexer's longest-match produced a
+  // shift operator.
+  void SplitShiftRight() {
+    current_.text = ">";
+    pending_gt_ = true;
+  }
+
+ private:
+  void Advance() {
+    if (pending_gt_) {
+      pending_gt_ = false;
+      current_.kind = Token::Kind::kPunct;
+      current_.text = ">";
+      return;
+    }
+    SkipWhitespaceAndComments();
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= src_.size()) {
+      current_.kind = Token::Kind::kEof;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kIdent;
+      current_.text = src_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      if (c == '0' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+        current_.kind = Token::Kind::kNumber;
+        current_.number =
+            std::strtoull(src_.substr(start, pos_ - start).c_str(), nullptr, 16);
+        return;
+      }
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kNumber;
+      current_.number =
+          std::strtoull(src_.substr(start, pos_ - start).c_str(), nullptr, 10);
+      return;
+    }
+    // Multi-char punctuation first.
+    static const char* kMulti[] = {"<<", ">>", "==", "!=", "<=", ">="};
+    for (const char* m : kMulti) {
+      if (src_.compare(pos_, 2, m) == 0) {
+        current_.kind = Token::Kind::kPunct;
+        current_.text = m;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = Token::Kind::kPunct;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool pending_gt_ = false;
+  Token current_;
+};
+
+// --- Parser ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : lex_(source) {}
+
+  Result<std::unique_ptr<ParsedProgram>> Parse();
+
+ private:
+  Status Fail(const std::string& what) {
+    return InvalidArgument("P4 parse error (line " +
+                           std::to_string(lex_.peek().line) + "): " + what +
+                           ", got '" + lex_.peek().text + "'");
+  }
+
+  bool IsIdent(const char* text) const {
+    return lex_.peek().kind == Token::Kind::kIdent &&
+           lex_.peek().text == text;
+  }
+  bool IsPunct(const char* text) const {
+    return lex_.peek().kind == Token::Kind::kPunct &&
+           lex_.peek().text == text;
+  }
+  Status Expect(const char* punct) {
+    if (std::string(punct) == ">" && IsPunct(">>")) {
+      lex_.SplitShiftRight();  // '>>' closing two angle brackets
+    }
+    if (!IsPunct(punct)) return Fail(std::string("expected '") + punct + "'");
+    lex_.Take();
+    return Status::Ok();
+  }
+  Status ExpectIdent(const char* ident) {
+    if (!IsIdent(ident)) return Fail(std::string("expected '") + ident + "'");
+    lex_.Take();
+    return Status::Ok();
+  }
+
+  // Skips a balanced { ... } block (used for controls we don't execute).
+  Status SkipBracedBlock() {
+    GALLIUM_RETURN_IF_ERROR(Expect("{"));
+    int depth = 1;
+    while (depth > 0) {
+      if (lex_.peek().kind == Token::Kind::kEof) {
+        return Fail("unexpected EOF in skipped block");
+      }
+      if (IsPunct("{")) ++depth;
+      if (IsPunct("}")) --depth;
+      lex_.Take();
+    }
+    return Status::Ok();
+  }
+
+  // bit<N>
+  Result<int> ParseBitType() {
+    GALLIUM_RETURN_IF_ERROR(ExpectIdent("bit"));
+    GALLIUM_RETURN_IF_ERROR(Expect("<"));
+    if (lex_.peek().kind != Token::Kind::kNumber) return Fail("bit width");
+    const int bits = static_cast<int>(lex_.Take().number);
+    GALLIUM_RETURN_IF_ERROR(Expect(">"));
+    return bits;
+  }
+
+  // foo or foo.bar.baz
+  Result<std::string> ParseQualifiedName() {
+    if (lex_.peek().kind != Token::Kind::kIdent) return Fail("identifier");
+    std::string name = lex_.Take().text;
+    while (IsPunct(".")) {
+      lex_.Take();
+      if (lex_.peek().kind != Token::Kind::kIdent) {
+        return Fail("identifier after '.'");
+      }
+      name += "." + lex_.Take().text;
+    }
+    return name;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseTernary(); }
+
+  Result<ExprPtr> ParseTernary() {
+    GALLIUM_ASSIGN_OR_RETURN(ExprPtr cond, ParseBinary(0));
+    if (!IsPunct("?")) return cond;
+    lex_.Take();
+    GALLIUM_ASSIGN_OR_RETURN(ExprPtr then_e, ParseExpr());
+    GALLIUM_RETURN_IF_ERROR(Expect(":"));
+    GALLIUM_ASSIGN_OR_RETURN(ExprPtr else_e, ParseExpr());
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kTernary;
+    expr->c = std::move(cond);
+    expr->a = std::move(then_e);
+    expr->b = std::move(else_e);
+    return expr;
+  }
+
+  // Precedence-climbing over: | ^ &, == !=, relational, shifts, additive.
+  static int PrecedenceOf(const std::string& op) {
+    if (op == "|") return 1;
+    if (op == "^") return 2;
+    if (op == "&") return 3;
+    if (op == "==" || op == "!=") return 4;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") return 5;
+    if (op == "<<" || op == ">>") return 6;
+    if (op == "+" || op == "-") return 7;
+    return -1;
+  }
+
+  static Expr::Op OpOf(const std::string& op) {
+    if (op == "|") return Expr::Op::kOr;
+    if (op == "^") return Expr::Op::kXor;
+    if (op == "&") return Expr::Op::kAnd;
+    if (op == "==") return Expr::Op::kEq;
+    if (op == "!=") return Expr::Op::kNe;
+    if (op == "<") return Expr::Op::kLt;
+    if (op == "<=") return Expr::Op::kLe;
+    if (op == ">") return Expr::Op::kGt;
+    if (op == ">=") return Expr::Op::kGe;
+    if (op == "<<") return Expr::Op::kShl;
+    if (op == ">>") return Expr::Op::kShr;
+    if (op == "+") return Expr::Op::kAdd;
+    return Expr::Op::kSub;
+  }
+
+  Result<ExprPtr> ParseBinary(int min_prec) {
+    GALLIUM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      if (lex_.peek().kind != Token::Kind::kPunct) return lhs;
+      const std::string op = lex_.peek().text;
+      const int prec = PrecedenceOf(op);
+      if (prec < 0 || prec < min_prec) return lhs;
+      lex_.Take();
+      GALLIUM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBinary(prec + 1));
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kBinary;
+      expr->op = OpOf(op);
+      expr->a = std::move(lhs);
+      expr->b = std::move(rhs);
+      lhs = std::move(expr);
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (IsPunct("~")) {
+      lex_.Take();
+      GALLIUM_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kUnaryNot;
+      expr->a = std::move(inner);
+      return expr;
+    }
+    if (IsPunct("(")) {
+      lex_.Take();
+      // Cast `(bit<N>)expr` or parenthesized expression.
+      if (IsIdent("bit")) {
+        GALLIUM_ASSIGN_OR_RETURN(int bits, ParseBitType());
+        GALLIUM_RETURN_IF_ERROR(Expect(")"));
+        GALLIUM_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+        auto expr = std::make_unique<Expr>();
+        expr->kind = Expr::Kind::kCast;
+        expr->cast_bits = bits;
+        expr->a = std::move(inner);
+        return expr;
+      }
+      GALLIUM_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      GALLIUM_RETURN_IF_ERROR(Expect(")"));
+      return inner;
+    }
+    if (lex_.peek().kind == Token::Kind::kNumber) {
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kLiteral;
+      expr->literal = lex_.Take().number;
+      return expr;
+    }
+    if (lex_.peek().kind == Token::Kind::kIdent) {
+      GALLIUM_ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+      auto expr = std::make_unique<Expr>();
+      const std::string kValidSuffix = ".isValid";
+      if (IsPunct("(") && name.size() > kValidSuffix.size() &&
+          name.compare(name.size() - kValidSuffix.size(), kValidSuffix.size(),
+                       kValidSuffix) == 0) {
+        lex_.Take();
+        GALLIUM_RETURN_IF_ERROR(Expect(")"));
+        expr->kind = Expr::Kind::kIsValid;
+        expr->field = name.substr(0, name.size() - kValidSuffix.size());
+        return expr;
+      }
+      expr->kind = Expr::Kind::kField;
+      expr->field = std::move(name);
+      return expr;
+    }
+    return Fail("expression");
+  }
+
+  // One statement inside an action body or apply block.
+  Result<StmtPtr> ParseStatement() {
+    auto stmt = std::make_unique<Stmt>();
+    if (IsIdent("if")) {
+      lex_.Take();
+      GALLIUM_RETURN_IF_ERROR(Expect("("));
+      GALLIUM_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+      GALLIUM_RETURN_IF_ERROR(Expect(")"));
+      stmt->kind = Stmt::Kind::kIf;
+      GALLIUM_RETURN_IF_ERROR(ParseBlock(&stmt->then_body));
+      if (IsIdent("else")) {
+        lex_.Take();
+        GALLIUM_RETURN_IF_ERROR(ParseBlock(&stmt->else_body));
+      }
+      return stmt;
+    }
+    if (IsIdent("mark_to_drop")) {
+      lex_.Take();
+      GALLIUM_RETURN_IF_ERROR(Expect("("));
+      GALLIUM_ASSIGN_OR_RETURN(std::string arg, ParseQualifiedName());
+      (void)arg;
+      GALLIUM_RETURN_IF_ERROR(Expect(")"));
+      GALLIUM_RETURN_IF_ERROR(Expect(";"));
+      stmt->kind = Stmt::Kind::kMarkDrop;
+      return stmt;
+    }
+    // Starts with a qualified name: assignment, apply, setValid/Invalid,
+    // register read/write.
+    GALLIUM_ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+    // name may end in .apply / .setValid / .setInvalid / .read / .write
+    auto ends_with = [&](const char* suffix) {
+      const std::string s = std::string(".") + suffix;
+      return name.size() > s.size() &&
+             name.compare(name.size() - s.size(), s.size(), s) == 0;
+    };
+    auto strip = [&](const char* suffix) {
+      name.resize(name.size() - std::string(suffix).size() - 1);
+    };
+    if (IsPunct("(")) {
+      if (ends_with("apply")) {
+        strip("apply");
+        lex_.Take();
+        GALLIUM_RETURN_IF_ERROR(Expect(")"));
+        GALLIUM_RETURN_IF_ERROR(Expect(";"));
+        stmt->kind = Stmt::Kind::kApplyTable;
+        stmt->target = std::move(name);
+        return stmt;
+      }
+      if (ends_with("setValid") || ends_with("setInvalid")) {
+        const bool valid = ends_with("setValid");
+        strip(valid ? "setValid" : "setInvalid");
+        lex_.Take();
+        GALLIUM_RETURN_IF_ERROR(Expect(")"));
+        GALLIUM_RETURN_IF_ERROR(Expect(";"));
+        stmt->kind = valid ? Stmt::Kind::kSetValid : Stmt::Kind::kSetInvalid;
+        stmt->target = std::move(name);
+        return stmt;
+      }
+      if (ends_with("read")) {
+        strip("read");
+        lex_.Take();
+        GALLIUM_ASSIGN_OR_RETURN(std::string dst, ParseQualifiedName());
+        GALLIUM_RETURN_IF_ERROR(Expect(","));
+        GALLIUM_ASSIGN_OR_RETURN(stmt->index, ParseExpr());
+        GALLIUM_RETURN_IF_ERROR(Expect(")"));
+        GALLIUM_RETURN_IF_ERROR(Expect(";"));
+        stmt->kind = Stmt::Kind::kRegRead;
+        stmt->target = std::move(name);
+        auto dst_expr = std::make_unique<Expr>();
+        dst_expr->kind = Expr::Kind::kField;
+        dst_expr->field = std::move(dst);
+        stmt->value = std::move(dst_expr);
+        return stmt;
+      }
+      if (ends_with("write")) {
+        strip("write");
+        lex_.Take();
+        GALLIUM_ASSIGN_OR_RETURN(stmt->index, ParseExpr());
+        GALLIUM_RETURN_IF_ERROR(Expect(","));
+        GALLIUM_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+        GALLIUM_RETURN_IF_ERROR(Expect(")"));
+        GALLIUM_RETURN_IF_ERROR(Expect(";"));
+        stmt->kind = Stmt::Kind::kRegWrite;
+        stmt->target = std::move(name);
+        return stmt;
+      }
+      return Fail("unknown call '" + name + "'");
+    }
+    // Assignment.
+    GALLIUM_RETURN_IF_ERROR(Expect("="));
+    GALLIUM_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+    GALLIUM_RETURN_IF_ERROR(Expect(";"));
+    stmt->kind = Stmt::Kind::kAssign;
+    stmt->target = std::move(name);
+    return stmt;
+  }
+
+  // `{ stmt* }` or a single statement.
+  Status ParseBlock(std::vector<StmtPtr>* out) {
+    if (IsPunct("{")) {
+      lex_.Take();
+      while (!IsPunct("}")) {
+        if (lex_.peek().kind == Token::Kind::kEof) return Fail("EOF in block");
+        GALLIUM_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+        out->push_back(std::move(stmt));
+      }
+      lex_.Take();
+      return Status::Ok();
+    }
+    GALLIUM_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+    out->push_back(std::move(stmt));
+    return Status::Ok();
+  }
+
+  // header NAME { bit<N> field; ... } — records widths under both the
+  // header-type instance prefix hdr.<inst>.<field>.
+  Status ParseHeader() {
+    if (lex_.peek().kind != Token::Kind::kIdent) return Fail("header name");
+    std::string type_name = lex_.Take().text;
+    std::string inst = type_name;
+    if (inst.size() > 2 && inst.substr(inst.size() - 2) == "_t") {
+      inst = inst.substr(0, inst.size() - 2);
+    }
+    GALLIUM_RETURN_IF_ERROR(Expect("{"));
+    while (!IsPunct("}")) {
+      GALLIUM_ASSIGN_OR_RETURN(int bits, ParseBitType());
+      if (lex_.peek().kind != Token::Kind::kIdent) return Fail("field name");
+      const std::string field = lex_.Take().text;
+      GALLIUM_RETURN_IF_ERROR(Expect(";"));
+      program_->field_bits["hdr." + inst + "." + field] = bits;
+    }
+    lex_.Take();
+    return Status::Ok();
+  }
+
+  Status ParseMetadataStruct() {
+    GALLIUM_RETURN_IF_ERROR(Expect("{"));
+    while (!IsPunct("}")) {
+      GALLIUM_ASSIGN_OR_RETURN(int bits, ParseBitType());
+      if (lex_.peek().kind != Token::Kind::kIdent) return Fail("field name");
+      const std::string field = lex_.Take().text;
+      GALLIUM_RETURN_IF_ERROR(Expect(";"));
+      program_->field_bits["meta." + field] = bits;
+    }
+    lex_.Take();
+    return Status::Ok();
+  }
+
+  Status ParseIngressControl() {
+    // ( params ) — skip to the opening brace.
+    while (!IsPunct("{")) {
+      if (lex_.peek().kind == Token::Kind::kEof) return Fail("control body");
+      lex_.Take();
+    }
+    lex_.Take();  // {
+    while (!IsPunct("}")) {
+      if (IsIdent("register")) {
+        lex_.Take();
+        GALLIUM_RETURN_IF_ERROR(Expect("<"));
+        GALLIUM_ASSIGN_OR_RETURN(int bits, ParseBitType());
+        GALLIUM_RETURN_IF_ERROR(Expect(">"));
+        GALLIUM_RETURN_IF_ERROR(Expect("("));
+        if (lex_.peek().kind != Token::Kind::kNumber) return Fail("reg size");
+        const int size = static_cast<int>(lex_.Take().number);
+        GALLIUM_RETURN_IF_ERROR(Expect(")"));
+        if (lex_.peek().kind != Token::Kind::kIdent) return Fail("reg name");
+        const std::string name = lex_.Take().text;
+        GALLIUM_RETURN_IF_ERROR(Expect(";"));
+        program_->registers.push_back(RegisterDecl{name, bits, size});
+      } else if (IsIdent("action")) {
+        lex_.Take();
+        ActionDecl action;
+        if (lex_.peek().kind != Token::Kind::kIdent) return Fail("action name");
+        action.name = lex_.Take().text;
+        GALLIUM_RETURN_IF_ERROR(Expect("("));
+        while (!IsPunct(")")) {
+          GALLIUM_ASSIGN_OR_RETURN(int bits, ParseBitType());
+          if (lex_.peek().kind != Token::Kind::kIdent) return Fail("param");
+          action.params.push_back({lex_.Take().text, bits});
+          if (IsPunct(",")) lex_.Take();
+        }
+        lex_.Take();  // )
+        GALLIUM_RETURN_IF_ERROR(Expect("{"));
+        while (!IsPunct("}")) {
+          GALLIUM_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+          action.body.push_back(std::move(stmt));
+        }
+        lex_.Take();
+        program_->actions.push_back(std::move(action));
+      } else if (IsIdent("table")) {
+        lex_.Take();
+        TableDecl table;
+        if (lex_.peek().kind != Token::Kind::kIdent) return Fail("table name");
+        table.name = lex_.Take().text;
+        GALLIUM_RETURN_IF_ERROR(Expect("{"));
+        while (!IsPunct("}")) {
+          if (IsIdent("key")) {
+            lex_.Take();
+            GALLIUM_RETURN_IF_ERROR(Expect("="));
+            GALLIUM_RETURN_IF_ERROR(Expect("{"));
+            while (!IsPunct("}")) {
+              GALLIUM_ASSIGN_OR_RETURN(std::string field,
+                                       ParseQualifiedName());
+              GALLIUM_RETURN_IF_ERROR(Expect(":"));
+              if (IsIdent("lpm")) {
+                lex_.Take();
+                table.lpm = true;
+              } else {
+                GALLIUM_RETURN_IF_ERROR(ExpectIdent("exact"));
+              }
+              GALLIUM_RETURN_IF_ERROR(Expect(";"));
+              table.key_fields.push_back(std::move(field));
+            }
+            lex_.Take();
+          } else if (IsIdent("actions")) {
+            lex_.Take();
+            GALLIUM_RETURN_IF_ERROR(Expect("="));
+            GALLIUM_RETURN_IF_ERROR(Expect("{"));
+            while (!IsPunct("}")) {
+              if (lex_.peek().kind != Token::Kind::kIdent) {
+                return Fail("action name in table");
+              }
+              table.actions.push_back(lex_.Take().text);
+              GALLIUM_RETURN_IF_ERROR(Expect(";"));
+            }
+            lex_.Take();
+          } else if (IsIdent("default_action")) {
+            lex_.Take();
+            GALLIUM_RETURN_IF_ERROR(Expect("="));
+            if (lex_.peek().kind != Token::Kind::kIdent) {
+              return Fail("default action");
+            }
+            table.default_action = lex_.Take().text;
+            GALLIUM_RETURN_IF_ERROR(Expect("("));
+            GALLIUM_RETURN_IF_ERROR(Expect(")"));
+            GALLIUM_RETURN_IF_ERROR(Expect(";"));
+          } else if (IsIdent("size")) {
+            lex_.Take();
+            GALLIUM_RETURN_IF_ERROR(Expect("="));
+            if (lex_.peek().kind != Token::Kind::kNumber) return Fail("size");
+            table.size = static_cast<int>(lex_.Take().number);
+            GALLIUM_RETURN_IF_ERROR(Expect(";"));
+          } else {
+            return Fail("table property");
+          }
+        }
+        lex_.Take();
+        program_->tables.push_back(std::move(table));
+      } else if (IsIdent("apply")) {
+        lex_.Take();
+        GALLIUM_RETURN_IF_ERROR(Expect("{"));
+        while (!IsPunct("}")) {
+          GALLIUM_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+          program_->ingress_apply.push_back(std::move(stmt));
+        }
+        lex_.Take();
+      } else {
+        return Fail("control member");
+      }
+    }
+    lex_.Take();  // closing }
+    return Status::Ok();
+  }
+
+  Lexer lex_;
+  ParsedProgram* program_ = nullptr;
+
+ public:
+  friend Result<std::unique_ptr<ParsedProgram>> DoParse(Parser& parser);
+};
+
+Result<std::unique_ptr<ParsedProgram>> DoParse(Parser& parser) {
+  auto program = std::make_unique<ParsedProgram>();
+  parser.program_ = program.get();
+  auto& lex = parser.lex_;
+
+  while (lex.peek().kind != Token::Kind::kEof) {
+    if (parser.IsPunct("#")) {
+      // Preprocessor include: skip to end of identifier chain.
+      lex.Take();
+      lex.Take();            // include
+      if (parser.IsPunct("<")) {
+        while (!parser.IsPunct(">")) lex.Take();
+        lex.Take();
+      }
+      continue;
+    }
+    if (parser.IsIdent("header")) {
+      lex.Take();
+      GALLIUM_RETURN_IF_ERROR(parser.ParseHeader());
+      continue;
+    }
+    if (parser.IsIdent("struct")) {
+      lex.Take();
+      const std::string name = lex.Take().text;
+      if (name == "metadata_t") {
+        GALLIUM_RETURN_IF_ERROR(parser.ParseMetadataStruct());
+      } else {
+        GALLIUM_RETURN_IF_ERROR(parser.SkipBracedBlock());
+      }
+      continue;
+    }
+    if (parser.IsIdent("parser")) {
+      lex.Take();
+      lex.Take();  // name
+      while (!parser.IsPunct("{")) lex.Take();
+      GALLIUM_RETURN_IF_ERROR(parser.SkipBracedBlock());
+      continue;
+    }
+    if (parser.IsIdent("control")) {
+      lex.Take();
+      if (lex.peek().kind != Token::Kind::kIdent) {
+        return parser.Fail("control name");
+      }
+      const std::string name = lex.Take().text;
+      if (name == "GalliumIngress") {
+        GALLIUM_RETURN_IF_ERROR(parser.ParseIngressControl());
+      } else {
+        while (!parser.IsPunct("{")) lex.Take();
+        GALLIUM_RETURN_IF_ERROR(parser.SkipBracedBlock());
+      }
+      continue;
+    }
+    if (parser.IsIdent("V1Switch")) {
+      // Pipeline instantiation — consume the rest.
+      while (lex.peek().kind != Token::Kind::kEof) lex.Take();
+      continue;
+    }
+    return parser.Fail("top-level declaration");
+  }
+  return program;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ParsedProgram>> ParseP4(const std::string& source) {
+  Parser parser(source);
+  return DoParse(parser);
+}
+
+}  // namespace gallium::p4::exec

@@ -1,0 +1,115 @@
+// A parser for the P4-16 subset that Gallium's emitter produces.
+//
+// The point of parsing our own output is fidelity: the evaluator
+// (p4/evaluator.h) executes the *emitted source text* — not the in-memory
+// AST it was printed from — so tests can prove that the deployable artifact
+// itself behaves like the input middlebox. The grammar covers exactly what
+// EmitP4 generates: header/struct declarations, parser states (recorded but
+// replayed structurally), registers, actions with parameters, exact-match
+// tables, and an ingress apply block of assignments, ifs, table applies,
+// register reads/writes, drops, and header validity operations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gallium::p4::exec {
+
+// --- Expressions ----------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,   // value
+    kField,     // dotted name, e.g. hdr.ipv4.srcAddr
+    kUnaryNot,  // ~a
+    kBinary,    // a <op> b
+    kTernary,   // c ? a : b
+    kCast,      // (bit<N>)a
+    kIsValid,   // hdr.x.isValid(); header name in `field`
+  };
+  enum class Op : uint8_t {
+    kAdd, kSub, kAnd, kOr, kXor, kShl, kShr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+  };
+
+  Kind kind = Kind::kLiteral;
+  uint64_t literal = 0;
+  std::string field;
+  Op op = Op::kAdd;
+  int cast_bits = 0;
+  ExprPtr a, b, c;
+};
+
+// --- Statements -----------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    kAssign,      // field = expr;
+    kIf,          // if (cond) {..} else {..}
+    kApplyTable,  // tbl.apply();
+    kRegRead,     // reg.read(field, index);
+    kRegWrite,    // reg.write(index, expr);
+    kMarkDrop,    // mark_to_drop(standard_metadata);
+    kSetValid,    // hdr.x.setValid();
+    kSetInvalid,  // hdr.x.setInvalid();
+  };
+
+  Kind kind = Kind::kAssign;
+  std::string target;  // lhs field / table / register / header name
+  ExprPtr value;       // rhs, condition, or write value
+  ExprPtr index;       // register index
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+};
+
+// --- Declarations ----------------------------------------------------------------
+
+struct ActionDecl {
+  std::string name;
+  std::vector<std::pair<std::string, int>> params;  // (name, bits)
+  std::vector<StmtPtr> body;
+};
+
+struct TableDecl {
+  std::string name;
+  std::vector<std::string> key_fields;  // match key field names
+  bool lpm = false;                     // lpm match kind on the key
+  std::vector<std::string> actions;
+  std::string default_action;
+  int size = 0;
+};
+
+struct RegisterDecl {
+  std::string name;
+  int bits = 32;
+  int size = 1;
+};
+
+struct ParsedProgram {
+  // Fully qualified field name ("hdr.ipv4.srcAddr", "meta.s0_b32") -> bits.
+  std::map<std::string, int> field_bits;
+  std::vector<RegisterDecl> registers;
+  std::vector<ActionDecl> actions;
+  std::vector<TableDecl> tables;
+  std::vector<StmtPtr> ingress_apply;
+
+  const ActionDecl* FindAction(const std::string& name) const;
+  const TableDecl* FindTable(const std::string& name) const;
+  const RegisterDecl* FindRegister(const std::string& name) const;
+};
+
+// Parses emitted P4 source. Returns a structured program or a syntax error
+// with line information.
+Result<std::unique_ptr<ParsedProgram>> ParseP4(const std::string& source);
+
+}  // namespace gallium::p4::exec

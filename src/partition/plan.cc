@@ -1,0 +1,102 @@
+#include "partition/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gallium::partition {
+
+const char* PartName(Part p) {
+  switch (p) {
+    case Part::kPre: return "pre";
+    case Part::kNonOffloaded: return "non_offloaded";
+    case Part::kPost: return "post";
+  }
+  return "?";
+}
+
+int OffloadWeights::WeightOf(const ir::Instruction& inst) const {
+  switch (inst.op) {
+    case ir::Opcode::kMapGet:
+    case ir::Opcode::kMapPut:
+    case ir::Opcode::kMapDel:
+      return map_lookup;
+    case ir::Opcode::kVectorGet:
+    case ir::Opcode::kVectorLen:
+      return vector_op;
+    case ir::Opcode::kGlobalRead:
+    case ir::Opcode::kGlobalWrite:
+      return global_op;
+    case ir::Opcode::kHeaderRead:
+    case ir::Opcode::kHeaderWrite:
+      return header_op;
+    case ir::Opcode::kAlu:
+    case ir::Opcode::kAssign:
+      return alu_op;
+    default:
+      return other;
+  }
+}
+
+const char* StatePlacementName(StatePlacement p) {
+  switch (p) {
+    case StatePlacement::kSwitchOnly: return "switch-only";
+    case StatePlacement::kServerOnly: return "server-only";
+    case StatePlacement::kReplicated: return "replicated";
+  }
+  return "?";
+}
+
+int TransferSpec::Bytes(const ir::Function& fn) const {
+  const int cond_bytes = (static_cast<int>(cond_regs.size()) + 7) / 8;
+  int var_bytes = 0;
+  for (ir::Reg r : var_regs) {
+    // Slots are 32-bit; a u64 register takes two.
+    var_bytes += ir::BitWidth(fn.reg_width(r)) > 32 ? 8 : 4;
+  }
+  return cond_bytes + var_bytes;
+}
+
+int TransferSpec::VarSlot(const ir::Function& fn, ir::Reg r) const {
+  int slot = 0;
+  for (ir::Reg v : var_regs) {
+    if (v == r) return slot;
+    slot += ir::BitWidth(fn.reg_width(v)) > 32 ? 2 : 1;
+  }
+  return -1;
+}
+
+int TransferSpec::CondBit(ir::Reg r) const {
+  const auto it = std::find(cond_regs.begin(), cond_regs.end(), r);
+  return it == cond_regs.end() ? -1
+                               : static_cast<int>(it - cond_regs.begin());
+}
+
+int TransferSpec::NumVarSlots(const ir::Function& fn) const {
+  int slots = 0;
+  for (ir::Reg v : var_regs) {
+    slots += ir::BitWidth(fn.reg_width(v)) > 32 ? 2 : 1;
+  }
+  return slots;
+}
+
+std::string PartitionPlan::Summary(const ir::Function& fn) const {
+  std::ostringstream out;
+  out << "partition summary for " << fn.name() << ":\n";
+  out << "  pre=" << num_pre << " non_offloaded=" << num_non_offloaded
+      << " post=" << num_post << "\n";
+  out << "  to_server: " << to_server.cond_regs.size() << " cond bits, "
+      << to_server.var_regs.size() << " vars (" << to_server.Bytes(fn)
+      << " bytes)\n";
+  out << "  to_switch: " << to_switch.cond_regs.size() << " cond bits, "
+      << to_switch.var_regs.size() << " vars (" << to_switch.Bytes(fn)
+      << " bytes)\n";
+  out << "  metadata peak: " << metadata_peak_bytes << " bytes\n";
+  out << "  pipeline stages used: " << pipeline_stages_used << "\n";
+  for (const auto& [ref, placement] : state_placement) {
+    out << "  state " << fn.StateName(ref) << ": "
+        << StatePlacementName(placement) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gallium::partition

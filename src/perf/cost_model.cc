@@ -1,0 +1,26 @@
+#include "perf/cost_model.h"
+
+namespace gallium::perf {
+
+double CostModel::PacketCycles(const runtime::ExecStats& stats,
+                               int wire_bytes, int payload_bytes) const {
+  double cycles = cycles_pkt_fixed + cycles_per_byte * wire_bytes;
+  cycles += cycles_alu * stats.alu_ops;
+  cycles += cycles_header_op * stats.header_ops;
+  cycles += cycles_map_lookup * stats.map_lookups;
+  cycles += cycles_map_update * stats.map_updates;
+  cycles += cycles_vector_op * stats.vector_ops;
+  cycles += cycles_global_op * stats.global_ops;
+  cycles += stats.payload_ops *
+            (cycles_payload_op + cycles_payload_per_byte * payload_bytes);
+  cycles += cycles_branch * stats.branches;
+  return cycles;
+}
+
+double CostModel::PacketServerUs(const runtime::ExecStats& stats,
+                                 int wire_bytes, int payload_bytes) const {
+  return PacketCycles(stats, wire_bytes, payload_bytes) /
+         (server_ghz * 1000.0);
+}
+
+}  // namespace gallium::perf

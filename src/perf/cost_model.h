@@ -1,0 +1,66 @@
+// Calibrated performance model.
+//
+// The paper's testbed (Xeon E5-2680 @2.5 GHz, Mellanox CX-4 100 Gb NICs,
+// Barefoot Tofino) is replaced by explicit cost arithmetic. Constants are
+// calibrated so the *baseline* (FastClick) lands in the paper's measured
+// ranges — ~23 µs end-to-end latency, tens of Gb/s per 4 cores — and the
+// offloaded path differs from it by exactly the effects Gallium changes:
+// which packets touch the server, how many instructions run there, and how
+// often control-plane synchronization happens. See EXPERIMENTS.md for the
+// calibration notes.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/interpreter.h"
+
+namespace gallium::perf {
+
+struct CostModel {
+  // --- Server ------------------------------------------------------------------
+  double server_ghz = 2.5;  // Xeon E5-2680
+
+  // Fixed per-packet driver/framework overhead (DPDK rx+tx, FastClick
+  // scheduling) and the per-byte touch cost (checksum/copy passes).
+  double cycles_pkt_fixed = 200.0;
+  double cycles_per_byte = 0.75;
+
+  // Per-IR-operation costs (cache-resident hash map, header parsing, ALU).
+  double cycles_alu = 2.0;
+  double cycles_header_op = 6.0;
+  double cycles_map_lookup = 120.0;
+  double cycles_map_update = 180.0;
+  double cycles_vector_op = 8.0;
+  double cycles_global_op = 4.0;
+  double cycles_payload_op = 60.0;   // pattern scan setup
+  double cycles_payload_per_byte = 0.6;
+  double cycles_branch = 1.5;
+
+  // --- Devices / wires ------------------------------------------------------------
+  double link_gbps = 100.0;
+  double switch_pipeline_us = 0.8;   // Tofino ingress->egress
+  double nic_latency_us = 3.0;       // PCIe + MAC, per NIC traversal
+  double endhost_stack_us = 7.5;     // Linux endpoint send or receive path
+
+  // Aggregate packet-generation capability of the sender hosts (Linux
+  // stacks, ten iperf streams): limits small-packet throughput.
+  double sender_pps_millions = 50.0;
+
+  // --- Derived helpers ---------------------------------------------------------
+  // Cycles to process one packet in software given executed-op counts.
+  double PacketCycles(const runtime::ExecStats& stats, int wire_bytes,
+                      int payload_bytes) const;
+  // Server processing time in microseconds.
+  double PacketServerUs(const runtime::ExecStats& stats, int wire_bytes,
+                        int payload_bytes) const;
+  // Wire serialization delay for one packet.
+  double WireUs(int wire_bytes) const {
+    return wire_bytes * 8.0 / (link_gbps * 1000.0);
+  }
+  // Packets/second one server core sustains for packets with these costs.
+  double CorePps(double cycles_per_packet) const {
+    return server_ghz * 1e9 / cycles_per_packet;
+  }
+};
+
+}  // namespace gallium::perf

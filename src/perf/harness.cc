@@ -1,0 +1,163 @@
+#include "perf/harness.h"
+
+#include <cmath>
+
+#include "workload/packet_gen.h"
+
+namespace gallium::perf {
+
+namespace {
+
+runtime::ExecStats DivideStats(const runtime::ExecStats& total, int count) {
+  runtime::ExecStats mean;
+  if (count == 0) return mean;
+  mean.insts = total.insts / count;
+  mean.alu_ops = total.alu_ops / count;
+  mean.header_ops = total.header_ops / count;
+  mean.map_lookups = total.map_lookups / count;
+  mean.map_updates = total.map_updates / count;
+  mean.vector_ops = total.vector_ops / count;
+  mean.global_ops = total.global_ops / count;
+  mean.payload_ops = total.payload_ops / count;
+  mean.branches = total.branches / count;
+  return mean;
+}
+
+}  // namespace
+
+Result<MiddleboxProfile> ProfileMiddlebox(
+    const std::function<Result<mbox::MiddleboxSpec>()>& build, int num_flows,
+    uint64_t seed) {
+  GALLIUM_ASSIGN_OR_RETURN(mbox::MiddleboxSpec spec_sw, build());
+  GALLIUM_ASSIGN_OR_RETURN(mbox::MiddleboxSpec spec_off, build());
+
+  runtime::SoftwareMiddlebox software(spec_sw);
+  runtime::OffloadedOptions options;
+  options.serialize_wire = false;  // profiling loop, wire cost modeled later
+  GALLIUM_ASSIGN_OR_RETURN(auto offloaded, runtime::OffloadedMiddlebox::Create(
+                                               spec_off, options));
+
+  MiddleboxProfile profile;
+  profile.name = spec_sw.name;
+
+  Rng rng(seed);
+  // iperf-like long TCP flows (the paper's microbenchmark runs ten parallel
+  // connections): established flows dominate, so the fast-path fraction
+  // reflects steady state (~99.9% for NAT/LB).
+  workload::TraceOptions trace_options;
+  trace_options.num_flows = num_flows;
+  trace_options.min_flow_bytes = 500000;
+  trace_options.max_flow_bytes = 2000000;
+  const workload::Trace trace = workload::MakeTrace(rng, trace_options);
+
+  runtime::ExecStats baseline_total;
+  runtime::ExecStats server_total;
+  int slow_packets = 0;
+  int synced_packets = 0;
+  double sync_latency_total = 0;
+  uint64_t now_ms = 0;
+
+  for (const net::Packet& pkt : trace.packets) {
+    ++now_ms;
+    net::Packet sw_pkt = pkt;
+    auto sw_out = software.Process(sw_pkt, now_ms);
+    if (!sw_out.status.ok()) return sw_out.status;
+    baseline_total += sw_out.stats;
+
+    auto off_out = offloaded->Process(pkt, now_ms);
+    if (!off_out.status.ok()) return off_out.status;
+    if (!off_out.fast_path) {
+      ++slow_packets;
+      server_total += off_out.server_stats;
+      if (off_out.state_synced) {
+        ++synced_packets;
+        sync_latency_total += off_out.sync_latency_us;
+      }
+    }
+  }
+
+  const int total = static_cast<int>(trace.packets.size());
+  profile.baseline_stats = DivideStats(baseline_total, total);
+  profile.server_slow_stats = DivideStats(server_total, slow_packets);
+  profile.fast_path_fraction =
+      total == 0 ? 1.0 : 1.0 - static_cast<double>(slow_packets) / total;
+  profile.sync_per_slow_packet =
+      slow_packets == 0 ? 0.0
+                        : static_cast<double>(synced_packets) / slow_packets;
+  profile.mean_sync_latency_us =
+      synced_packets == 0 ? 0.0 : sync_latency_total / synced_packets;
+  return profile;
+}
+
+double FastClickLatencyUs(const CostModel& cost,
+                          const runtime::ExecStats& stats, int wire_bytes) {
+  const double processing =
+      cost.PacketServerUs(stats, wire_bytes, /*payload_bytes=*/0);
+  return cost.endhost_stack_us                       // sender stack
+         + cost.WireUs(wire_bytes)                   // host -> switch
+         + cost.switch_pipeline_us                   // plain forwarding
+         + cost.WireUs(wire_bytes)                   // switch -> middlebox
+         + cost.nic_latency_us + processing + cost.nic_latency_us
+         + cost.WireUs(wire_bytes)                   // middlebox -> switch
+         + cost.switch_pipeline_us
+         + cost.WireUs(wire_bytes)                   // switch -> receiver
+         + cost.endhost_stack_us;                    // receiver stack
+}
+
+double OffloadedFastPathLatencyUs(const CostModel& cost, int wire_bytes) {
+  return cost.endhost_stack_us + cost.WireUs(wire_bytes) +
+         cost.switch_pipeline_us  // pre+post run inside the pipeline pass
+         + cost.WireUs(wire_bytes) + cost.endhost_stack_us;
+}
+
+double ClickThroughputGbps(const CostModel& cost,
+                           const runtime::ExecStats& stats, int wire_bytes,
+                           int cores) {
+  const double cycles = cost.PacketCycles(stats, wire_bytes, 0);
+  const double capacity_pps = cores * cost.CorePps(cycles);
+  const double line_pps = cost.link_gbps * 1e9 / (wire_bytes * 8.0);
+  const double offered_pps =
+      std::min(cost.sender_pps_millions * 1e6, line_pps);
+  const double achieved = std::min(offered_pps, capacity_pps);
+  return achieved * wire_bytes * 8.0 / 1e9;
+}
+
+double OffloadedThroughputGbps(const CostModel& cost,
+                               const MiddleboxProfile& profile,
+                               int wire_bytes) {
+  const double line_pps = cost.link_gbps * 1e9 / (wire_bytes * 8.0);
+  const double offered_pps =
+      std::min(cost.sender_pps_millions * 1e6, line_pps);
+  double achieved = offered_pps;
+
+  const double slow_fraction = 1.0 - profile.fast_path_fraction;
+  if (slow_fraction > 0) {
+    // Slow-path packets are bounded by the single server core; they throttle
+    // the total only when their share exceeds what the core sustains.
+    const double slow_cycles =
+        cost.PacketCycles(profile.server_slow_stats, wire_bytes, 0);
+    const double server_pps = cost.CorePps(slow_cycles);
+    achieved = std::min(achieved, server_pps / slow_fraction);
+  }
+  return achieved * wire_bytes * 8.0 / 1e9;
+}
+
+Measurement Jittered(double base, int trials, double rel_stddev, Rng& rng) {
+  double sum = 0, sum_sq = 0;
+  for (int t = 0; t < trials; ++t) {
+    const double u1 = std::max(1e-12, rng.NextDouble());
+    const double u2 = rng.NextDouble();
+    const double gauss =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    const double sample = base * (1.0 + gauss * rel_stddev);
+    sum += sample;
+    sum_sq += sample * sample;
+  }
+  Measurement m;
+  m.mean = sum / trials;
+  const double var = std::max(0.0, sum_sq / trials - m.mean * m.mean);
+  m.stdev = std::sqrt(var);
+  return m;
+}
+
+}  // namespace gallium::perf

@@ -1,0 +1,67 @@
+// Measurement harness: composes packet-level runtime facts (op counts,
+// fast-path fractions, sync latencies) with the calibrated cost model into
+// the end-to-end numbers the paper reports — latency (Table 2), TCP
+// microbenchmark throughput (Fig. 7), and the inputs of the realistic
+// workload simulations (Figs. 8 & 9).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mbox/middleboxes.h"
+#include "perf/cost_model.h"
+#include "runtime/offloaded_middlebox.h"
+#include "runtime/software_middlebox.h"
+#include "util/rng.h"
+
+namespace gallium::perf {
+
+// Representative per-packet behavior of one middlebox under a TCP workload,
+// measured by running a trace through both runtimes.
+struct MiddleboxProfile {
+  std::string name;
+  runtime::ExecStats baseline_stats;     // mean per-packet ops, software
+  runtime::ExecStats server_slow_stats;  // mean per-slow-packet server ops
+  double fast_path_fraction = 1.0;       // offloaded: share never hitting server
+  double sync_per_slow_packet = 0.0;     // share of slow packets that sync
+  double mean_sync_latency_us = 0.0;
+};
+
+// Runs `num_flows` TCP flows through both runtimes and averages.
+Result<MiddleboxProfile> ProfileMiddlebox(
+    const std::function<Result<mbox::MiddleboxSpec>()>& build, int num_flows,
+    uint64_t seed = 7);
+
+// --- Latency (Table 2) -----------------------------------------------------
+
+// End-to-end one-way latency through the FastClick deployment:
+// endhost -> switch -> middlebox server -> switch -> endhost.
+double FastClickLatencyUs(const CostModel& cost,
+                          const runtime::ExecStats& stats, int wire_bytes);
+
+// End-to-end latency through the Gallium deployment's fast path:
+// endhost -> switch (pre+post in-pipeline) -> endhost.
+double OffloadedFastPathLatencyUs(const CostModel& cost, int wire_bytes);
+
+// --- Throughput (Fig. 7) ------------------------------------------------------
+
+// Achievable throughput of the FastClick middlebox on `cores` cores for
+// fixed-size packets.
+double ClickThroughputGbps(const CostModel& cost,
+                           const runtime::ExecStats& stats, int wire_bytes,
+                           int cores);
+
+// Achievable throughput of the offloaded middlebox (server restricted to
+// one core, as in §6.3's setup).
+double OffloadedThroughputGbps(const CostModel& cost,
+                               const MiddleboxProfile& profile,
+                               int wire_bytes);
+
+// Mean and stddev over `trials` jittered measurements (error bars).
+struct Measurement {
+  double mean = 0;
+  double stdev = 0;
+};
+Measurement Jittered(double base, int trials, double rel_stddev, Rng& rng);
+
+}  // namespace gallium::perf

@@ -1,0 +1,138 @@
+// The IR interpreter: executes a middlebox program (whole, or one partition
+// of it) against a packet and a state backend.
+//
+// Running the whole function against host state is the FastClick-equivalent
+// software baseline. Running one partition reproduces the generated code's
+// behavior: the pre pass on the switch (stopping where server work begins
+// and packing the transfer header), the server pass (consuming the transfer
+// header), and the post pass on the switch (consuming the return header).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "net/packet.h"
+#include "partition/plan.h"
+#include "runtime/state.h"
+#include "util/status.h"
+
+namespace gallium::runtime {
+
+struct Verdict {
+  enum class Kind : uint8_t { kNone, kSend, kDrop };
+  Kind kind = Kind::kNone;
+  uint32_t egress_port = 0;
+
+  bool decided() const { return kind != Kind::kNone; }
+  bool operator==(const Verdict&) const = default;
+};
+
+// Runtime form of the synthesized transfer header: values parallel to a
+// TransferSpec's cond_regs / var_regs lists.
+struct TransferValues {
+  std::vector<uint64_t> cond_values;
+  std::vector<uint64_t> var_values;
+};
+
+// Execution counters; the performance model converts these to cycles.
+struct ExecStats {
+  int insts = 0;
+  int alu_ops = 0;
+  int header_ops = 0;
+  int map_lookups = 0;
+  int map_updates = 0;
+  int vector_ops = 0;
+  int global_ops = 0;
+  int payload_ops = 0;
+  int branches = 0;
+
+  ExecStats& operator+=(const ExecStats& other);
+};
+
+struct ExecResult {
+  Status status = Status::Ok();
+  Verdict verdict;
+  // Pre pass only: the path owes non-offloaded (or post) work, so the
+  // packet must be forwarded to the server.
+  bool needs_server = false;
+  // Pre pass with cached tables (§7): a lookup missed in a partial cache,
+  // so the result is not authoritative — the pre pass aborted and the
+  // server must process the packet from scratch.
+  bool cache_miss_abort = false;
+  ExecStats stats;
+  // Filled when an out-spec is provided.
+  TransferValues transfer_out;
+  // Keys this walk looked up in cached maps (server-full pass only): the
+  // runtime re-installs the hot entries into the switch cache.
+  std::vector<std::pair<ir::StateIndex, StateKey>> cached_lookups;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ir::Function& fn);
+
+  const ir::Function& function() const { return *fn_; }
+
+  // Executes the complete program (software baseline semantics).
+  ExecResult Run(net::Packet& pkt, StateBackend& state, uint64_t now_ms) const;
+
+  // Executes one partition. `in_spec`/`in_values` describe the incoming
+  // transfer header (null for the pre pass); `out_spec` the outgoing one.
+  // `cached_maps` (pre pass only) marks maps whose switch tables are
+  // partial caches: a miss aborts the pass (§7 memory-reduction mode).
+  ExecResult RunPartition(net::Packet& pkt, StateBackend& state,
+                          uint64_t now_ms,
+                          const partition::PartitionPlan& plan,
+                          partition::Part part,
+                          const partition::TransferSpec* in_spec,
+                          const TransferValues* in_values,
+                          const partition::TransferSpec* out_spec,
+                          const std::vector<bool>* cached_maps = nullptr) const;
+
+  // Cache-miss recovery pass (§7): runs everything except the post
+  // partition against authoritative server state, recording which keys were
+  // looked up in cached maps so the runtime can refresh the switch cache.
+  ExecResult RunServerFull(net::Packet& pkt, StateBackend& state,
+                           uint64_t now_ms,
+                           const partition::PartitionPlan& plan,
+                           const partition::TransferSpec* out_spec,
+                           const std::vector<bool>& cached_maps) const;
+
+  // Header-field accessors shared with the switch simulator.
+  static uint64_t ReadHeaderField(const net::Packet& pkt, ir::HeaderField f);
+  static void WriteHeaderField(net::Packet& pkt, ir::HeaderField f,
+                               uint64_t value);
+
+ private:
+  struct WalkConfig {
+    const partition::PartitionPlan* plan = nullptr;  // null = run everything
+    partition::Part part = partition::Part::kPre;
+    // Cache mode: pre pass aborts on misses in these maps; the server-full
+    // pass records lookups into them.
+    const std::vector<bool>* cached_maps = nullptr;
+    // Server recovery mode: execute every statement except post-tagged ones.
+    bool full_server = false;
+  };
+
+  ExecResult Walk(net::Packet& pkt, StateBackend& state, uint64_t now_ms,
+                  const WalkConfig& config,
+                  const partition::TransferSpec* in_spec,
+                  const TransferValues* in_values,
+                  const partition::TransferSpec* out_spec) const;
+
+  const ir::Function* fn_;
+};
+
+// Packs runtime transfer values into the wire-format Gallium header and
+// back, following the spec's slot layout.
+net::GalliumHeader PackTransfer(const ir::Function& fn,
+                                const partition::TransferSpec& spec,
+                                const TransferValues& values);
+Result<TransferValues> UnpackTransfer(const ir::Function& fn,
+                                      const partition::TransferSpec& spec,
+                                      const net::GalliumHeader& header);
+
+}  // namespace gallium::runtime

@@ -1,0 +1,337 @@
+#include "runtime/offloaded_middlebox.h"
+
+#include <cassert>
+#include <set>
+
+namespace gallium::runtime {
+
+using partition::Part;
+using partition::StatePlacement;
+
+OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
+                                       partition::PartitionPlan plan,
+                                       OffloadedOptions options)
+    : fn_(spec.fn.get()),
+      plan_(std::move(plan)),
+      options_(options),
+      interp_(*spec.fn),
+      server_state_(*spec.fn),
+      replicated_maps_(spec.fn->maps().size(), false),
+      replicated_globals_(spec.fn->globals().size(), false),
+      rng_(options.rng_seed) {
+  for (const auto& [ref, placement] : plan_.state_placement) {
+    if (placement != StatePlacement::kReplicated) continue;
+    if (ref.kind == ir::StateRef::Kind::kMap) {
+      replicated_maps_[ref.index] = true;
+    } else if (ref.kind == ir::StateRef::Kind::kGlobal) {
+      replicated_globals_[ref.index] = true;
+    }
+  }
+}
+
+Result<std::unique_ptr<OffloadedMiddlebox>> OffloadedMiddlebox::Create(
+    const mbox::MiddleboxSpec& spec, OffloadedOptions options) {
+  partition::Partitioner partitioner(*spec.fn, options.constraints);
+  GALLIUM_ASSIGN_OR_RETURN(partition::PartitionPlan plan, partitioner.Run());
+  if (plan.to_server.cond_regs.size() > 32 ||
+      plan.to_switch.cond_regs.size() > 32) {
+    return Unsupported("more than 32 transferred branch conditions");
+  }
+
+  if (options.cache_entries_per_table > 0) {
+    // Cache-miss recovery replays the whole pre partition on the server, so
+    // no pre statement may write state the server cannot see (switch-only
+    // writes would double-apply / diverge). Maps are never written from the
+    // data plane; the only hazard is a switch-resident global write.
+    for (const auto& [ref, placement] : plan.state_placement) {
+      if (ref.kind != ir::StateRef::Kind::kGlobal) continue;
+      if (placement != partition::StatePlacement::kSwitchOnly) continue;
+      return Unsupported(
+          "cache mode requires all written globals to be server-visible; '" +
+          spec.fn->global(ref.index).name + "' is switch-only");
+    }
+  }
+
+  auto mbx = std::unique_ptr<OffloadedMiddlebox>(
+      new OffloadedMiddlebox(spec, std::move(plan), options));
+  GALLIUM_ASSIGN_OR_RETURN(
+      mbx->switch_, switchsim::Switch::Create(*spec.fn, mbx->plan_,
+                                              options.constraints,
+                                              options.cache_entries_per_table));
+  mbx->cached_maps_.assign(spec.fn->maps().size(), false);
+  for (ir::StateIndex m = 0; m < spec.fn->maps().size(); ++m) {
+    mbx->cached_maps_[m] = mbx->switch_->IsCachedMap(m);
+  }
+  GALLIUM_RETURN_IF_ERROR(mbx->InitializeState(spec));
+  return mbx;
+}
+
+Status OffloadedMiddlebox::InitializeState(const mbox::MiddleboxSpec& spec) {
+  // Server holds the authoritative copy of everything; switch-resident
+  // state is additionally installed into tables/registers.
+  ApplyStateInit(spec, &server_state_);
+  for (const auto& [map_index, entries] : spec.init.maps) {
+    for (const auto& entry : entries) {
+      GALLIUM_RETURN_IF_ERROR(
+          switch_->PopulateMap(map_index, entry.key, entry.value));
+    }
+  }
+  for (const auto& [vec_index, values] : spec.init.vectors) {
+    GALLIUM_RETURN_IF_ERROR(switch_->PopulateVector(vec_index, values));
+  }
+  return Status::Ok();
+}
+
+OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
+                                                        uint64_t now_ms) {
+  Outcome outcome;
+  ++packets_total_;
+
+  const bool cache_mode = options_.cache_entries_per_table > 0;
+  // In cache mode the pre pass may turn out to be non-authoritative; keep a
+  // pristine copy so the server can reprocess from scratch.
+  net::Packet pristine;
+  if (cache_mode) pristine = pkt;
+
+  // --- 1. Switch: pre-processing pass ---------------------------------------
+  ExecResult pre = interp_.RunPartition(pkt, switch_->data_plane(), now_ms,
+                                        plan_, Part::kPre,
+                                        /*in_spec=*/nullptr,
+                                        /*in_values=*/nullptr,
+                                        &plan_.to_server,
+                                        cache_mode ? &cached_maps_ : nullptr);
+  if (!pre.status.ok()) {
+    outcome.status = pre.status;
+    return outcome;
+  }
+  if (pre.cache_miss_abort) {
+    ++cache_misses_;
+    Outcome miss_outcome = ProcessCacheMiss(std::move(pristine), now_ms);
+    miss_outcome.switch_stats += pre.stats;  // the aborted pre attempt
+    return miss_outcome;
+  }
+  outcome.switch_stats += pre.stats;
+
+  if (!pre.needs_server) {
+    // Fast path: the switch completed the packet by itself.
+    if (!pre.verdict.decided()) {
+      outcome.status = Internal("pre pass finished without a verdict");
+      return outcome;
+    }
+    ++packets_fast_;
+    outcome.fast_path = true;
+    outcome.verdict = pre.verdict;
+    if (pre.verdict.kind == Verdict::Kind::kSend) {
+      outcome.out_packet = std::move(pkt);
+    }
+    return outcome;
+  }
+  if (pre.verdict.decided()) {
+    outcome.status = Internal(
+        "pre pass produced a verdict on a path that still owes server work");
+    return outcome;
+  }
+
+  // --- 2. Wire: switch -> server with the synthesized header ------------------
+  net::GalliumHeader header1 = PackTransfer(*fn_, plan_.to_server,
+                                            pre.transfer_out);
+  outcome.transfer_bytes_to_server = static_cast<int>(header1.WireSize());
+  net::Packet server_pkt = std::move(pkt);
+  server_pkt.set_gallium(std::move(header1));
+  if (options_.serialize_wire) {
+    const std::vector<uint8_t> wire = server_pkt.Serialize();
+    const uint32_t ingress = server_pkt.ingress_port();
+    auto parsed = net::Packet::Parse(wire);
+    if (!parsed.ok()) {
+      outcome.status = parsed.status();
+      return outcome;
+    }
+    server_pkt = std::move(parsed).value();
+    server_pkt.set_ingress_port(ingress);
+  }
+  auto in_values1 =
+      UnpackTransfer(*fn_, plan_.to_server, server_pkt.gallium());
+  if (!in_values1.ok()) {
+    outcome.status = in_values1.status();
+    return outcome;
+  }
+  server_pkt.clear_gallium();
+
+  // --- 3. Server: non-offloaded pass with replicated-state recording ----------
+  RecordingStateBackend recording(&server_state_, replicated_maps_,
+                                  replicated_globals_);
+  ExecResult srv = interp_.RunPartition(server_pkt, recording, now_ms, plan_,
+                                        Part::kNonOffloaded, &plan_.to_server,
+                                        &in_values1.value(), &plan_.to_switch);
+  if (!srv.status.ok()) {
+    outcome.status = srv.status;
+    return outcome;
+  }
+  outcome.server_stats += srv.stats;
+
+  // Atomic update + output commit: the packet is held until every
+  // replicated-state mutation is visible on the switch (§4.3.3).
+  if (recording.HasMutations()) {
+    auto latency = switch_->ApplyAtomicUpdate(recording.map_mutations(),
+                                              recording.global_mutations(),
+                                              &rng_);
+    if (!latency.ok()) {
+      outcome.status = latency.status();
+      return outcome;
+    }
+    outcome.state_synced = true;
+    outcome.sync_latency_us = *latency;
+  }
+
+  // --- 4. Wire: server -> switch, then the post-processing pass ----------------
+  net::GalliumHeader header2 = PackTransfer(*fn_, plan_.to_switch,
+                                            srv.transfer_out);
+  outcome.transfer_bytes_to_switch = static_cast<int>(header2.WireSize());
+  net::Packet back_pkt = std::move(server_pkt);
+  back_pkt.set_gallium(std::move(header2));
+  if (options_.serialize_wire) {
+    const std::vector<uint8_t> wire = back_pkt.Serialize();
+    const uint32_t ingress = back_pkt.ingress_port();
+    auto parsed = net::Packet::Parse(wire);
+    if (!parsed.ok()) {
+      outcome.status = parsed.status();
+      return outcome;
+    }
+    back_pkt = std::move(parsed).value();
+    back_pkt.set_ingress_port(ingress);
+  }
+  auto in_values2 = UnpackTransfer(*fn_, plan_.to_switch, back_pkt.gallium());
+  if (!in_values2.ok()) {
+    outcome.status = in_values2.status();
+    return outcome;
+  }
+  back_pkt.clear_gallium();
+
+  ExecResult post = interp_.RunPartition(back_pkt, switch_->data_plane(),
+                                         now_ms, plan_, Part::kPost,
+                                         &plan_.to_switch, &in_values2.value(),
+                                         /*out_spec=*/nullptr);
+  if (!post.status.ok()) {
+    outcome.status = post.status;
+    return outcome;
+  }
+  outcome.switch_stats += post.stats;
+
+  // Verdict resolution: exactly one of the server / post passes decides.
+  if (srv.verdict.decided() == post.verdict.decided()) {
+    outcome.status = Internal(
+        srv.verdict.decided() ? "both server and post pass produced a verdict"
+                              : "no pass produced a verdict");
+    return outcome;
+  }
+  outcome.verdict = srv.verdict.decided() ? srv.verdict : post.verdict;
+  if (outcome.verdict.kind == Verdict::Kind::kSend) {
+    outcome.out_packet = std::move(back_pkt);
+  }
+  return outcome;
+}
+
+OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
+    net::Packet pkt, uint64_t now_ms) {
+  Outcome outcome;
+  // The switch forwards the pristine packet to the server (§7: "for any
+  // packet that the programmable switch does not know how to handle, the
+  // middlebox server handles it instead"). The server runs everything but
+  // the post partition against its authoritative state.
+  RecordingStateBackend recording(&server_state_, replicated_maps_,
+                                  replicated_globals_);
+  ExecResult srv = interp_.RunServerFull(pkt, recording, now_ms, plan_,
+                                         &plan_.to_switch, cached_maps_);
+  if (!srv.status.ok()) {
+    outcome.status = srv.status;
+    return outcome;
+  }
+  outcome.server_stats += srv.stats;
+
+  // Build one atomic batch: the packet's replicated-state mutations plus a
+  // cache refresh for every (still-present) key the packet looked up.
+  std::vector<RecordingStateBackend::MapMutation> mutations =
+      recording.map_mutations();
+  std::set<std::pair<ir::StateIndex, StateKey>> seen;
+  for (const auto& [map, key] : srv.cached_lookups) {
+    if (!seen.insert({map, key}).second) continue;
+    StateValue value;
+    if (server_state_.MapLookup(map, key, &value)) {
+      mutations.push_back(
+          RecordingStateBackend::MapMutation{map, key, value, false});
+    }
+  }
+  if (!mutations.empty() || !recording.global_mutations().empty()) {
+    auto latency = switch_->ApplyAtomicUpdate(
+        mutations, recording.global_mutations(), &rng_);
+    if (!latency.ok()) {
+      outcome.status = latency.status();
+      return outcome;
+    }
+    // Output commit applies only to the packet's own state updates; pure
+    // cache refreshes do not hold the packet.
+    if (recording.HasMutations()) {
+      outcome.state_synced = true;
+      outcome.sync_latency_us = *latency;
+    }
+  }
+
+  // Post pass on the switch, as usual.
+  net::GalliumHeader header2 =
+      PackTransfer(*fn_, plan_.to_switch, srv.transfer_out);
+  outcome.transfer_bytes_to_switch = static_cast<int>(header2.WireSize());
+  auto in_values2 = UnpackTransfer(*fn_, plan_.to_switch, header2);
+  if (!in_values2.ok()) {
+    outcome.status = in_values2.status();
+    return outcome;
+  }
+  ExecResult post = interp_.RunPartition(pkt, switch_->data_plane(), now_ms,
+                                         plan_, Part::kPost,
+                                         &plan_.to_switch, &in_values2.value(),
+                                         /*out_spec=*/nullptr);
+  if (!post.status.ok()) {
+    outcome.status = post.status;
+    return outcome;
+  }
+  outcome.switch_stats += post.stats;
+
+  if (srv.verdict.decided() == post.verdict.decided()) {
+    outcome.status = Internal(
+        srv.verdict.decided()
+            ? "both server-full and post pass produced a verdict"
+            : "no pass produced a verdict after cache miss");
+    return outcome;
+  }
+  outcome.verdict = srv.verdict.decided() ? srv.verdict : post.verdict;
+  if (outcome.verdict.kind == Verdict::Kind::kSend) {
+    outcome.out_packet = std::move(pkt);
+  }
+  return outcome;
+}
+
+Result<int> OffloadedMiddlebox::CollectIdleFlows(ir::StateIndex flows_map,
+                                                 ir::StateIndex created_map,
+                                                 uint64_t now_ms,
+                                                 uint64_t timeout_ms) {
+  std::vector<StateKey> expired;
+  for (const auto& [key, value] : server_state_.map_contents(created_map)) {
+    if (!value.empty() && now_ms - value[0] >= timeout_ms) {
+      expired.push_back(key);
+    }
+  }
+  if (expired.empty()) return 0;
+
+  std::vector<RecordingStateBackend::MapMutation> mutations;
+  for (const StateKey& key : expired) {
+    server_state_.MapErase(flows_map, key);
+    server_state_.MapErase(created_map, key);
+    mutations.push_back(
+        RecordingStateBackend::MapMutation{flows_map, key, {}, true});
+  }
+  GALLIUM_ASSIGN_OR_RETURN(double latency,
+                           switch_->ApplyAtomicUpdate(mutations, {}, &rng_));
+  (void)latency;
+  return static_cast<int>(expired.size());
+}
+
+}  // namespace gallium::runtime

@@ -1,0 +1,116 @@
+// The offloaded middlebox: the composition Gallium deploys (Fig. 1) —
+// a programmable switch running the pre/post partitions and a middlebox
+// server running the non-offloaded partition, glued by the synthesized
+// transfer header, atomic state synchronization, and output commit
+// (§4.3.2–4.3.3).
+//
+// Per-packet flow:
+//   1. The switch executes the pre-processing pass. If the packet's path
+//      owes no server work, the packet is emitted — the fast path.
+//   2. Otherwise the switch packs live temporaries and branch-condition bits
+//      into the Gallium header and forwards the packet to the server (in
+//      wire format; the transfer header is parsed back on the other side).
+//   3. The server executes the non-offloaded pass. Mutations to replicated
+//      state are recorded; if any happened, a control-plane batch applies
+//      them to the switch atomically (write-back tables + bit flip) and the
+//      packet is buffered until the update completes (output commit).
+//   4. The packet returns to the switch, which executes the post-processing
+//      pass and emits per the recorded verdict.
+#pragma once
+
+#include <memory>
+
+#include "mbox/middleboxes.h"
+#include "partition/partitioner.h"
+#include "runtime/interpreter.h"
+#include "runtime/software_middlebox.h"
+#include "runtime/state.h"
+#include "switchsim/switch.h"
+#include "util/rng.h"
+
+namespace gallium::runtime {
+
+struct OffloadedOptions {
+  partition::SwitchConstraints constraints;
+  // Cross the switch<->server links in wire format (serialize + reparse).
+  // Disable only in throughput loops where the copy cost matters.
+  bool serialize_wire = true;
+  uint64_t rng_seed = 42;
+
+  // §7 "Reducing memory usage of programmable switches": when > 0, each
+  // replicated map's switch table holds at most this many entries (FIFO
+  // eviction) — a cache of the server's authoritative map. A lookup miss in
+  // a partial table is not authoritative, so the pre pass aborts and the
+  // server reprocesses the packet from scratch, then refreshes the cache.
+  uint64_t cache_entries_per_table = 0;
+};
+
+class OffloadedMiddlebox {
+ public:
+  static Result<std::unique_ptr<OffloadedMiddlebox>> Create(
+      const mbox::MiddleboxSpec& spec, OffloadedOptions options = {});
+
+  struct Outcome {
+    Status status = Status::Ok();
+    Verdict verdict;
+    bool fast_path = false;      // never left the switch
+    bool state_synced = false;   // a control-plane batch was applied
+    double sync_latency_us = 0;  // control-plane latency (output commit wait)
+    ExecStats switch_stats;      // pre + post pass op counts
+    ExecStats server_stats;      // non-offloaded pass op counts
+    int transfer_bytes_to_server = 0;
+    int transfer_bytes_to_switch = 0;
+    net::Packet out_packet;      // valid when verdict is kSend
+  };
+
+  Outcome Process(net::Packet pkt, uint64_t now_ms = 0);
+
+  const partition::PartitionPlan& plan() const { return plan_; }
+  const ir::Function& fn() const { return *fn_; }
+  switchsim::Switch& device() { return *switch_; }
+  HostStateStore& server_state() { return server_state_; }
+
+  // Server-side maintenance used by the L4 load balancer: erases flows whose
+  // creation time in `created_map` is older than `timeout_ms`, from both
+  // `flows_map` and `created_map`, and synchronizes the switch. Returns the
+  // number of collected flows.
+  Result<int> CollectIdleFlows(ir::StateIndex flows_map,
+                               ir::StateIndex created_map, uint64_t now_ms,
+                               uint64_t timeout_ms);
+
+  // Counters.
+  uint64_t packets_total() const { return packets_total_; }
+  uint64_t packets_fast_path() const { return packets_fast_; }
+  uint64_t cache_miss_aborts() const { return cache_misses_; }
+  double FastPathFraction() const {
+    return packets_total_ == 0
+               ? 0.0
+               : static_cast<double>(packets_fast_) / packets_total_;
+  }
+
+ private:
+  OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
+                     partition::PartitionPlan plan, OffloadedOptions options);
+
+  Status InitializeState(const mbox::MiddleboxSpec& spec);
+
+  const ir::Function* fn_;
+  partition::PartitionPlan plan_;
+  OffloadedOptions options_;
+  Interpreter interp_;
+  HostStateStore server_state_;
+  std::unique_ptr<switchsim::Switch> switch_;
+  std::vector<bool> replicated_maps_;
+  std::vector<bool> replicated_globals_;
+  std::vector<bool> cached_maps_;  // §7 cache mode, per map index
+  Rng rng_;
+
+  uint64_t packets_total_ = 0;
+  uint64_t packets_fast_ = 0;
+  uint64_t cache_misses_ = 0;
+
+  // Cache-miss recovery: full server pass + cache refresh + post pass.
+  Outcome ProcessCacheMiss(net::Packet pkt, uint64_t now_ms);
+};
+
+}  // namespace gallium::runtime

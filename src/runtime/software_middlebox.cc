@@ -1,0 +1,31 @@
+#include "runtime/software_middlebox.h"
+
+namespace gallium::runtime {
+
+void ApplyStateInit(const mbox::MiddleboxSpec& spec, HostStateStore* store) {
+  for (const auto& [map_index, entries] : spec.init.maps) {
+    for (const auto& entry : entries) {
+      store->MapInsert(map_index, entry.key, entry.value);
+    }
+  }
+  for (const auto& [vec_index, values] : spec.init.vectors) {
+    store->vector_contents(vec_index) = values;
+  }
+}
+
+SoftwareMiddlebox::SoftwareMiddlebox(const mbox::MiddleboxSpec& spec)
+    : fn_(spec.fn.get()), interp_(*spec.fn), state_(*spec.fn) {
+  ApplyStateInit(spec, &state_);
+}
+
+SoftwareMiddlebox::Outcome SoftwareMiddlebox::Process(net::Packet& pkt,
+                                                      uint64_t now_ms) {
+  Outcome outcome;
+  ExecResult result = interp_.Run(pkt, state_, now_ms);
+  outcome.status = result.status;
+  outcome.verdict = result.verdict;
+  outcome.stats = result.stats;
+  return outcome;
+}
+
+}  // namespace gallium::runtime

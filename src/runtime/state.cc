@@ -1,0 +1,77 @@
+#include "runtime/state.h"
+
+#include <cassert>
+
+namespace gallium::runtime {
+
+HostStateStore::HostStateStore(const ir::Function& fn) : fn_(&fn) {
+  maps_.resize(fn.maps().size());
+  vectors_.resize(fn.vectors().size());
+  globals_.resize(fn.globals().size());
+  for (size_t g = 0; g < fn.globals().size(); ++g) {
+    globals_[g] = fn.globals()[g].init;
+  }
+}
+
+bool HostStateStore::MapLookup(ir::StateIndex map, const StateKey& key,
+                               StateValue* values) {
+  const auto& contents = maps_[map];
+  const ir::MapDecl& decl = fn_->map(map);
+  if (decl.is_lpm()) {
+    // Entries are stored as {prefix, prefix_len}; the lookup key is the
+    // single address. Scan from the most to the least specific prefix.
+    const uint64_t addr = key.empty() ? 0 : key[0];
+    for (int len = 32; len >= 0; --len) {
+      const uint64_t mask =
+          len == 0 ? 0 : (~0ull << (32 - len)) & 0xffffffffull;
+      const auto it = contents.find({addr & mask, static_cast<uint64_t>(len)});
+      if (it != contents.end()) {
+        *values = it->second;
+        return true;
+      }
+    }
+    values->assign(decl.value_widths.size(), 0);
+    return false;
+  }
+  const auto it = contents.find(key);
+  if (it == contents.end()) {
+    values->assign(decl.value_widths.size(), 0);
+    return false;
+  }
+  *values = it->second;
+  return true;
+}
+
+void HostStateStore::MapInsert(ir::StateIndex map, const StateKey& key,
+                               const StateValue& values) {
+  assert(values.size() == fn_->map(map).value_widths.size());
+  maps_[map][key] = values;
+}
+
+void HostStateStore::MapErase(ir::StateIndex map, const StateKey& key) {
+  maps_[map].erase(key);
+}
+
+uint64_t HostStateStore::VectorGet(ir::StateIndex vec, uint64_t index) {
+  const auto& v = vectors_[vec];
+  // A vector compiles to an index-keyed exact-match table on the switch, so
+  // an out-of-range read is a table miss and yields zero — the host
+  // semantics must match (middleboxes bound their indices with a modulo
+  // anyway).
+  if (index >= v.size()) return 0;
+  return v[index];
+}
+
+uint64_t HostStateStore::VectorSize(ir::StateIndex vec) {
+  return vectors_[vec].size();
+}
+
+uint64_t HostStateStore::GlobalRead(ir::StateIndex global) {
+  return globals_[global];
+}
+
+void HostStateStore::GlobalWrite(ir::StateIndex global, uint64_t value) {
+  globals_[global] = value;
+}
+
+}  // namespace gallium::runtime

@@ -1,0 +1,156 @@
+// Runtime state backends.
+//
+// The interpreter executes IR statements against a StateBackend; the server
+// uses plain in-memory containers (HostStateStore) while the switch data
+// plane uses match-action tables and registers with write-back semantics
+// (switchsim::SwitchStateBackend). Both implement the same interface so the
+// semantics of a map lookup are identical on either device.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/function.h"
+#include "util/status.h"
+
+namespace gallium::runtime {
+
+using StateKey = std::vector<uint64_t>;
+using StateValue = std::vector<uint64_t>;
+
+class StateBackend {
+ public:
+  virtual ~StateBackend() = default;
+
+  // Map operations. Lookup fills `values` (decl-sized) and returns presence;
+  // on a miss `values` is zero-filled (the IR's defined miss semantics).
+  virtual bool MapLookup(ir::StateIndex map, const StateKey& key,
+                         StateValue* values) = 0;
+  virtual void MapInsert(ir::StateIndex map, const StateKey& key,
+                         const StateValue& values) = 0;
+  virtual void MapErase(ir::StateIndex map, const StateKey& key) = 0;
+
+  virtual uint64_t VectorGet(ir::StateIndex vec, uint64_t index) = 0;
+  virtual uint64_t VectorSize(ir::StateIndex vec) = 0;
+
+  virtual uint64_t GlobalRead(ir::StateIndex global) = 0;
+  virtual void GlobalWrite(ir::StateIndex global, uint64_t value) = 0;
+};
+
+// Plain in-memory state for a host (the FastClick baseline and the
+// non-offloaded server partition).
+class HostStateStore : public StateBackend {
+ public:
+  explicit HostStateStore(const ir::Function& fn);
+
+  bool MapLookup(ir::StateIndex map, const StateKey& key,
+                 StateValue* values) override;
+  void MapInsert(ir::StateIndex map, const StateKey& key,
+                 const StateValue& values) override;
+  void MapErase(ir::StateIndex map, const StateKey& key) override;
+  uint64_t VectorGet(ir::StateIndex vec, uint64_t index) override;
+  uint64_t VectorSize(ir::StateIndex vec) override;
+  uint64_t GlobalRead(ir::StateIndex global) override;
+  void GlobalWrite(ir::StateIndex global, uint64_t value) override;
+
+  // Direct access for configuration and tests.
+  std::map<StateKey, StateValue>& map_contents(ir::StateIndex map) {
+    return maps_[map];
+  }
+  const std::map<StateKey, StateValue>& map_contents(ir::StateIndex map) const {
+    return maps_[map];
+  }
+  std::vector<uint64_t>& vector_contents(ir::StateIndex vec) {
+    return vectors_[vec];
+  }
+  uint64_t global_value(ir::StateIndex g) const { return globals_[g]; }
+
+  size_t MapSize(ir::StateIndex map) const { return maps_[map].size(); }
+
+ private:
+  const ir::Function* fn_;
+  std::vector<std::map<StateKey, StateValue>> maps_;
+  std::vector<std::vector<uint64_t>> vectors_;
+  std::vector<uint64_t> globals_;
+};
+
+// Wraps another backend and records every mutation to a watched subset of
+// state objects — used by the offloaded runtime to build the control-plane
+// update batch that synchronizes replicated state to the switch (§4.3.3).
+class RecordingStateBackend : public StateBackend {
+ public:
+  struct MapMutation {
+    ir::StateIndex map;
+    StateKey key;
+    StateValue values;  // empty = deletion
+    bool is_erase = false;
+  };
+  struct GlobalMutation {
+    ir::StateIndex global;
+    uint64_t value;
+  };
+
+  RecordingStateBackend(StateBackend* inner,
+                        std::vector<bool> watched_maps,
+                        std::vector<bool> watched_globals)
+      : inner_(inner),
+        watched_maps_(std::move(watched_maps)),
+        watched_globals_(std::move(watched_globals)) {}
+
+  bool MapLookup(ir::StateIndex map, const StateKey& key,
+                 StateValue* values) override {
+    return inner_->MapLookup(map, key, values);
+  }
+  void MapInsert(ir::StateIndex map, const StateKey& key,
+                 const StateValue& values) override {
+    inner_->MapInsert(map, key, values);
+    if (map < watched_maps_.size() && watched_maps_[map]) {
+      map_mutations_.push_back(MapMutation{map, key, values, false});
+    }
+  }
+  void MapErase(ir::StateIndex map, const StateKey& key) override {
+    inner_->MapErase(map, key);
+    if (map < watched_maps_.size() && watched_maps_[map]) {
+      map_mutations_.push_back(MapMutation{map, key, {}, true});
+    }
+  }
+  uint64_t VectorGet(ir::StateIndex vec, uint64_t index) override {
+    return inner_->VectorGet(vec, index);
+  }
+  uint64_t VectorSize(ir::StateIndex vec) override {
+    return inner_->VectorSize(vec);
+  }
+  uint64_t GlobalRead(ir::StateIndex global) override {
+    return inner_->GlobalRead(global);
+  }
+  void GlobalWrite(ir::StateIndex global, uint64_t value) override {
+    inner_->GlobalWrite(global, value);
+    if (global < watched_globals_.size() && watched_globals_[global]) {
+      global_mutations_.push_back(GlobalMutation{global, value});
+    }
+  }
+
+  const std::vector<MapMutation>& map_mutations() const {
+    return map_mutations_;
+  }
+  const std::vector<GlobalMutation>& global_mutations() const {
+    return global_mutations_;
+  }
+  bool HasMutations() const {
+    return !map_mutations_.empty() || !global_mutations_.empty();
+  }
+  void Clear() {
+    map_mutations_.clear();
+    global_mutations_.clear();
+  }
+
+ private:
+  StateBackend* inner_;
+  std::vector<bool> watched_maps_;
+  std::vector<bool> watched_globals_;
+  std::vector<MapMutation> map_mutations_;
+  std::vector<GlobalMutation> global_mutations_;
+};
+
+}  // namespace gallium::runtime

@@ -1,0 +1,167 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace gallium::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double GbpsToBytesPerUs(double gbps) { return gbps * 125.0; }  // 1e9/8/1e6
+
+// Max-min fair allocation ("water-filling"): splits `total` across flows
+// with individual caps; flows capped below the fair share release their
+// slack to the rest. Returns per-flow rates.
+void WaterFill(const std::vector<double>& caps, double total,
+               std::vector<double>* rates) {
+  const size_t n = caps.size();
+  rates->assign(n, 0.0);
+  if (n == 0) return;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return caps[a] < caps[b]; });
+  double remaining = total;
+  size_t left = n;
+  for (size_t idx : order) {
+    const double share = remaining / static_cast<double>(left);
+    const double rate = std::min(caps[idx], share);
+    (*rates)[idx] = rate;
+    remaining -= rate;
+    --left;
+  }
+}
+
+}  // namespace
+
+FluidResult RunFluid(const std::vector<uint64_t>& flow_sizes,
+                     const FluidConfig& config, Rng& rng) {
+  FluidResult result;
+  result.flows.resize(flow_sizes.size());
+  if (flow_sizes.empty()) return result;
+
+  const double line_rate = GbpsToBytesPerUs(config.line_gbps);
+  const double server_rate =
+      config.server_data_pps > 0
+          ? config.server_data_pps * config.avg_packet_bytes / 1e6
+          : kInf;
+  const double shared_capacity = std::min(line_rate, server_rate);
+  const double flow_ceiling = GbpsToBytesPerUs(config.per_flow_gbps);
+
+  // TCP ramp cap: the average rate a flow of S bytes can sustain given slow
+  // start over the configured RTT.
+  auto ramp_cap = [&](uint64_t bytes) {
+    const double rounds =
+        std::log2(static_cast<double>(bytes) / config.init_window_bytes + 2.0);
+    const double min_duration_us = config.rtt_us * std::max(1.0, rounds);
+    return std::min(flow_ceiling,
+                    static_cast<double>(bytes) / min_duration_us);
+  };
+
+  using Activation = std::pair<double, size_t>;
+  std::priority_queue<Activation, std::vector<Activation>, std::greater<>>
+      pending;
+
+  struct Active {
+    size_t flow;
+    double remaining;
+    double cap;
+  };
+  std::vector<Active> active;
+
+  auto setup_us = [&] {
+    return std::max(1.0, config.setup_us_mean +
+                             (rng.NextDouble() - 0.5) * 2.0 *
+                                 config.setup_us_jitter);
+  };
+
+  size_t next_flow = 0;
+  auto thread_start_next = [&](double at_time) {
+    if (next_flow >= flow_sizes.size()) return;
+    const size_t flow = next_flow++;
+    result.flows[flow].bytes = std::max<uint64_t>(flow_sizes[flow], 1);
+    result.flows[flow].start_us = at_time;
+    pending.push({at_time + setup_us(), flow});
+  };
+
+  const int threads =
+      std::min<int>(config.num_threads, static_cast<int>(flow_sizes.size()));
+  for (int t = 0; t < threads; ++t) thread_start_next(0.0);
+
+  double now = 0.0;
+  std::vector<double> caps;
+  std::vector<double> rates;
+
+  while (!active.empty() || !pending.empty()) {
+    // Current per-flow rates.
+    caps.clear();
+    for (const Active& a : active) caps.push_back(a.cap);
+    WaterFill(caps, shared_capacity, &rates);
+
+    const double next_activation =
+        pending.empty() ? kInf : pending.top().first;
+    double next_completion = kInf;
+    size_t completing = SIZE_MAX;
+    for (size_t i = 0; i < active.size(); ++i) {
+      if (rates[i] <= 0) continue;
+      const double t = now + active[i].remaining / rates[i];
+      if (t < next_completion) {
+        next_completion = t;
+        completing = i;
+      }
+    }
+
+    const double event_time = std::min(next_activation, next_completion);
+    assert(event_time < kInf);
+    const double dt = event_time - now;
+    for (size_t i = 0; i < active.size(); ++i) {
+      active[i].remaining =
+          std::max(0.0, active[i].remaining - rates[i] * dt);
+    }
+    now = event_time;
+
+    if (next_activation <= next_completion) {
+      const auto [at, flow] = pending.top();
+      pending.pop();
+      const double bytes = static_cast<double>(result.flows[flow].bytes);
+      active.push_back(
+          Active{flow, bytes, ramp_cap(result.flows[flow].bytes)});
+    } else {
+      const size_t flow = active[completing].flow;
+      active.erase(active.begin() + static_cast<long>(completing));
+      result.flows[flow].finish_us = now + config.teardown_us;
+      thread_start_next(now + config.teardown_us);
+    }
+  }
+
+  result.duration_us = now;
+  for (const FlowRecord& flow : result.flows) {
+    result.total_bytes += static_cast<double>(flow.bytes);
+  }
+  if (result.duration_us > 0) {
+    result.throughput_gbps =
+        result.total_bytes * 8.0 / (result.duration_us * 1000.0);
+  }
+  return result;
+}
+
+double MeanFctUs(const FluidResult& result, uint64_t lo_bytes,
+                 uint64_t hi_bytes) {
+  double sum = 0;
+  int count = 0;
+  for (const FlowRecord& flow : result.flows) {
+    if (flow.bytes >= lo_bytes && flow.bytes < hi_bytes &&
+        flow.finish_us > 0) {
+      sum += flow.FctUs();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace gallium::sim

@@ -1,0 +1,75 @@
+// Flow-level fluid simulation of the realistic-workload experiments (§6.3).
+//
+// The paper drives 100000 flows drawn from CONGA-style size distributions
+// through the middlebox with 100 sender threads, each running one connection
+// at a time. We model the same setup at flow granularity with processor
+// sharing: every active flow receives an equal share of each bottleneck
+// (the 100 Gb/s line, the per-connection cap, and — when data packets
+// traverse the server, as in the FastClick baseline — the server's packet
+// budget). Connection setup cost (slow-path SYN handling plus state
+// synchronization for the offloaded middlebox; plain software processing
+// for the baseline) is charged before a flow's data starts flowing.
+//
+// The fluid abstraction is what makes 100k-flow sweeps tractable; per-packet
+// behavior (who takes the fast path, how many ops run where) is measured by
+// the packet-level runtime and fed in through FluidConfig.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gallium::sim {
+
+struct FluidConfig {
+  double line_gbps = 100.0;      // switch/link capacity shared by all flows
+  double per_flow_gbps = 20.0;   // single-connection ceiling (window-bound)
+  int num_threads = 100;         // concurrent senders (one flow each)
+
+  // TCP ramp model: a flow of S bytes cannot average more than
+  // S / (RTT * log2(S/init_window + 2)) — short flows finish inside slow
+  // start and never reach the per-flow ceiling. The RTT differs between the
+  // baseline (two server NIC crossings per packet) and the offloaded
+  // deployment (switch-only fast path), which is part of why Gallium helps
+  // medium flows too.
+  double rtt_us = 46.0;
+  double init_window_bytes = 10 * 1448.0;
+
+  // Server data-path capacity in packets/second (0 = data packets bypass
+  // the server entirely, the offloaded fast path).
+  double server_data_pps = 0.0;
+  double avg_packet_bytes = 1500.0;
+
+  // Per-flow setup latency (µs) charged before data flows: the slow-path
+  // SYN round plus (for the offloaded middlebox) control-plane sync.
+  double setup_us_mean = 20.0;
+  double setup_us_jitter = 5.0;
+
+  // Additional per-flow teardown latency (µs) after the last byte.
+  double teardown_us = 10.0;
+};
+
+struct FlowRecord {
+  uint64_t bytes = 0;
+  double start_us = 0;   // when the sender thread began the flow
+  double finish_us = 0;  // when the last byte (and teardown) completed
+  double FctUs() const { return finish_us - start_us; }
+};
+
+struct FluidResult {
+  std::vector<FlowRecord> flows;
+  double duration_us = 0;       // makespan
+  double total_bytes = 0;
+  double throughput_gbps = 0;   // goodput over the makespan
+};
+
+FluidResult RunFluid(const std::vector<uint64_t>& flow_sizes,
+                     const FluidConfig& config, Rng& rng);
+
+// Mean flow-completion time (µs) of flows whose size falls in
+// [lo_bytes, hi_bytes).
+double MeanFctUs(const FluidResult& result, uint64_t lo_bytes,
+                 uint64_t hi_bytes);
+
+}  // namespace gallium::sim

@@ -1,0 +1,235 @@
+#include "switchsim/switch.h"
+
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace gallium::switchsim {
+
+using ir::StateRef;
+
+double ControlPlaneLatencyModel::UpdateLatencyUs(int num_tables,
+                                                 Rng* rng) const {
+  if (num_tables <= 0) return 0.0;
+  double base;
+  if (num_tables <= 2) {
+    base = per_table_us * num_tables;
+  } else {
+    base = per_table_us * 2 + batched_extra_us * (num_tables - 2);
+  }
+  if (rng != nullptr) {
+    // Box-Muller jitter, clamped to stay positive.
+    const double u1 = std::max(1e-12, rng->NextDouble());
+    const double u2 = rng->NextDouble();
+    const double gauss =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    base += gauss * jitter_stddev_us;
+  }
+  return std::max(base, per_table_us * 0.5);
+}
+
+bool SwitchStateBackend::MapLookup(ir::StateIndex map,
+                                   const runtime::StateKey& key,
+                                   runtime::StateValue* values) {
+  ExactMatchTable* table = sw_->map_tables_[map].get();
+  assert(table != nullptr && "lookup of a non-resident map on the switch");
+  return table->Lookup(key, values);
+}
+
+void SwitchStateBackend::MapInsert(ir::StateIndex, const runtime::StateKey&,
+                                   const runtime::StateValue&) {
+  assert(false && "data plane cannot insert into match-action tables (§2.1)");
+}
+
+void SwitchStateBackend::MapErase(ir::StateIndex, const runtime::StateKey&) {
+  assert(false && "data plane cannot erase from match-action tables (§2.1)");
+}
+
+uint64_t SwitchStateBackend::VectorGet(ir::StateIndex vec, uint64_t index) {
+  const auto* contents = sw_->vector_tables_[vec].get();
+  assert(contents != nullptr && "non-resident vector on the switch");
+  // Index table miss semantics: out-of-range reads return zero.
+  if (index >= contents->size()) return 0;
+  return (*contents)[index];
+}
+
+uint64_t SwitchStateBackend::VectorSize(ir::StateIndex vec) {
+  const auto* contents = sw_->vector_tables_[vec].get();
+  assert(contents != nullptr);
+  return contents->size();
+}
+
+uint64_t SwitchStateBackend::GlobalRead(ir::StateIndex global) {
+  const auto* reg = sw_->registers_[global].get();
+  assert(reg != nullptr && "non-resident global on the switch");
+  return *reg;
+}
+
+void SwitchStateBackend::GlobalWrite(ir::StateIndex global, uint64_t value) {
+  auto* reg = sw_->registers_[global].get();
+  assert(reg != nullptr);
+  *reg = value & ir::WidthMask(sw_->fn_->global(global).width);
+}
+
+Switch::Switch(const ir::Function& fn, const partition::PartitionPlan& plan,
+               const partition::SwitchConstraints& limits)
+    : fn_(&fn),
+      plan_(&plan),
+      limits_(limits),
+      data_plane_(this),
+      map_tables_(fn.maps().size()),
+      vector_tables_(fn.vectors().size()),
+      registers_(fn.globals().size()) {}
+
+Result<std::unique_ptr<Switch>> Switch::Create(
+    const ir::Function& fn, const partition::PartitionPlan& plan,
+    const partition::SwitchConstraints& limits,
+    uint64_t cache_entries_per_table) {
+  auto sw = std::unique_ptr<Switch>(new Switch(fn, plan, limits));
+  for (const auto& [ref, placement] : plan.state_placement) {
+    if (placement == partition::StatePlacement::kServerOnly) continue;
+    switch (ref.kind) {
+      case StateRef::Kind::kMap: {
+        const ir::MapDecl& decl = fn.map(ref.index);
+        uint64_t entries = decl.max_entries;
+        bool cached = false;
+        if (cache_entries_per_table > 0 &&
+            placement == partition::StatePlacement::kReplicated &&
+            cache_entries_per_table < entries) {
+          entries = cache_entries_per_table;
+          cached = true;
+        }
+        sw->map_tables_[ref.index] = std::make_unique<ExactMatchTable>(
+            decl.name, decl.key_widths.size(), decl.value_widths.size(),
+            entries,
+            decl.is_lpm() ? ExactMatchTable::MatchKind::kLpm
+                          : ExactMatchTable::MatchKind::kExact);
+        if (cached) sw->map_tables_[ref.index]->EnableFifoEviction();
+        break;
+      }
+      case StateRef::Kind::kVector:
+        sw->vector_tables_[ref.index] = std::make_unique<std::vector<uint64_t>>();
+        break;
+      case StateRef::Kind::kGlobal:
+        sw->registers_[ref.index] =
+            std::make_unique<uint64_t>(fn.global(ref.index).init);
+        break;
+    }
+  }
+  const ResourceReport report = sw->Resources();
+  if (!report.within_limits) {
+    return ResourceExhausted("switch state exceeds memory budget: " +
+                             std::to_string(report.memory_bytes_used) + " > " +
+                             std::to_string(report.memory_bytes_limit));
+  }
+  return sw;
+}
+
+bool Switch::IsCachedMap(ir::StateIndex map) const {
+  return map_tables_[map] != nullptr && map_tables_[map]->fifo_eviction();
+}
+
+bool Switch::IsResident(const StateRef& ref) const {
+  switch (ref.kind) {
+    case StateRef::Kind::kMap: return map_tables_[ref.index] != nullptr;
+    case StateRef::Kind::kVector: return vector_tables_[ref.index] != nullptr;
+    case StateRef::Kind::kGlobal: return registers_[ref.index] != nullptr;
+  }
+  return false;
+}
+
+ExactMatchTable* Switch::table(ir::StateIndex map) {
+  return map_tables_[map].get();
+}
+
+Status Switch::PopulateMap(ir::StateIndex map, const runtime::StateKey& key,
+                           const runtime::StateValue& value) {
+  if (map_tables_[map] == nullptr) return Status::Ok();  // server-only map
+  return map_tables_[map]->InsertMain(key, value);
+}
+
+Status Switch::PopulateVector(ir::StateIndex vec,
+                              std::vector<uint64_t> values) {
+  if (vector_tables_[vec] == nullptr) return Status::Ok();
+  *vector_tables_[vec] = std::move(values);
+  return Status::Ok();
+}
+
+Result<double> Switch::ApplyAtomicUpdate(
+    const std::vector<runtime::RecordingStateBackend::MapMutation>& maps,
+    const std::vector<runtime::RecordingStateBackend::GlobalMutation>& globals,
+    Rng* rng) {
+  // Step 1: stage every mutation into the write-back tables.
+  std::set<ir::StateIndex> touched_tables;
+  for (const auto& m : maps) {
+    ExactMatchTable* table = map_tables_[m.map].get();
+    if (table == nullptr) continue;  // state not replicated to the switch
+    GALLIUM_RETURN_IF_ERROR(table->Stage(
+        m.key, m.is_erase ? std::nullopt : std::make_optional(m.values)));
+    touched_tables.insert(m.map);
+  }
+
+  // Step 2: flip the use-write-back bit — this is the atomic commit point;
+  // subsequent lookups see all staged entries.
+  for (ir::StateIndex t : touched_tables) {
+    map_tables_[t]->SetUseWriteBack(true);
+  }
+
+  // Register updates are single-word writes and are atomic on their own.
+  int touched_registers = 0;
+  for (const auto& g : globals) {
+    if (registers_[g.global] == nullptr) continue;
+    *registers_[g.global] = g.value & ir::WidthMask(fn_->global(g.global).width);
+    ++touched_registers;
+  }
+
+  // Step 3: write the updates into the main tables and flip the bit back.
+  for (ir::StateIndex t : touched_tables) {
+    GALLIUM_RETURN_IF_ERROR(map_tables_[t]->ApplyStagedToMain());
+    map_tables_[t]->SetUseWriteBack(false);
+  }
+
+  ++sync_batches_;
+  const int ops = static_cast<int>(touched_tables.size()) +
+                  (touched_registers > 0 ? 1 : 0);
+  return latency_model_.UpdateLatencyUs(ops, rng);
+}
+
+Switch::ResourceReport Switch::Resources() const {
+  ResourceReport report;
+  report.memory_bytes_limit = limits_.memory_bytes;
+  report.metadata_bytes_limit = limits_.metadata_bytes;
+  report.metadata_bytes_used = plan_->metadata_peak_bytes;
+  report.pipeline_stages_used = plan_->pipeline_stages_used;
+  report.pipeline_stages_limit = limits_.pipeline_depth;
+  for (size_t i = 0; i < map_tables_.size(); ++i) {
+    if (map_tables_[i] == nullptr) continue;
+    ++report.num_tables;
+    // Account the table at its *instantiated* capacity — smaller than the
+    // annotation when the §7 cache mode is on — plus the write-back shadow
+    // (§4.3.3) at a quarter of it.
+    const ir::MapDecl& decl = fn_->map(static_cast<ir::StateIndex>(i));
+    const uint64_t entry_bytes =
+        static_cast<uint64_t>(decl.KeyBytes() + decl.ValueBytes()) + 4;
+    uint64_t bytes = map_tables_[i]->max_entries() * entry_bytes;
+    bytes += bytes / 4;
+    report.memory_bytes_used += bytes;
+  }
+  for (size_t i = 0; i < vector_tables_.size(); ++i) {
+    if (vector_tables_[i] == nullptr) continue;
+    ++report.num_tables;
+    report.memory_bytes_used +=
+        fn_->vector(static_cast<ir::StateIndex>(i)).SwitchBytes();
+  }
+  for (const auto& reg : registers_) {
+    if (reg != nullptr) ++report.num_registers;
+  }
+  report.memory_bytes_used += 8ull * report.num_registers;
+  report.within_limits =
+      report.memory_bytes_used <= report.memory_bytes_limit &&
+      report.metadata_bytes_used <= report.metadata_bytes_limit &&
+      report.pipeline_stages_used <= report.pipeline_stages_limit;
+  return report;
+}
+
+}  // namespace gallium::switchsim

@@ -1,0 +1,140 @@
+// Behavioral model of the programmable switch (our Tofino substitution).
+//
+// The switch owns the P4-visible state: one exact-match table (plus its
+// write-back shadow) per switch-resident map, one read-only index table per
+// switch-resident vector, and one register per switch-resident global. The
+// data plane exposes this state through runtime::StateBackend so the
+// interpreter's pre/post passes execute against real table lookups; the
+// control plane applies server-driven updates with the atomic write-back
+// protocol and a latency model calibrated to Table 3.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/function.h"
+#include "partition/plan.h"
+#include "runtime/state.h"
+#include "switchsim/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gallium::switchsim {
+
+// Latency model for control-plane updates, shaped to reproduce Table 3:
+// ~135 µs per table for one or two tables, sub-linear beyond (the SDK batches
+// driver work across tables).
+struct ControlPlaneLatencyModel {
+  double per_table_us = 135.0;
+  double batched_extra_us = 50.5;  // per additional table beyond two
+  double jitter_stddev_us = 20.0;
+
+  double UpdateLatencyUs(int num_tables, Rng* rng) const;
+};
+
+class Switch;
+
+// Data-plane view of switch state. Lookups hit the match-action tables;
+// data-plane mutation of tables is impossible by construction (§2.1), only
+// switch-local registers can be written.
+class SwitchStateBackend : public runtime::StateBackend {
+ public:
+  explicit SwitchStateBackend(Switch* sw) : sw_(sw) {}
+
+  bool MapLookup(ir::StateIndex map, const runtime::StateKey& key,
+                 runtime::StateValue* values) override;
+  void MapInsert(ir::StateIndex map, const runtime::StateKey& key,
+                 const runtime::StateValue& values) override;
+  void MapErase(ir::StateIndex map, const runtime::StateKey& key) override;
+  uint64_t VectorGet(ir::StateIndex vec, uint64_t index) override;
+  uint64_t VectorSize(ir::StateIndex vec) override;
+  uint64_t GlobalRead(ir::StateIndex global) override;
+  void GlobalWrite(ir::StateIndex global, uint64_t value) override;
+
+ private:
+  Switch* sw_;
+};
+
+class Switch {
+ public:
+  // Instantiates tables/registers for every state object the plan places on
+  // the switch. Fails if the resident state exceeds the memory budget.
+  //
+  // `cache_entries_per_table` > 0 enables the §7 memory-reduction mode:
+  // each replicated map's table is capped at that many entries with FIFO
+  // eviction; the switch then holds only a cache of the server's
+  // authoritative map.
+  static Result<std::unique_ptr<Switch>> Create(
+      const ir::Function& fn, const partition::PartitionPlan& plan,
+      const partition::SwitchConstraints& limits,
+      uint64_t cache_entries_per_table = 0);
+
+  // True when `map`'s table is a partial cache (lookup misses are not
+  // authoritative).
+  bool IsCachedMap(ir::StateIndex map) const;
+
+  const ir::Function& function() const { return *fn_; }
+  const partition::PartitionPlan& plan() const { return *plan_; }
+
+  runtime::StateBackend& data_plane() { return data_plane_; }
+
+  bool IsResident(const ir::StateRef& ref) const;
+  ExactMatchTable* table(ir::StateIndex map);  // null if not resident
+
+  // --- Configuration-time population (before traffic) -----------------------
+  Status PopulateMap(ir::StateIndex map, const runtime::StateKey& key,
+                     const runtime::StateValue& value);
+  Status PopulateVector(ir::StateIndex vec, std::vector<uint64_t> values);
+
+  // --- Control plane -----------------------------------------------------------
+  // Atomically applies a batch of server-side mutations using the
+  // write-back protocol; returns the modeled latency. Mutations touching
+  // non-resident state are ignored (that state lives only on the server).
+  Result<double> ApplyAtomicUpdate(
+      const std::vector<runtime::RecordingStateBackend::MapMutation>& maps,
+      const std::vector<runtime::RecordingStateBackend::GlobalMutation>&
+          globals,
+      Rng* rng);
+
+  // --- Resources ---------------------------------------------------------------
+  struct ResourceReport {
+    uint64_t memory_bytes_used = 0;
+    uint64_t memory_bytes_limit = 0;
+    int metadata_bytes_used = 0;
+    int metadata_bytes_limit = 0;
+    int pipeline_stages_used = 0;
+    int pipeline_stages_limit = 0;
+    int num_tables = 0;
+    int num_registers = 0;
+    bool within_limits = true;
+  };
+  ResourceReport Resources() const;
+
+  const ControlPlaneLatencyModel& latency_model() const {
+    return latency_model_;
+  }
+
+  // Total control-plane update batches applied (state-sync counter).
+  uint64_t sync_batches() const { return sync_batches_; }
+
+ private:
+  friend class SwitchStateBackend;
+
+  Switch(const ir::Function& fn, const partition::PartitionPlan& plan,
+         const partition::SwitchConstraints& limits);
+
+  const ir::Function* fn_;
+  const partition::PartitionPlan* plan_;
+  partition::SwitchConstraints limits_;
+  ControlPlaneLatencyModel latency_model_;
+  SwitchStateBackend data_plane_;
+
+  // Indexed by the function's state indices; null when not resident.
+  std::vector<std::unique_ptr<ExactMatchTable>> map_tables_;
+  std::vector<std::unique_ptr<std::vector<uint64_t>>> vector_tables_;
+  std::vector<std::unique_ptr<uint64_t>> registers_;
+
+  uint64_t sync_batches_ = 0;
+};
+
+}  // namespace gallium::switchsim

@@ -1,0 +1,121 @@
+#include "switchsim/table.h"
+
+namespace gallium::switchsim {
+
+bool ExactMatchTable::Lookup(const TableKey& key, TableValue* value) const {
+  if (match_kind_ == MatchKind::kLpm) {
+    // Scan from the most specific prefix; at each length a staged entry
+    // (when the write-back window is open) overrides the main table —
+    // including staged deletions, which make that prefix fall through to
+    // shorter ones.
+    const uint64_t addr = key.empty() ? 0 : key[0];
+    for (int len = 32; len >= 0; --len) {
+      const uint64_t mask =
+          len == 0 ? 0 : (~0ull << (32 - len)) & 0xffffffffull;
+      const TableKey entry_key = {addr & mask, static_cast<uint64_t>(len)};
+      if (use_write_back_) {
+        const auto staged = write_back_.find(entry_key);
+        if (staged != write_back_.end()) {
+          if (!staged->second.has_value()) continue;  // staged deletion
+          *value = *staged->second;
+          return true;
+        }
+      }
+      const auto it = main_.find(entry_key);
+      if (it != main_.end()) {
+        *value = it->second;
+        return true;
+      }
+    }
+    value->assign(value_words_, 0);
+    return false;
+  }
+  if (use_write_back_) {
+    const auto it = write_back_.find(key);
+    if (it != write_back_.end()) {
+      if (!it->second.has_value()) {  // staged deletion
+        value->assign(value_words_, 0);
+        return false;
+      }
+      *value = *it->second;
+      return true;
+    }
+  }
+  const auto it = main_.find(key);
+  if (it == main_.end()) {
+    value->assign(value_words_, 0);
+    return false;
+  }
+  *value = it->second;
+  return true;
+}
+
+Status ExactMatchTable::Stage(const TableKey& key,
+                              std::optional<TableValue> value) {
+  if (key.size() != key_words_) {
+    return InvalidArgument("table " + name_ + ": key arity mismatch");
+  }
+  if (value.has_value() && value->size() != value_words_) {
+    return InvalidArgument("table " + name_ + ": value arity mismatch");
+  }
+  // The write-back table is sized as a fraction of the main table; a full
+  // shadow means the control plane must flush before staging more.
+  const uint64_t shadow_cap = std::max<uint64_t>(16, max_entries_ / 4);
+  if (write_back_.size() >= shadow_cap && !write_back_.count(key)) {
+    return ResourceExhausted("table " + name_ + ": write-back table full");
+  }
+  write_back_[key] = std::move(value);
+  return Status::Ok();
+}
+
+Status ExactMatchTable::ApplyStagedToMain() {
+  for (auto& [key, value] : write_back_) {
+    if (value.has_value()) {
+      if (main_.size() >= max_entries_ && !main_.count(key)) {
+        if (!fifo_eviction_) {
+          return ResourceExhausted("table " + name_ + ": table full (" +
+                                   std::to_string(max_entries_) +
+                                   " entries)");
+        }
+        EvictOldest();
+      }
+      if (!main_.count(key)) insertion_order_.push_back(key);
+      main_[key] = *value;
+    } else {
+      main_.erase(key);
+    }
+  }
+  write_back_.clear();
+  return Status::Ok();
+}
+
+void ExactMatchTable::EvictOldest() {
+  while (!insertion_order_.empty()) {
+    const TableKey victim = insertion_order_.front();
+    insertion_order_.erase(insertion_order_.begin());
+    if (main_.erase(victim) > 0) {
+      ++evictions_;
+      return;
+    }
+    // The FIFO can hold keys already deleted through the control plane;
+    // skip them and keep looking.
+  }
+}
+
+Status ExactMatchTable::InsertMain(const TableKey& key,
+                                   const TableValue& value) {
+  if (key.size() != key_words_ || value.size() != value_words_) {
+    return InvalidArgument("table " + name_ + ": arity mismatch");
+  }
+  if (main_.size() >= max_entries_ && !main_.count(key)) {
+    if (!fifo_eviction_) {
+      return ResourceExhausted("table " + name_ + ": table full");
+    }
+    EvictOldest();
+  }
+  if (!main_.count(key)) insertion_order_.push_back(key);
+  main_[key] = value;
+  return Status::Ok();
+}
+
+}  // namespace gallium::switchsim

@@ -1,0 +1,96 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gallium {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64 expands the seed into the full xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::NextBoundedPareto(double lo, double hi, double alpha) {
+  assert(lo > 0 && hi > lo && alpha > 0);
+  const double u = NextDouble();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+EmpiricalDistribution::EmpiricalDistribution(
+    std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  assert(!points_.empty());
+  assert(points_.back().second >= 0.999999);
+#ifndef NDEBUG
+  for (size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].second >= points_[i - 1].second);
+    assert(points_[i].first >= points_[i - 1].first);
+  }
+#endif
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Find the first point whose cumulative probability covers u.
+  size_t hi = 0;
+  while (hi < points_.size() && points_[hi].second < u) ++hi;
+  if (hi == 0) return points_.front().first;
+  if (hi >= points_.size()) return points_.back().first;
+  const auto& [x1, p1] = points_[hi - 1];
+  const auto& [x2, p2] = points_[hi];
+  if (p2 <= p1) return x2;
+  const double t = (u - p1) / (p2 - p1);
+  return x1 + t * (x2 - x1);
+}
+
+}  // namespace gallium

@@ -1,0 +1,57 @@
+// Deterministic random number generation for simulation and workloads.
+//
+// All randomness in the repository flows through Rng so experiments are
+// reproducible from a single seed (simulation results must not depend on
+// std::random_device or address-space layout).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gallium {
+
+// xoshiro256** — small, fast, high-quality; adequate for workload synthesis
+// (we never need cryptographic randomness).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Exponentially distributed with the given mean.
+  double NextExponential(double mean);
+  // Bounded Pareto sample in [lo, hi] with shape alpha (heavy-tailed flow
+  // sizes, per the CONGA-style workloads).
+  double NextBoundedPareto(double lo, double hi, double alpha);
+  bool NextBool(double p_true);
+
+  // Derive an independent stream (for per-thread / per-flow generators).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Samples indices from an empirical CDF: cdf[i] = P(X <= xs[i]).
+class EmpiricalDistribution {
+ public:
+  // points: (value, cumulative probability); cumulative must be
+  // non-decreasing and end at 1.0.
+  explicit EmpiricalDistribution(
+      std::vector<std::pair<double, double>> points);
+
+  // Inverse-CDF sampling with linear interpolation between points.
+  double Sample(Rng& rng) const;
+
+  double min() const { return points_.front().first; }
+  double max() const { return points_.back().first; }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace gallium

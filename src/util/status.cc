@@ -1,0 +1,26 @@
+#include "util/status.h"
+
+namespace gallium {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "kInvalidArgument";
+    case ErrorCode::kNotFound: return "kNotFound";
+    case ErrorCode::kResourceExhausted: return "kResourceExhausted";
+    case ErrorCode::kUnsupported: return "kUnsupported";
+    case ErrorCode::kFailedPrecondition: return "kFailedPrecondition";
+    case ErrorCode::kInternal: return "kInternal";
+  }
+  return "kUnknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = ErrorCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace gallium

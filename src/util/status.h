@@ -1,0 +1,135 @@
+// Lightweight error-handling vocabulary for the Gallium codebase.
+//
+// We deliberately avoid exceptions on hot paths (packet processing, the
+// simulator event loop) and use Status / Result<T> return values instead,
+// reserving exceptions for programming errors caught during construction.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gallium {
+
+// Coarse error taxonomy. Codes are stable identifiers used by tests; the
+// human-readable message carries the detail.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup miss reported as an error
+  kResourceExhausted, // a hardware resource constraint cannot be met
+  kUnsupported,       // operation outside P4 expressiveness / not implemented
+  kFailedPrecondition,// object state does not allow the operation
+  kInternal,          // invariant violation inside Gallium itself
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+// A Status is either OK or an (ErrorCode, message) pair.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "kInvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status Unsupported(std::string msg) {
+  return Status(ErrorCode::kUnsupported, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or an error Status. A deliberately small subset
+// of std::expected (which is not yet available in our toolchain's C++20 mode).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Status status) : storage_(std::move(status)) {     // NOLINT(implicit)
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result constructed from OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(storage_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+// Propagation helpers in the style of absl.
+#define GALLIUM_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::gallium::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define GALLIUM_CONCAT_INNER_(a, b) a##b
+#define GALLIUM_CONCAT_(a, b) GALLIUM_CONCAT_INNER_(a, b)
+
+#define GALLIUM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define GALLIUM_ASSIGN_OR_RETURN(lhs, expr) \
+  GALLIUM_ASSIGN_OR_RETURN_IMPL_(GALLIUM_CONCAT_(_res_, __LINE__), lhs, expr)
+
+}  // namespace gallium

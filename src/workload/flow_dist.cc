@@ -1,0 +1,49 @@
+#include "workload/flow_dist.h"
+
+namespace gallium::workload {
+
+const char* WorkloadName(WorkloadKind kind) {
+  return kind == WorkloadKind::kEnterprise ? "enterprise" : "data-mining";
+}
+
+EmpiricalDistribution FlowSizeDistribution(WorkloadKind kind) {
+  // Points are (flow size in bytes, cumulative probability). Both keep ~90%
+  // of flows below ten 1448-byte packets (~14.5 KB); the data-mining tail
+  // reaches into the hundreds of megabytes while the enterprise tail tops
+  // out around tens of megabytes.
+  if (kind == WorkloadKind::kEnterprise) {
+    return EmpiricalDistribution({
+        {200, 0.10},
+        {1000, 0.30},
+        {5000, 0.65},
+        {14500, 0.90},
+        {100000, 0.95},
+        {1000000, 0.98},
+        {10000000, 0.998},
+        {50000000, 1.00},
+    });
+  }
+  return EmpiricalDistribution({
+      {100, 0.25},
+      {1000, 0.55},
+      {5000, 0.80},
+      {14500, 0.90},
+      {100000, 0.93},
+      {1000000, 0.95},
+      {10000000, 0.97},
+      {100000000, 0.995},
+      {1000000000, 1.00},
+  });
+}
+
+std::vector<uint64_t> DrawFlowSizes(WorkloadKind kind, int count, Rng& rng) {
+  const EmpiricalDistribution dist = FlowSizeDistribution(kind);
+  std::vector<uint64_t> sizes;
+  sizes.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    sizes.push_back(static_cast<uint64_t>(dist.Sample(rng)));
+  }
+  return sizes;
+}
+
+}  // namespace gallium::workload

@@ -1,0 +1,108 @@
+#include "workload/packet_gen.h"
+
+#include <algorithm>
+
+namespace gallium::workload {
+
+net::FiveTuple RandomFlow(Rng& rng, uint8_t protocol) {
+  net::FiveTuple flow;
+  // Internal clients in 192.168/16, external servers in 172.16/16.
+  flow.saddr = net::MakeIpv4(192, 168, static_cast<uint8_t>(rng.NextBounded(256)),
+                             static_cast<uint8_t>(1 + rng.NextBounded(254)));
+  flow.daddr = net::MakeIpv4(172, 16, static_cast<uint8_t>(rng.NextBounded(256)),
+                             static_cast<uint8_t>(1 + rng.NextBounded(254)));
+  flow.sport = static_cast<uint16_t>(1024 + rng.NextBounded(64000));
+  flow.dport = static_cast<uint16_t>(1 + rng.NextBounded(1024));
+  flow.protocol = protocol;
+  return flow;
+}
+
+std::vector<net::Packet> TcpFlowPackets(const net::FiveTuple& flow,
+                                        uint64_t flow_bytes, size_t mss) {
+  std::vector<net::Packet> packets;
+  packets.push_back(net::MakeTcpPacket(flow, net::kTcpSyn, 0));
+  uint64_t remaining = flow_bytes;
+  uint32_t seq = 1;
+  while (remaining > 0) {
+    const size_t chunk = static_cast<size_t>(std::min<uint64_t>(remaining, mss));
+    packets.push_back(
+        net::MakeTcpPacket(flow, net::kTcpAck | net::kTcpPsh, chunk, seq));
+    seq += static_cast<uint32_t>(chunk);
+    remaining -= chunk;
+  }
+  packets.push_back(net::MakeTcpPacket(flow, net::kTcpFin | net::kTcpAck, 0, seq));
+  return packets;
+}
+
+std::vector<net::Packet> UdpFlowPackets(const net::FiveTuple& flow,
+                                        uint64_t flow_bytes,
+                                        size_t mtu_payload) {
+  std::vector<net::Packet> packets;
+  uint64_t remaining = std::max<uint64_t>(flow_bytes, 1);
+  while (remaining > 0) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(remaining, mtu_payload));
+    packets.push_back(net::MakeUdpPacket(flow, chunk));
+    remaining -= chunk;
+  }
+  return packets;
+}
+
+void SetPayloadWithMarker(net::Packet* pkt, const std::string& marker,
+                          size_t total_bytes) {
+  auto& payload = pkt->payload();
+  payload.assign(std::max(total_bytes, marker.size()), 'x');
+  std::copy(marker.begin(), marker.end(), payload.begin());
+}
+
+Trace MakeTrace(Rng& rng, const TraceOptions& options) {
+  Trace trace;
+  trace.num_flows = options.num_flows;
+
+  std::vector<std::vector<net::Packet>> flows;
+  for (int f = 0; f < options.num_flows; ++f) {
+    const bool is_udp = rng.NextBool(options.udp_fraction);
+    const net::FiveTuple tuple =
+        RandomFlow(rng, is_udp ? net::kIpProtoUdp : net::kIpProtoTcp);
+    const uint64_t bytes =
+        options.min_flow_bytes +
+        rng.NextBounded(options.max_flow_bytes - options.min_flow_bytes + 1);
+    auto packets = is_udp ? UdpFlowPackets(tuple, bytes)
+                          : TcpFlowPackets(tuple, bytes);
+    if (!options.marker.empty() && rng.NextBool(options.marked_fraction)) {
+      for (auto& pkt : packets) {
+        if (!pkt.payload().empty()) {
+          SetPayloadWithMarker(&pkt, options.marker, pkt.payload().size());
+        }
+      }
+    }
+    flows.push_back(std::move(packets));
+  }
+
+  if (options.interleave) {
+    size_t emitted = 0, total = 0;
+    std::vector<size_t> next(flows.size(), 0);
+    for (const auto& f : flows) total += f.size();
+    while (emitted < total) {
+      for (size_t f = 0; f < flows.size(); ++f) {
+        if (next[f] < flows[f].size()) {
+          trace.packets.push_back(flows[f][next[f]++]);
+          ++emitted;
+        }
+      }
+    }
+  } else {
+    for (auto& f : flows) {
+      for (auto& pkt : f) trace.packets.push_back(std::move(pkt));
+    }
+  }
+
+  uint64_t id = 1;
+  for (auto& pkt : trace.packets) {
+    pkt.set_ingress_port(options.ingress_port);
+    pkt.set_id(id++);
+  }
+  return trace;
+}
+
+}  // namespace gallium::workload

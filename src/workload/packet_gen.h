@@ -1,0 +1,58 @@
+// Packet and flow synthesis for tests and benchmarks.
+//
+// Provides random five-tuples, TCP flow packetization (SYN / data / FIN),
+// payload crafting for the trojan detector's DPI patterns, and mixed traces
+// that interleave many concurrent flows — the shapes the paper's iperf /
+// trace-driven experiments exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace gallium::workload {
+
+// Uniform random internal host / external server five-tuple.
+net::FiveTuple RandomFlow(Rng& rng, uint8_t protocol = net::kIpProtoTcp);
+
+// Packetizes one TCP flow of `flow_bytes` application bytes into
+// SYN, data segments of up to `mss` payload bytes, and FIN.
+std::vector<net::Packet> TcpFlowPackets(const net::FiveTuple& flow,
+                                        uint64_t flow_bytes,
+                                        size_t mss = 1448);
+
+// One UDP datagram stream (no control packets).
+std::vector<net::Packet> UdpFlowPackets(const net::FiveTuple& flow,
+                                        uint64_t flow_bytes,
+                                        size_t mtu_payload = 1400);
+
+// Sets a payload that contains `marker` (for PayloadMatch-based DPI).
+void SetPayloadWithMarker(net::Packet* pkt, const std::string& marker,
+                          size_t total_bytes);
+
+// A labeled trace: packets in arrival order, each already stamped with its
+// ingress port.
+struct Trace {
+  std::vector<net::Packet> packets;
+  int num_flows = 0;
+};
+
+struct TraceOptions {
+  int num_flows = 50;
+  uint64_t min_flow_bytes = 200;
+  uint64_t max_flow_bytes = 200000;
+  double udp_fraction = 0.0;       // fraction of flows that are UDP
+  uint32_t ingress_port = 0;       // port packets arrive on
+  bool interleave = true;          // round-robin packets across flows
+  // Fraction of flows that carry a DPI marker in their payloads
+  // (exercises the trojan detector's slow path).
+  double marked_fraction = 0.0;
+  std::string marker;
+};
+
+Trace MakeTrace(Rng& rng, const TraceOptions& options);
+
+}  // namespace gallium::workload

@@ -1,0 +1,124 @@
+#include "workload/pcap.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace gallium::workload {
+
+namespace {
+
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;       // microsecond timestamps
+constexpr uint32_t kPcapMagicSwapped = 0xd4c3b2a1;
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+void PutLe16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutLe32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32At(std::span<const uint8_t> in, size_t off, bool swapped) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in[off + i]) << (swapped ? (24 - 8 * i)
+                                                        : (8 * i));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> WritePcap(const std::vector<net::Packet>& packets,
+                               const std::vector<uint64_t>& timestamps_us) {
+  std::vector<uint8_t> out;
+  // Global header.
+  PutLe32(out, kPcapMagic);
+  PutLe16(out, 2);   // version major
+  PutLe16(out, 4);   // version minor
+  PutLe32(out, 0);   // thiszone
+  PutLe32(out, 0);   // sigfigs
+  PutLe32(out, 65535);  // snaplen
+  PutLe32(out, kLinkTypeEthernet);
+
+  for (size_t i = 0; i < packets.size(); ++i) {
+    const uint64_t ts =
+        i < timestamps_us.size() ? timestamps_us[i] : static_cast<uint64_t>(i);
+    const std::vector<uint8_t> frame = packets[i].Serialize();
+    PutLe32(out, static_cast<uint32_t>(ts / 1000000));  // seconds
+    PutLe32(out, static_cast<uint32_t>(ts % 1000000));  // microseconds
+    PutLe32(out, static_cast<uint32_t>(frame.size()));  // captured length
+    PutLe32(out, static_cast<uint32_t>(frame.size()));  // original length
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+Status WritePcapFile(const std::string& path,
+                     const std::vector<net::Packet>& packets,
+                     const std::vector<uint64_t>& timestamps_us) {
+  const std::vector<uint8_t> bytes = WritePcap(packets, timestamps_us);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InvalidArgument("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out ? Status::Ok() : Internal("short write to " + path);
+}
+
+Result<std::vector<PcapPacket>> ReadPcap(std::span<const uint8_t> bytes,
+                                         int* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  if (bytes.size() < 24) return InvalidArgument("pcap too short for header");
+  const uint32_t magic = GetU32At(bytes, 0, false);
+  bool swapped;
+  if (magic == kPcapMagic) {
+    swapped = false;
+  } else if (magic == kPcapMagicSwapped) {
+    swapped = true;
+  } else {
+    return InvalidArgument("not a classic pcap file (bad magic)");
+  }
+  const uint32_t link_type = GetU32At(bytes, 20, swapped);
+  if (link_type != kLinkTypeEthernet) {
+    return Unsupported("pcap link type " + std::to_string(link_type) +
+                       " (only Ethernet supported)");
+  }
+
+  std::vector<PcapPacket> packets;
+  size_t off = 24;
+  while (off + 16 <= bytes.size()) {
+    const uint32_t ts_sec = GetU32At(bytes, off, swapped);
+    const uint32_t ts_usec = GetU32At(bytes, off + 4, swapped);
+    const uint32_t cap_len = GetU32At(bytes, off + 8, swapped);
+    off += 16;
+    if (off + cap_len > bytes.size()) {
+      return InvalidArgument("truncated pcap record");
+    }
+    auto parsed = net::Packet::Parse(bytes.subspan(off, cap_len));
+    if (parsed.ok()) {
+      PcapPacket record;
+      record.packet = std::move(parsed).value();
+      record.timestamp_us = static_cast<uint64_t>(ts_sec) * 1000000 + ts_usec;
+      packets.push_back(std::move(record));
+    } else if (skipped != nullptr) {
+      ++*skipped;
+    }
+    off += cap_len;
+  }
+  return packets;
+}
+
+Result<std::vector<PcapPacket>> ReadPcapFile(const std::string& path,
+                                             int* skipped) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return ReadPcap(bytes, skipped);
+}
+
+}  // namespace gallium::workload

@@ -1,0 +1,391 @@
+// Analysis tests: read/write sets (§4.1's annotations), "can happen after",
+// control dependence via post-dominators, the dependency graph of the
+// paper's Fig. 3, liveness, and dependency distances.
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/depgraph.h"
+#include "analysis/liveness.h"
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+
+namespace gallium::analysis {
+namespace {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::Opcode;
+using ir::R;
+using ir::Reg;
+using ir::Width;
+
+// Finds the nth instruction with a given opcode.
+ir::InstId Find(const ir::Function& fn, Opcode op, int nth = 0) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op == op && nth-- == 0) return inst.id;
+    }
+  }
+  return ir::kInvalidInst;
+}
+
+// --- Read/write sets ------------------------------------------------------------
+
+TEST(ReadWriteSets, FollowTheAnnotationsOfSection41) {
+  MiddleboxBuilder mb("sets");
+  auto map = mb.DeclareMap("m", {Width::kU16}, {Width::kU32}, 16);
+  auto vec = mb.DeclareVector("v", Width::kU32, 8);
+  auto& b = mb.b();
+  const Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const auto lookup = map.Find({R(sport)});
+  const Reg elem = vec.At(R(lookup.values[0]));
+  map.Insert({R(sport)}, {R(elem)});
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  const auto& insts = (*fn)->block(0).insts;
+  // HeaderRead: reads the header field, writes its register.
+  {
+    const auto sets = ComputeReadWriteSets(**fn, insts[0]);
+    EXPECT_EQ(sets.reads.size(), 1u);
+    EXPECT_EQ(sets.reads[0], Location::Header(HeaderField::kSrcPort));
+    EXPECT_EQ(sets.writes.size(), 1u);
+    EXPECT_EQ(sets.writes[0], Location::MakeReg(sport));
+  }
+  // HashMap::find reads the key register AND the map (§4.1).
+  {
+    const auto sets = ComputeReadWriteSets(**fn, insts[1]);
+    EXPECT_TRUE(std::count(sets.reads.begin(), sets.reads.end(),
+                           Location::MakeReg(sport)));
+    EXPECT_TRUE(
+        std::count(sets.reads.begin(), sets.reads.end(), Location::Map(0)));
+    EXPECT_EQ(sets.writes.size(), 2u);  // found + one value register
+  }
+  // Vector::operator[] reads the index and the vector.
+  {
+    const auto sets = ComputeReadWriteSets(**fn, insts[2]);
+    EXPECT_TRUE(
+        std::count(sets.reads.begin(), sets.reads.end(), Location::Vector(0)));
+  }
+  // HashMap::insert reads both parameters and modifies the map.
+  {
+    const auto sets = ComputeReadWriteSets(**fn, insts[3]);
+    EXPECT_TRUE(
+        std::count(sets.writes.begin(), sets.writes.end(), Location::Map(0)));
+    EXPECT_TRUE(std::count(sets.reads.begin(), sets.reads.end(),
+                           Location::MakeReg(elem)));
+  }
+  // send() reads every header field (the emitted packet reflects them).
+  {
+    const auto sets = ComputeReadWriteSets(**fn, insts[4]);
+    EXPECT_GE(sets.reads.size(), static_cast<size_t>(ir::kNumHeaderFields));
+    EXPECT_TRUE(std::count(sets.writes.begin(), sets.writes.end(),
+                           Location::PacketIo()));
+  }
+}
+
+// --- CFG ----------------------------------------------------------------------
+
+TEST(Cfg, DiamondReachabilityAndCanHappenAfter) {
+  MiddleboxBuilder mb("diamond");
+  auto& b = mb.b();
+  const Reg c = b.HeaderRead(HeaderField::kIpTtl, "c");
+  ir::InstId then_id, else_id;
+  mb.IfElse(
+      R(c),
+      [&] {
+        b.HeaderWrite(HeaderField::kIpDst, Imm(1));
+        then_id = mb.fn().num_insts() - 1;
+      },
+      [&] {
+        b.HeaderWrite(HeaderField::kIpDst, Imm(2));
+        else_id = mb.fn().num_insts() - 1;
+      });
+  b.Send(Imm(1));
+  const ir::InstId send_id = mb.fn().num_insts() - 1;
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  CfgInfo cfg(**fn);
+  const ir::InstId read_id = 0;
+  EXPECT_TRUE(cfg.CanHappenAfter(then_id, read_id));
+  EXPECT_TRUE(cfg.CanHappenAfter(send_id, then_id));
+  EXPECT_TRUE(cfg.CanHappenAfter(send_id, else_id));
+  // The two branch arms are mutually exclusive.
+  EXPECT_FALSE(cfg.CanHappenAfter(then_id, else_id));
+  EXPECT_FALSE(cfg.CanHappenAfter(else_id, then_id));
+  // Nothing happens after itself in a loop-free program.
+  EXPECT_FALSE(cfg.CanHappenAfter(send_id, send_id));
+  EXPECT_FALSE(cfg.InLoop(send_id));
+}
+
+TEST(Cfg, LoopMembersCanHappenAfterThemselves) {
+  MiddleboxBuilder mb("loopy");
+  auto counter = mb.DeclareGlobal("i", Width::kU32, 0);
+  auto& b = mb.b();
+  ir::InstId body_id = ir::kInvalidInst;
+  mb.While(
+      [&] {
+        const Reg i = counter.Read();
+        return R(b.Alu(AluOp::kLt, R(i), Imm(10), "cont"));
+      },
+      [&] {
+        const Reg i = counter.Read();
+        counter.Write(R(b.Alu(AluOp::kAdd, R(i), Imm(1))));
+        body_id = mb.fn().num_insts() - 1;
+      });
+  b.Send(Imm(1));
+  const ir::InstId send_id = mb.fn().num_insts() - 1;
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  CfgInfo cfg(**fn);
+  EXPECT_TRUE(cfg.InLoop(body_id));
+  EXPECT_TRUE(cfg.CanHappenAfter(body_id, body_id));
+  EXPECT_FALSE(cfg.InLoop(send_id));
+}
+
+TEST(Cfg, ControlDependenceOnDiamond) {
+  MiddleboxBuilder mb("ctrl");
+  auto& b = mb.b();
+  const Reg c = b.HeaderRead(HeaderField::kIpTtl, "c");
+  int then_block = -1;
+  mb.IfElse(
+      R(c), [&] { b.HeaderWrite(HeaderField::kIpDst, Imm(1));
+                  then_block = b.insert_block(); },
+      [&] { b.HeaderWrite(HeaderField::kIpDst, Imm(2)); });
+  b.Send(Imm(1));
+  const int join_block = b.insert_block();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  CfgInfo cfg(**fn);
+  const ir::InstId branch_id = Find(**fn, Opcode::kBranch);
+  // Both arms are control-dependent on the branch; the join is not.
+  const auto& then_deps = cfg.ControllingBranches(then_block);
+  EXPECT_TRUE(std::count(then_deps.begin(), then_deps.end(), branch_id));
+  const auto& join_deps = cfg.ControllingBranches(join_block);
+  EXPECT_FALSE(std::count(join_deps.begin(), join_deps.end(), branch_id));
+}
+
+TEST(Cfg, NestedControlDependence) {
+  MiddleboxBuilder mb("nested");
+  auto& b = mb.b();
+  const Reg c1 = b.HeaderRead(HeaderField::kIpTtl, "c1");
+  const Reg c2 = b.HeaderRead(HeaderField::kIpProto, "c2");
+  int inner_block = -1;
+  mb.If(R(c1), [&] {
+    mb.If(R(c2), [&] {
+      b.HeaderWrite(HeaderField::kIpDst, Imm(1));
+      inner_block = b.insert_block();
+    });
+  });
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  CfgInfo cfg(**fn);
+  // Ferrante-Ottenstein-Warren control dependence is direct on the inner
+  // branch only; the outer branch controls the inner *branch*, so the
+  // dependency graph reaches the innermost statement transitively.
+  ASSERT_EQ(cfg.ControllingBranches(inner_block).size(), 1u);
+  DependencyGraph deps(**fn, cfg);
+  const ir::InstId inner_write = Find(**fn, Opcode::kHeaderWrite);
+  const ir::InstId outer_branch = Find(**fn, Opcode::kBranch, 0);
+  const ir::InstId inner_branch = Find(**fn, Opcode::kBranch, 1);
+  EXPECT_TRUE(deps.DependsOn(inner_write, inner_branch));
+  EXPECT_TRUE(deps.DependsOn(inner_branch, outer_branch));
+  EXPECT_TRUE(deps.TransitivelyDependsOn(inner_write, outer_branch));
+}
+
+// --- Dependency graph (Fig. 3) ---------------------------------------------------
+
+TEST(DepGraph, MiniLbMatchesFigure3) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  const ir::Function& fn = *spec->fn;
+  CfgInfo cfg(fn);
+  DependencyGraph deps(fn, cfg);
+
+  const ir::InstId find = Find(fn, Opcode::kMapGet);
+  const ir::InstId insert = Find(fn, Opcode::kMapPut);
+  const ir::InstId branch = Find(fn, Opcode::kBranch);
+  const ir::InstId vec_get = Find(fn, Opcode::kVectorGet);
+  ASSERT_NE(find, ir::kInvalidInst);
+  ASSERT_NE(insert, ir::kInvalidInst);
+
+  // Fig. 3: the insert depends on the find (same map; write-after-read),
+  // on the branch (control), and transitively on the hash computation.
+  EXPECT_TRUE(deps.DependsOn(insert, find));
+  EXPECT_TRUE(deps.DependsOn(insert, branch));
+  EXPECT_TRUE(deps.TransitivelyDependsOn(insert, 0));
+  // The vector read feeds the insert's value operand.
+  EXPECT_TRUE(deps.TransitivelyDependsOn(insert, vec_get));
+  // The find never depends on the insert (no path from else-branch back).
+  EXPECT_FALSE(deps.TransitivelyDependsOn(find, insert));
+  // Loop-free: nothing is self-dependent.
+  for (int s = 0; s < deps.num_insts(); ++s) {
+    EXPECT_FALSE(deps.SelfDependent(s));
+  }
+}
+
+TEST(DepGraph, ReverseDataDependencyOrdersReadBeforeWrite) {
+  MiddleboxBuilder mb("war");
+  auto& b = mb.b();
+  const Reg x = b.HeaderRead(HeaderField::kIpSrc, "x");  // reads ip.src
+  b.HeaderWrite(HeaderField::kIpSrc, Imm(99));           // writes ip.src
+  b.HeaderWrite(HeaderField::kIpDst, R(x));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  CfgInfo cfg(**fn);
+  DependencyGraph deps(**fn, cfg);
+  // The write must happen after the read (WAR edge read -> write).
+  EXPECT_TRUE(deps.DependsOn(1, 0));
+}
+
+TEST(DepGraph, WawDependencyBetweenWrites) {
+  MiddleboxBuilder mb("waw");
+  auto& b = mb.b();
+  b.HeaderWrite(HeaderField::kIpDst, Imm(1));
+  b.HeaderWrite(HeaderField::kIpDst, Imm(2));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  CfgInfo cfg(**fn);
+  DependencyGraph deps(**fn, cfg);
+  EXPECT_TRUE(deps.DependsOn(1, 0));
+}
+
+TEST(DepGraph, IndependentStatementsHaveNoEdge) {
+  MiddleboxBuilder mb("indep");
+  auto& b = mb.b();
+  const Reg a = b.HeaderRead(HeaderField::kIpSrc, "a");
+  const Reg c = b.HeaderRead(HeaderField::kSrcPort, "c");
+  b.Alu(AluOp::kAdd, R(a), Imm(1), "a1");
+  b.Alu(AluOp::kAdd, R(c), Imm(1), "c1");
+  b.Ret();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  CfgInfo cfg(**fn);
+  DependencyGraph deps(**fn, cfg);
+  EXPECT_FALSE(deps.DependsOn(3, 2));
+  EXPECT_FALSE(deps.DependsOn(2, 3));
+}
+
+TEST(DepGraph, DistancesGrowAlongChains) {
+  MiddleboxBuilder mb("chain");
+  auto& b = mb.b();
+  Reg v = b.HeaderRead(HeaderField::kIpSrc, "v");
+  for (int i = 0; i < 5; ++i) {
+    v = b.Alu(AluOp::kAdd, R(v), Imm(1), Width::kU32,
+              "v" + std::to_string(i));
+  }
+  b.HeaderWrite(HeaderField::kIpDst, R(v));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  CfgInfo cfg(**fn);
+  DependencyGraph deps(**fn, cfg);
+
+  const auto& from_entry = deps.DistanceFromEntry();
+  EXPECT_EQ(from_entry[0], 0);
+  EXPECT_EQ(from_entry[1], 1);
+  EXPECT_EQ(from_entry[5], 5);
+  const auto& to_exit = deps.DistanceToExit();
+  EXPECT_GT(to_exit[0], to_exit[5]);
+}
+
+TEST(DepGraph, LoopStatementsGetUnboundedDistance) {
+  MiddleboxBuilder mb("unbounded");
+  auto counter = mb.DeclareGlobal("i", Width::kU32, 0);
+  auto& b = mb.b();
+  ir::InstId body_id = ir::kInvalidInst;
+  mb.While(
+      [&] {
+        const Reg i = counter.Read();
+        return R(b.Alu(AluOp::kLt, R(i), Imm(3)));
+      },
+      [&] {
+        const Reg i = counter.Read();
+        counter.Write(R(b.Alu(AluOp::kAdd, R(i), Imm(1))));
+        body_id = mb.fn().num_insts() - 1;
+      });
+  b.Ret();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  CfgInfo cfg(**fn);
+  DependencyGraph deps(**fn, cfg);
+  EXPECT_TRUE(deps.SelfDependent(body_id));
+  EXPECT_EQ(deps.DistanceFromEntry()[body_id], DependencyGraph::kUnbounded);
+}
+
+// --- Liveness ----------------------------------------------------------------
+
+TEST(Liveness, RegisterDiesAfterLastUse) {
+  MiddleboxBuilder mb("live");
+  auto& b = mb.b();
+  const Reg a = b.HeaderRead(HeaderField::kIpSrc, "a");   // inst 0
+  const Reg t = b.Alu(AluOp::kAdd, R(a), Imm(1), "t");    // inst 1: last use of a
+  b.HeaderWrite(HeaderField::kIpDst, R(t));               // inst 2: last use of t
+  b.Send(Imm(1));                                         // inst 3
+  b.Ret();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  CfgInfo cfg(**fn);
+  Liveness live(**fn, cfg);
+
+  EXPECT_TRUE(live.LiveOut(0)[a]);
+  EXPECT_FALSE(live.LiveOut(1)[a]) << "a is dead after its last use";
+  EXPECT_TRUE(live.LiveOut(1)[t]);
+  EXPECT_FALSE(live.LiveOut(2)[t]);
+}
+
+TEST(Liveness, ValueLiveAcrossBranchJoin) {
+  MiddleboxBuilder mb("live_join");
+  auto& b = mb.b();
+  const Reg x = b.HeaderRead(HeaderField::kIpSrc, "x");
+  const Reg c = b.HeaderRead(HeaderField::kIpTtl, "c");
+  mb.IfElse(
+      R(c), [&] { b.HeaderWrite(HeaderField::kIpDst, Imm(1)); },
+      [&] { b.HeaderWrite(HeaderField::kIpDst, Imm(2)); });
+  b.HeaderWrite(HeaderField::kEthType, R(x));  // x used after the join
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  CfgInfo cfg(**fn);
+  Liveness live(**fn, cfg);
+  // x stays live through both branch arms.
+  const ir::InstId branch = Find(**fn, Opcode::kBranch);
+  EXPECT_TRUE(live.LiveOut(branch)[x]);
+  const ir::InstId then_write = Find(**fn, Opcode::kHeaderWrite, 0);
+  EXPECT_TRUE(live.LiveIn(then_write)[x]);
+}
+
+TEST(Liveness, LoopKeepsInductionVariableLive) {
+  MiddleboxBuilder mb("live_loop");
+  auto counter = mb.DeclareGlobal("i", Width::kU32, 0);
+  auto& b = mb.b();
+  mb.While(
+      [&] {
+        const Reg i = counter.Read("i_head");
+        return R(b.Alu(AluOp::kLt, R(i), Imm(3)));
+      },
+      [&] {
+        const Reg i = counter.Read("i_body");
+        counter.Write(R(b.Alu(AluOp::kAdd, R(i), Imm(1))));
+      });
+  b.Ret();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  CfgInfo cfg(**fn);
+  Liveness live(**fn, cfg);  // must terminate (fixpoint over the cycle)
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gallium::analysis

@@ -1,0 +1,183 @@
+// Tests for the §7 table-cache extension: the switch holds only a fraction
+// of each replicated map; misses are non-authoritative and fall back to the
+// server, which reprocesses the packet and refreshes the cache.
+#include <gtest/gtest.h>
+
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "runtime/offloaded_middlebox.h"
+#include "runtime/software_middlebox.h"
+#include "workload/packet_gen.h"
+
+namespace gallium::runtime {
+namespace {
+
+OffloadedOptions CacheOptions(uint64_t entries) {
+  OffloadedOptions options;
+  options.cache_entries_per_table = entries;
+  return options;
+}
+
+TEST(TableCache, EquivalentToBaselineUnderHeavyEviction) {
+  // A cache of 8 entries with 64 concurrent flows: constant eviction, every
+  // re-touched evicted flow takes the miss path — behavior must still match
+  // the software baseline exactly.
+  auto spec_sw = mbox::BuildMiniLb();
+  auto spec_off = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec_sw.ok() && spec_off.ok());
+  SoftwareMiddlebox software(*spec_sw);
+  auto offloaded = OffloadedMiddlebox::Create(*spec_off, CacheOptions(8));
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+
+  Rng rng(71);
+  std::vector<net::FiveTuple> flows;
+  for (int i = 0; i < 64; ++i) flows.push_back(workload::RandomFlow(rng));
+
+  for (int round = 0; round < 5; ++round) {
+    for (const net::FiveTuple& flow : flows) {
+      net::Packet pkt = net::MakeTcpPacket(
+          flow, round == 0 ? net::kTcpSyn : net::kTcpAck, 64);
+      pkt.set_ingress_port(mbox::kPortInternal);
+      net::Packet sw_pkt = pkt;
+      auto sw_out = software.Process(sw_pkt);
+      auto off_out = (*offloaded)->Process(pkt);
+      ASSERT_TRUE(sw_out.status.ok());
+      ASSERT_TRUE(off_out.status.ok()) << off_out.status.ToString();
+      ASSERT_EQ(sw_out.verdict.kind, off_out.verdict.kind);
+      ASSERT_EQ(sw_pkt.ip().daddr, off_out.out_packet.ip().daddr)
+          << "round " << round << " flow " << flow.ToString();
+    }
+  }
+  // With 64 flows and 8 slots there must have been cache-miss recoveries.
+  EXPECT_GT((*offloaded)->cache_miss_aborts(), 0u);
+  // The cache never exceeds its capacity.
+  auto* table = (*offloaded)->device().table(0);
+  ASSERT_NE(table, nullptr);
+  EXPECT_LE(table->size(), 8u);
+  EXPECT_GT(table->evictions(), 0u);
+}
+
+TEST(TableCache, HotFlowStaysOnFastPathAfterRefill) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  auto mbx = OffloadedMiddlebox::Create(*spec, CacheOptions(4));
+  ASSERT_TRUE(mbx.ok());
+
+  Rng rng(72);
+  const net::FiveTuple hot = workload::RandomFlow(rng);
+
+  auto send_hot = [&] {
+    net::Packet pkt = net::MakeTcpPacket(hot, net::kTcpAck, 64);
+    pkt.set_ingress_port(mbox::kPortInternal);
+    return (*mbx)->Process(pkt);
+  };
+
+  // First packet: miss (new flow), server assigns the backend and installs
+  // the entry in the cache.
+  auto first = send_hot();
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.fast_path);
+
+  // Second packet: cache hit, pure switch processing.
+  auto second = send_hot();
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.fast_path);
+  EXPECT_EQ(first.out_packet.ip().daddr, second.out_packet.ip().daddr);
+
+  // Blow the 4-entry cache with other flows, evicting the hot entry.
+  for (int i = 0; i < 8; ++i) {
+    net::Packet pkt = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpSyn, 0);
+    pkt.set_ingress_port(mbox::kPortInternal);
+    ASSERT_TRUE((*mbx)->Process(pkt).status.ok());
+  }
+
+  // The hot flow now misses — but keeps its backend (server is
+  // authoritative) and the cache refreshes so the next packet hits again.
+  const uint64_t misses_before = (*mbx)->cache_miss_aborts();
+  auto third = send_hot();
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_FALSE(third.fast_path);
+  EXPECT_GT((*mbx)->cache_miss_aborts(), misses_before);
+  EXPECT_EQ(third.out_packet.ip().daddr, first.out_packet.ip().daddr)
+      << "affinity must survive eviction";
+
+  auto fourth = send_hot();
+  ASSERT_TRUE(fourth.status.ok());
+  EXPECT_TRUE(fourth.fast_path) << "cache refilled after the miss";
+}
+
+TEST(TableCache, ReducesSwitchMemoryFootprint) {
+  auto spec_full = mbox::BuildLoadBalancer();
+  auto spec_cached = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec_full.ok() && spec_cached.ok());
+  auto full = OffloadedMiddlebox::Create(*spec_full);
+  auto cached = OffloadedMiddlebox::Create(*spec_cached, CacheOptions(1024));
+  ASSERT_TRUE(full.ok() && cached.ok());
+  const auto full_mem = (*full)->device().Resources().memory_bytes_used;
+  const auto cached_mem = (*cached)->device().Resources().memory_bytes_used;
+  EXPECT_LT(cached_mem, full_mem / 16)
+      << "a 1K cache of a 128K-entry table must shrink memory dramatically";
+}
+
+TEST(TableCache, NatWorksWithCachedTranslationTables) {
+  auto spec_sw = mbox::BuildMazuNat();
+  auto spec_off = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec_sw.ok() && spec_off.ok());
+  SoftwareMiddlebox software(*spec_sw);
+  auto mbx = OffloadedMiddlebox::Create(*spec_off, CacheOptions(16));
+  ASSERT_TRUE(mbx.ok()) << mbx.status().ToString();
+
+  Rng rng(73);
+  for (int i = 0; i < 40; ++i) {
+    const net::FiveTuple flow = workload::RandomFlow(rng);
+    net::Packet pkt = net::MakeTcpPacket(flow, net::kTcpSyn, 0);
+    pkt.set_ingress_port(mbox::kPortInternal);
+    net::Packet sw_pkt = pkt;
+    auto sw_out = software.Process(sw_pkt);
+    auto off_out = (*mbx)->Process(pkt);
+    ASSERT_TRUE(sw_out.status.ok() && off_out.status.ok())
+        << off_out.status.ToString();
+    ASSERT_EQ(sw_pkt.sport(), off_out.out_packet.sport())
+        << "port allocation must match under caching";
+  }
+}
+
+TEST(TableCache, RejectsSwitchOnlyGlobalWrites) {
+  // A program whose only access to a global is a switch-side write cannot
+  // run in cache mode: the server could not replay the pre partition.
+  frontend::MiddleboxBuilder mb("switch_only_global");
+  auto g = mb.DeclareGlobal("marker", ir::Width::kU32, 0);
+  auto& b = mb.b();
+  const ir::Reg ttl = b.HeaderRead(ir::HeaderField::kIpTtl);
+  g.Write(ir::R(ttl));
+  b.Send(ir::Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  mbox::MiddleboxSpec spec;
+  spec.name = "switch_only_global";
+  spec.fn = std::move(*fn);
+  auto mbx = OffloadedMiddlebox::Create(spec, CacheOptions(16));
+  EXPECT_FALSE(mbx.ok());
+  EXPECT_EQ(mbx.status().code(), ErrorCode::kUnsupported);
+}
+
+TEST(TableCache, DisabledModeUnaffected) {
+  // cache_entries_per_table = 0 must behave exactly as before.
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  auto mbx = OffloadedMiddlebox::Create(*spec, CacheOptions(0));
+  ASSERT_TRUE(mbx.ok());
+  EXPECT_FALSE((*mbx)->device().IsCachedMap(0));
+  Rng rng(74);
+  net::Packet pkt = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                       net::kTcpSyn, 0);
+  pkt.set_ingress_port(mbox::kPortInternal);
+  auto out = (*mbx)->Process(pkt);
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ((*mbx)->cache_miss_aborts(), 0u);
+}
+
+}  // namespace
+}  // namespace gallium::runtime

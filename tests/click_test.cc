@@ -1,0 +1,339 @@
+// Click element-graph tests: lowering to IR, element semantics, and a
+// composed graph going through the full Gallium pipeline (partition +
+// offloaded execution equivalence).
+#include <gtest/gtest.h>
+
+#include "click/elements.h"
+#include "click/graph.h"
+#include "core/compiler.h"
+#include "runtime/offloaded_middlebox.h"
+#include "runtime/software_middlebox.h"
+#include "workload/packet_gen.h"
+
+namespace gallium::click {
+namespace {
+
+net::Packet TcpTo(uint16_t dport, uint8_t ttl = 64) {
+  net::Packet pkt = net::MakeTcpPacket(
+      {net::MakeIpv4(192, 168, 0, 1), net::MakeIpv4(172, 16, 0, 1), 5000,
+       dport, net::kIpProtoTcp},
+      net::kTcpAck, 64);
+  pkt.ip().ttl = ttl;
+  pkt.set_ingress_port(0);
+  return pkt;
+}
+
+TEST(ClickGraph, MinimalForwarderLowers) {
+  ElementGraph graph;
+  auto* check = graph.Add<CheckIpHeader>();
+  auto* out = graph.Add<ToDevice>(1);
+  graph.Connect(check, 0, out);
+  auto spec = graph.Lower("forwarder", check);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  runtime::SoftwareMiddlebox mbx(*spec);
+  net::Packet ok_pkt = TcpTo(80);
+  EXPECT_EQ(mbx.Process(ok_pkt).verdict.kind, runtime::Verdict::Kind::kSend);
+  net::Packet dying = TcpTo(80, /*ttl=*/1);
+  EXPECT_EQ(mbx.Process(dying).verdict.kind, runtime::Verdict::Kind::kDrop);
+}
+
+TEST(ClickGraph, UnconnectedPortDropsLikeClick) {
+  ElementGraph graph;
+  auto* check = graph.Add<CheckIpHeader>();  // output 0 left dangling
+  auto spec = graph.Lower("dangler", check);
+  ASSERT_TRUE(spec.ok());
+  runtime::SoftwareMiddlebox mbx(*spec);
+  net::Packet pkt = TcpTo(80);
+  EXPECT_EQ(mbx.Process(pkt).verdict.kind, runtime::Verdict::Kind::kDrop);
+}
+
+TEST(ClickGraph, ClassifierRoutesFirstMatch) {
+  ElementGraph graph;
+  auto* classify = graph.Add<Classifier>(Classifier::Rules{
+      {Classifier::Tcp(), Classifier::DstPort(80)},  // output 0
+      {Classifier::Tcp()},                           // output 1
+  });                                                // output 2 = others
+  auto* http = graph.Add<ToDevice>(1);
+  auto* tcp = graph.Add<ToDevice>(2);
+  auto* rest = graph.Add<ToDevice>(3);
+  graph.Connect(classify, 0, http);
+  graph.Connect(classify, 1, tcp);
+  graph.Connect(classify, 2, rest);
+  auto spec = graph.Lower("classify", classify);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  runtime::SoftwareMiddlebox mbx(*spec);
+  net::Packet http_pkt = TcpTo(80);
+  EXPECT_EQ(mbx.Process(http_pkt).verdict.egress_port, 1u);
+  net::Packet ssh_pkt = TcpTo(22);
+  EXPECT_EQ(mbx.Process(ssh_pkt).verdict.egress_port, 2u);
+  net::Packet udp_pkt = net::MakeUdpPacket({1, 2, 3, 53, net::kIpProtoUdp}, 8);
+  udp_pkt.set_ingress_port(0);
+  EXPECT_EQ(mbx.Process(udp_pkt).verdict.egress_port, 3u);
+}
+
+TEST(ClickGraph, CounterCountsAndTtlDecrements) {
+  ElementGraph graph;
+  auto* counter = graph.Add<Counter>("pkts");
+  auto* ttl = graph.Add<DecIpTtl>();
+  auto* out = graph.Add<ToDevice>(1);
+  graph.Connect(counter, 0, ttl);
+  graph.Connect(ttl, 0, out);
+  auto spec = graph.Lower("count_ttl", counter);
+  ASSERT_TRUE(spec.ok());
+
+  runtime::SoftwareMiddlebox mbx(*spec);
+  for (int i = 0; i < 5; ++i) {
+    net::Packet pkt = TcpTo(80);
+    ASSERT_TRUE(mbx.Process(pkt).status.ok());
+    EXPECT_EQ(pkt.ip().ttl, 63);
+  }
+  EXPECT_EQ(mbx.state().global_value(0), 5u);
+}
+
+TEST(ClickGraph, FlowLookupSplitsHitAndMiss) {
+  ElementGraph graph;
+  auto* lookup = graph.Add<FlowLookup>("allowed", 1024);
+  auto* pass = graph.Add<ToDevice>(1);
+  auto* drop = graph.Add<Discard>();
+  graph.Connect(lookup, 0, pass);
+  graph.Connect(lookup, 1, drop);
+  auto spec = graph.Lower("acl", lookup);
+  ASSERT_TRUE(spec.ok());
+
+  runtime::SoftwareMiddlebox mbx(*spec);
+  net::Packet pkt = TcpTo(80);
+  const net::FiveTuple flow = pkt.five_tuple();
+  EXPECT_EQ(mbx.Process(pkt).verdict.kind, runtime::Verdict::Kind::kDrop);
+  mbx.state().MapInsert(0, {flow.saddr, flow.daddr, flow.sport, flow.dport,
+                            flow.protocol},
+                        {1});
+  net::Packet pkt2 = TcpTo(80);
+  EXPECT_EQ(mbx.Process(pkt2).verdict.kind, runtime::Verdict::Kind::kSend);
+}
+
+TEST(ClickGraph, RenderConfigListsElementsAndEdges) {
+  ElementGraph graph;
+  auto* a = graph.Add<CheckIpHeader>();
+  auto* z = graph.Add<ToDevice>(1);
+  graph.Connect(a, 0, z);
+  const std::string config = graph.RenderConfig();
+  EXPECT_NE(config.find("CheckIPHeader"), std::string::npos);
+  EXPECT_NE(config.find("ToDevice"), std::string::npos);
+  EXPECT_NE(config.find("e0[0] -> [0]e1"), std::string::npos);
+}
+
+// A realistic composed gateway, end to end through Gallium: classify ->
+// count -> ACL -> TTL -> out, with a proxy redirect on port 80.
+ElementGraph BuildGateway(Element** input) {
+  ElementGraph graph;
+  auto* check = graph.Add<CheckIpHeader>();
+  auto* classify = graph.Add<Classifier>(Classifier::Rules{
+      {Classifier::Tcp(), Classifier::DstPort(80)},  // 0: web -> proxy
+      {Classifier::Tcp()},                           // 1: other tcp -> acl
+  });                                                // 2: everything else
+  auto* web_counter = graph.Add<Counter>("web_pkts");
+  auto* to_proxy = graph.Add<SetField>(ir::HeaderField::kIpDst,
+                                       mbox::kWebProxyIp);
+  auto* acl = graph.Add<FlowLookup>("acl", 4096);
+  auto* ttl = graph.Add<DecIpTtl>();
+  auto* ttl2 = graph.Add<DecIpTtl>();
+  auto* out = graph.Add<ToDevice>(1);
+  auto* out2 = graph.Add<ToDevice>(1);
+  auto* drop = graph.Add<Discard>();
+  auto* pass_counter = graph.Add<Counter>("other_pkts");
+  auto* out3 = graph.Add<ToDevice>(1);
+
+  graph.Connect(check, 0, classify);
+  graph.Connect(classify, 0, web_counter);
+  graph.Connect(web_counter, 0, to_proxy);
+  graph.Connect(to_proxy, 0, ttl);
+  graph.Connect(ttl, 0, out);
+  graph.Connect(classify, 1, acl);
+  graph.Connect(acl, 0, ttl2);
+  graph.Connect(ttl2, 0, out2);
+  graph.Connect(acl, 1, drop);
+  graph.Connect(classify, 2, pass_counter);
+  graph.Connect(pass_counter, 0, out3);
+  *input = check;
+  return graph;
+}
+
+TEST(ClickGraph, ComposedGatewayCompilesAndPartitions) {
+  Element* input = nullptr;
+  ElementGraph graph = BuildGateway(&input);
+  auto spec = graph.Lower("gateway", input);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  core::Compiler compiler;
+  auto compiled = compiler.Compile(*spec->fn);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_GT(compiled->plan.num_pre, 10)
+      << "the classification fast path offloads";
+  // The ACL table lands on the switch.
+  bool acl_on_switch = false;
+  for (const auto& [ref, placement] : compiled->plan.state_placement) {
+    if (ref.kind == ir::StateRef::Kind::kMap &&
+        placement != partition::StatePlacement::kServerOnly) {
+      acl_on_switch = true;
+    }
+  }
+  EXPECT_TRUE(acl_on_switch);
+}
+
+TEST(ClickGraph, ComposedGatewayOffloadedMatchesSoftware) {
+  Element* input_a = nullptr;
+  Element* input_b = nullptr;
+  ElementGraph graph_a = BuildGateway(&input_a);
+  ElementGraph graph_b = BuildGateway(&input_b);
+  auto spec_a = graph_a.Lower("gateway", input_a);
+  auto spec_b = graph_b.Lower("gateway", input_b);
+  ASSERT_TRUE(spec_a.ok() && spec_b.ok());
+
+  runtime::SoftwareMiddlebox software(*spec_a);
+  auto offloaded = runtime::OffloadedMiddlebox::Create(*spec_b);
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+
+  Rng rng(404);
+  for (int i = 0; i < 300; ++i) {
+    net::FiveTuple flow = workload::RandomFlow(
+        rng, rng.NextBool(0.3) ? net::kIpProtoUdp : net::kIpProtoTcp);
+    if (rng.NextBool(0.3)) flow.dport = 80;
+    net::Packet pkt = flow.protocol == net::kIpProtoTcp
+                          ? net::MakeTcpPacket(flow, net::kTcpAck, 100)
+                          : net::MakeUdpPacket(flow, 100);
+    pkt.set_ingress_port(0);
+    net::Packet sw_pkt = pkt;
+    auto sw_out = software.Process(sw_pkt);
+    auto off_out = (*offloaded)->Process(pkt);
+    ASSERT_TRUE(sw_out.status.ok() && off_out.status.ok())
+        << off_out.status.ToString();
+    ASSERT_EQ(sw_out.verdict.kind, off_out.verdict.kind)
+        << flow.ToString();
+    if (sw_out.verdict.kind == runtime::Verdict::Kind::kSend) {
+      ASSERT_EQ(sw_pkt.ip().daddr, off_out.out_packet.ip().daddr);
+      ASSERT_EQ(sw_pkt.ip().ttl, off_out.out_packet.ip().ttl);
+    }
+  }
+  // Counters converged between deployments.
+  EXPECT_EQ(software.state().global_value(0),
+            (*offloaded)->server_state().global_value(0));
+}
+
+
+// The two frontends converge: the firewall and proxy expressed as Click
+// element graphs behave identically to the handwritten middleboxes and
+// offload just as completely.
+TEST(ClickGraph, FirewallGraphMatchesHandwrittenMiddlebox) {
+  Rng rng(777);
+  std::vector<net::FiveTuple> flows;
+  std::vector<mbox::MapInitEntry> rules;
+  for (int i = 0; i < 30; ++i) {
+    const net::FiveTuple flow = workload::RandomFlow(rng);
+    flows.push_back(flow);
+    if (i % 3 != 0) {
+      rules.push_back(mbox::MapInitEntry{
+          {flow.saddr, flow.daddr, flow.sport, flow.dport, flow.protocol},
+          {1}});
+    }
+  }
+
+  // Element-graph firewall.
+  ElementGraph graph;
+  auto* classify = graph.Add<Classifier>(Classifier::Rules{
+      {{ir::HeaderField::kIngressPort, mbox::kPortInternal}}});
+  auto* wl_out = graph.Add<FlowLookup>("wl_out", 131072);
+  auto* wl_in = graph.Add<FlowLookup>("wl_in", 131072);
+  auto* pass_out = graph.Add<ToDevice>(mbox::kPortExternal);
+  auto* pass_in = graph.Add<ToDevice>(mbox::kPortInternal);
+  auto* drop1 = graph.Add<Discard>();
+  auto* drop2 = graph.Add<Discard>();
+  graph.Connect(classify, 0, wl_out);
+  graph.Connect(classify, 1, wl_in);
+  graph.Connect(wl_out, 0, pass_out);
+  graph.Connect(wl_out, 1, drop1);
+  graph.Connect(wl_in, 0, pass_in);
+  graph.Connect(wl_in, 1, drop2);
+  auto graph_spec = graph.Lower("graph_firewall", classify);
+  ASSERT_TRUE(graph_spec.ok()) << graph_spec.status().ToString();
+  for (ir::StateIndex m = 0; m < graph_spec->fn->maps().size(); ++m) {
+    graph_spec->init.maps.push_back({m, rules});
+  }
+
+  // Handwritten firewall with the same rules.
+  auto hand_spec = mbox::BuildFirewall(rules, rules);
+  ASSERT_TRUE(hand_spec.ok());
+
+  // Both fully offload.
+  core::Compiler compiler;
+  auto graph_compiled = compiler.Compile(*graph_spec->fn);
+  ASSERT_TRUE(graph_compiled.ok());
+  EXPECT_EQ(graph_compiled->plan.num_non_offloaded, 0)
+      << "the graph firewall must offload completely too";
+
+  runtime::SoftwareMiddlebox hand(*hand_spec);
+  auto graph_off = runtime::OffloadedMiddlebox::Create(*graph_spec);
+  ASSERT_TRUE(graph_off.ok()) << graph_off.status().ToString();
+
+  for (const net::FiveTuple& flow : flows) {
+    for (uint32_t ingress : {mbox::kPortInternal, mbox::kPortExternal}) {
+      net::Packet pkt = net::MakeTcpPacket(flow, net::kTcpAck, 64);
+      pkt.set_ingress_port(ingress);
+      net::Packet hand_pkt = pkt;
+      auto hand_out = hand.Process(hand_pkt);
+      auto graph_out = (*graph_off)->Process(pkt);
+      ASSERT_TRUE(hand_out.status.ok() && graph_out.status.ok());
+      ASSERT_EQ(hand_out.verdict.kind, graph_out.verdict.kind)
+          << flow.ToString() << " ingress=" << ingress;
+      EXPECT_TRUE(graph_out.fast_path);
+    }
+  }
+}
+
+TEST(ClickGraph, ProxyGraphMatchesHandwrittenMiddlebox) {
+  ElementGraph graph;
+  auto* classify = graph.Add<Classifier>(Classifier::Rules{
+      {Classifier::Tcp(), Classifier::DstPort(80)}});
+  auto* set_addr = graph.Add<SetField>(ir::HeaderField::kIpDst,
+                                       mbox::kWebProxyIp);
+  auto* set_port = graph.Add<SetField>(ir::HeaderField::kDstPort,
+                                       mbox::kWebProxyPort);
+  auto* out = graph.Add<ToDevice>(mbox::kPortExternal);
+  auto* out2 = graph.Add<ToDevice>(mbox::kPortExternal);
+  graph.Connect(classify, 0, set_addr);
+  graph.Connect(set_addr, 0, set_port);
+  graph.Connect(set_port, 0, out);
+  graph.Connect(classify, 1, out2);
+  auto graph_spec = graph.Lower("graph_proxy", classify);
+  ASSERT_TRUE(graph_spec.ok());
+
+  auto hand_spec = mbox::BuildProxy({80});
+  ASSERT_TRUE(hand_spec.ok());
+  runtime::SoftwareMiddlebox hand(*hand_spec);
+  auto graph_off = runtime::OffloadedMiddlebox::Create(*graph_spec);
+  ASSERT_TRUE(graph_off.ok());
+
+  Rng rng(778);
+  for (int i = 0; i < 60; ++i) {
+    net::FiveTuple flow = workload::RandomFlow(
+        rng, rng.NextBool(0.3) ? net::kIpProtoUdp : net::kIpProtoTcp);
+    if (rng.NextBool(0.4)) flow.dport = 80;
+    net::Packet pkt = flow.protocol == net::kIpProtoTcp
+                          ? net::MakeTcpPacket(flow, net::kTcpAck, 32)
+                          : net::MakeUdpPacket(flow, 32);
+    pkt.set_ingress_port(mbox::kPortInternal);
+    net::Packet hand_pkt = pkt;
+    auto hand_out = hand.Process(hand_pkt);
+    auto graph_out = (*graph_off)->Process(pkt);
+    ASSERT_TRUE(hand_out.status.ok() && graph_out.status.ok());
+    ASSERT_EQ(hand_out.verdict.kind, graph_out.verdict.kind);
+    ASSERT_EQ(hand_pkt.ip().daddr, graph_out.out_packet.ip().daddr)
+        << flow.ToString();
+    ASSERT_EQ(hand_pkt.dport(), graph_out.out_packet.dport());
+    EXPECT_TRUE(graph_out.fast_path);
+  }
+}
+
+}  // namespace
+}  // namespace gallium::click

@@ -1,0 +1,146 @@
+// Server C++ code generation and end-to-end compiler tests (Table 1's
+// artifacts): structure of the emitted server program, synchronization
+// stubs for replicated state, and whole-pipeline determinism.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "cppgen/codegen.h"
+#include "mbox/middleboxes.h"
+#include "partition/partitioner.h"
+#include "util/strings.h"
+
+namespace gallium {
+namespace {
+
+Result<std::string> GenCpp(Result<mbox::MiddleboxSpec> spec) {
+  if (!spec.ok()) return spec.status();
+  partition::Partitioner partitioner(*spec->fn, {});
+  GALLIUM_ASSIGN_OR_RETURN(auto plan, partitioner.Run());
+  return cppgen::GenerateServerCpp(*spec->fn, plan);
+}
+
+TEST(CppGen, EmitsServerClassWithProcess) {
+  auto source = GenCpp(mbox::BuildMiniLb());
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_NE(source->find("class mini_lbServer"), std::string::npos);
+  EXPECT_NE(source->find("void process(gallium::Packet* pkt"),
+            std::string::npos);
+  EXPECT_NE(source->find("struct GalliumHeader"), std::string::npos);
+  EXPECT_NE(source->find("int main("), std::string::npos);
+}
+
+TEST(CppGen, ReplicatedUpdatesStageSynchronization) {
+  auto source = GenCpp(mbox::BuildMiniLb());
+  ASSERT_TRUE(source.ok());
+  // The map insert on the server must stage a switch update and commit it
+  // before the packet is released (§4.3.3).
+  EXPECT_NE(source->find("sync_.StageInsert(\"map\""), std::string::npos);
+  EXPECT_NE(source->find("sync_.CommitAtomic();"), std::string::npos);
+}
+
+TEST(CppGen, ServerOnlyStateDeclared) {
+  auto source = GenCpp(mbox::BuildLoadBalancer());
+  ASSERT_TRUE(source.ok());
+  EXPECT_NE(source->find("flows_;"), std::string::npos);
+  EXPECT_NE(source->find("flow_created_;"), std::string::npos);
+  EXPECT_NE(source->find("backends_;"), std::string::npos);
+}
+
+TEST(CppGen, SwitchOnlyStateOmitted) {
+  auto source = GenCpp(mbox::BuildFirewall());
+  ASSERT_TRUE(source.ok());
+  // Fully offloaded whitelists never appear as server members.
+  EXPECT_EQ(source->find("whitelist_out_;"), std::string::npos);
+  EXPECT_EQ(source->find("whitelist_in_;"), std::string::npos);
+}
+
+TEST(CppGen, TransferredBranchConditionsReadFromHeader) {
+  auto source = GenCpp(mbox::BuildMiniLb());
+  ASSERT_TRUE(source.ok());
+  EXPECT_NE(source->find("gallium_hdr->cond_bits"), std::string::npos);
+}
+
+TEST(CppGen, BalancedBracesAcrossAllMiddleboxes) {
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    partition::Partitioner partitioner(*spec.fn, {});
+    auto plan = partitioner.Run();
+    ASSERT_TRUE(plan.ok());
+    auto source = cppgen::GenerateServerCpp(*spec.fn, *plan);
+    ASSERT_TRUE(source.ok()) << spec.name;
+    int depth = 0;
+    for (char ch : *source) {
+      if (ch == '{') ++depth;
+      if (ch == '}') --depth;
+      ASSERT_GE(depth, 0) << spec.name;
+    }
+    EXPECT_EQ(depth, 0) << spec.name;
+  }
+}
+
+// --- End-to-end compiler ------------------------------------------------------
+
+TEST(Compiler, CompilesAllPaperMiddleboxes) {
+  core::Compiler compiler;
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    auto result = compiler.Compile(*spec.fn);
+    ASSERT_TRUE(result.ok()) << spec.name << ": "
+                             << result.status().ToString();
+    EXPECT_GT(result->input_loc, 10) << spec.name;
+    EXPECT_GT(result->p4_loc, 100) << spec.name;
+    EXPECT_GT(result->server_loc, 20) << spec.name;
+    EXPECT_GT(result->plan.num_pre, 0) << spec.name;
+  }
+}
+
+TEST(Compiler, DeterministicOutput) {
+  core::Compiler compiler;
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  auto r1 = compiler.Compile(*spec->fn);
+  auto r2 = compiler.Compile(*spec->fn);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->p4_source, r2->p4_source);
+  EXPECT_EQ(r1->server_source, r2->server_source);
+  EXPECT_EQ(r1->plan.assignment, r2->plan.assignment);
+}
+
+TEST(Compiler, RejectsMalformedFunction) {
+  ir::Function fn("broken");
+  fn.set_entry_block(fn.AddBlock("entry"));  // empty block
+  core::Compiler compiler;
+  EXPECT_FALSE(compiler.Compile(fn).ok());
+}
+
+TEST(Compiler, Table1ShapeHolds) {
+  // The qualitative Table 1 claim: every middlebox yields a P4 program in
+  // the hundreds of lines plus a server program, and the offloaded
+  // statement share dominates for the map-lookup-centric middleboxes.
+  core::Compiler compiler;
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    auto result = compiler.Compile(*spec.fn);
+    ASSERT_TRUE(result.ok());
+    const auto& plan = result->plan;
+    const int offloaded = plan.num_pre + plan.num_post;
+    EXPECT_GT(offloaded, plan.num_non_offloaded)
+        << spec.name << ": most per-packet statements offload";
+  }
+}
+
+TEST(Compiler, ConstraintsPropagateToOutputs) {
+  core::CompileOptions strict_options;
+  strict_options.constraints.pipeline_depth = 3;
+  core::Compiler strict_compiler(strict_options);
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  auto strict = strict_compiler.Compile(*spec->fn);
+  ASSERT_TRUE(strict.ok());
+
+  core::Compiler default_compiler;
+  auto loose = default_compiler.Compile(*spec->fn);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(strict->plan.num_non_offloaded, loose->plan.num_non_offloaded)
+      << "a shallower pipeline must push statements to the server";
+}
+
+}  // namespace
+}  // namespace gallium

@@ -1,0 +1,257 @@
+// Concurrency-safety tests with explicit timelines (§3.1, §4.3.3).
+//
+// The synchronous runtime tests already check causality and atomicity at
+// packet granularity; here the control-plane protocol's three steps are
+// scheduled at real timestamps on a discrete-event clock and packets of
+// *other* flows arrive in the middle of the synchronization window. The
+// §3.1 criteria under test:
+//
+//   - a packet not causally dependent on p_i observes either ALL or NONE of
+//     p_i's state updates — never a subset;
+//   - a packet causally dependent on p_i (sent only after p_i was released
+//     by the output-commit) observes all of them.
+#include <gtest/gtest.h>
+
+#include "mbox/middleboxes.h"
+#include "partition/partitioner.h"
+#include "runtime/interpreter.h"
+#include "sim/event_queue.h"
+#include "switchsim/switch.h"
+#include "workload/packet_gen.h"
+
+namespace gallium {
+namespace {
+
+using runtime::StateValue;
+using switchsim::ExactMatchTable;
+
+// A deployed NAT switch with direct access to its two translation tables.
+struct NatRig {
+  std::unique_ptr<ir::Function> fn;
+  partition::PartitionPlan plan;
+  std::unique_ptr<switchsim::Switch> device;
+  ir::StateIndex nat_out;
+  ir::StateIndex nat_in;
+};
+
+NatRig MakeNatRig() {
+  auto spec = mbox::BuildMazuNat();
+  EXPECT_TRUE(spec.ok());
+  NatRig rig;
+  rig.nat_out = spec->MapIndex("nat_out");
+  rig.nat_in = spec->MapIndex("nat_in");
+  rig.fn = std::move(spec->fn);
+  partition::Partitioner partitioner(*rig.fn, {});
+  auto plan = partitioner.Run();
+  EXPECT_TRUE(plan.ok());
+  rig.plan = std::move(*plan);
+  auto device = switchsim::Switch::Create(*rig.fn, rig.plan, {});
+  EXPECT_TRUE(device.ok());
+  rig.device = std::move(*device);
+  return rig;
+}
+
+// Observes the NAT's replicated state from the data plane: returns how many
+// of the two mapping halves (outbound, inbound) are visible.
+int VisibleMappingHalves(NatRig& rig, const net::FiveTuple& flow,
+                         uint16_t ext_port) {
+  StateValue value;
+  int visible = 0;
+  visible += rig.device->data_plane().MapLookup(
+      rig.nat_out, {flow.saddr, flow.sport}, &value);
+  visible += rig.device->data_plane().MapLookup(rig.nat_in, {ext_port},
+                                                &value);
+  return visible;
+}
+
+TEST(ConcurrentSync, ConcurrentObserversSeeAllOrNothing) {
+  NatRig rig = MakeNatRig();
+  sim::EventQueue clock;
+  Rng rng(7);
+  const net::FiveTuple flow = workload::RandomFlow(rng);
+  const uint16_t ext_port = 1024;
+
+  // The server's update protocol, scheduled with Table-3-scale timings:
+  // staging at t=10, bit flip (commit point) at t=140, main apply + flip
+  // back at t=270.
+  ExactMatchTable* out_table = rig.device->table(rig.nat_out);
+  ExactMatchTable* in_table = rig.device->table(rig.nat_in);
+  ASSERT_NE(out_table, nullptr);
+  ASSERT_NE(in_table, nullptr);
+
+  clock.Schedule(10, [&] {
+    ASSERT_TRUE(out_table
+                    ->Stage({flow.saddr, flow.sport},
+                            switchsim::TableValue{ext_port})
+                    .ok());
+    ASSERT_TRUE(in_table
+                    ->Stage({ext_port},
+                            switchsim::TableValue{flow.saddr, flow.sport})
+                    .ok());
+  });
+  clock.Schedule(140, [&] {
+    out_table->SetUseWriteBack(true);
+    in_table->SetUseWriteBack(true);
+  });
+  clock.Schedule(270, [&] {
+    ASSERT_TRUE(out_table->ApplyStagedToMain().ok());
+    ASSERT_TRUE(in_table->ApplyStagedToMain().ok());
+    out_table->SetUseWriteBack(false);
+    in_table->SetUseWriteBack(false);
+  });
+
+  // Concurrent observers probe the data plane throughout the window.
+  std::vector<std::pair<double, int>> observations;
+  for (double t : {5.0, 50.0, 120.0, 139.0, 141.0, 200.0, 260.0, 271.0,
+                   400.0}) {
+    clock.Schedule(t, [&, t] {
+      observations.push_back({t, VisibleMappingHalves(rig, flow, ext_port)});
+    });
+  }
+  clock.Run();
+
+  // All-or-none at every instant, and monotone across the commit point.
+  for (const auto& [t, visible] : observations) {
+    EXPECT_TRUE(visible == 0 || visible == 2)
+        << "partial mapping visible at t=" << t << " (" << visible << "/2)";
+    if (t < 140) {
+      EXPECT_EQ(visible, 0) << "update visible before the bit flip, t=" << t;
+    } else {
+      EXPECT_EQ(visible, 2) << "update missing after the bit flip, t=" << t;
+    }
+  }
+}
+
+TEST(ConcurrentSync, UnrelatedTrafficUnperturbedDuringWindow) {
+  NatRig rig = MakeNatRig();
+  sim::EventQueue clock;
+  Rng rng(8);
+
+  // Pre-install an established mapping for an unrelated flow.
+  const net::FiveTuple established = workload::RandomFlow(rng);
+  const uint16_t est_port = 2000;
+  ASSERT_TRUE(rig.device
+                  ->PopulateMap(rig.nat_out,
+                                {established.saddr, established.sport},
+                                {est_port})
+                  .ok());
+
+  runtime::Interpreter interp(*rig.fn);
+  const net::FiveTuple incoming = workload::RandomFlow(rng);
+  ExactMatchTable* out_table = rig.device->table(rig.nat_out);
+
+  // A new flow's update is in flight from t=10..270.
+  clock.Schedule(10, [&] {
+    ASSERT_TRUE(out_table
+                    ->Stage({incoming.saddr, incoming.sport},
+                            switchsim::TableValue{3000})
+                    .ok());
+  });
+  clock.Schedule(140, [&] { out_table->SetUseWriteBack(true); });
+  clock.Schedule(270, [&] {
+    ASSERT_TRUE(out_table->ApplyStagedToMain().ok());
+    out_table->SetUseWriteBack(false);
+  });
+
+  // Established-flow packets keep riding the fast path at every instant in
+  // the window, with stable translations.
+  int fast_paths = 0;
+  for (double t : {5.0, 100.0, 150.0, 269.0, 300.0}) {
+    clock.Schedule(t, [&] {
+      net::Packet pkt = net::MakeTcpPacket(established, net::kTcpAck, 100);
+      pkt.set_ingress_port(mbox::kPortInternal);
+      auto result = interp.RunPartition(pkt, rig.device->data_plane(), 0,
+                                        rig.plan, partition::Part::kPre,
+                                        nullptr, nullptr,
+                                        &rig.plan.to_server);
+      ASSERT_TRUE(result.status.ok());
+      ASSERT_FALSE(result.needs_server);
+      ASSERT_EQ(pkt.sport(), est_port);
+      ++fast_paths;
+    });
+  }
+  clock.Run();
+  EXPECT_EQ(fast_paths, 5);
+}
+
+TEST(ConcurrentSync, CausallyDependentPacketAfterCommitSeesMapping) {
+  // Timeline version of output commit: the SYN is released at t=release
+  // (strictly after the bit flip); the earliest possible causally-dependent
+  // reply arrives after that and must hit switch state.
+  NatRig rig = MakeNatRig();
+  sim::EventQueue clock;
+  Rng rng(9);
+  const net::FiveTuple flow = workload::RandomFlow(rng);
+  const uint16_t ext_port = 4000;
+  ExactMatchTable* in_table = rig.device->table(rig.nat_in);
+
+  double release_time = -1;
+  clock.Schedule(10, [&] {
+    ASSERT_TRUE(in_table
+                    ->Stage({ext_port},
+                            switchsim::TableValue{flow.saddr, flow.sport})
+                    .ok());
+  });
+  clock.Schedule(140, [&] {
+    in_table->SetUseWriteBack(true);
+    // Output commit: the buffered SYN is released only now.
+    release_time = clock.now_us();
+  });
+
+  // A reply can only exist after the SYN was released + one network RTT.
+  clock.Schedule(180, [&] {
+    ASSERT_GE(clock.now_us(), release_time);
+    runtime::Interpreter interp(*rig.fn);
+    net::Packet reply = net::MakeTcpPacket(
+        {flow.daddr, mbox::kNatExternalIp, flow.dport, ext_port,
+         net::kIpProtoTcp},
+        net::kTcpSyn | net::kTcpAck, 0);
+    reply.set_ingress_port(mbox::kPortExternal);
+    auto result = interp.RunPartition(reply, rig.device->data_plane(), 0,
+                                      rig.plan, partition::Part::kPre,
+                                      nullptr, nullptr, &rig.plan.to_server);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_FALSE(result.needs_server)
+        << "the causally-dependent reply must observe the mapping";
+    EXPECT_EQ(reply.ip().daddr, flow.saddr);
+  });
+  clock.Run();
+}
+
+TEST(EventQueue, OrdersByTimeThenSequence) {
+  sim::EventQueue clock;
+  std::vector<int> order;
+  clock.Schedule(30, [&] { order.push_back(3); });
+  clock.Schedule(10, [&] { order.push_back(1); });
+  clock.Schedule(10, [&] { order.push_back(2); });  // same time, later seq
+  clock.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now_us(), 30.0);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  sim::EventQueue clock;
+  int fired = 0;
+  clock.Schedule(1, [&] {
+    ++fired;
+    clock.ScheduleAfter(5, [&] { ++fired; });
+  });
+  clock.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(clock.now_us(), 6.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  sim::EventQueue clock;
+  int fired = 0;
+  clock.Schedule(10, [&] { ++fired; });
+  clock.Schedule(20, [&] { ++fired; });
+  clock.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.pending(), 1u);
+  clock.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace gallium

@@ -1,0 +1,104 @@
+// Artifact-compilation test: the generated server C++ program, together
+// with the shipped support headers, must compile with a real C++ compiler.
+// This is the server-side counterpart of the P4 evaluator tests — the
+// emitted artifact is validated, not just its in-memory representation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "cppgen/codegen.h"
+#include "cppgen/support.h"
+#include "mbox/middleboxes.h"
+#include "partition/partitioner.h"
+
+#include "program_generator.h"
+
+namespace gallium::cppgen {
+namespace {
+
+// Compiles `source` with the host compiler; returns the exit status.
+int CompileArtifact(const std::string& name, const std::string& source) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("gallium_artifact_" + name);
+  auto path = MaterializeServerArtifact(dir.string(), name, source);
+  EXPECT_TRUE(path.ok()) << path.status().ToString();
+  const std::string command = "g++ -std=c++20 -fsyntax-only -Wall -I" +
+                              dir.string() + " " + *path + " 2>" +
+                              (dir / "errors.txt").string();
+  const int status = std::system(command.c_str());
+  if (status != 0) {
+    // Surface the compiler output in the test log.
+    std::string errors;
+    if (FILE* f = std::fopen((dir / "errors.txt").c_str(), "r")) {
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        errors.append(buf, n);
+      }
+      std::fclose(f);
+    }
+    ADD_FAILURE() << "g++ rejected generated artifact '" << name
+                  << "':\n" << errors << "\n--- source ---\n" << source;
+  }
+  return status;
+}
+
+TEST(CppGenCompile, SupportHeadersAreSelfContained) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "gallium_support";
+  auto path = MaterializeServerArtifact(
+      dir.string(), "probe",
+      "#include \"gallium/runtime.h\"\n#include \"gallium/dpdk_glue.h\"\n"
+      "int main() { gallium::Packet pkt; gallium::SwitchSync sync;\n"
+      "  sync.StageInsert(\"t\", {1}, {2});\n"
+      "  return sync.HasStagedUpdates() ? 0 : 1; }\n");
+  ASSERT_TRUE(path.ok());
+  const std::string command =
+      "g++ -std=c++20 -fsyntax-only -Wall -I" + dir.string() + " " + *path;
+  EXPECT_EQ(std::system(command.c_str()), 0);
+}
+
+TEST(CppGenCompile, AllPaperMiddleboxArtifactsCompile) {
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    partition::Partitioner partitioner(*spec.fn, {});
+    auto plan = partitioner.Run();
+    ASSERT_TRUE(plan.ok()) << spec.name;
+    auto source = GenerateServerCpp(*spec.fn, *plan);
+    ASSERT_TRUE(source.ok()) << spec.name;
+    EXPECT_EQ(CompileArtifact(spec.name, *source), 0) << spec.name;
+  }
+}
+
+TEST(CppGenCompile, MiniLbArtifactCompiles) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  partition::Partitioner partitioner(*spec->fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+  auto source = GenerateServerCpp(*spec->fn, *plan);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(CompileArtifact("mini_lb", *source), 0);
+}
+
+class CppGenCompileFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CppGenCompileFuzz, RandomProgramArtifactsCompile) {
+  gallium::testing::ProgramGenerator gen(GetParam());
+  auto spec = gen.Generate();
+  ASSERT_TRUE(spec.ok());
+  partition::Partitioner partitioner(*spec->fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+  auto source = GenerateServerCpp(*spec->fn, *plan);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(CompileArtifact("fuzz_" + std::to_string(GetParam()), *source),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, CppGenCompileFuzz,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+}  // namespace
+}  // namespace gallium::cppgen

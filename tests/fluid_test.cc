@@ -1,0 +1,139 @@
+// Fluid-simulation tests: conservation, bottleneck behavior (line, server,
+// per-flow ramp), processor-sharing fairness, and FCT structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/fluid.h"
+
+namespace gallium::sim {
+namespace {
+
+FluidConfig OpenConfig() {
+  FluidConfig config;
+  config.line_gbps = 100;
+  config.per_flow_gbps = 1000;  // effectively uncapped
+  config.rtt_us = 1;            // no ramp limit
+  config.init_window_bytes = 1e12;
+  config.num_threads = 100;
+  config.setup_us_mean = 1;
+  config.setup_us_jitter = 0;
+  config.teardown_us = 0;
+  return config;
+}
+
+TEST(Fluid, AllFlowsCompleteAndBytesConserved) {
+  Rng rng(1);
+  const std::vector<uint64_t> sizes = {1000, 5000, 100000, 12345, 777};
+  const auto result = RunFluid(sizes, OpenConfig(), rng);
+  ASSERT_EQ(result.flows.size(), sizes.size());
+  double total = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(result.flows[i].bytes, sizes[i]);
+    EXPECT_GT(result.flows[i].finish_us, result.flows[i].start_us);
+    total += static_cast<double>(sizes[i]);
+  }
+  EXPECT_DOUBLE_EQ(result.total_bytes, total);
+  EXPECT_GT(result.throughput_gbps, 0);
+}
+
+TEST(Fluid, ThroughputNeverExceedsLineRate) {
+  Rng rng(2);
+  std::vector<uint64_t> sizes(500, 10000000);  // all big flows
+  const auto result = RunFluid(sizes, OpenConfig(), rng);
+  EXPECT_LE(result.throughput_gbps, 100.0 * 1.001);
+  EXPECT_GT(result.throughput_gbps, 95.0) << "big flows should saturate";
+}
+
+TEST(Fluid, ServerCapBindsWhenDataTraversesServer) {
+  Rng rng(3);
+  std::vector<uint64_t> sizes(200, 10000000);
+  FluidConfig config = OpenConfig();
+  config.server_data_pps = 2.0e6;  // 2 Mpps * 1500B = 24 Gbps
+  config.avg_packet_bytes = 1500;
+  const auto result = RunFluid(sizes, config, rng);
+  EXPECT_LE(result.throughput_gbps, 24.5);
+  EXPECT_GT(result.throughput_gbps, 20.0);
+}
+
+TEST(Fluid, SingleFlowLimitedByItsOwnCap) {
+  Rng rng(4);
+  FluidConfig config = OpenConfig();
+  config.per_flow_gbps = 10;
+  const auto result = RunFluid({100000000}, config, rng);
+  // 100 MB at 10 Gbps = 80 ms.
+  EXPECT_NEAR(result.flows[0].FctUs(), 80000, 2000);
+}
+
+TEST(Fluid, RampCapSlowsShortFlows) {
+  Rng rng(5);
+  FluidConfig config = OpenConfig();
+  config.rtt_us = 100;
+  config.init_window_bytes = 14480;
+  const auto fast_rtt = RunFluid({50000}, config, rng);
+  config.rtt_us = 400;
+  const auto slow_rtt = RunFluid({50000}, config, rng);
+  EXPECT_GT(slow_rtt.flows[0].FctUs(), 2 * fast_rtt.flows[0].FctUs())
+      << "a 4x RTT must slow a slow-start-bound flow down";
+}
+
+TEST(Fluid, SetupDelaysFirstByte) {
+  Rng rng(6);
+  FluidConfig config = OpenConfig();
+  config.setup_us_mean = 500;
+  const auto result = RunFluid({1000}, config, rng);
+  EXPECT_GE(result.flows[0].FctUs(), 500);
+}
+
+TEST(Fluid, FairSharingAmongEqualFlows) {
+  Rng rng(7);
+  // Two identical flows start together; they must finish together
+  // (processor sharing), at half the line rate each.
+  FluidConfig config = OpenConfig();
+  config.num_threads = 2;
+  const auto result = RunFluid({50000000, 50000000}, config, rng);
+  EXPECT_NEAR(result.flows[0].finish_us, result.flows[1].finish_us,
+              result.flows[0].finish_us * 0.02);
+}
+
+TEST(Fluid, ShorterFlowsFinishFirstUnderSharing) {
+  Rng rng(8);
+  FluidConfig config = OpenConfig();
+  config.num_threads = 3;
+  const auto result = RunFluid({1000000, 20000000, 300000000}, config, rng);
+  EXPECT_LT(result.flows[0].finish_us, result.flows[1].finish_us);
+  EXPECT_LT(result.flows[1].finish_us, result.flows[2].finish_us);
+}
+
+TEST(Fluid, ThreadCountBoundsConcurrency) {
+  Rng rng(9);
+  // One thread: flows run strictly sequentially.
+  FluidConfig config = OpenConfig();
+  config.num_threads = 1;
+  config.per_flow_gbps = 100;
+  const auto result = RunFluid({1000000, 1000000}, config, rng);
+  EXPECT_GE(result.flows[1].start_us, result.flows[0].finish_us);
+}
+
+TEST(Fluid, MeanFctBinsSelectCorrectFlows) {
+  FluidResult result;
+  result.flows = {
+      {50000, 0, 100},        // 0-100K bin, FCT 100
+      {500000, 0, 1000},      // 100K-10M bin
+      {50000000, 0, 10000},   // >10M bin
+  };
+  EXPECT_DOUBLE_EQ(MeanFctUs(result, 0, 100000), 100);
+  EXPECT_DOUBLE_EQ(MeanFctUs(result, 100000, 10000000), 1000);
+  EXPECT_DOUBLE_EQ(MeanFctUs(result, 10000000, ~0ull), 10000);
+  EXPECT_DOUBLE_EQ(MeanFctUs(result, 1, 2), 0) << "empty bin -> 0";
+}
+
+TEST(Fluid, EmptyInputYieldsEmptyResult) {
+  Rng rng(10);
+  const auto result = RunFluid({}, OpenConfig(), rng);
+  EXPECT_TRUE(result.flows.empty());
+  EXPECT_EQ(result.total_bytes, 0);
+}
+
+}  // namespace
+}  // namespace gallium::sim

@@ -1,0 +1,368 @@
+// Interpreter tests: opcode semantics, width masking, map miss behavior,
+// partitioned execution (needs_server detection, transfer packing, verdict
+// rules), and error reporting.
+#include <gtest/gtest.h>
+
+#include "frontend/middlebox_builder.h"
+#include "partition/partitioner.h"
+#include "runtime/interpreter.h"
+#include "runtime/state.h"
+#include "workload/packet_gen.h"
+
+namespace gallium::runtime {
+namespace {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Reg;
+using ir::Width;
+
+net::Packet TestPacket() {
+  net::FiveTuple flow{net::MakeIpv4(1, 2, 3, 4), net::MakeIpv4(5, 6, 7, 8),
+                      1111, 80, net::kIpProtoTcp};
+  net::Packet pkt = net::MakeTcpPacket(flow, net::kTcpSyn, 32, 5);
+  pkt.set_ingress_port(0);
+  return pkt;
+}
+
+TEST(Interpreter, HeaderReadWriteRoundTrip) {
+  MiddleboxBuilder mb("hdr");
+  auto& b = mb.b();
+  const Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  b.HeaderWrite(HeaderField::kIpDst, R(saddr));
+  const Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  b.HeaderWrite(HeaderField::kDstPort, R(sport));
+  b.Send(Imm(3));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  const auto result = interp.Run(pkt, state, 0);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.verdict.kind, Verdict::Kind::kSend);
+  EXPECT_EQ(result.verdict.egress_port, 3u);
+  EXPECT_EQ(pkt.ip().daddr, net::MakeIpv4(1, 2, 3, 4));
+  EXPECT_EQ(pkt.dport(), 1111);
+}
+
+TEST(Interpreter, AluMasksToRegisterWidth) {
+  MiddleboxBuilder mb("mask");
+  auto& b = mb.b();
+  const Reg v = b.Assign(Imm(0x1ffff), Width::kU32, "v");
+  const Reg narrow = b.Alu(AluOp::kAdd, R(v), Imm(0), Width::kU16, "narrow");
+  b.HeaderWrite(HeaderField::kDstPort, R(narrow));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  ASSERT_TRUE(interp.Run(pkt, state, 0).status.ok());
+  EXPECT_EQ(pkt.dport(), 0xffff);
+}
+
+TEST(Interpreter, MapMissZeroFillsValues) {
+  MiddleboxBuilder mb("miss");
+  auto map = mb.DeclareMap("m", {Width::kU16}, {Width::kU32, Width::kU16}, 8);
+  auto& b = mb.b();
+  const Reg sport = b.HeaderRead(HeaderField::kSrcPort);
+  const auto r = map.Find({R(sport)});
+  b.HeaderWrite(HeaderField::kIpDst, R(r.values[0]));
+  b.HeaderWrite(HeaderField::kDstPort, R(r.values[1]));
+  mb.IfElse(
+      R(r.found), [&] { b.Send(Imm(1)); b.Ret(); },
+      [&] { b.Send(Imm(2)); b.Ret(); });
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  const auto result = interp.Run(pkt, state, 0);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.verdict.egress_port, 2u) << "miss takes the else branch";
+  EXPECT_EQ(pkt.ip().daddr, 0u);
+  EXPECT_EQ(pkt.dport(), 0);
+}
+
+TEST(Interpreter, MapInsertThenFind) {
+  MiddleboxBuilder mb("put_get");
+  auto map = mb.DeclareMap("m", {Width::kU16}, {Width::kU32}, 8);
+  auto& b = mb.b();
+  const Reg sport = b.HeaderRead(HeaderField::kSrcPort);
+  map.Insert({R(sport)}, {Imm(0xabcd)});
+  const auto r = map.Find({R(sport)});
+  b.HeaderWrite(HeaderField::kIpDst, R(r.values[0]));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  ASSERT_TRUE(interp.Run(pkt, state, 0).status.ok());
+  EXPECT_EQ(pkt.ip().daddr, 0xabcdu);
+  EXPECT_EQ(state.MapSize(0), 1u);
+}
+
+TEST(Interpreter, PayloadMatchFindsPattern) {
+  MiddleboxBuilder mb("dpi");
+  const uint32_t pat = mb.DeclarePattern("EVIL");
+  auto& b = mb.b();
+  const Reg hit = b.PayloadMatch(pat, "hit");
+  mb.IfElse(
+      R(hit), [&] { b.Drop(); b.Ret(); },
+      [&] { b.Send(Imm(1)); b.Ret(); });
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+
+  net::Packet clean = TestPacket();
+  EXPECT_EQ(interp.Run(clean, state, 0).verdict.kind, Verdict::Kind::kSend);
+
+  net::Packet dirty = TestPacket();
+  workload::SetPayloadWithMarker(&dirty, "xxEVILxx", 64);
+  EXPECT_EQ(interp.Run(dirty, state, 0).verdict.kind, Verdict::Kind::kDrop);
+}
+
+TEST(Interpreter, TimeReadReturnsProvidedClock) {
+  MiddleboxBuilder mb("clock");
+  auto log = mb.DeclareMap("log", {Width::kU16}, {Width::kU64}, 0);
+  auto& b = mb.b();
+  const Reg now = b.TimeRead();
+  log.Insert({Imm(1)}, {R(now)});
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  ASSERT_TRUE(interp.Run(pkt, state, 123456).status.ok());
+  StateValue value;
+  ASSERT_TRUE(state.MapLookup(0, {1}, &value));
+  EXPECT_EQ(value[0], 123456u);
+}
+
+TEST(Interpreter, DoubleSendIsAnError) {
+  MiddleboxBuilder mb("twice");
+  auto& b = mb.b();
+  b.Send(Imm(1));
+  b.Send(Imm(2));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  EXPECT_FALSE(interp.Run(pkt, state, 0).status.ok());
+}
+
+TEST(Interpreter, GlobalReadWrite) {
+  MiddleboxBuilder mb("globals");
+  auto g = mb.DeclareGlobal("ctr", Width::kU16, 100);
+  auto& b = mb.b();
+  const Reg v = g.Read();
+  g.Write(R(b.Alu(AluOp::kAdd, R(v), Imm(1), Width::kU16)));
+  b.HeaderWrite(HeaderField::kDstPort, R(v));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet p1 = TestPacket(), p2 = TestPacket();
+  ASSERT_TRUE(interp.Run(p1, state, 0).status.ok());
+  ASSERT_TRUE(interp.Run(p2, state, 0).status.ok());
+  EXPECT_EQ(p1.dport(), 100);
+  EXPECT_EQ(p2.dport(), 101) << "counter persisted across packets";
+}
+
+TEST(Interpreter, StatsCountExecutedOps) {
+  MiddleboxBuilder mb("stats");
+  auto map = mb.DeclareMap("m", {Width::kU16}, {Width::kU32}, 8);
+  auto& b = mb.b();
+  const Reg sport = b.HeaderRead(HeaderField::kSrcPort);
+  const auto r = map.Find({R(sport)});
+  (void)r;
+  b.Alu(AluOp::kAdd, R(sport), Imm(1));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  const auto result = interp.Run(pkt, state, 0);
+  EXPECT_EQ(result.stats.map_lookups, 1);
+  EXPECT_EQ(result.stats.header_ops, 1);
+  EXPECT_EQ(result.stats.alu_ops, 1);
+}
+
+// --- Partitioned execution ------------------------------------------------------
+
+// A program with a clear pre / server / post split: the switch computes a
+// key, the server does a modulo, the switch writes the result back.
+struct SplitProgram {
+  std::unique_ptr<ir::Function> fn;
+  partition::PartitionPlan plan;
+};
+
+SplitProgram MakeSplitProgram() {
+  MiddleboxBuilder mb("split");
+  auto& b = mb.b();
+  const Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  const Reg key = b.Alu(AluOp::kXor, R(saddr), Imm(0x5a5a), Width::kU32,
+                        "key");                            // pre
+  const Reg m = b.Alu(AluOp::kMod, R(key), Imm(7), Width::kU32, "m");  // srv
+  const Reg out = b.Alu(AluOp::kAdd, R(m), Imm(1), Width::kU32, "out");  // post
+  b.HeaderWrite(HeaderField::kIpDst, R(out));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  EXPECT_TRUE(fn.ok());
+
+  SplitProgram split;
+  split.fn = std::move(*fn);
+  partition::Partitioner partitioner(*split.fn, {});
+  auto plan = partitioner.Run();
+  EXPECT_TRUE(plan.ok());
+  split.plan = std::move(*plan);
+  return split;
+}
+
+TEST(PartitionedExecution, PrePassStopsAtServerWorkAndPacksTransfers) {
+  SplitProgram split = MakeSplitProgram();
+  Interpreter interp(*split.fn);
+  HostStateStore state(*split.fn);
+  net::Packet pkt = TestPacket();
+
+  const auto pre = interp.RunPartition(pkt, state, 0, split.plan,
+                                       partition::Part::kPre, nullptr,
+                                       nullptr, &split.plan.to_server);
+  ASSERT_TRUE(pre.status.ok());
+  EXPECT_TRUE(pre.needs_server);
+  EXPECT_FALSE(pre.verdict.decided());
+  // key must be among the transferred values.
+  ASSERT_FALSE(split.plan.to_server.var_regs.empty());
+  const uint64_t expected_key = pkt.ip().saddr ^ 0x5a5a;
+  bool found = false;
+  for (size_t i = 0; i < split.plan.to_server.var_regs.size(); ++i) {
+    if (pre.transfer_out.var_values[i] == expected_key) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PartitionedExecution, ThreePassesComposeToFullSemantics) {
+  SplitProgram split = MakeSplitProgram();
+  Interpreter interp(*split.fn);
+  HostStateStore sw_state(*split.fn);
+  HostStateStore srv_state(*split.fn);
+  net::Packet pkt = TestPacket();
+
+  // Reference: full run.
+  net::Packet ref = pkt;
+  HostStateStore ref_state(*split.fn);
+  const auto full = interp.Run(ref, ref_state, 0);
+  ASSERT_TRUE(full.status.ok());
+
+  // Pre on the "switch".
+  const auto pre = interp.RunPartition(pkt, sw_state, 0, split.plan,
+                                       partition::Part::kPre, nullptr,
+                                       nullptr, &split.plan.to_server);
+  ASSERT_TRUE(pre.status.ok());
+  ASSERT_TRUE(pre.needs_server);
+
+  // Server pass.
+  const auto srv = interp.RunPartition(
+      pkt, srv_state, 0, split.plan, partition::Part::kNonOffloaded,
+      &split.plan.to_server, &pre.transfer_out, &split.plan.to_switch);
+  ASSERT_TRUE(srv.status.ok());
+
+  // Post pass back on the switch.
+  const auto post = interp.RunPartition(
+      pkt, sw_state, 0, split.plan, partition::Part::kPost,
+      &split.plan.to_switch, &srv.transfer_out, nullptr);
+  ASSERT_TRUE(post.status.ok());
+
+  EXPECT_TRUE(srv.verdict.decided() || post.verdict.decided());
+  EXPECT_EQ(pkt.ip().daddr, ref.ip().daddr)
+      << "split execution must match the monolithic run";
+}
+
+TEST(PartitionedExecution, FullyOffloadedPathNeedsNoServer) {
+  MiddleboxBuilder mb("offload_all");
+  auto& b = mb.b();
+  const Reg ttl = b.HeaderRead(HeaderField::kIpTtl, "ttl");
+  const Reg minus = b.Alu(AluOp::kSub, R(ttl), Imm(1), Width::kU8, "minus");
+  b.HeaderWrite(HeaderField::kIpTtl, R(minus));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  partition::Partitioner partitioner(**fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+
+  Interpreter interp(**fn);
+  HostStateStore state(**fn);
+  net::Packet pkt = TestPacket();
+  const auto pre = interp.RunPartition(pkt, state, 0, *plan,
+                                       partition::Part::kPre, nullptr,
+                                       nullptr, &plan->to_server);
+  ASSERT_TRUE(pre.status.ok());
+  EXPECT_FALSE(pre.needs_server);
+  EXPECT_EQ(pre.verdict.kind, Verdict::Kind::kSend);
+  EXPECT_EQ(pkt.ip().ttl, 63);
+}
+
+TEST(TransferPacking, PackUnpackRoundTrip) {
+  MiddleboxBuilder mb("xfer");
+  auto& b = mb.b();
+  const Reg c1 = b.Alu(AluOp::kEq, Imm(1), Imm(1), "c1");        // u1
+  const Reg v32 = b.Assign(Imm(0xdeadbeef), Width::kU32, "v32");
+  const Reg v64 = b.Assign(Imm(0x1122334455667788ull), Width::kU64, "v64");
+  (void)c1; (void)v32; (void)v64;
+  b.Ret();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  partition::TransferSpec spec;
+  spec.cond_regs = {c1};
+  spec.var_regs = {v32, v64};
+
+  TransferValues values;
+  values.cond_values = {1};
+  values.var_values = {0xdeadbeef, 0x1122334455667788ull};
+
+  const net::GalliumHeader header = PackTransfer(**fn, spec, values);
+  EXPECT_EQ(header.cond_bits & 1, 1u);
+  EXPECT_EQ(header.vars.size(), 3u) << "u64 takes two 32-bit slots";
+
+  auto unpacked = UnpackTransfer(**fn, spec, header);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(unpacked->cond_values, values.cond_values);
+  EXPECT_EQ(unpacked->var_values, values.var_values);
+}
+
+TEST(TransferPacking, UnpackRejectsShortHeader) {
+  MiddleboxBuilder mb("short");
+  auto& b = mb.b();
+  const Reg v = b.Assign(Imm(1), Width::kU64, "v");
+  b.Ret();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  partition::TransferSpec spec;
+  spec.var_regs = {v};
+  net::GalliumHeader header;
+  header.vars = {1};  // u64 needs two slots
+  EXPECT_FALSE(UnpackTransfer(**fn, spec, header).ok());
+}
+
+}  // namespace
+}  // namespace gallium::runtime

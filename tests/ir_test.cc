@@ -1,0 +1,342 @@
+// IR tests: types & ALU evaluation semantics, builder, verifier rejection
+// of malformed programs, and the printers.
+#include <gtest/gtest.h>
+
+#include "frontend/middlebox_builder.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gallium::ir {
+namespace {
+
+// --- Types --------------------------------------------------------------------
+
+TEST(Widths, BitAndByteWidths) {
+  EXPECT_EQ(BitWidth(Width::kU1), 1);
+  EXPECT_EQ(BitWidth(Width::kU64), 64);
+  EXPECT_EQ(ByteWidth(Width::kU1), 1);
+  EXPECT_EQ(ByteWidth(Width::kU16), 2);
+  EXPECT_EQ(WidthMask(Width::kU8), 0xffu);
+  EXPECT_EQ(WidthMask(Width::kU64), ~0ull);
+}
+
+TEST(HeaderFields, WidthsMatchProtocolFields) {
+  EXPECT_EQ(HeaderFieldWidth(HeaderField::kIpSrc), Width::kU32);
+  EXPECT_EQ(HeaderFieldWidth(HeaderField::kSrcPort), Width::kU16);
+  EXPECT_EQ(HeaderFieldWidth(HeaderField::kTcpFlags), Width::kU8);
+  EXPECT_EQ(HeaderFieldWidth(HeaderField::kEthSrc), Width::kU64);
+}
+
+TEST(AluOps, P4SupportMatchesPaperSection22) {
+  // §2.2: integer addition, subtraction, bitwise ops, shifts, comparison.
+  for (AluOp op : {AluOp::kAdd, AluOp::kSub, AluOp::kAnd, AluOp::kOr,
+                   AluOp::kXor, AluOp::kNot, AluOp::kShl, AluOp::kShr,
+                   AluOp::kEq, AluOp::kNe, AluOp::kLt, AluOp::kLe, AluOp::kGt,
+                   AluOp::kGe}) {
+    EXPECT_TRUE(AluOpSupportedByP4(op)) << AluOpName(op);
+  }
+  for (AluOp op : {AluOp::kMul, AluOp::kDiv, AluOp::kMod, AluOp::kHash}) {
+    EXPECT_FALSE(AluOpSupportedByP4(op)) << AluOpName(op);
+  }
+}
+
+TEST(AluEval, BasicArithmetic) {
+  EXPECT_EQ(EvalAluOp(AluOp::kAdd, 3, 4, Width::kU32), 7u);
+  EXPECT_EQ(EvalAluOp(AluOp::kSub, 3, 4, Width::kU32), 0xffffffffu);
+  EXPECT_EQ(EvalAluOp(AluOp::kXor, 0xf0, 0x0f, Width::kU8), 0xffu);
+  EXPECT_EQ(EvalAluOp(AluOp::kMod, 10, 3, Width::kU32), 1u);
+  EXPECT_EQ(EvalAluOp(AluOp::kDiv, 10, 0, Width::kU32), 0u) << "div0 -> 0";
+  EXPECT_EQ(EvalAluOp(AluOp::kMod, 10, 0, Width::kU32), 0u) << "mod0 -> 0";
+}
+
+TEST(AluEval, MasksToWidth) {
+  EXPECT_EQ(EvalAluOp(AluOp::kAdd, 0xff, 1, Width::kU8), 0u);
+  EXPECT_EQ(EvalAluOp(AluOp::kShl, 1, 16, Width::kU16), 0u);
+  EXPECT_EQ(EvalAluOp(AluOp::kNot, 0, 0, Width::kU1), 1u);
+}
+
+TEST(AluEval, ComparisonsProduceBooleans) {
+  EXPECT_EQ(EvalAluOp(AluOp::kLt, 1, 2, Width::kU32), 1u);
+  EXPECT_EQ(EvalAluOp(AluOp::kGe, 1, 2, Width::kU32), 0u);
+  EXPECT_EQ(EvalAluOp(AluOp::kEq, 5, 5, Width::kU64), 1u);
+}
+
+TEST(AluEval, ShiftBeyondWidthIsZero) {
+  EXPECT_EQ(EvalAluOp(AluOp::kShr, 0xff, 100, Width::kU64), 0u);
+  EXPECT_EQ(EvalAluOp(AluOp::kShl, 0xff, 100, Width::kU64), 0u);
+}
+
+TEST(AluEval, HashIsDeterministicAndMixing) {
+  const uint64_t h1 = EvalAluOp(AluOp::kHash, 1, 2, Width::kU64);
+  const uint64_t h2 = EvalAluOp(AluOp::kHash, 1, 2, Width::kU64);
+  const uint64_t h3 = EvalAluOp(AluOp::kHash, 2, 1, Width::kU64);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+// Commutativity property sweep.
+class CommutativeOps : public ::testing::TestWithParam<AluOp> {};
+
+TEST_P(CommutativeOps, OperandOrderIrrelevant) {
+  Rng rng(55);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.NextU64(), b = rng.NextU64();
+    EXPECT_EQ(EvalAluOp(GetParam(), a, b, Width::kU32),
+              EvalAluOp(GetParam(), b, a, Width::kU32));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, CommutativeOps,
+                         ::testing::Values(AluOp::kAdd, AluOp::kAnd,
+                                           AluOp::kOr, AluOp::kXor,
+                                           AluOp::kEq, AluOp::kNe, AluOp::kMul),
+                         [](const auto& info) {
+                           return AluOpName(info.param);
+                         });
+
+// --- Builder & function ----------------------------------------------------------
+
+TEST(Builder, BuildsVerifiableFunction) {
+  Function fn("test");
+  const int entry = fn.AddBlock("entry");
+  fn.set_entry_block(entry);
+  IrBuilder b(&fn);
+  b.SetInsertPoint(entry);
+  const Reg x = b.HeaderRead(HeaderField::kIpSrc, "x");
+  const Reg y = b.Alu(AluOp::kAdd, R(x), Imm(1), "y");
+  b.HeaderWrite(HeaderField::kIpDst, R(y));
+  b.Send(Imm(1));
+  b.Ret();
+  EXPECT_TRUE(VerifyFunction(fn).ok());
+  EXPECT_EQ(fn.num_regs(), 2);
+  EXPECT_EQ(fn.reg_width(y), Width::kU32);
+}
+
+TEST(Builder, ComparisonResultIsU1) {
+  Function fn("cmp");
+  fn.set_entry_block(fn.AddBlock("entry"));
+  IrBuilder b(&fn);
+  b.SetInsertPoint(0);
+  const Reg x = b.HeaderRead(HeaderField::kSrcPort);
+  const Reg c = b.Alu(AluOp::kEq, R(x), Imm(80), "is_http");
+  EXPECT_EQ(fn.reg_width(c), Width::kU1);
+  b.Ret();
+}
+
+TEST(Builder, MapGetProducesDeclShapedResults) {
+  Function fn("maps");
+  fn.set_entry_block(fn.AddBlock("entry"));
+  IrBuilder b(&fn);
+  b.SetInsertPoint(0);
+  MapDecl decl;
+  decl.name = "m";
+  decl.key_widths = {Width::kU32, Width::kU16};
+  decl.value_widths = {Width::kU32, Width::kU16};
+  const StateIndex m = fn.AddMap(decl);
+  const Reg k1 = b.HeaderRead(HeaderField::kIpSrc);
+  const Reg k2 = b.HeaderRead(HeaderField::kSrcPort);
+  const std::vector<Value> keys = {R(k1), R(k2)};
+  const MapGetResult result = b.MapGet(m, keys);
+  EXPECT_EQ(fn.reg_width(result.found), Width::kU1);
+  ASSERT_EQ(result.values.size(), 2u);
+  EXPECT_EQ(fn.reg_width(result.values[0]), Width::kU32);
+  EXPECT_EQ(fn.reg_width(result.values[1]), Width::kU16);
+  b.Ret();
+  EXPECT_TRUE(VerifyFunction(fn).ok());
+}
+
+TEST(Function, StateDeclSizes) {
+  MapDecl m;
+  m.key_widths = {Width::kU32, Width::kU16, Width::kU8};
+  m.value_widths = {Width::kU32};
+  m.max_entries = 100;
+  EXPECT_EQ(m.KeyBytes(), 7);
+  EXPECT_EQ(m.ValueBytes(), 4);
+  EXPECT_EQ(m.SwitchBytes(), 100u * (7 + 4 + 4));
+
+  VectorDecl v;
+  v.elem_width = Width::kU32;
+  v.max_size = 10;
+  EXPECT_EQ(v.SwitchBytes(), 10u * 8);
+
+  GlobalDecl g;
+  g.width = Width::kU16;
+  EXPECT_EQ(g.SwitchBytes(), 2u);
+}
+
+TEST(Function, InstStateRefIdentifiesStateOps) {
+  Function fn("refs");
+  fn.set_entry_block(fn.AddBlock("entry"));
+  IrBuilder b(&fn);
+  b.SetInsertPoint(0);
+  const StateIndex g = fn.AddGlobal({"counter", Width::kU32, 0});
+  const Reg v = b.GlobalRead(g);
+  b.GlobalWrite(g, R(v));
+  b.Ret();
+
+  StateRef ref;
+  const auto& insts = fn.block(0).insts;
+  ASSERT_TRUE(Function::InstStateRef(insts[0], &ref));
+  EXPECT_EQ(ref.kind, StateRef::Kind::kGlobal);
+  EXPECT_FALSE(Function::InstStateRef(insts[2], &ref)) << "ret has no state";
+}
+
+// --- Verifier ------------------------------------------------------------------
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  Function fn("bad");
+  fn.set_entry_block(fn.AddBlock("entry"));
+  IrBuilder b(&fn);
+  b.SetInsertPoint(0);
+  const Reg ghost = fn.AddReg(Width::kU32, "ghost");  // never assigned
+  b.HeaderWrite(HeaderField::kIpDst, R(ghost));
+  b.Ret();
+  const Status status = VerifyFunction(fn);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("ghost"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDefOnOnlyOneBranch) {
+  // x defined only in the then-branch but used after the join.
+  Function fn("one_sided");
+  const int entry = fn.AddBlock("entry");
+  const int then_bb = fn.AddBlock("then");
+  const int join = fn.AddBlock("join");
+  fn.set_entry_block(entry);
+  IrBuilder b(&fn);
+  b.SetInsertPoint(entry);
+  const Reg c = b.HeaderRead(HeaderField::kIpTtl, "c");
+  b.Branch(R(c), then_bb, join);
+  b.SetInsertPoint(then_bb);
+  const Reg x = b.Assign(Imm(1), Width::kU32, "x");
+  b.Jump(join);
+  b.SetInsertPoint(join);
+  b.HeaderWrite(HeaderField::kIpDst, R(x));
+  b.Ret();
+  EXPECT_FALSE(VerifyFunction(fn).ok());
+}
+
+TEST(Verifier, AcceptsDefOnBothBranches) {
+  Function fn("two_sided");
+  const int entry = fn.AddBlock("entry");
+  const int t = fn.AddBlock("then");
+  const int e = fn.AddBlock("else");
+  const int join = fn.AddBlock("join");
+  fn.set_entry_block(entry);
+  IrBuilder b(&fn);
+  b.SetInsertPoint(entry);
+  const Reg c = b.HeaderRead(HeaderField::kIpTtl, "c");
+  const Reg x = fn.AddReg(Width::kU32, "x");
+  b.Branch(R(c), t, e);
+  b.SetInsertPoint(t);
+  fn.block(t).insts.push_back([&] {
+    Instruction i;
+    i.op = Opcode::kAssign;
+    i.id = fn.NextInstId();
+    i.dsts = {x};
+    i.args = {Imm(1)};
+    return i;
+  }());
+  b.Jump(join);
+  b.SetInsertPoint(e);
+  fn.block(e).insts.push_back([&] {
+    Instruction i;
+    i.op = Opcode::kAssign;
+    i.id = fn.NextInstId();
+    i.dsts = {x};
+    i.args = {Imm(2)};
+    return i;
+  }());
+  b.Jump(join);
+  b.SetInsertPoint(join);
+  b.HeaderWrite(HeaderField::kIpDst, R(x));
+  b.Ret();
+  EXPECT_TRUE(VerifyFunction(fn).ok()) << VerifyFunction(fn).ToString();
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Function fn("bad_target");
+  fn.set_entry_block(fn.AddBlock("entry"));
+  IrBuilder b(&fn);
+  b.SetInsertPoint(0);
+  const Reg c = b.HeaderRead(HeaderField::kIpTtl);
+  b.Branch(R(c), 42, 0);  // block 42 does not exist
+  EXPECT_FALSE(VerifyFunction(fn).ok());
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Function fn("empty");
+  fn.set_entry_block(fn.AddBlock("entry"));
+  EXPECT_FALSE(VerifyFunction(fn).ok());
+}
+
+TEST(Verifier, RejectsMapArityMismatch) {
+  Function fn("arity");
+  fn.set_entry_block(fn.AddBlock("entry"));
+  IrBuilder b(&fn);
+  b.SetInsertPoint(0);
+  MapDecl decl;
+  decl.name = "m";
+  decl.key_widths = {Width::kU32, Width::kU32};
+  decl.value_widths = {Width::kU32};
+  const StateIndex m = fn.AddMap(decl);
+  // Hand-roll a map_get with one key instead of two.
+  Instruction inst;
+  inst.op = Opcode::kMapGet;
+  inst.id = fn.NextInstId();
+  inst.state = m;
+  inst.dsts = {fn.AddReg(Width::kU1, "f"), fn.AddReg(Width::kU32, "v")};
+  inst.args = {Imm(1)};
+  fn.block(0).insts.push_back(inst);
+  b.Ret();
+  EXPECT_FALSE(VerifyFunction(fn).ok());
+}
+
+// --- Printers --------------------------------------------------------------------
+
+TEST(Printer, ListsStateAndInstructions) {
+  frontend::MiddleboxBuilder mb("printed");
+  auto map = mb.DeclareMap("conns", {Width::kU16}, {Width::kU32}, 1024);
+  auto& b = mb.b();
+  const Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const auto r = map.Find({R(sport)});
+  mb.If(R(r.found), [&] {
+    b.Send(Imm(1));
+    b.Ret();
+  });
+  b.Drop();
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  const std::string text = PrintFunction(**fn);
+  EXPECT_NE(text.find("map conns"), std::string::npos);
+  EXPECT_NE(text.find("map_get conns"), std::string::npos);
+  EXPECT_NE(text.find("send port=1"), std::string::npos);
+  EXPECT_NE(text.find("drop"), std::string::npos);
+  EXPECT_NE(text.find("br "), std::string::npos);
+}
+
+TEST(Printer, ClickSourceRendersCompilableShape) {
+  frontend::MiddleboxBuilder mb("render_me");
+  auto& b = mb.b();
+  const Reg x = b.HeaderRead(HeaderField::kIpSrc, "x");
+  const Reg y = b.Alu(AluOp::kXor, R(x), Imm(3), "y");
+  b.HeaderWrite(HeaderField::kIpDst, R(y));
+  b.Send(Imm(0));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  const std::string source = RenderClickSource(**fn);
+  EXPECT_NE(source.find("class render_me : public Element"),
+            std::string::npos);
+  EXPECT_NE(source.find("void process(Packet* pkt)"), std::string::npos);
+  EXPECT_NE(source.find("^"), std::string::npos);
+  EXPECT_NE(source.find("output(0u).push(pkt);"), std::string::npos);
+  EXPECT_GT(CountCodeLines(source), 5);
+}
+
+}  // namespace
+}  // namespace gallium::ir

@@ -1,0 +1,300 @@
+// Middlebox semantics tests at the software (unpartitioned) level: each of
+// the five paper middleboxes behaves per its §6.1 description. These
+// complement the equivalence tests, which check that offloading preserves
+// whatever the software version does.
+#include <gtest/gtest.h>
+
+#include "mbox/middleboxes.h"
+#include "runtime/software_middlebox.h"
+#include "workload/packet_gen.h"
+
+namespace gallium::mbox {
+namespace {
+
+using runtime::SoftwareMiddlebox;
+using runtime::Verdict;
+
+net::Packet Inbound(const net::FiveTuple& flow, uint8_t flags,
+                    size_t payload = 0) {
+  net::Packet pkt = net::MakeTcpPacket(flow, flags, payload);
+  pkt.set_ingress_port(kPortInternal);
+  return pkt;
+}
+
+// --- MiniLB -----------------------------------------------------------------
+
+TEST(MiniLb, SameHashStaysOnSameBackend) {
+  auto spec = BuildMiniLb(4);
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const net::FiveTuple flow{100, 200, 1, 2, net::kIpProtoTcp};
+  net::Packet p1 = Inbound(flow, net::kTcpSyn);
+  net::Packet p2 = Inbound(flow, net::kTcpAck);
+  ASSERT_TRUE(mbx.Process(p1).status.ok());
+  ASSERT_TRUE(mbx.Process(p2).status.ok());
+  EXPECT_EQ(p1.ip().daddr, p2.ip().daddr);
+  EXPECT_NE(p1.ip().daddr, 200u) << "destination must be rewritten";
+}
+
+TEST(MiniLb, StickinessSurvivesBackendListChange) {
+  // The paper's motivation for the map: existing connections stay put even
+  // when the backend list changes.
+  auto spec = BuildMiniLb(4);
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const net::FiveTuple flow{101, 202, 1, 2, net::kIpProtoTcp};
+  net::Packet p1 = Inbound(flow, net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(p1).status.ok());
+  const uint32_t assigned = p1.ip().daddr;
+
+  // Change the backend list underneath.
+  mbx.state().vector_contents(0) = {net::MakeIpv4(9, 9, 9, 1),
+                                    net::MakeIpv4(9, 9, 9, 2)};
+  net::Packet p2 = Inbound(flow, net::kTcpAck);
+  ASSERT_TRUE(mbx.Process(p2).status.ok());
+  EXPECT_EQ(p2.ip().daddr, assigned);
+}
+
+// --- MazuNAT ------------------------------------------------------------------
+
+TEST(MazuNat, AllocatesMonotonicallyIncreasingPorts) {
+  auto spec = BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  Rng rng(61);
+  uint16_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    net::Packet pkt = Inbound(workload::RandomFlow(rng), net::kTcpSyn);
+    ASSERT_TRUE(mbx.Process(pkt).status.ok());
+    EXPECT_EQ(pkt.ip().saddr, kNatExternalIp);
+    if (i > 0) {
+      EXPECT_EQ(pkt.sport(), last + 1);
+    }
+    last = pkt.sport();
+  }
+}
+
+TEST(MazuNat, ReusesMappingForSameSource) {
+  auto spec = BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const net::FiveTuple flow{1000, 2000, 333, 80, net::kIpProtoTcp};
+  net::Packet p1 = Inbound(flow, net::kTcpSyn);
+  net::Packet p2 = Inbound(flow, net::kTcpAck);
+  ASSERT_TRUE(mbx.Process(p1).status.ok());
+  ASSERT_TRUE(mbx.Process(p2).status.ok());
+  EXPECT_EQ(p1.sport(), p2.sport());
+}
+
+TEST(MazuNat, DropsUnsolicitedInbound) {
+  auto spec = BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  net::Packet pkt = net::MakeTcpPacket({5, kNatExternalIp, 80, 9999,
+                                        net::kIpProtoTcp},
+                                       net::kTcpSyn, 0);
+  pkt.set_ingress_port(kPortExternal);
+  const auto outcome = mbx.Process(pkt);
+  EXPECT_EQ(outcome.verdict.kind, Verdict::Kind::kDrop);
+}
+
+// --- L4 load balancer -------------------------------------------------------------
+
+TEST(LoadBalancer, FinRemovesAffinity) {
+  auto spec = BuildLoadBalancer(4);
+  ASSERT_TRUE(spec.ok());
+  const ir::StateIndex flows_map = spec->MapIndex("flows");
+  SoftwareMiddlebox mbx(*spec);
+  const net::FiveTuple flow{77, 88, 5, 6, net::kIpProtoTcp};
+  net::Packet syn = Inbound(flow, net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(syn).status.ok());
+  EXPECT_EQ(mbx.state().MapSize(flows_map), 1u);
+  net::Packet fin = Inbound(flow, net::kTcpFin | net::kTcpAck);
+  ASSERT_TRUE(mbx.Process(fin).status.ok());
+  EXPECT_EQ(mbx.state().MapSize(flows_map), 0u);
+}
+
+TEST(LoadBalancer, RstRemovesAffinity) {
+  auto spec = BuildLoadBalancer(4);
+  ASSERT_TRUE(spec.ok());
+  const ir::StateIndex flows_map = spec->MapIndex("flows");
+  SoftwareMiddlebox mbx(*spec);
+  const net::FiveTuple flow{78, 89, 5, 6, net::kIpProtoTcp};
+  net::Packet syn = Inbound(flow, net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(syn).status.ok());
+  net::Packet rst = Inbound(flow, net::kTcpRst);
+  ASSERT_TRUE(mbx.Process(rst).status.ok());
+  EXPECT_EQ(mbx.state().MapSize(flows_map), 0u);
+}
+
+TEST(LoadBalancer, UdpFlowsBalancedWithoutTeardown) {
+  auto spec = BuildLoadBalancer(4);
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const net::FiveTuple flow{79, 90, 5, 6, net::kIpProtoUdp};
+  net::Packet p1 = net::MakeUdpPacket(flow, 100);
+  p1.set_ingress_port(kPortInternal);
+  net::Packet p2 = p1;
+  ASSERT_TRUE(mbx.Process(p1).status.ok());
+  ASSERT_TRUE(mbx.Process(p2).status.ok());
+  EXPECT_EQ(p1.ip().daddr, p2.ip().daddr);
+}
+
+TEST(LoadBalancer, DifferentFlowsSpreadAcrossBackends) {
+  auto spec = BuildLoadBalancer(16);
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  Rng rng(62);
+  std::set<uint32_t> backends;
+  for (int i = 0; i < 64; ++i) {
+    net::Packet pkt = Inbound(workload::RandomFlow(rng), net::kTcpSyn);
+    ASSERT_TRUE(mbx.Process(pkt).status.ok());
+    backends.insert(pkt.ip().daddr);
+  }
+  EXPECT_GE(backends.size(), 8u) << "consistent hashing should spread flows";
+}
+
+// --- Firewall -----------------------------------------------------------------
+
+TEST(Firewall, DirectionalWhitelists) {
+  const net::FiveTuple out_flow{10, 20, 30, 40, net::kIpProtoTcp};
+  const net::FiveTuple in_flow{50, 60, 70, 80, net::kIpProtoTcp};
+  std::vector<MapInitEntry> out_rules = {
+      {{out_flow.saddr, out_flow.daddr, out_flow.sport, out_flow.dport,
+        out_flow.protocol},
+       {1}}};
+  std::vector<MapInitEntry> in_rules = {
+      {{in_flow.saddr, in_flow.daddr, in_flow.sport, in_flow.dport,
+        in_flow.protocol},
+       {1}}};
+  auto spec = BuildFirewall(out_rules, in_rules);
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+
+  // Outbound rule accepted outbound, not inbound.
+  net::Packet a = Inbound(out_flow, net::kTcpAck);
+  EXPECT_EQ(mbx.Process(a).verdict.kind, Verdict::Kind::kSend);
+  net::Packet b = net::MakeTcpPacket(out_flow, net::kTcpAck, 0);
+  b.set_ingress_port(kPortExternal);
+  EXPECT_EQ(mbx.Process(b).verdict.kind, Verdict::Kind::kDrop);
+
+  net::Packet c = net::MakeTcpPacket(in_flow, net::kTcpAck, 0);
+  c.set_ingress_port(kPortExternal);
+  EXPECT_EQ(mbx.Process(c).verdict.kind, Verdict::Kind::kSend);
+}
+
+TEST(Firewall, DefaultDeny) {
+  auto spec = BuildFirewall();
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  Rng rng(63);
+  for (int i = 0; i < 10; ++i) {
+    net::Packet pkt = Inbound(workload::RandomFlow(rng), net::kTcpSyn);
+    EXPECT_EQ(mbx.Process(pkt).verdict.kind, Verdict::Kind::kDrop);
+  }
+}
+
+// --- Proxy --------------------------------------------------------------------
+
+TEST(Proxy, RedirectsConfiguredPorts) {
+  auto spec = BuildProxy({80, 8080});
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  net::Packet http = Inbound({1, 2, 5555, 80, net::kIpProtoTcp},
+                             net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(http).status.ok());
+  EXPECT_EQ(http.ip().daddr, kWebProxyIp);
+  EXPECT_EQ(http.dport(), kWebProxyPort);
+}
+
+TEST(Proxy, PassesOtherTraffic) {
+  auto spec = BuildProxy({80});
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  net::Packet ssh = Inbound({1, 2, 5555, 22, net::kIpProtoTcp}, net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(ssh).status.ok());
+  EXPECT_EQ(ssh.ip().daddr, 2u) << "unlisted port untouched";
+
+  net::Packet udp = net::MakeUdpPacket({1, 2, 5555, 80, net::kIpProtoUdp}, 10);
+  udp.set_ingress_port(kPortInternal);
+  ASSERT_TRUE(mbx.Process(udp).status.ok());
+  EXPECT_EQ(udp.ip().daddr, 2u) << "UDP to port 80 is not proxied";
+}
+
+// --- Trojan detector -----------------------------------------------------------
+
+TEST(TrojanDetector, FullSequenceTriggersDrop) {
+  auto spec = BuildTrojanDetector();
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const uint32_t host = net::MakeIpv4(192, 168, 9, 9);
+
+  // Stage 1: SSH connection.
+  net::Packet ssh = Inbound({host, 2, 1000, 22, net::kIpProtoTcp},
+                            net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(ssh).status.ok());
+  // Stage 2: HTTP GET data packet.
+  net::Packet get = Inbound({host, 3, 1001, 80, net::kIpProtoTcp},
+                            net::kTcpAck, 200);
+  workload::SetPayloadWithMarker(&get, kPatternHttpGet, 200);
+  ASSERT_TRUE(mbx.Process(get).status.ok());
+  // Stage 3: IRC traffic -> dropped.
+  net::Packet irc = Inbound({host, 4, 1002, 6667, net::kIpProtoTcp},
+                            net::kTcpAck, 100);
+  workload::SetPayloadWithMarker(&irc, kPatternIrc, 100);
+  EXPECT_EQ(mbx.Process(irc).verdict.kind, Verdict::Kind::kDrop);
+}
+
+TEST(TrojanDetector, OutOfOrderSequenceIsBenign) {
+  auto spec = BuildTrojanDetector();
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const uint32_t host = net::MakeIpv4(192, 168, 9, 10);
+
+  // IRC traffic *before* any SSH: forwarded.
+  net::Packet irc = Inbound({host, 4, 1002, 6667, net::kIpProtoTcp},
+                            net::kTcpAck, 100);
+  workload::SetPayloadWithMarker(&irc, kPatternIrc, 100);
+  EXPECT_EQ(mbx.Process(irc).verdict.kind, Verdict::Kind::kSend);
+
+  // Download without prior SSH: no stage escalation.
+  net::Packet get = Inbound({host, 3, 1001, 80, net::kIpProtoTcp},
+                            net::kTcpAck, 200);
+  workload::SetPayloadWithMarker(&get, kPatternHttpGet, 200);
+  EXPECT_EQ(mbx.Process(get).verdict.kind, Verdict::Kind::kSend);
+  const ir::StateIndex host_stage = spec->MapIndex("host_stage");
+  runtime::StateValue stage;
+  EXPECT_FALSE(mbx.state().MapLookup(host_stage, {host}, &stage));
+}
+
+TEST(TrojanDetector, SshWithoutDownloadNeverDrops) {
+  auto spec = BuildTrojanDetector();
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const uint32_t host = net::MakeIpv4(192, 168, 9, 11);
+  net::Packet ssh = Inbound({host, 2, 1000, 22, net::kIpProtoTcp},
+                            net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(ssh).status.ok());
+  net::Packet irc = Inbound({host, 4, 1002, 6667, net::kIpProtoTcp},
+                            net::kTcpAck, 100);
+  workload::SetPayloadWithMarker(&irc, kPatternIrc, 100);
+  EXPECT_EQ(mbx.Process(irc).verdict.kind, Verdict::Kind::kSend)
+      << "stage 1 host is not yet a trojan";
+}
+
+TEST(TrojanDetector, ControlPacketsMaintainFlowTable) {
+  auto spec = BuildTrojanDetector();
+  ASSERT_TRUE(spec.ok());
+  const ir::StateIndex flow_state = spec->MapIndex("flow_state");
+  SoftwareMiddlebox mbx(*spec);
+  const net::FiveTuple flow{1, 2, 3, 4, net::kIpProtoTcp};
+  net::Packet syn = Inbound(flow, net::kTcpSyn);
+  ASSERT_TRUE(mbx.Process(syn).status.ok());
+  EXPECT_EQ(mbx.state().MapSize(flow_state), 1u);
+  net::Packet fin = Inbound(flow, net::kTcpFin);
+  ASSERT_TRUE(mbx.Process(fin).status.ok());
+  EXPECT_EQ(mbx.state().MapSize(flow_state), 0u);
+}
+
+}  // namespace
+}  // namespace gallium::mbox

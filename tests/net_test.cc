@@ -1,0 +1,249 @@
+// Unit & property tests for the packet substrate: addresses, five-tuples,
+// checksums, and wire-format round trips including the Gallium transfer
+// header.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace gallium::net {
+namespace {
+
+TEST(MacAddr, RoundTripsThroughUint64) {
+  const MacAddr mac = MacAddr::FromUint64(0x112233445566ULL);
+  EXPECT_EQ(mac.ToUint64(), 0x112233445566ULL);
+  EXPECT_EQ(mac.ToString(), "11:22:33:44:55:66");
+}
+
+TEST(Ipv4, MakeAndFormat) {
+  const Ipv4Addr addr = MakeIpv4(10, 0, 0, 1);
+  EXPECT_EQ(addr, 0x0a000001u);
+  EXPECT_EQ(Ipv4ToString(addr), "10.0.0.1");
+  EXPECT_EQ(Ipv4ToString(MakeIpv4(255, 255, 255, 255)), "255.255.255.255");
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  const FiveTuple flow{1, 2, 3, 4, kIpProtoTcp};
+  const FiveTuple rev = flow.Reversed();
+  EXPECT_EQ(rev.saddr, 2u);
+  EXPECT_EQ(rev.daddr, 1u);
+  EXPECT_EQ(rev.sport, 4);
+  EXPECT_EQ(rev.dport, 3);
+  EXPECT_EQ(rev.Reversed(), flow);
+}
+
+TEST(FiveTuple, HashDistinguishesFields) {
+  const FiveTuple base{10, 20, 30, 40, kIpProtoTcp};
+  FiveTuple other = base;
+  other.sport = 31;
+  EXPECT_NE(base.Hash(), other.Hash());
+  other = base;
+  other.protocol = kIpProtoUdp;
+  EXPECT_NE(base.Hash(), other.Hash());
+  EXPECT_EQ(base.Hash(), FiveTuple(base).Hash());
+}
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example bytes: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+  const std::vector<uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                     0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const std::vector<uint8_t> data = {0xff};
+  // 0xff00 summed, complemented.
+  EXPECT_EQ(InternetChecksum(data), static_cast<uint16_t>(~0xff00));
+}
+
+TEST(Packet, TcpBuilderSetsFields) {
+  const FiveTuple flow{MakeIpv4(1, 2, 3, 4), MakeIpv4(5, 6, 7, 8), 1000, 80,
+                       kIpProtoTcp};
+  const Packet pkt = MakeTcpPacket(flow, kTcpSyn | kTcpAck, 100, 7);
+  EXPECT_TRUE(pkt.has_tcp());
+  EXPECT_EQ(pkt.five_tuple(), flow);
+  EXPECT_EQ(pkt.tcp().flags, kTcpSyn | kTcpAck);
+  EXPECT_EQ(pkt.tcp().seq, 7u);
+  EXPECT_EQ(pkt.payload().size(), 100u);
+}
+
+TEST(Packet, WireSizeMatchesSerialization) {
+  const FiveTuple flow{1, 2, 3, 4, kIpProtoTcp};
+  Packet pkt = MakeTcpPacket(flow, kTcpAck, 250);
+  EXPECT_EQ(pkt.Serialize().size(), pkt.WireSize());
+  GalliumHeader gh;
+  gh.cond_bits = 5;
+  gh.vars = {1, 2, 3};
+  pkt.set_gallium(gh);
+  EXPECT_EQ(pkt.Serialize().size(), pkt.WireSize());
+  EXPECT_EQ(pkt.WireSize(),
+            14 + (8 + 12) + 20 + 20 + 250u);  // eth + gallium + ip + tcp + pl
+}
+
+TEST(Packet, TcpRoundTrip) {
+  const FiveTuple flow{MakeIpv4(192, 168, 0, 1), MakeIpv4(10, 0, 0, 9), 4242,
+                       443, kIpProtoTcp};
+  Packet pkt = MakeTcpPacket(flow, kTcpPsh | kTcpAck, 64, 1234);
+  pkt.eth().src = MacAddr::FromUint64(0xaabbccddeeffULL);
+  pkt.ip().ttl = 17;
+
+  auto parsed = Packet::Parse(pkt.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->five_tuple(), flow);
+  EXPECT_EQ(parsed->tcp().seq, 1234u);
+  EXPECT_EQ(parsed->tcp().flags, kTcpPsh | kTcpAck);
+  EXPECT_EQ(parsed->ip().ttl, 17);
+  EXPECT_EQ(parsed->eth().src.ToUint64(), 0xaabbccddeeffULL);
+  EXPECT_EQ(parsed->payload(), pkt.payload());
+}
+
+TEST(Packet, UdpRoundTrip) {
+  const FiveTuple flow{1, 2, 53, 5353, kIpProtoUdp};
+  const Packet pkt = MakeUdpPacket(flow, 33);
+  auto parsed = Packet::Parse(pkt.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->has_udp());
+  EXPECT_EQ(parsed->five_tuple(), flow);
+  EXPECT_EQ(parsed->payload().size(), 33u);
+}
+
+TEST(Packet, GalliumHeaderRoundTrip) {
+  const FiveTuple flow{7, 8, 9, 10, kIpProtoTcp};
+  Packet pkt = MakeTcpPacket(flow, kTcpSyn, 10);
+  GalliumHeader gh;
+  gh.cond_bits = 0xdeadbeef;
+  gh.vars = {0x11111111, 0x22222222};
+  pkt.set_gallium(gh);
+  EXPECT_EQ(pkt.eth().ether_type, kEtherTypeGallium);
+
+  auto parsed = Packet::Parse(pkt.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->has_gallium());
+  EXPECT_EQ(parsed->gallium().cond_bits, 0xdeadbeefu);
+  EXPECT_EQ(parsed->gallium().vars, gh.vars);
+  EXPECT_EQ(parsed->five_tuple(), flow);
+
+  Packet copy = *parsed;
+  copy.clear_gallium();
+  EXPECT_EQ(copy.eth().ether_type, kEtherTypeIpv4);
+  EXPECT_FALSE(copy.has_gallium());
+}
+
+TEST(Packet, ParseRejectsTruncated) {
+  const Packet pkt = MakeTcpPacket({1, 2, 3, 4, kIpProtoTcp}, kTcpSyn, 0);
+  auto wire = pkt.Serialize();
+  for (size_t cut : {5ul, 20ul, 30ul, wire.size() - 5}) {
+    auto parsed = Packet::Parse(std::span(wire).subspan(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Packet, ParseRejectsUnknownEtherType) {
+  Packet pkt = MakeTcpPacket({1, 2, 3, 4, kIpProtoTcp}, kTcpSyn, 0);
+  auto wire = pkt.Serialize();
+  wire[12] = 0x86;  // IPv6 etherType
+  wire[13] = 0xdd;
+  EXPECT_FALSE(Packet::Parse(wire).ok());
+}
+
+TEST(Packet, PortSettersFollowTransport) {
+  Packet tcp = MakeTcpPacket({1, 2, 3, 4, kIpProtoTcp}, 0, 0);
+  tcp.set_sport(99);
+  tcp.set_dport(100);
+  EXPECT_EQ(tcp.tcp().sport, 99);
+  EXPECT_EQ(tcp.tcp().dport, 100);
+
+  Packet udp = MakeUdpPacket({1, 2, 3, 4, kIpProtoUdp}, 0);
+  udp.set_sport(7);
+  EXPECT_EQ(udp.udp().sport, 7);
+}
+
+// Property sweep: random packets survive serialize/parse byte-for-byte.
+class PacketRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketRoundTrip, RandomPacketSurvivesWire) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    FiveTuple flow;
+    flow.saddr = rng.NextU32();
+    flow.daddr = rng.NextU32();
+    flow.sport = static_cast<uint16_t>(rng.NextBounded(65536));
+    flow.dport = static_cast<uint16_t>(rng.NextBounded(65536));
+    const bool is_tcp = rng.NextBool(0.5);
+    flow.protocol = is_tcp ? kIpProtoTcp : kIpProtoUdp;
+    Packet pkt = is_tcp ? MakeTcpPacket(flow,
+                                        static_cast<uint8_t>(
+                                            rng.NextBounded(32)),
+                                        rng.NextBounded(1400),
+                                        rng.NextU32())
+                        : MakeUdpPacket(flow, rng.NextBounded(1400));
+    if (rng.NextBool(0.4)) {
+      GalliumHeader gh;
+      gh.cond_bits = rng.NextU32();
+      const int nvars = static_cast<int>(rng.NextBounded(5));
+      for (int v = 0; v < nvars; ++v) gh.vars.push_back(rng.NextU32());
+      pkt.set_gallium(gh);
+    }
+
+    const auto wire = pkt.Serialize();
+    auto parsed = Packet::Parse(wire);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Serialize(), wire) << "re-serialization must be stable";
+    EXPECT_EQ(parsed->five_tuple(), flow);
+    EXPECT_EQ(parsed->payload(), pkt.payload());
+    EXPECT_EQ(parsed->has_gallium(), pkt.has_gallium());
+    if (pkt.has_gallium()) {
+      EXPECT_EQ(parsed->gallium(), pkt.gallium());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketRoundTrip, ::testing::Range(1, 9));
+
+
+// Robustness fuzz: arbitrary bytes must never crash the parser — every
+// input either parses or returns a clean error, and valid packets corrupted
+// at a random position never produce out-of-bounds access.
+class WireFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFuzz, ParserNeverCrashesOnGarbage) {
+  Rng rng(GetParam() * 977 + 5);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> bytes(rng.NextBounded(200));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+    auto parsed = Packet::Parse(bytes);
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize without crashing.
+      (void)parsed->Serialize();
+    }
+  }
+}
+
+TEST_P(WireFuzz, CorruptedValidPacketsHandledCleanly) {
+  Rng rng(GetParam() * 31 + 9);
+  for (int i = 0; i < 200; ++i) {
+    FiveTuple flow;
+    flow.saddr = rng.NextU32();
+    flow.daddr = rng.NextU32();
+    flow.sport = static_cast<uint16_t>(rng.NextBounded(65536));
+    flow.dport = static_cast<uint16_t>(rng.NextBounded(65536));
+    flow.protocol = kIpProtoTcp;
+    Packet pkt = MakeTcpPacket(flow, kTcpAck, rng.NextBounded(100));
+    if (rng.NextBool(0.5)) {
+      GalliumHeader gh;
+      gh.vars = {1, 2};
+      pkt.set_gallium(gh);
+    }
+    auto wire = pkt.Serialize();
+    // Flip one random byte.
+    wire[rng.NextBounded(wire.size())] ^=
+        static_cast<uint8_t>(1 + rng.NextBounded(255));
+    auto parsed = Packet::Parse(wire);
+    if (parsed.ok()) (void)parsed->Serialize();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace gallium::net

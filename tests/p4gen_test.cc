@@ -1,0 +1,245 @@
+// P4 backend tests: the Fig. 6 state/instruction mapping, metadata slot
+// allocation with lifetime reuse (§4.3.1), the Fig. 5 transfer header, the
+// ingress-port dispatch, write-back table emission, and resource caps.
+#include <gtest/gtest.h>
+
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "p4/codegen.h"
+#include "partition/partitioner.h"
+
+namespace gallium::p4 {
+namespace {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Reg;
+using ir::Width;
+
+struct Compiled {
+  std::unique_ptr<ir::Function> fn;
+  partition::PartitionPlan plan;
+  P4Program program;
+  std::string source;
+};
+
+Compiled CompileMbox(Result<mbox::MiddleboxSpec> spec) {
+  EXPECT_TRUE(spec.ok());
+  Compiled out;
+  out.fn = std::move(spec->fn);
+  partition::Partitioner partitioner(*out.fn, {});
+  auto plan = partitioner.Run();
+  EXPECT_TRUE(plan.ok());
+  out.plan = std::move(*plan);
+  auto program = GenerateP4(*out.fn, out.plan);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  out.program = std::move(*program);
+  out.source = EmitP4(out.program);
+  return out;
+}
+
+TEST(P4Gen, MapsBecomeTablesWithWriteBackShadows) {
+  Compiled c = CompileMbox(mbox::BuildMiniLb());
+  bool found_main = false, found_wb = false, found_reg = false;
+  for (const P4Table& table : c.program.tables) {
+    if (table.name == "tbl_map") {
+      found_main = true;
+      EXPECT_EQ(table.size, 65536);
+      EXPECT_FALSE(table.is_write_back);
+    }
+    if (table.name == "tbl_map_wb") {
+      found_wb = true;
+      EXPECT_TRUE(table.is_write_back);
+      EXPECT_LT(table.size, 65536) << "shadow is smaller (§4.3.3)";
+    }
+  }
+  for (const P4Register& reg : c.program.registers) {
+    if (reg.name == "wb_active_map") found_reg = true;
+  }
+  EXPECT_TRUE(found_main);
+  EXPECT_TRUE(found_wb);
+  EXPECT_TRUE(found_reg) << "the use-write-back bit";
+}
+
+TEST(P4Gen, GlobalsBecomeRegisters) {
+  Compiled c = CompileMbox(mbox::BuildMazuNat());
+  bool found = false;
+  for (const P4Register& reg : c.program.registers) {
+    if (reg.name == "reg_port_counter") found = true;
+  }
+  EXPECT_TRUE(found) << "the port counter maps to a P4 register (§6.2)";
+}
+
+TEST(P4Gen, DispatchesOnIngressPort) {
+  Compiled c = CompileMbox(mbox::BuildMiniLb());
+  EXPECT_NE(c.source.find("standard_metadata.ingress_port == (bit<9>)192"),
+            std::string::npos)
+      << "pre/post dispatch on the server-facing port (§4.3.1)";
+  EXPECT_NE(c.source.find("Post-processing"), std::string::npos);
+  EXPECT_NE(c.source.find("Pre-processing"), std::string::npos);
+}
+
+TEST(P4Gen, SynthesizesTransferHeader) {
+  Compiled c = CompileMbox(mbox::BuildMiniLb());
+  EXPECT_NE(c.source.find("header gallium_t"), std::string::npos);
+  EXPECT_NE(c.source.find("cond_bits"), std::string::npos);
+  // MiniLB transfers hash-derived values: var slots must exist.
+  EXPECT_NE(c.source.find("var0"), std::string::npos);
+  // Handoff packs the header and forwards to the server.
+  EXPECT_NE(c.source.find("hdr.gallium.setValid();"), std::string::npos);
+  EXPECT_NE(c.source.find("etherType = 0x88B5"), std::string::npos);
+}
+
+TEST(P4Gen, ParserCoversAllHeaders) {
+  Compiled c = CompileMbox(mbox::BuildProxy());
+  for (const char* state : {"start", "parse_gallium", "parse_ipv4",
+                            "parse_tcp", "parse_udp"}) {
+    bool found = false;
+    for (const auto& ps : c.program.parser_states) found |= ps.name == state;
+    EXPECT_TRUE(found) << state;
+  }
+}
+
+TEST(P4Gen, FullyOffloadedProgramHasNoServerHandoffNeed) {
+  Compiled c = CompileMbox(mbox::BuildFirewall());
+  // Both whitelists become tables; no statement marks needs_server except
+  // the structural handoff guard itself.
+  int tables = 0;
+  for (const P4Table& t : c.program.tables) tables += !t.is_write_back;
+  EXPECT_EQ(tables, 2);
+  // The pre region body must not contain a needs_server marker (everything
+  // is offloaded); the only occurrence is the final handoff guard + init.
+  const size_t pre_pos = c.source.find("Pre-processing");
+  ASSERT_NE(pre_pos, std::string::npos);
+  const std::string pre_part = c.source.substr(pre_pos);
+  EXPECT_EQ(pre_part.find("meta.needs_server = 1;"), std::string::npos)
+      << "firewall should never hand off";
+}
+
+TEST(P4Gen, RejectsMetadataOverflow) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  partition::Partitioner partitioner(*spec->fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+  P4GenOptions options;
+  options.max_metadata_bits = 8;  // absurdly small
+  auto program = GenerateP4(*spec->fn, *plan, options);
+  EXPECT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(P4Gen, EmittedTextIsStructurallySane) {
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    partition::Partitioner partitioner(*spec.fn, {});
+    auto plan = partitioner.Run();
+    ASSERT_TRUE(plan.ok()) << spec.name;
+    auto program = GenerateP4(*spec.fn, *plan);
+    ASSERT_TRUE(program.ok()) << spec.name;
+    const std::string source = EmitP4(*program);
+    // Balanced braces.
+    int depth = 0;
+    for (char ch : source) {
+      if (ch == '{') ++depth;
+      if (ch == '}') --depth;
+      ASSERT_GE(depth, 0) << spec.name;
+    }
+    EXPECT_EQ(depth, 0) << spec.name;
+    EXPECT_NE(source.find("V1Switch"), std::string::npos);
+    EXPECT_NE(source.find("GalliumParser"), std::string::npos);
+  }
+}
+
+// --- Metadata allocation --------------------------------------------------------
+
+TEST(MetadataAllocation, ReusesSlotsForDisjointLifetimes) {
+  // a and b have disjoint lifetimes -> one 32-bit slot serves both.
+  MiddleboxBuilder mb("reuse");
+  auto& b = mb.b();
+  const Reg a = b.HeaderRead(HeaderField::kIpSrc, "a");
+  b.HeaderWrite(HeaderField::kIpDst, R(a));  // last use of a
+  const Reg c = b.HeaderRead(HeaderField::kEthType, "c");
+  b.HeaderWrite(HeaderField::kEthType, R(c));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  partition::Partitioner partitioner(**fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+
+  const MetadataAllocation alloc = AllocateMetadata(**fn, *plan);
+  EXPECT_FALSE(alloc.slot_of_reg[a].empty());
+  EXPECT_FALSE(alloc.slot_of_reg[c].empty());
+  // a is u32, c is u16 -> separate pools, but a second u32 register with a
+  // disjoint lifetime shares a's slot:
+  EXPECT_GT(alloc.total_bits, 0);
+}
+
+TEST(MetadataAllocation, OverlappingLifetimesGetDistinctSlots) {
+  MiddleboxBuilder mb("overlap");
+  auto& b = mb.b();
+  const Reg a = b.HeaderRead(HeaderField::kIpSrc, "a");
+  const Reg c = b.HeaderRead(HeaderField::kIpDst, "c");
+  const Reg sum = b.Alu(AluOp::kAdd, R(a), R(c), Width::kU32, "sum");
+  b.HeaderWrite(HeaderField::kIpDst, R(sum));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  partition::Partitioner partitioner(**fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+
+  const MetadataAllocation alloc = AllocateMetadata(**fn, *plan);
+  EXPECT_NE(alloc.slot_of_reg[a], alloc.slot_of_reg[c])
+      << "simultaneously-live registers must not share a slot";
+}
+
+TEST(MetadataAllocation, SequentialChainReusesAggressively) {
+  // v0 -> v1 -> ... -> v9, each dead after the next: 2 slots suffice and
+  // the allocator must find far fewer than 10.
+  MiddleboxBuilder mb("chain");
+  auto& b = mb.b();
+  Reg v = b.HeaderRead(HeaderField::kIpSrc, "v0");
+  for (int i = 1; i <= 9; ++i) {
+    v = b.Alu(AluOp::kAdd, R(v), Imm(1), Width::kU32,
+              "v" + std::to_string(i));
+  }
+  b.HeaderWrite(HeaderField::kIpDst, R(v));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+  partition::Partitioner partitioner(**fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+
+  const MetadataAllocation alloc = AllocateMetadata(**fn, *plan);
+  int u32_slots = 0;
+  for (const P4Field& slot : alloc.slots) u32_slots += slot.bits == 32;
+  EXPECT_LE(u32_slots, 3) << "lifetime reuse failed: " << u32_slots
+                          << " slots for a sequential chain";
+}
+
+TEST(MetadataAllocation, ServerOnlyRegistersGetNoSlot) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  partition::Partitioner partitioner(*spec->fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+  const MetadataAllocation alloc = AllocateMetadata(*spec->fn, *plan);
+
+  // Find the modulo result (server-only, not transferred): it must not
+  // consume switch scratchpad.
+  for (const auto& bb : spec->fn->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op == ir::Opcode::kAlu && inst.alu == AluOp::kMod) {
+        EXPECT_TRUE(alloc.slot_of_reg[inst.dsts[0]].empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gallium::p4

@@ -1,0 +1,447 @@
+// Partitioning tests: the label-removing algorithm, the resource
+// constraints, and the MiniLB result of Fig. 3/4.
+#include "partition/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/middlebox_builder.h"
+#include "ir/printer.h"
+#include "mbox/middleboxes.h"
+
+namespace gallium {
+namespace {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::Opcode;
+using ir::R;
+using ir::Width;
+using partition::Part;
+using partition::Partitioner;
+using partition::PartitionPlan;
+using partition::SwitchConstraints;
+
+// Finds the first instruction with the given opcode (and optional state
+// name) and returns its id.
+ir::InstId FindInst(const ir::Function& fn, Opcode op,
+                    const std::string& state_name = "") {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op != op) continue;
+      if (!state_name.empty()) {
+        ir::StateRef ref;
+        if (!ir::Function::InstStateRef(inst, &ref)) continue;
+        if (fn.StateName(ref) != state_name) continue;
+      }
+      return inst.id;
+    }
+  }
+  return ir::kInvalidInst;
+}
+
+std::vector<ir::InstId> FindAll(const ir::Function& fn, Opcode op) {
+  std::vector<ir::InstId> out;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op == op) out.push_back(inst.id);
+    }
+  }
+  return out;
+}
+
+PartitionPlan MustPartition(const ir::Function& fn,
+                            SwitchConstraints c = SwitchConstraints{}) {
+  Partitioner p(fn, c);
+  auto plan = p.Run();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
+}
+
+TEST(PartitionerMiniLb, ReproducesFigure4) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  const ir::Function& fn = *spec->fn;
+  const PartitionPlan plan = MustPartition(fn);
+
+  // The map lookup is offloaded into the pre-processing partition.
+  const ir::InstId find = FindInst(fn, Opcode::kMapGet, "map");
+  ASSERT_NE(find, ir::kInvalidInst);
+  EXPECT_EQ(plan.PartOf(find), Part::kPre);
+
+  // The insert and the modulo-based backend selection stay on the server.
+  const ir::InstId insert = FindInst(fn, Opcode::kMapPut, "map");
+  ASSERT_NE(insert, ir::kInvalidInst);
+  EXPECT_EQ(plan.PartOf(insert), Part::kNonOffloaded);
+  const ir::InstId vec_get = FindInst(fn, Opcode::kVectorGet, "backends");
+  ASSERT_NE(vec_get, ir::kInvalidInst);
+  EXPECT_EQ(plan.PartOf(vec_get), Part::kNonOffloaded);
+
+  // The xor hash and key computation run in pre-processing.
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op == Opcode::kAlu && inst.alu == AluOp::kXor) {
+        EXPECT_EQ(plan.PartOf(inst.id), Part::kPre) << "hash32 must be pre";
+      }
+      if (inst.op == Opcode::kAlu && inst.alu == AluOp::kMod) {
+        EXPECT_EQ(plan.PartOf(inst.id), Part::kNonOffloaded)
+            << "modulo is not P4-expressible";
+      }
+    }
+  }
+
+  // Two sends: the fast-path one is pre, the slow-path one is post
+  // (it consumes the server-chosen backend).
+  const auto sends = FindAll(fn, Opcode::kSend);
+  ASSERT_EQ(sends.size(), 2u);
+  std::set<Part> send_parts{plan.PartOf(sends[0]), plan.PartOf(sends[1])};
+  EXPECT_TRUE(send_parts.count(Part::kPre));
+  EXPECT_TRUE(send_parts.count(Part::kPost));
+
+  // The connection map is replicated (switch reads, server inserts);
+  // the backend vector is server-only.
+  const auto& placement = plan.state_placement;
+  const ir::StateRef map_ref{ir::StateRef::Kind::kMap, 0};
+  ASSERT_TRUE(placement.count(map_ref));
+  EXPECT_EQ(placement.at(map_ref), partition::StatePlacement::kReplicated);
+
+  // Transfer header: the branch condition crosses as a bit, hash-derived
+  // values as variables; everything fits in the paper's 20-byte budget.
+  EXPECT_GE(plan.to_server.cond_regs.size(), 1u);
+  EXPECT_LE(plan.to_server.Bytes(fn), 20);
+  EXPECT_LE(plan.to_switch.Bytes(fn), 20);
+}
+
+TEST(PartitionerMiniLb, OffloadsMajorityOfStatements) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  const PartitionPlan plan = MustPartition(*spec->fn);
+  EXPECT_GT(plan.num_pre, 0);
+  EXPECT_GT(plan.num_non_offloaded, 0);
+  EXPECT_GT(plan.num_post, 0);
+  // Most statements leave the server.
+  EXPECT_GT(plan.num_pre + plan.num_post, plan.num_non_offloaded);
+}
+
+TEST(PartitionerRules, LoopBodyIsNeverOffloaded) {
+  MiddleboxBuilder mb("looper");
+  auto vec = mb.DeclareVector("items", Width::kU16, 64);
+  auto matched = mb.DeclareGlobal("matched", Width::kU32, 0);
+  auto& b = mb.b();
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+  const ir::Reg i0 = b.Assign(Imm(0), Width::kU32, "i");
+  // while (i < items.size()) { if (items[i] == dport) matched++; i++; }
+  mb.While(
+      [&] {
+        const ir::Reg n = vec.Size();
+        return R(b.Alu(AluOp::kLt, R(i0), R(n), "cont"));
+      },
+      [&] {
+        const ir::Reg item = vec.At(R(i0));
+        const ir::Reg eq = b.Alu(AluOp::kEq, R(item), R(dport), "eq");
+        mb.If(R(eq), [&] {
+          const ir::Reg m = matched.Read();
+          matched.Write(R(b.Alu(AluOp::kAdd, R(m), Imm(1), Width::kU32)));
+        });
+        // i is intentionally re-assigned through a fresh register write to
+        // the same storage: model the increment as a global-free cycle by
+        // overwriting i0 via a second Assign to the same register is not
+        // expressible; instead the loop naturally self-depends through
+        // `matched` and the loop branch.
+      });
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+
+  const PartitionPlan plan = MustPartition(**fn);
+  // Everything inside the loop must be non-offloaded (rule 5).
+  const ir::Function& f = **fn;
+  analysis::CfgInfo cfg(f);
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (cfg.InLoop(inst.id) && !inst.IsTerminator()) {
+        EXPECT_EQ(plan.PartOf(inst.id), Part::kNonOffloaded)
+            << "loop statement " << inst.id << " must stay on the server";
+      }
+    }
+  }
+}
+
+TEST(PartitionerRules, UnsupportedAncestorRemovesPreFromDependents) {
+  MiddleboxBuilder mb("chain");
+  auto& b = mb.b();
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  // mod is not P4-supported; everything downstream of it loses "pre".
+  const ir::Reg m = b.Alu(AluOp::kMod, R(saddr), Imm(7), Width::kU32, "m");
+  const ir::Reg plus = b.Alu(AluOp::kAdd, R(m), Imm(1), Width::kU32, "plus");
+  b.HeaderWrite(HeaderField::kIpDst, R(plus));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  const PartitionPlan plan = MustPartition(**fn);
+  const ir::InstId mod_id = FindInst(**fn, Opcode::kAlu);  // first ALU is mod
+  EXPECT_EQ(plan.PartOf(mod_id), Part::kNonOffloaded);
+  // The add depends on mod, so it cannot be pre; it lands in post.
+  bool found_add = false;
+  for (const auto& bb : (*fn)->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op == Opcode::kAlu && inst.alu == AluOp::kAdd) {
+        EXPECT_EQ(plan.PartOf(inst.id), Part::kPost);
+        found_add = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_add);
+}
+
+TEST(PartitionerRules, SingleAccessPerStateOnSwitch) {
+  // Two offloadable lookups of the same map force the partitioner to keep
+  // only one on the switch (Constraint 3).
+  MiddleboxBuilder mb("double_lookup");
+  auto map = mb.DeclareMap("m", {Width::kU16}, {Width::kU32}, 1024);
+  auto& b = mb.b();
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+  const auto r1 = map.Find({R(sport)}, "first");
+  const auto r2 = map.Find({R(dport)}, "second");
+  const ir::Reg sum =
+      b.Alu(AluOp::kAdd, R(r1.values[0]), R(r2.values[0]), Width::kU32, "sum");
+  b.HeaderWrite(HeaderField::kIpDst, R(sum));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  const PartitionPlan plan = MustPartition(**fn);
+  int on_switch = 0;
+  for (const auto& bb : (*fn)->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op == Opcode::kMapGet && plan.OnSwitch(inst.id)) ++on_switch;
+    }
+  }
+  EXPECT_LE(on_switch, 1);
+}
+
+TEST(PartitionerConstraints, PipelineDepthForcesLongChainsOff) {
+  MiddleboxBuilder mb("deep_chain");
+  auto& b = mb.b();
+  ir::Reg v = b.HeaderRead(HeaderField::kIpSrc, "v0");
+  for (int i = 0; i < 30; ++i) {
+    v = b.Alu(AluOp::kAdd, R(v), Imm(i + 1), Width::kU32,
+              "v" + std::to_string(i + 1));
+  }
+  b.HeaderWrite(HeaderField::kIpDst, R(v));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  SwitchConstraints c;
+  c.pipeline_depth = 8;
+  const PartitionPlan plan = MustPartition(**fn, c);
+  // The chain is longer than the pipeline; some of it must fall back to the
+  // server.
+  EXPECT_GT(plan.num_non_offloaded, 0);
+}
+
+TEST(PartitionerConstraints, MemoryCapEvictsLargeTables) {
+  MiddleboxBuilder mb("big_table");
+  auto map = mb.DeclareMap("huge", {Width::kU32}, {Width::kU32},
+                           /*max_entries=*/1 << 20);  // ~12 MB
+  auto& b = mb.b();
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  const auto r = map.Find({R(saddr)});
+  b.HeaderWrite(HeaderField::kIpDst, R(r.values[0]));
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  SwitchConstraints c;
+  c.memory_bytes = 1024;  // far too small for the table
+  const PartitionPlan plan = MustPartition(**fn, c);
+  const ir::InstId find = FindInst(**fn, Opcode::kMapGet);
+  EXPECT_EQ(plan.PartOf(find), Part::kNonOffloaded);
+}
+
+TEST(PartitionerConstraints, TransferCapMovesCodeToServer) {
+  // Many independent pre-computed values all consumed by a server-only
+  // statement would exceed the 20-byte transfer budget; the partitioner
+  // must demote producers until the header fits.
+  MiddleboxBuilder mb("wide_transfer");
+  auto sink = mb.DeclareMap("sink", {Width::kU32}, {Width::kU32}, 0);  // server
+  auto& b = mb.b();
+  std::vector<ir::Value> vals;
+  const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+  ir::Reg acc = saddr;
+  for (int i = 0; i < 10; ++i) {
+    const ir::Reg r = b.Alu(AluOp::kAdd, R(saddr), Imm(i), Width::kU32,
+                            "w" + std::to_string(i));
+    // Each value is consumed on the server through the sink map insert.
+    sink.Insert({R(r)}, {R(acc)});
+    acc = r;
+  }
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  const PartitionPlan plan = MustPartition(**fn);
+  EXPECT_LE(plan.to_server.Bytes(**fn), 20);
+  EXPECT_LE(plan.to_switch.Bytes(**fn), 20);
+}
+
+TEST(PartitionerAllMiddleboxes, PlansAreValidAndOffloadFastPaths) {
+  for (const auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    SCOPED_TRACE(spec.name);
+    const PartitionPlan plan = MustPartition(*spec.fn);
+    EXPECT_GT(plan.num_pre, 0) << "no pre-processing offload for "
+                               << spec.name;
+    // Every map lookup that the paper says lands on the switch does.
+    if (spec.name == "firewall" || spec.name == "proxy") {
+      EXPECT_EQ(plan.num_non_offloaded, 0)
+          << spec.name << " should be fully offloaded\n"
+          << plan.Summary(*spec.fn);
+    }
+    EXPECT_LE(plan.to_server.Bytes(*spec.fn), 20);
+    EXPECT_LE(plan.to_switch.Bytes(*spec.fn), 20);
+  }
+}
+
+
+TEST(PartitionerObjective, WeightedKeepsTableLookupsUnderPressure) {
+  // Six 32-bit values must cross to the server (24 bytes > the 20-byte
+  // cap), so the greedy refinement demotes producers. Under the paper's
+  // statement-count objective the victim at equal depth is id-ordered and
+  // the table lookup goes first; under the weighted objective (§7) the
+  // cheap ALU results are sacrificed and the lookup stays offloaded.
+  auto build = [] {
+    MiddleboxBuilder mb("pressure");
+    auto m = mb.DeclareMap("m", {Width::kU32}, {Width::kU32}, 1024);
+    auto sink = mb.DeclareMap(
+        "sink",
+        {Width::kU32, Width::kU32, Width::kU32, Width::kU32, Width::kU32,
+         Width::kU32},
+        {Width::kU8}, /*max_entries=*/0);  // unannotated -> server only
+    auto& b = mb.b();
+    const ir::Reg saddr = b.HeaderRead(HeaderField::kIpSrc, "saddr");
+    const auto lk = m.Find({R(saddr)}, "lk");
+    std::vector<ir::Value> vals = {R(lk.values[0])};
+    for (int i = 0; i < 5; ++i) {
+      vals.push_back(R(b.Alu(AluOp::kAdd, R(saddr), Imm(i + 1), Width::kU32,
+                             "v" + std::to_string(i))));
+    }
+    b.MapPut(sink.index(), std::span<const ir::Value>(vals),
+             std::initializer_list<ir::Value>{Imm(1)});
+    b.Send(Imm(1));
+    return std::move(mb).Finish();
+  };
+
+  auto fn_count = build();
+  auto fn_weighted = build();
+  ASSERT_TRUE(fn_count.ok() && fn_weighted.ok());
+
+  SwitchConstraints count_c;
+  count_c.objective = partition::OffloadObjective::kStatementCount;
+  const PartitionPlan count_plan = MustPartition(**fn_count, count_c);
+
+  SwitchConstraints weighted_c;
+  weighted_c.objective = partition::OffloadObjective::kWeightedCycles;
+  const PartitionPlan weighted_plan = MustPartition(**fn_weighted, weighted_c);
+
+  const ir::InstId lookup = FindInst(**fn_weighted, Opcode::kMapGet, "m");
+  ASSERT_NE(lookup, ir::kInvalidInst);
+  EXPECT_TRUE(weighted_plan.OnSwitch(lookup))
+      << "the weighted objective must protect the table lookup\n"
+      << weighted_plan.Summary(**fn_weighted);
+
+  // Both plans respect the cap; the weighted one retains at least as much
+  // offload benefit.
+  EXPECT_LE(count_plan.to_server.Bytes(**fn_count), 20);
+  EXPECT_LE(weighted_plan.to_server.Bytes(**fn_weighted), 20);
+  partition::OffloadWeights weights;
+  auto total_weight = [&](const ir::Function& fn, const PartitionPlan& plan) {
+    int w = 0;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& inst : bb.insts) {
+        if (!inst.IsTerminator() && plan.OnSwitch(inst.id)) {
+          w += weights.WeightOf(inst);
+        }
+      }
+    }
+    return w;
+  };
+  EXPECT_GE(total_weight(**fn_weighted, weighted_plan),
+            total_weight(**fn_count, count_plan));
+}
+
+TEST(PartitionerObjective, WeightsReflectOperationKinds) {
+  partition::OffloadWeights weights;
+  ir::Instruction map_get;
+  map_get.op = Opcode::kMapGet;
+  ir::Instruction alu;
+  alu.op = Opcode::kAlu;
+  ir::Instruction hdr;
+  hdr.op = Opcode::kHeaderRead;
+  EXPECT_GT(weights.WeightOf(map_get), weights.WeightOf(hdr));
+  EXPECT_GT(weights.WeightOf(hdr), weights.WeightOf(alu));
+}
+
+TEST(PartitionerObjective, WeightedObjectiveStaysEquivalentOnPaperMboxes) {
+  for (const auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    SCOPED_TRACE(spec.name);
+    SwitchConstraints c;
+    c.objective = partition::OffloadObjective::kWeightedCycles;
+    const PartitionPlan plan = MustPartition(*spec.fn, c);
+    EXPECT_GT(plan.num_pre, 0);
+    EXPECT_LE(plan.to_server.Bytes(*spec.fn), 20);
+  }
+}
+
+
+TEST(PartitionerRules, ExhaustiveSearchKeepsTheRicherAccess) {
+  // One map, two lookups. Keeping lookup A on the switch lets a long chain
+  // of dependent ALU statements stay offloaded; keeping lookup B strands
+  // them on the server. The §4.2.2 exhaustive search must choose A.
+  MiddleboxBuilder mb("placement_choice");
+  auto map = mb.DeclareMap("m", {Width::kU16}, {Width::kU32}, 1024);
+  auto& b = mb.b();
+  const ir::Reg sport = b.HeaderRead(HeaderField::kSrcPort, "sport");
+  const ir::Reg dport = b.HeaderRead(HeaderField::kDstPort, "dport");
+
+  // Lookup A: a rich dependent chain.
+  const auto a = map.Find({R(sport)}, "rich");
+  ir::Reg v = a.values[0];
+  for (int i = 0; i < 6; ++i) {
+    v = b.Alu(AluOp::kAdd, R(v), Imm(i + 1), Width::kU32,
+              "chain" + std::to_string(i));
+  }
+  b.HeaderWrite(HeaderField::kIpDst, R(v));
+
+  // Lookup B: result barely used.
+  const auto bb = map.Find({R(dport)}, "poor");
+  b.HeaderWrite(HeaderField::kEthType, R(bb.values[0]));
+
+  b.Send(Imm(1));
+  auto fn = std::move(mb).Finish();
+  ASSERT_TRUE(fn.ok());
+
+  const PartitionPlan plan = MustPartition(**fn);
+  const ir::InstId rich = FindInst(**fn, Opcode::kMapGet);
+  ASSERT_NE(rich, ir::kInvalidInst);
+  EXPECT_TRUE(plan.OnSwitch(rich))
+      << "the placement search must keep the lookup that unlocks the chain\n"
+      << plan.Summary(**fn);
+  // And the chain itself stays offloaded.
+  int offloaded_adds = 0;
+  for (const auto& blk : (*fn)->blocks()) {
+    for (const auto& inst : blk.insts) {
+      if (inst.op == Opcode::kAlu && inst.alu == AluOp::kAdd &&
+          plan.OnSwitch(inst.id)) {
+        ++offloaded_adds;
+      }
+    }
+  }
+  EXPECT_GE(offloaded_adds, 6);
+}
+
+}  // namespace
+}  // namespace gallium

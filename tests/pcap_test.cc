@@ -1,0 +1,135 @@
+// pcap writer/reader tests: byte-exact round trips, endianness handling,
+// robustness to truncation, and interop of generated traces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/packet_gen.h"
+#include "workload/pcap.h"
+
+namespace gallium::workload {
+namespace {
+
+TEST(Pcap, HeaderIsClassicEthernet) {
+  const auto bytes = WritePcap({});
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(bytes[0], 0xd4);  // little-endian 0xa1b2c3d4
+  EXPECT_EQ(bytes[1], 0xc3);
+  EXPECT_EQ(bytes[2], 0xb2);
+  EXPECT_EQ(bytes[3], 0xa1);
+  EXPECT_EQ(bytes[20], 1);  // LINKTYPE_ETHERNET
+}
+
+TEST(Pcap, RoundTripsPacketsAndTimestamps) {
+  Rng rng(42);
+  std::vector<net::Packet> packets;
+  std::vector<uint64_t> timestamps;
+  for (int i = 0; i < 20; ++i) {
+    packets.push_back(net::MakeTcpPacket(RandomFlow(rng),
+                                         net::kTcpAck, rng.NextBounded(500)));
+    timestamps.push_back(1000000ull * i + rng.NextBounded(1000000));
+  }
+
+  const auto bytes = WritePcap(packets, timestamps);
+  int skipped = -1;
+  auto read = ReadPcap(bytes, &skipped);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(skipped, 0);
+  ASSERT_EQ(read->size(), packets.size());
+  for (size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ((*read)[i].timestamp_us, timestamps[i]);
+    EXPECT_EQ((*read)[i].packet.five_tuple(), packets[i].five_tuple());
+    EXPECT_EQ((*read)[i].packet.payload(), packets[i].payload());
+  }
+}
+
+TEST(Pcap, DefaultTimestampsAreSequential) {
+  Rng rng(43);
+  std::vector<net::Packet> packets = {
+      net::MakeTcpPacket(RandomFlow(rng), net::kTcpSyn, 0),
+      net::MakeTcpPacket(RandomFlow(rng), net::kTcpSyn, 0)};
+  auto read = ReadPcap(WritePcap(packets));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ((*read)[0].timestamp_us, 0u);
+  EXPECT_EQ((*read)[1].timestamp_us, 1u);
+}
+
+TEST(Pcap, RejectsBadMagicAndTruncation) {
+  EXPECT_FALSE(ReadPcap(std::vector<uint8_t>(10, 0)).ok());
+  std::vector<uint8_t> bad(24, 0);
+  bad[0] = 0xde;
+  EXPECT_FALSE(ReadPcap(bad).ok());
+
+  // Truncated record.
+  Rng rng(44);
+  auto bytes = WritePcap({net::MakeTcpPacket(RandomFlow(rng), 0, 100)});
+  bytes.resize(bytes.size() - 10);
+  EXPECT_FALSE(ReadPcap(bytes).ok());
+}
+
+TEST(Pcap, SkipsUnparseableFramesWithoutFailing) {
+  Rng rng(45);
+  auto bytes = WritePcap({net::MakeTcpPacket(RandomFlow(rng), 0, 50),
+                          net::MakeTcpPacket(RandomFlow(rng), 0, 50)});
+  // Corrupt the first frame's EtherType (offset: 24 global + 16 record
+  // header + 12 into the frame).
+  bytes[24 + 16 + 12] = 0x86;
+  bytes[24 + 16 + 13] = 0xdd;
+  int skipped = 0;
+  auto read = ReadPcap(bytes, &skipped);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(skipped, 1);
+  EXPECT_EQ(read->size(), 1u);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  Rng rng(46);
+  TraceOptions options;
+  options.num_flows = 5;
+  const Trace trace = MakeTrace(rng, options);
+
+  const std::string path = ::testing::TempDir() + "/gallium_trace.pcap";
+  ASSERT_TRUE(WritePcapFile(path, trace.packets).ok());
+  auto read = ReadPcapFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->size(), trace.packets.size());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadsByteSwappedCaptures) {
+  // Hand-build a big-endian capture containing one minimal packet.
+  Rng rng(47);
+  const net::Packet pkt = net::MakeTcpPacket(RandomFlow(rng), 0, 10);
+  const auto frame = pkt.Serialize();
+  std::vector<uint8_t> bytes;
+  auto put_be32 = [&](uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+      bytes.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  };
+  auto put_be16 = [&](uint16_t v) {
+    bytes.push_back(static_cast<uint8_t>(v >> 8));
+    bytes.push_back(static_cast<uint8_t>(v & 0xff));
+  };
+  put_be32(0xa1b2c3d4);  // written big-endian == "swapped" on read
+  put_be16(2);
+  put_be16(4);
+  put_be32(0);
+  put_be32(0);
+  put_be32(65535);
+  put_be32(1);
+  put_be32(7);                                    // ts sec
+  put_be32(9);                                    // ts usec
+  put_be32(static_cast<uint32_t>(frame.size()));  // cap len
+  put_be32(static_cast<uint32_t>(frame.size()));  // orig len
+  bytes.insert(bytes.end(), frame.begin(), frame.end());
+
+  auto read = ReadPcap(bytes);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ((*read)[0].timestamp_us, 7000009u);
+  EXPECT_EQ((*read)[0].packet.five_tuple(), pkt.five_tuple());
+}
+
+}  // namespace
+}  // namespace gallium::workload

@@ -1,0 +1,135 @@
+// Plan-regression pins: the exact partition shapes of the five paper
+// middleboxes. These are intentionally brittle — any change to the
+// partitioning algorithm that silently shifts statements between the switch
+// and the server must be reviewed against §6.2's description, not slip by.
+#include <gtest/gtest.h>
+
+#include "mbox/middleboxes.h"
+#include "partition/partitioner.h"
+
+namespace gallium::partition {
+namespace {
+
+struct PlanShape {
+  int pre, server, post;
+  int to_server_bytes, to_switch_bytes;
+};
+
+PlanShape ShapeOf(const mbox::MiddleboxSpec& spec) {
+  Partitioner partitioner(*spec.fn, {});
+  auto plan = partitioner.Run();
+  EXPECT_TRUE(plan.ok());
+  return PlanShape{plan->num_pre, plan->num_non_offloaded, plan->num_post,
+                   plan->to_server.Bytes(*spec.fn),
+                   plan->to_switch.Bytes(*spec.fn)};
+}
+
+TEST(PlanRegression, MazuNat) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  const PlanShape shape = ShapeOf(*spec);
+  EXPECT_EQ(shape.pre, 21);
+  EXPECT_EQ(shape.server, 3);  // counter bump + two table installs
+  EXPECT_EQ(shape.post, 1);
+  EXPECT_LE(shape.to_server_bytes, 20);
+}
+
+TEST(PlanRegression, LoadBalancer) {
+  auto spec = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec.ok());
+  const PlanShape shape = ShapeOf(*spec);
+  EXPECT_EQ(shape.pre, 21);
+  EXPECT_EQ(shape.server, 9);  // hash chain, backend pick, installs, GC
+  EXPECT_EQ(shape.post, 3);
+}
+
+TEST(PlanRegression, FirewallFullyOffloaded) {
+  auto spec = mbox::BuildFirewall();
+  ASSERT_TRUE(spec.ok());
+  const PlanShape shape = ShapeOf(*spec);
+  EXPECT_EQ(shape.server, 0);
+  EXPECT_EQ(shape.post, 0);
+  EXPECT_EQ(shape.to_server_bytes, 0);
+}
+
+TEST(PlanRegression, ProxyFullyOffloaded) {
+  auto spec = mbox::BuildProxy();
+  ASSERT_TRUE(spec.ok());
+  const PlanShape shape = ShapeOf(*spec);
+  EXPECT_EQ(shape.server, 0);
+  EXPECT_EQ(shape.post, 0);
+}
+
+TEST(PlanRegression, TrojanDetector) {
+  auto spec = mbox::BuildTrojanDetector();
+  ASSERT_TRUE(spec.ok());
+  const PlanShape shape = ShapeOf(*spec);
+  EXPECT_EQ(shape.pre, 22);
+  EXPECT_EQ(shape.server, 10);  // DPI + state-machine updates
+  EXPECT_EQ(shape.post, 7);
+  // The return header is condition bits only (Fig. 5 shape).
+  EXPECT_LE(shape.to_switch_bytes, 2);
+}
+
+// Replicable-read analysis (the "re-parse headers on the server" rule):
+// a header read is only re-executable when no later write can clobber it.
+TEST(Replicable, NatSourceFieldsAreNotReplicable) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  Partitioner partitioner(*spec->fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+  for (const auto& bb : spec->fn->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op != ir::Opcode::kHeaderRead) continue;
+      const bool replicable = plan->replicable[inst.id];
+      switch (inst.field) {
+        case ir::HeaderField::kIpSrc:     // NAT rewrites ip.saddr
+        case ir::HeaderField::kSrcPort:   // and the source port
+        case ir::HeaderField::kIpDst:     // and (inbound) ip.daddr
+        case ir::HeaderField::kDstPort:
+          EXPECT_FALSE(replicable)
+              << ir::HeaderFieldName(inst.field) << " is rewritten later";
+          break;
+        case ir::HeaderField::kIngressPort:
+          EXPECT_FALSE(replicable) << "ingress port is not re-derivable";
+          break;
+        default:
+          EXPECT_TRUE(replicable) << ir::HeaderFieldName(inst.field);
+      }
+    }
+  }
+}
+
+TEST(Replicable, TrojanReadsAllReplicable) {
+  // The trojan detector rewrites no header fields, so every header read can
+  // re-execute anywhere — that is why its transfer header is bits-only.
+  auto spec = mbox::BuildTrojanDetector();
+  ASSERT_TRUE(spec.ok());
+  Partitioner partitioner(*spec->fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+  for (const auto& bb : spec->fn->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.op == ir::Opcode::kHeaderRead) {
+        EXPECT_TRUE(plan->replicable[inst.id])
+            << ir::HeaderFieldName(inst.field);
+      }
+    }
+  }
+  EXPECT_TRUE(plan->to_server.var_regs.empty());
+}
+
+TEST(PlanRegression, PipelineStagesWithinDefaultDepth) {
+  for (const auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    Partitioner partitioner(*spec.fn, {});
+    auto plan = partitioner.Run();
+    ASSERT_TRUE(plan.ok()) << spec.name;
+    EXPECT_LE(plan->pipeline_stages_used, SwitchConstraints{}.pipeline_depth)
+        << spec.name;
+    EXPECT_GT(plan->pipeline_stages_used, 0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace gallium::partition

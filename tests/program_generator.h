@@ -1,0 +1,206 @@
+// Shared random middlebox-program generator for property/fuzz tests.
+//
+// Builds structured, verifiable programs with random state declarations
+// (annotated and unannotated maps, vectors, globals), random ALU / header /
+// payload / time operations (P4-supported and not), nested branches, and
+// early send/drop exits. Deterministic per seed.
+#pragma once
+
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "util/rng.h"
+
+namespace gallium::testing {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Reg;
+using ir::Value;
+using ir::Width;
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(uint64_t seed) : rng_(seed) {}
+
+  Result<mbox::MiddleboxSpec> Generate() {
+    MiddleboxBuilder mb("fuzz");
+    mb_ = &mb;
+
+    // --- Random state declarations ------------------------------------------
+    const int num_maps = 1 + static_cast<int>(rng_.NextBounded(3));
+    for (int m = 0; m < num_maps; ++m) {
+      const int nkeys = 1 + static_cast<int>(rng_.NextBounded(3));
+      std::vector<Width> keys, values;
+      for (int k = 0; k < nkeys; ++k) keys.push_back(RandomWidth());
+      const int nvals = 1 + static_cast<int>(rng_.NextBounded(2));
+      for (int v = 0; v < nvals; ++v) values.push_back(RandomWidth());
+      // Half the maps are annotated (offloadable), half not.
+      const uint64_t max_entries = rng_.NextBool(0.5) ? 4096 : 0;
+      maps_.push_back(mb.DeclareMap("map" + std::to_string(m), keys, values,
+                                    max_entries));
+      map_keys_.push_back(nkeys);
+    }
+    if (rng_.NextBool(0.6)) {
+      vectors_.push_back(mb.DeclareVector("vec0", Width::kU32, 16));
+    }
+    const int num_globals = static_cast<int>(rng_.NextBounded(3));
+    for (int g = 0; g < num_globals; ++g) {
+      globals_.push_back(mb.DeclareGlobal("g" + std::to_string(g),
+                                          Width::kU32, rng_.NextBounded(100)));
+    }
+    pattern_ = mb.DeclarePattern("FUZZ");
+
+    // --- Body -------------------------------------------------------------------
+    std::vector<Reg> scope;
+    // Seed the register pool with a few header reads.
+    for (HeaderField f : {HeaderField::kIpSrc, HeaderField::kIpDst,
+                          HeaderField::kSrcPort, HeaderField::kDstPort}) {
+      scope.push_back(mb.b().HeaderRead(f));
+    }
+    EmitBlock(scope, /*depth=*/0);
+    if (!mb.CurrentBlockTerminated()) {
+      mb.b().Send(Imm(1));
+    }
+
+    mbox::MiddleboxSpec spec;
+    spec.name = "fuzz";
+    GALLIUM_ASSIGN_OR_RETURN(spec.fn, std::move(mb).Finish());
+    if (!vectors_.empty()) {
+      spec.init.vectors.push_back({vectors_[0].index(), {10, 20, 30, 40}});
+    }
+    return spec;
+  }
+
+ private:
+  Width RandomWidth() {
+    static const Width kWidths[] = {Width::kU8, Width::kU16, Width::kU32};
+    return kWidths[rng_.NextBounded(3)];
+  }
+
+  Value RandomValue(const std::vector<Reg>& scope) {
+    if (!scope.empty() && rng_.NextBool(0.7)) {
+      return R(scope[rng_.NextBounded(scope.size())]);
+    }
+    return Imm(rng_.NextBounded(1 << 16));
+  }
+
+  // Emits 3-8 statements into the current block; may recurse into branches.
+  void EmitBlock(std::vector<Reg> scope, int depth) {
+    auto& b = mb_->b();
+    const int n = 3 + static_cast<int>(rng_.NextBounded(6));
+    for (int i = 0; i < n; ++i) {
+      switch (rng_.NextBounded(depth < 2 ? 9 : 8)) {
+        case 0:  // header read
+          scope.push_back(b.HeaderRead(static_cast<HeaderField>(
+              rng_.NextBounded(ir::kNumHeaderFields))));
+          break;
+        case 1: {  // ALU (mix of offloadable and not)
+          static const AluOp kOps[] = {AluOp::kAdd, AluOp::kSub, AluOp::kXor,
+                                       AluOp::kAnd, AluOp::kOr,  AluOp::kShr,
+                                       AluOp::kEq,  AluOp::kLt,  AluOp::kMod,
+                                       AluOp::kMul, AluOp::kHash};
+          scope.push_back(b.Alu(kOps[rng_.NextBounded(11)],
+                                RandomValue(scope), RandomValue(scope)));
+          break;
+        }
+        case 2: {  // map lookup
+          const size_t m = rng_.NextBounded(maps_.size());
+          std::vector<Value> keys;
+          for (int k = 0; k < map_keys_[m]; ++k) {
+            keys.push_back(RandomValue(scope));
+          }
+          const auto result =
+              mb_->b().MapGet(maps_[m].index(), keys,
+                              "lk" + std::to_string(next_name_++));
+          scope.push_back(result.found);
+          for (Reg v : result.values) scope.push_back(v);
+          break;
+        }
+        case 3: {  // map insert or erase
+          const size_t m = rng_.NextBounded(maps_.size());
+          const auto& decl = mb_->fn().map(maps_[m].index());
+          std::vector<Value> keys, values;
+          for (size_t k = 0; k < decl.key_widths.size(); ++k) {
+            keys.push_back(RandomValue(scope));
+          }
+          if (rng_.NextBool(0.8)) {
+            for (size_t v = 0; v < decl.value_widths.size(); ++v) {
+              values.push_back(RandomValue(scope));
+            }
+            b.MapPut(maps_[m].index(), keys, values);
+          } else {
+            b.MapDel(maps_[m].index(), keys);
+          }
+          break;
+        }
+        case 4: {  // header write (parse-steering fields excluded: rewriting
+                   // ip.proto or eth.type would make the packet unparseable
+                   // in flight, which no real middlebox does)
+          static const HeaderField kWritable[] = {
+              HeaderField::kEthSrc, HeaderField::kEthDst,
+              HeaderField::kIpSrc,  HeaderField::kIpDst,
+              HeaderField::kIpTtl,  HeaderField::kSrcPort,
+              HeaderField::kDstPort, HeaderField::kTcpSeq,
+              HeaderField::kTcpAck, HeaderField::kTcpFlags};
+          b.HeaderWrite(kWritable[rng_.NextBounded(10)], RandomValue(scope));
+          break;
+        }
+        case 5:  // global traffic
+          if (!globals_.empty()) {
+            const auto& g = globals_[rng_.NextBounded(globals_.size())];
+            if (rng_.NextBool(0.5)) {
+              scope.push_back(g.Read());
+            } else {
+              g.Write(RandomValue(scope));
+            }
+          }
+          break;
+        case 6:  // vector / payload / time
+          if (!vectors_.empty() && rng_.NextBool(0.5)) {
+            scope.push_back(vectors_[0].At(RandomValue(scope)));
+          } else if (rng_.NextBool(0.5)) {
+            scope.push_back(b.PayloadMatch(pattern_));
+          } else {
+            scope.push_back(b.TimeRead());
+          }
+          break;
+        case 7: {  // early exit in a branch
+          if (scope.empty()) break;
+          const Value cond = R(scope[rng_.NextBounded(scope.size())]);
+          mb_->If(cond, [&] {
+            if (rng_.NextBool(0.7)) {
+              b.Send(Imm(rng_.NextBounded(4)));
+            } else {
+              b.Drop();
+            }
+            b.Ret();
+          });
+          break;
+        }
+        case 8: {  // nested if/else with recursive bodies
+          if (scope.empty()) break;
+          const Value cond = R(scope[rng_.NextBounded(scope.size())]);
+          mb_->IfElse(
+              cond, [&] { EmitBlock(scope, depth + 1); },
+              [&] { EmitBlock(scope, depth + 1); });
+          break;
+        }
+      }
+    }
+  }
+
+  Rng rng_;
+  MiddleboxBuilder* mb_ = nullptr;
+  std::vector<frontend::HashMapHandle> maps_;
+  std::vector<int> map_keys_;
+  std::vector<frontend::VectorHandle> vectors_;
+  std::vector<frontend::GlobalHandle> globals_;
+  uint32_t pattern_ = 0;
+  int next_name_ = 0;
+};
+
+
+}  // namespace gallium::testing

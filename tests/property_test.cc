@@ -1,0 +1,268 @@
+// Property-based testing: randomly generated middlebox programs are pushed
+// through the whole pipeline and must uphold the paper's three goals:
+//
+//  1. Functional equivalence — the offloaded deployment produces exactly
+//     the software baseline's verdicts, header rewrites, and state.
+//  2. Constraint conformance — every partition plan satisfies the resource
+//     constraints and dependency ordering (checked by VerifyPlan + here).
+//  3. Concurrency safety — replicated switch state equals the server's
+//     authoritative copy after every packet (atomic update + output commit).
+//
+// The generator builds structured, verifiable programs with random state
+// declarations (annotated and unannotated maps, vectors, globals), random
+// ALU/header/payload/time operations (P4-supported and not), nested
+// branches, and early send/drop exits.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "frontend/middlebox_builder.h"
+#include "mbox/middleboxes.h"
+#include "runtime/offloaded_middlebox.h"
+#include "runtime/software_middlebox.h"
+#include "workload/packet_gen.h"
+
+#include "program_generator.h"
+
+namespace gallium {
+namespace {
+
+using frontend::MiddleboxBuilder;
+using ir::AluOp;
+using ir::HeaderField;
+using ir::Imm;
+using ir::R;
+using ir::Reg;
+using ir::Value;
+using ir::Width;
+
+using testing::ProgramGenerator;
+
+std::string HeadersOf(const net::Packet& pkt) {
+  return pkt.ToString() + " eth=" + pkt.eth().dst.ToString() + "/" +
+         pkt.eth().src.ToString() +
+         " src=" + net::Ipv4ToString(pkt.ip().saddr) +
+         " dst=" + net::Ipv4ToString(pkt.ip().daddr) +
+         " ttl=" + std::to_string(pkt.ip().ttl);
+}
+
+class RandomProgramEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramEquivalence, OffloadedMatchesBaseline) {
+  ProgramGenerator gen_a(GetParam());
+  ProgramGenerator gen_b(GetParam());
+  auto spec_a = gen_a.Generate();
+  auto spec_b = gen_b.Generate();
+  ASSERT_TRUE(spec_a.ok()) << spec_a.status().ToString();
+  ASSERT_TRUE(spec_b.ok());
+
+  // Goal 2: the plan must exist and satisfy all constraints (VerifyPlan
+  // runs inside Partitioner::Run).
+  runtime::SoftwareMiddlebox software(*spec_a);
+  auto offloaded = runtime::OffloadedMiddlebox::Create(*spec_b);
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+
+  // Dependency ordering invariant on top of VerifyPlan: no statement may be
+  // assigned to an earlier partition than anything it depends on.
+  const auto& plan = (*offloaded)->plan();
+  {
+    partition::Partitioner partitioner(*spec_a->fn, {});
+    analysis::DependencyGraph deps(*spec_a->fn,
+                                   analysis::CfgInfo(*spec_a->fn));
+    auto rank = [&](ir::InstId s) {
+      return plan.assignment[s] == partition::Part::kPre           ? 0
+             : plan.assignment[s] == partition::Part::kNonOffloaded ? 1
+                                                                     : 2;
+    };
+    for (const auto& edge : deps.edges()) {
+      if (edge.from == edge.to) continue;
+      const ir::Instruction* from = spec_a->fn->Find(edge.from);
+      if (from != nullptr && from->op == ir::Opcode::kBranch) continue;
+      EXPECT_LE(rank(edge.from), rank(edge.to))
+          << "dependency inversion in random program, seed " << GetParam();
+    }
+  }
+
+  // Goal 1 + 3: run random traffic through both deployments.
+  Rng traffic_rng(GetParam() * 31 + 7);
+  workload::TraceOptions options;
+  options.num_flows = 25;
+  options.min_flow_bytes = 100;
+  options.max_flow_bytes = 20000;
+  options.marked_fraction = 0.25;
+  options.marker = "FUZZ";
+  const workload::Trace trace = workload::MakeTrace(traffic_rng, options);
+
+  uint64_t now_ms = 0;
+  for (const net::Packet& original : trace.packets) {
+    ++now_ms;
+    net::Packet sw_pkt = original;
+    auto sw_out = software.Process(sw_pkt, now_ms);
+    ASSERT_TRUE(sw_out.status.ok()) << sw_out.status.ToString();
+    auto off_out = (*offloaded)->Process(original, now_ms);
+    ASSERT_TRUE(off_out.status.ok())
+        << off_out.status.ToString() << "\nseed=" << GetParam()
+        << " pkt=" << original.ToString();
+
+    ASSERT_EQ(sw_out.verdict.kind, off_out.verdict.kind)
+        << "seed=" << GetParam() << " pkt=" << original.ToString();
+    if (sw_out.verdict.kind == runtime::Verdict::Kind::kSend) {
+      ASSERT_EQ(sw_out.verdict.egress_port, off_out.verdict.egress_port);
+      ASSERT_EQ(HeadersOf(sw_pkt), HeadersOf(off_out.out_packet))
+          << "seed=" << GetParam();
+    }
+  }
+
+  // Goal 3: replicated state converged.
+  for (const auto& [ref, placement] : plan.state_placement) {
+    if (placement != partition::StatePlacement::kReplicated ||
+        ref.kind != ir::StateRef::Kind::kMap) {
+      continue;
+    }
+    auto* table = (*offloaded)->device().table(ref.index);
+    ASSERT_NE(table, nullptr);
+    const auto& server_map =
+        (*offloaded)->server_state().map_contents(ref.index);
+    EXPECT_EQ(table->size(), server_map.size())
+        << "replicated map diverged, seed=" << GetParam();
+    for (const auto& [key, value] : server_map) {
+      runtime::StateValue sv;
+      EXPECT_TRUE(table->Lookup(key, &sv));
+      EXPECT_EQ(sv, value);
+    }
+  }
+
+  // The state of the two software-visible worlds must agree: every map in
+  // the baseline equals the corresponding map in the offloaded system
+  // (server copy, or switch copy for switch-only state).
+  for (ir::StateIndex m = 0; m < spec_a->fn->maps().size(); ++m) {
+    const ir::StateRef ref{ir::StateRef::Kind::kMap, m};
+    const auto it = plan.state_placement.find(ref);
+    if (it == plan.state_placement.end()) continue;  // untouched map
+    const auto& baseline = software.state().map_contents(m);
+    if (it->second == partition::StatePlacement::kSwitchOnly) {
+      // Maps are never written from the switch, so a switch-only map can
+      // only be one the program never writes — nothing to compare.
+      continue;
+    }
+    EXPECT_EQ(baseline, (*offloaded)->server_state().map_contents(m))
+        << "map " << spec_a->fn->map(m).name << " diverged, seed "
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomProgramEquivalence,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// Random programs under random *constraints* still partition and verify.
+class RandomConstraintSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(RandomConstraintSweep, PlansStayValidUnderTightConstraints) {
+  const auto [seed, depth] = GetParam();
+  ProgramGenerator gen(seed);
+  auto spec = gen.Generate();
+  ASSERT_TRUE(spec.ok());
+
+  partition::SwitchConstraints constraints;
+  constraints.pipeline_depth = depth;
+  constraints.metadata_bytes = 16 + static_cast<int>(seed % 64);
+  constraints.transfer_bytes = 8 + static_cast<int>(seed % 12);
+  partition::Partitioner partitioner(*spec->fn, constraints);
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString() << " seed=" << seed
+                         << " depth=" << depth;
+  EXPECT_LE(plan->to_server.Bytes(*spec->fn), constraints.transfer_bytes);
+  EXPECT_LE(plan->to_switch.Bytes(*spec->fn), constraints.transfer_bytes);
+  EXPECT_LE(plan->metadata_peak_bytes, constraints.metadata_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomConstraintSweep,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 11),
+                       ::testing::Values(2, 6, 12)));
+
+// Random programs compile all the way to P4 + C++ text.
+class RandomProgramCompile : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramCompile, FullPipelineSucceeds) {
+  ProgramGenerator gen(GetParam());
+  auto spec = gen.Generate();
+  ASSERT_TRUE(spec.ok());
+  core::Compiler compiler;
+  auto result = compiler.Compile(*spec->fn);
+  ASSERT_TRUE(result.ok()) << result.status().ToString() << " seed="
+                           << GetParam();
+  EXPECT_GT(result->p4_loc, 50);
+  EXPECT_GT(result->server_loc, 10);
+  // Balanced braces in both artifacts.
+  for (const std::string* source :
+       {&result->p4_source, &result->server_source}) {
+    int depth = 0;
+    for (char ch : *source) {
+      if (ch == '{') ++depth;
+      if (ch == '}') --depth;
+      ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomProgramCompile,
+                         ::testing::Range<uint64_t>(100, 120));
+
+
+// The §7 cache extension under fuzz: random programs with tiny switch
+// caches (constant eviction + miss recovery) must still match the software
+// baseline packet for packet.
+class RandomProgramCachedEquivalence
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramCachedEquivalence, CachedOffloadMatchesBaseline) {
+  ProgramGenerator gen_a(GetParam());
+  ProgramGenerator gen_b(GetParam());
+  auto spec_a = gen_a.Generate();
+  auto spec_b = gen_b.Generate();
+  ASSERT_TRUE(spec_a.ok() && spec_b.ok());
+
+  runtime::SoftwareMiddlebox software(*spec_a);
+  runtime::OffloadedOptions options;
+  options.cache_entries_per_table = 4;  // brutal: near-constant eviction
+  auto offloaded = runtime::OffloadedMiddlebox::Create(*spec_b, options);
+  if (!offloaded.ok()) {
+    // Programs with switch-only written globals legitimately reject cache
+    // mode; nothing else may fail.
+    ASSERT_EQ(offloaded.status().code(), ErrorCode::kUnsupported)
+        << offloaded.status().ToString();
+    return;
+  }
+
+  Rng traffic_rng(GetParam() * 17 + 3);
+  workload::TraceOptions trace_options;
+  trace_options.num_flows = 30;
+  trace_options.min_flow_bytes = 100;
+  trace_options.max_flow_bytes = 10000;
+  const workload::Trace trace = workload::MakeTrace(traffic_rng, trace_options);
+
+  uint64_t now_ms = 0;
+  for (const net::Packet& original : trace.packets) {
+    ++now_ms;
+    net::Packet sw_pkt = original;
+    auto sw_out = software.Process(sw_pkt, now_ms);
+    ASSERT_TRUE(sw_out.status.ok());
+    auto off_out = (*offloaded)->Process(original, now_ms);
+    ASSERT_TRUE(off_out.status.ok())
+        << off_out.status.ToString() << " seed=" << GetParam();
+    ASSERT_EQ(sw_out.verdict.kind, off_out.verdict.kind)
+        << "seed=" << GetParam() << " pkt=" << original.ToString();
+    if (sw_out.verdict.kind == runtime::Verdict::Kind::kSend) {
+      ASSERT_EQ(HeadersOf(sw_pkt), HeadersOf(off_out.out_packet))
+          << "seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomProgramCachedEquivalence,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gallium

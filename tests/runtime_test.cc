@@ -1,0 +1,287 @@
+// Offloaded-runtime tests: the run-to-completion concurrency goals of §3.1
+// and §4.3.3 (causally dependent packets observe all prior state updates;
+// atomicity; output commit), wire-format crossing, state recording, and the
+// load balancer's maintenance path.
+#include <gtest/gtest.h>
+
+#include "mbox/middleboxes.h"
+#include "runtime/offloaded_middlebox.h"
+#include "runtime/software_middlebox.h"
+#include "workload/packet_gen.h"
+
+namespace gallium::runtime {
+namespace {
+
+TEST(RecordingBackend, RecordsOnlyWatchedMutations) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  HostStateStore store(*spec->fn);
+  RecordingStateBackend recording(&store, {true}, {});
+
+  recording.MapInsert(0, {1}, {2});
+  recording.MapErase(0, {1});
+  ASSERT_EQ(recording.map_mutations().size(), 2u);
+  EXPECT_FALSE(recording.map_mutations()[0].is_erase);
+  EXPECT_TRUE(recording.map_mutations()[1].is_erase);
+  EXPECT_TRUE(recording.HasMutations());
+  recording.Clear();
+  EXPECT_FALSE(recording.HasMutations());
+
+  // Lookups are never recorded.
+  StateValue value;
+  recording.MapLookup(0, {1}, &value);
+  EXPECT_FALSE(recording.HasMutations());
+}
+
+TEST(RecordingBackend, PassesThroughToInner) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  HostStateStore store(*spec->fn);
+  RecordingStateBackend recording(&store, {true}, {});
+  recording.MapInsert(0, {5}, {6});
+  StateValue value;
+  EXPECT_TRUE(store.MapLookup(0, {5}, &value));
+  EXPECT_EQ(value[0], 6u);
+}
+
+// --- Run-to-completion semantics --------------------------------------------------
+
+// Causal dependency: a SYN creates NAT state; the "reply" (which an endhost
+// could only send after receiving the translated SYN) must observe the
+// mapping — on the switch fast path, i.e. the update must already have been
+// synchronized when the SYN was released (output commit).
+TEST(RunToCompletion, CausallyDependentPacketSeesStateUpdates) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok()) << mbx.status().ToString();
+
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    const net::FiveTuple flow = workload::RandomFlow(rng);
+    net::Packet syn = net::MakeTcpPacket(flow, net::kTcpSyn, 0);
+    syn.set_ingress_port(mbox::kPortInternal);
+    auto out1 = (*mbx)->Process(syn);
+    ASSERT_TRUE(out1.status.ok());
+    ASSERT_EQ(out1.verdict.kind, Verdict::Kind::kSend);
+    // Output commit: the packet that updated replicated state must have
+    // been held for the synchronization.
+    EXPECT_TRUE(out1.state_synced);
+    EXPECT_GT(out1.sync_latency_us, 0.0);
+
+    // The causally-dependent reply must hit switch state (fast path).
+    net::FiveTuple reply{flow.daddr, mbox::kNatExternalIp, flow.dport,
+                         out1.out_packet.sport(), net::kIpProtoTcp};
+    net::Packet synack = net::MakeTcpPacket(reply, net::kTcpSyn | net::kTcpAck, 0);
+    synack.set_ingress_port(mbox::kPortExternal);
+    auto out2 = (*mbx)->Process(synack);
+    ASSERT_TRUE(out2.status.ok());
+    EXPECT_TRUE(out2.fast_path)
+        << "reply must observe the mapping on the switch";
+    EXPECT_EQ(out2.out_packet.ip().daddr, flow.saddr);
+  }
+}
+
+// Atomicity: MazuNAT's slow path updates BOTH translation tables (plus the
+// port counter). After the packet is released, the switch must expose all
+// of them — never a partial update.
+TEST(RunToCompletion, MultiTableUpdatesAreAtomic) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  const ir::StateIndex nat_out = spec->MapIndex("nat_out");
+  const ir::StateIndex nat_in = spec->MapIndex("nat_in");
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+
+  Rng rng(32);
+  for (int i = 0; i < 30; ++i) {
+    const net::FiveTuple flow = workload::RandomFlow(rng);
+    net::Packet syn = net::MakeTcpPacket(flow, net::kTcpSyn, 0);
+    syn.set_ingress_port(mbox::kPortInternal);
+    auto out = (*mbx)->Process(syn);
+    ASSERT_TRUE(out.status.ok());
+    const uint16_t ext_port = out.out_packet.sport();
+
+    StateValue v_out, v_in;
+    EXPECT_TRUE((*mbx)->device().data_plane().MapLookup(
+        nat_out, {flow.saddr, flow.sport}, &v_out))
+        << "outbound mapping missing on switch";
+    EXPECT_TRUE(
+        (*mbx)->device().data_plane().MapLookup(nat_in, {ext_port}, &v_in))
+        << "inbound mapping missing on switch (partial update!)";
+    EXPECT_EQ(v_out[0], ext_port);
+    EXPECT_EQ(v_in[0], flow.saddr);
+    EXPECT_EQ(v_in[1], flow.sport);
+  }
+}
+
+// "All or none": packets of unrelated flows processed between a SYN and its
+// reply observe either the whole mapping or none of it — probing the switch
+// tables for a key never yields a half-written value.
+TEST(RunToCompletion, InterleavedFlowsObserveConsistentState) {
+  auto spec_sw = mbox::BuildMazuNat();
+  auto spec_off = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec_sw.ok() && spec_off.ok());
+  SoftwareMiddlebox software(*spec_sw);
+  auto mbx = OffloadedMiddlebox::Create(*spec_off);
+  ASSERT_TRUE(mbx.ok());
+
+  Rng rng(33);
+  std::vector<net::FiveTuple> flows;
+  for (int i = 0; i < 20; ++i) flows.push_back(workload::RandomFlow(rng));
+
+  // Interleave SYNs and data packets of all flows.
+  for (int round = 0; round < 4; ++round) {
+    for (const net::FiveTuple& flow : flows) {
+      net::Packet pkt = net::MakeTcpPacket(
+          flow, round == 0 ? net::kTcpSyn : net::kTcpAck, 100);
+      pkt.set_ingress_port(mbox::kPortInternal);
+      net::Packet sw_pkt = pkt;
+      auto sw_out = software.Process(sw_pkt);
+      auto off_out = (*mbx)->Process(pkt);
+      ASSERT_TRUE(sw_out.status.ok() && off_out.status.ok());
+      ASSERT_EQ(sw_out.verdict.kind, off_out.verdict.kind);
+      EXPECT_EQ(sw_pkt.sport(), off_out.out_packet.sport())
+          << "same port allocation order under interleaving";
+      if (round > 0) {
+        EXPECT_TRUE(off_out.fast_path);
+        EXPECT_FALSE(off_out.state_synced);
+      }
+    }
+  }
+}
+
+TEST(Offloaded, WireFormatCrossingPreservesBehavior) {
+  // serialize_wire=true (default) round-trips switch<->server packets
+  // through real bytes; results must match the no-serialization mode.
+  auto spec_a = mbox::BuildMiniLb();
+  auto spec_b = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec_a.ok() && spec_b.ok());
+
+  OffloadedOptions wire_opts;
+  wire_opts.serialize_wire = true;
+  auto with_wire = OffloadedMiddlebox::Create(*spec_a, wire_opts);
+  OffloadedOptions fast_opts;
+  fast_opts.serialize_wire = false;
+  auto without_wire = OffloadedMiddlebox::Create(*spec_b, fast_opts);
+  ASSERT_TRUE(with_wire.ok() && without_wire.ok());
+
+  Rng rng(34);
+  for (int i = 0; i < 100; ++i) {
+    net::Packet pkt = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpAck, 200);
+    pkt.set_ingress_port(mbox::kPortInternal);
+    auto out1 = (*with_wire)->Process(pkt);
+    auto out2 = (*without_wire)->Process(pkt);
+    ASSERT_TRUE(out1.status.ok()) << out1.status.ToString();
+    ASSERT_TRUE(out2.status.ok());
+    EXPECT_EQ(out1.verdict.kind, out2.verdict.kind);
+    EXPECT_EQ(out1.out_packet.ip().daddr, out2.out_packet.ip().daddr);
+    EXPECT_EQ(out1.fast_path, out2.fast_path);
+  }
+}
+
+TEST(Offloaded, OutputPacketHasNoGalliumHeader) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+  Rng rng(35);
+  net::Packet pkt = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                       net::kTcpSyn, 0);
+  pkt.set_ingress_port(mbox::kPortInternal);
+  auto out = (*mbx)->Process(pkt);  // slow path crosses the wire twice
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_FALSE(out.fast_path);
+  EXPECT_FALSE(out.out_packet.has_gallium())
+      << "the transfer header is middlebox-internal";
+  EXPECT_EQ(out.out_packet.eth().ether_type, net::kEtherTypeIpv4);
+}
+
+TEST(Offloaded, TransferBytesWithinConstraint) {
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    auto mbx = OffloadedMiddlebox::Create(spec);
+    ASSERT_TRUE(mbx.ok()) << spec.name;
+    Rng rng(36);
+    for (int i = 0; i < 50; ++i) {
+      net::Packet pkt = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                           i % 2 ? net::kTcpAck : net::kTcpSyn,
+                                           100);
+      pkt.set_ingress_port(mbox::kPortInternal);
+      auto out = (*mbx)->Process(pkt);
+      ASSERT_TRUE(out.status.ok()) << spec.name;
+      // Wire header size = layout size + 8 bytes of count/cond framing;
+      // the paper's 20-byte budget covers the variable payload.
+      EXPECT_LE(out.transfer_bytes_to_server, 20 + 8) << spec.name;
+      EXPECT_LE(out.transfer_bytes_to_switch, 20 + 8) << spec.name;
+    }
+  }
+}
+
+TEST(Offloaded, FastPathCountersTrackOutcomes) {
+  auto spec = mbox::BuildProxy();
+  ASSERT_TRUE(spec.ok());
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+  Rng rng(37);
+  for (int i = 0; i < 64; ++i) {
+    net::Packet pkt = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpAck, 10);
+    pkt.set_ingress_port(mbox::kPortInternal);
+    ASSERT_TRUE((*mbx)->Process(pkt).status.ok());
+  }
+  EXPECT_EQ((*mbx)->packets_total(), 64u);
+  EXPECT_EQ((*mbx)->packets_fast_path(), 64u);
+  EXPECT_DOUBLE_EQ((*mbx)->FastPathFraction(), 1.0);
+}
+
+TEST(Offloaded, IdleFlowCollectionSyncsSwitch) {
+  auto spec = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec.ok());
+  const ir::StateIndex flows_map = spec->MapIndex("flows");
+  const ir::StateIndex created_map = spec->MapIndex("flow_created");
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+
+  Rng rng(38);
+  uint64_t now_ms = 1000;
+  // Create 8 flows at t=1000, 4 more at t=200000.
+  for (int i = 0; i < 8; ++i) {
+    net::Packet syn = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpSyn, 0);
+    syn.set_ingress_port(mbox::kPortInternal);
+    ASSERT_TRUE((*mbx)->Process(syn, now_ms).status.ok());
+  }
+  now_ms = 200000;
+  for (int i = 0; i < 4; ++i) {
+    net::Packet syn = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpSyn, 0);
+    syn.set_ingress_port(mbox::kPortInternal);
+    ASSERT_TRUE((*mbx)->Process(syn, now_ms).status.ok());
+  }
+  ASSERT_EQ((*mbx)->server_state().MapSize(flows_map), 12u);
+
+  // Collect with a 5-minute timeout at t=310s: only the first batch expires.
+  auto collected = (*mbx)->CollectIdleFlows(flows_map, created_map,
+                                            /*now_ms=*/310000,
+                                            /*timeout_ms=*/300000);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(*collected, 8);
+  EXPECT_EQ((*mbx)->server_state().MapSize(flows_map), 4u);
+  auto* table = (*mbx)->device().table(flows_map);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 4u) << "switch table pruned in sync";
+}
+
+TEST(Software, MatchesSpecInitialState) {
+  auto spec = mbox::BuildProxy({8080});
+  ASSERT_TRUE(spec.ok());
+  SoftwareMiddlebox mbx(*spec);
+  const ir::StateIndex ports = spec->MapIndex("redirect_ports");
+  StateValue value;
+  EXPECT_TRUE(mbx.state().MapLookup(ports, {8080}, &value));
+  EXPECT_FALSE(mbx.state().MapLookup(ports, {80}, &value));
+}
+
+}  // namespace
+}  // namespace gallium::runtime

@@ -1,0 +1,149 @@
+// Workload generator tests: TCP/UDP packetization, trace structure, DPI
+// markers, and the statistical properties of the CONGA-style flow-size
+// distributions (§6.3: "90% of the flows in both workloads contain less
+// than ten packets"; the data-mining tail is longer).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/flow_dist.h"
+#include "workload/packet_gen.h"
+
+namespace gallium::workload {
+namespace {
+
+TEST(PacketGen, TcpFlowHasSynDataFin) {
+  const net::FiveTuple flow{1, 2, 3, 4, net::kIpProtoTcp};
+  const auto packets = TcpFlowPackets(flow, 3000, /*mss=*/1448);
+  ASSERT_EQ(packets.size(), 2u + 3u);  // SYN + 3 data (1448+1448+104) + FIN
+  EXPECT_EQ(packets.front().tcp().flags, net::kTcpSyn);
+  EXPECT_TRUE(packets.back().tcp().flags & net::kTcpFin);
+  uint64_t bytes = 0;
+  for (const auto& pkt : packets) bytes += pkt.payload().size();
+  EXPECT_EQ(bytes, 3000u);
+  // Sequence numbers advance with the payload.
+  EXPECT_EQ(packets[1].tcp().seq, 1u);
+  EXPECT_EQ(packets[2].tcp().seq, 1u + 1448);
+}
+
+TEST(PacketGen, TcpZeroByteFlowIsControlOnly) {
+  const auto packets = TcpFlowPackets({1, 2, 3, 4, net::kIpProtoTcp}, 0);
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_EQ(packets[0].tcp().flags, net::kTcpSyn);
+  EXPECT_TRUE(packets[1].tcp().flags & net::kTcpFin);
+}
+
+TEST(PacketGen, UdpFlowSplitsAtMtu) {
+  const auto packets =
+      UdpFlowPackets({1, 2, 3, 4, net::kIpProtoUdp}, 3000, 1400);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].payload().size(), 1400u);
+  EXPECT_EQ(packets[2].payload().size(), 200u);
+}
+
+TEST(PacketGen, MarkerIsEmbedded) {
+  net::Packet pkt = net::MakeTcpPacket({1, 2, 3, 4, net::kIpProtoTcp},
+                                       net::kTcpAck, 100);
+  SetPayloadWithMarker(&pkt, "NEEDLE", 100);
+  EXPECT_EQ(pkt.payload().size(), 100u);
+  const std::string hay(pkt.payload().begin(), pkt.payload().end());
+  EXPECT_NE(hay.find("NEEDLE"), std::string::npos);
+}
+
+TEST(PacketGen, RandomFlowUsesConfiguredSubnets) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const net::FiveTuple flow = RandomFlow(rng);
+    EXPECT_EQ(flow.saddr >> 16, (192u << 8) | 168u);
+    EXPECT_EQ(flow.daddr >> 16, (172u << 8) | 16u);
+    EXPECT_GE(flow.sport, 1024);
+  }
+}
+
+TEST(Trace, InterleavesFlowsAndStampsMetadata) {
+  Rng rng(22);
+  TraceOptions options;
+  options.num_flows = 5;
+  options.min_flow_bytes = 5000;
+  options.max_flow_bytes = 5000;
+  options.ingress_port = 3;
+  const Trace trace = MakeTrace(rng, options);
+  EXPECT_EQ(trace.num_flows, 5);
+  ASSERT_GT(trace.packets.size(), 10u);
+  // First five packets are the five SYNs (round-robin interleave).
+  std::set<uint64_t> first_flows;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(trace.packets[i].tcp().flags, net::kTcpSyn);
+    first_flows.insert(trace.packets[i].five_tuple().Hash());
+    EXPECT_EQ(trace.packets[i].ingress_port(), 3u);
+  }
+  EXPECT_EQ(first_flows.size(), 5u);
+  // Packet ids are unique and ascending.
+  for (size_t i = 1; i < trace.packets.size(); ++i) {
+    EXPECT_EQ(trace.packets[i].id(), trace.packets[i - 1].id() + 1);
+  }
+}
+
+TEST(Trace, MarkedFractionAppliesMarkers) {
+  Rng rng(23);
+  TraceOptions options;
+  options.num_flows = 40;
+  options.marked_fraction = 1.0;
+  options.marker = "XYZZY";
+  options.min_flow_bytes = 2000;
+  options.max_flow_bytes = 2000;
+  const Trace trace = MakeTrace(rng, options);
+  int marked = 0;
+  for (const auto& pkt : trace.packets) {
+    if (pkt.payload().size() >= 5) {
+      const std::string hay(pkt.payload().begin(), pkt.payload().end());
+      marked += hay.find("XYZZY") != std::string::npos;
+    }
+  }
+  EXPECT_GT(marked, 40) << "every data packet of every flow is marked";
+}
+
+// --- Flow-size distributions ---------------------------------------------------
+
+TEST(FlowDist, NinetyPercentUnderTenPackets) {
+  Rng rng(24);
+  for (auto kind : {WorkloadKind::kEnterprise, WorkloadKind::kDataMining}) {
+    const auto sizes = DrawFlowSizes(kind, 50000, rng);
+    const int small = static_cast<int>(
+        std::count_if(sizes.begin(), sizes.end(),
+                      [](uint64_t s) { return s <= 10 * 1448; }));
+    EXPECT_NEAR(small / 50000.0, 0.9, 0.02) << WorkloadName(kind);
+  }
+}
+
+TEST(FlowDist, DataMiningTailIsLonger) {
+  Rng rng(25);
+  auto ent = DrawFlowSizes(WorkloadKind::kEnterprise, 50000, rng);
+  auto dm = DrawFlowSizes(WorkloadKind::kDataMining, 50000, rng);
+  const uint64_t ent_max = *std::max_element(ent.begin(), ent.end());
+  const uint64_t dm_max = *std::max_element(dm.begin(), dm.end());
+  EXPECT_GT(dm_max, ent_max);
+  // Byte share of >10MB flows is larger for data mining.
+  auto tail_share = [](const std::vector<uint64_t>& sizes) {
+    double total = 0, tail = 0;
+    for (uint64_t s : sizes) {
+      total += static_cast<double>(s);
+      if (s > 10000000) tail += static_cast<double>(s);
+    }
+    return tail / total;
+  };
+  EXPECT_GT(tail_share(dm), tail_share(ent));
+}
+
+TEST(FlowDist, SamplesWithinDeclaredSupport) {
+  Rng rng(26);
+  const auto dist = FlowSizeDistribution(WorkloadKind::kDataMining);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = dist.Sample(rng);
+    EXPECT_GE(v, dist.min());
+    EXPECT_LE(v, dist.max());
+  }
+}
+
+}  // namespace
+}  // namespace gallium::workload
