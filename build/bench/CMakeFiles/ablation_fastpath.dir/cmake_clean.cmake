@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fastpath.dir/ablation_fastpath.cc.o"
+  "CMakeFiles/ablation_fastpath.dir/ablation_fastpath.cc.o.d"
+  "ablation_fastpath"
+  "ablation_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_throughput.dir/figure7_throughput.cc.o"
+  "CMakeFiles/figure7_throughput.dir/figure7_throughput.cc.o.d"
+  "figure7_throughput"
+  "figure7_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_realistic.dir/figure8_realistic.cc.o"
+  "CMakeFiles/figure8_realistic.dir/figure8_realistic.cc.o.d"
+  "figure8_realistic"
+  "figure8_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_fct.dir/figure9_fct.cc.o"
+  "CMakeFiles/figure9_fct.dir/figure9_fct.cc.o.d"
+  "figure9_fct"
+  "figure9_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

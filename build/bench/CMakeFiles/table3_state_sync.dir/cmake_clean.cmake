@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_state_sync.dir/table3_state_sync.cc.o"
+  "CMakeFiles/table3_state_sync.dir/table3_state_sync.cc.o.d"
+  "table3_state_sync"
+  "table3_state_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_state_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

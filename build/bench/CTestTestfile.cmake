@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1 "/root/repo/build/bench/table1_loc")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2 "/root/repo/build/bench/table2_latency")
+set_tests_properties(bench_smoke_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table3 "/root/repo/build/bench/table3_state_sync")
+set_tests_properties(bench_smoke_table3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_constraints "/root/repo/build/bench/ablation_constraints")
+set_tests_properties(bench_smoke_ablation_constraints PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_fastpath "/root/repo/build/bench/ablation_fastpath")
+set_tests_properties(bench_smoke_ablation_fastpath PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_middlebox.dir/custom_middlebox.cpp.o"
+  "CMakeFiles/custom_middlebox.dir/custom_middlebox.cpp.o.d"
+  "custom_middlebox"
+  "custom_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_datacenter.dir/lb_datacenter.cpp.o"
+  "CMakeFiles/lb_datacenter.dir/lb_datacenter.cpp.o.d"
+  "lb_datacenter"
+  "lb_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_offload.dir/nat_offload.cpp.o"
+  "CMakeFiles/nat_offload.dir/nat_offload.cpp.o.d"
+  "nat_offload"
+  "nat_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

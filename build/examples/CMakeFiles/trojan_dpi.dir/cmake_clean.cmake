@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_dpi.dir/trojan_dpi.cpp.o"
+  "CMakeFiles/trojan_dpi.dir/trojan_dpi.cpp.o.d"
+  "trojan_dpi"
+  "trojan_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

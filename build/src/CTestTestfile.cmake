@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("ir")
+subdirs("frontend")
+subdirs("analysis")
+subdirs("partition")
+subdirs("p4")
+subdirs("cppgen")
+subdirs("switchsim")
+subdirs("sim")
+subdirs("perf")
+subdirs("runtime")
+subdirs("mbox")
+subdirs("click")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/gallium_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/gallium_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/depgraph.cc" "src/analysis/CMakeFiles/gallium_analysis.dir/depgraph.cc.o" "gcc" "src/analysis/CMakeFiles/gallium_analysis.dir/depgraph.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/gallium_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/gallium_analysis.dir/liveness.cc.o.d"
+  "/root/repo/src/analysis/locations.cc" "src/analysis/CMakeFiles/gallium_analysis.dir/locations.cc.o" "gcc" "src/analysis/CMakeFiles/gallium_analysis.dir/locations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gallium_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gallium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

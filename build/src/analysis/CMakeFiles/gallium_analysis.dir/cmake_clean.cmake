@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_analysis.dir/cfg.cc.o"
+  "CMakeFiles/gallium_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/gallium_analysis.dir/depgraph.cc.o"
+  "CMakeFiles/gallium_analysis.dir/depgraph.cc.o.d"
+  "CMakeFiles/gallium_analysis.dir/liveness.cc.o"
+  "CMakeFiles/gallium_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/gallium_analysis.dir/locations.cc.o"
+  "CMakeFiles/gallium_analysis.dir/locations.cc.o.d"
+  "libgallium_analysis.a"
+  "libgallium_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

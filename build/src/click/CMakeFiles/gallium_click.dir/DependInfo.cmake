@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/elements.cc" "src/click/CMakeFiles/gallium_click.dir/elements.cc.o" "gcc" "src/click/CMakeFiles/gallium_click.dir/elements.cc.o.d"
+  "/root/repo/src/click/graph.cc" "src/click/CMakeFiles/gallium_click.dir/graph.cc.o" "gcc" "src/click/CMakeFiles/gallium_click.dir/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/gallium_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/gallium_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gallium_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gallium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gallium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

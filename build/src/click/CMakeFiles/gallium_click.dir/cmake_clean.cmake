@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_click.dir/elements.cc.o"
+  "CMakeFiles/gallium_click.dir/elements.cc.o.d"
+  "CMakeFiles/gallium_click.dir/graph.cc.o"
+  "CMakeFiles/gallium_click.dir/graph.cc.o.d"
+  "libgallium_click.a"
+  "libgallium_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

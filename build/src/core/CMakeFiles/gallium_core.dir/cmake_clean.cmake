@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_core.dir/compiler.cc.o"
+  "CMakeFiles/gallium_core.dir/compiler.cc.o.d"
+  "libgallium_core.a"
+  "libgallium_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

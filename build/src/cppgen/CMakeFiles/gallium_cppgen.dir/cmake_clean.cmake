@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_cppgen.dir/codegen.cc.o"
+  "CMakeFiles/gallium_cppgen.dir/codegen.cc.o.d"
+  "CMakeFiles/gallium_cppgen.dir/support.cc.o"
+  "CMakeFiles/gallium_cppgen.dir/support.cc.o.d"
+  "libgallium_cppgen.a"
+  "libgallium_cppgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_cppgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

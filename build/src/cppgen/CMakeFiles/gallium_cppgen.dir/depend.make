@@ -1,0 +1,2 @@
+# Empty dependencies file for gallium_cppgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_frontend.dir/middlebox_builder.cc.o"
+  "CMakeFiles/gallium_frontend.dir/middlebox_builder.cc.o.d"
+  "libgallium_frontend.a"
+  "libgallium_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgallium_frontend.a"
+)

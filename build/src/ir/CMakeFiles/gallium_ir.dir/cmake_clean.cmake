@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_ir.dir/builder.cc.o"
+  "CMakeFiles/gallium_ir.dir/builder.cc.o.d"
+  "CMakeFiles/gallium_ir.dir/function.cc.o"
+  "CMakeFiles/gallium_ir.dir/function.cc.o.d"
+  "CMakeFiles/gallium_ir.dir/instruction.cc.o"
+  "CMakeFiles/gallium_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/gallium_ir.dir/passes.cc.o"
+  "CMakeFiles/gallium_ir.dir/passes.cc.o.d"
+  "CMakeFiles/gallium_ir.dir/printer.cc.o"
+  "CMakeFiles/gallium_ir.dir/printer.cc.o.d"
+  "CMakeFiles/gallium_ir.dir/types.cc.o"
+  "CMakeFiles/gallium_ir.dir/types.cc.o.d"
+  "CMakeFiles/gallium_ir.dir/verifier.cc.o"
+  "CMakeFiles/gallium_ir.dir/verifier.cc.o.d"
+  "libgallium_ir.a"
+  "libgallium_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbox/firewall.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/firewall.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/firewall.cc.o.d"
+  "/root/repo/src/mbox/loadbalancer.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/loadbalancer.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/loadbalancer.cc.o.d"
+  "/root/repo/src/mbox/mazunat.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/mazunat.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/mazunat.cc.o.d"
+  "/root/repo/src/mbox/middleboxes.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/middleboxes.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/middleboxes.cc.o.d"
+  "/root/repo/src/mbox/minilb.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/minilb.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/minilb.cc.o.d"
+  "/root/repo/src/mbox/proxy.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/proxy.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/proxy.cc.o.d"
+  "/root/repo/src/mbox/router.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/router.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/router.cc.o.d"
+  "/root/repo/src/mbox/trojan_detector.cc" "src/mbox/CMakeFiles/gallium_mbox.dir/trojan_detector.cc.o" "gcc" "src/mbox/CMakeFiles/gallium_mbox.dir/trojan_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/gallium_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gallium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gallium_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gallium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_mbox.dir/firewall.cc.o"
+  "CMakeFiles/gallium_mbox.dir/firewall.cc.o.d"
+  "CMakeFiles/gallium_mbox.dir/loadbalancer.cc.o"
+  "CMakeFiles/gallium_mbox.dir/loadbalancer.cc.o.d"
+  "CMakeFiles/gallium_mbox.dir/mazunat.cc.o"
+  "CMakeFiles/gallium_mbox.dir/mazunat.cc.o.d"
+  "CMakeFiles/gallium_mbox.dir/middleboxes.cc.o"
+  "CMakeFiles/gallium_mbox.dir/middleboxes.cc.o.d"
+  "CMakeFiles/gallium_mbox.dir/minilb.cc.o"
+  "CMakeFiles/gallium_mbox.dir/minilb.cc.o.d"
+  "CMakeFiles/gallium_mbox.dir/proxy.cc.o"
+  "CMakeFiles/gallium_mbox.dir/proxy.cc.o.d"
+  "CMakeFiles/gallium_mbox.dir/router.cc.o"
+  "CMakeFiles/gallium_mbox.dir/router.cc.o.d"
+  "CMakeFiles/gallium_mbox.dir/trojan_detector.cc.o"
+  "CMakeFiles/gallium_mbox.dir/trojan_detector.cc.o.d"
+  "libgallium_mbox.a"
+  "libgallium_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_net.dir/headers.cc.o"
+  "CMakeFiles/gallium_net.dir/headers.cc.o.d"
+  "CMakeFiles/gallium_net.dir/packet.cc.o"
+  "CMakeFiles/gallium_net.dir/packet.cc.o.d"
+  "libgallium_net.a"
+  "libgallium_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_p4.dir/ast.cc.o"
+  "CMakeFiles/gallium_p4.dir/ast.cc.o.d"
+  "CMakeFiles/gallium_p4.dir/codegen.cc.o"
+  "CMakeFiles/gallium_p4.dir/codegen.cc.o.d"
+  "CMakeFiles/gallium_p4.dir/evaluator.cc.o"
+  "CMakeFiles/gallium_p4.dir/evaluator.cc.o.d"
+  "CMakeFiles/gallium_p4.dir/parser.cc.o"
+  "CMakeFiles/gallium_p4.dir/parser.cc.o.d"
+  "libgallium_p4.a"
+  "libgallium_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

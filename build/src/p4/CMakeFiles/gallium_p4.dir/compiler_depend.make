@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gallium_p4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_partition.dir/partitioner.cc.o"
+  "CMakeFiles/gallium_partition.dir/partitioner.cc.o.d"
+  "CMakeFiles/gallium_partition.dir/plan.cc.o"
+  "CMakeFiles/gallium_partition.dir/plan.cc.o.d"
+  "libgallium_partition.a"
+  "libgallium_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

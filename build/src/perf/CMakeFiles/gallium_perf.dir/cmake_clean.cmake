@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_perf.dir/cost_model.cc.o"
+  "CMakeFiles/gallium_perf.dir/cost_model.cc.o.d"
+  "CMakeFiles/gallium_perf.dir/harness.cc.o"
+  "CMakeFiles/gallium_perf.dir/harness.cc.o.d"
+  "libgallium_perf.a"
+  "libgallium_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

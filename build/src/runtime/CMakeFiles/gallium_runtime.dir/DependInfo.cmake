@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/interpreter.cc" "src/runtime/CMakeFiles/gallium_runtime.dir/interpreter.cc.o" "gcc" "src/runtime/CMakeFiles/gallium_runtime.dir/interpreter.cc.o.d"
+  "/root/repo/src/runtime/offloaded_middlebox.cc" "src/runtime/CMakeFiles/gallium_runtime.dir/offloaded_middlebox.cc.o" "gcc" "src/runtime/CMakeFiles/gallium_runtime.dir/offloaded_middlebox.cc.o.d"
+  "/root/repo/src/runtime/software_middlebox.cc" "src/runtime/CMakeFiles/gallium_runtime.dir/software_middlebox.cc.o" "gcc" "src/runtime/CMakeFiles/gallium_runtime.dir/software_middlebox.cc.o.d"
+  "/root/repo/src/runtime/state.cc" "src/runtime/CMakeFiles/gallium_runtime.dir/state.cc.o" "gcc" "src/runtime/CMakeFiles/gallium_runtime.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/gallium_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gallium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/gallium_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/gallium_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gallium_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gallium_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gallium_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gallium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/gallium_runtime.dir/interpreter.cc.o.d"
+  "CMakeFiles/gallium_runtime.dir/offloaded_middlebox.cc.o"
+  "CMakeFiles/gallium_runtime.dir/offloaded_middlebox.cc.o.d"
+  "CMakeFiles/gallium_runtime.dir/software_middlebox.cc.o"
+  "CMakeFiles/gallium_runtime.dir/software_middlebox.cc.o.d"
+  "CMakeFiles/gallium_runtime.dir/state.cc.o"
+  "CMakeFiles/gallium_runtime.dir/state.cc.o.d"
+  "libgallium_runtime.a"
+  "libgallium_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_sim.dir/fluid.cc.o"
+  "CMakeFiles/gallium_sim.dir/fluid.cc.o.d"
+  "libgallium_sim.a"
+  "libgallium_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

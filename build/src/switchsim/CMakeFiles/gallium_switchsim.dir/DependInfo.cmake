@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/switch.cc" "src/switchsim/CMakeFiles/gallium_switchsim.dir/switch.cc.o" "gcc" "src/switchsim/CMakeFiles/gallium_switchsim.dir/switch.cc.o.d"
+  "/root/repo/src/switchsim/table.cc" "src/switchsim/CMakeFiles/gallium_switchsim.dir/table.cc.o" "gcc" "src/switchsim/CMakeFiles/gallium_switchsim.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/gallium_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gallium_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gallium_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gallium_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_switchsim.dir/switch.cc.o"
+  "CMakeFiles/gallium_switchsim.dir/switch.cc.o.d"
+  "CMakeFiles/gallium_switchsim.dir/table.cc.o"
+  "CMakeFiles/gallium_switchsim.dir/table.cc.o.d"
+  "libgallium_switchsim.a"
+  "libgallium_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

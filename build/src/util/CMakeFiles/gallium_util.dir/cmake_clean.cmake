@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_util.dir/rng.cc.o"
+  "CMakeFiles/gallium_util.dir/rng.cc.o.d"
+  "CMakeFiles/gallium_util.dir/status.cc.o"
+  "CMakeFiles/gallium_util.dir/status.cc.o.d"
+  "CMakeFiles/gallium_util.dir/strings.cc.o"
+  "CMakeFiles/gallium_util.dir/strings.cc.o.d"
+  "libgallium_util.a"
+  "libgallium_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow_dist.cc" "src/workload/CMakeFiles/gallium_workload.dir/flow_dist.cc.o" "gcc" "src/workload/CMakeFiles/gallium_workload.dir/flow_dist.cc.o.d"
+  "/root/repo/src/workload/packet_gen.cc" "src/workload/CMakeFiles/gallium_workload.dir/packet_gen.cc.o" "gcc" "src/workload/CMakeFiles/gallium_workload.dir/packet_gen.cc.o.d"
+  "/root/repo/src/workload/pcap.cc" "src/workload/CMakeFiles/gallium_workload.dir/pcap.cc.o" "gcc" "src/workload/CMakeFiles/gallium_workload.dir/pcap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gallium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gallium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallium_workload.dir/flow_dist.cc.o"
+  "CMakeFiles/gallium_workload.dir/flow_dist.cc.o.d"
+  "CMakeFiles/gallium_workload.dir/packet_gen.cc.o"
+  "CMakeFiles/gallium_workload.dir/packet_gen.cc.o.d"
+  "CMakeFiles/gallium_workload.dir/pcap.cc.o"
+  "CMakeFiles/gallium_workload.dir/pcap.cc.o.d"
+  "libgallium_workload.a"
+  "libgallium_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallium_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

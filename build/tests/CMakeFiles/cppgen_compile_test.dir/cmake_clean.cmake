@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cppgen_compile_test.dir/cppgen_compile_test.cc.o"
+  "CMakeFiles/cppgen_compile_test.dir/cppgen_compile_test.cc.o.d"
+  "cppgen_compile_test"
+  "cppgen_compile_test.pdb"
+  "cppgen_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cppgen_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

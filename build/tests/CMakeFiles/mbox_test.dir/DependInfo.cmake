@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mbox_test.cc" "tests/CMakeFiles/mbox_test.dir/mbox_test.cc.o" "gcc" "tests/CMakeFiles/mbox_test.dir/mbox_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/click/CMakeFiles/gallium_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gallium_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gallium_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gallium_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gallium_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gallium_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/gallium_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/cppgen/CMakeFiles/gallium_cppgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/gallium_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gallium_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/gallium_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gallium_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gallium_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gallium_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gallium_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gallium_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

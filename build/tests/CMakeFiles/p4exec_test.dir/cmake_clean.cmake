@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4exec_test.dir/p4exec_test.cc.o"
+  "CMakeFiles/p4exec_test.dir/p4exec_test.cc.o.d"
+  "p4exec_test"
+  "p4exec_test.pdb"
+  "p4exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4gen_test.dir/p4gen_test.cc.o"
+  "CMakeFiles/p4gen_test.dir/p4gen_test.cc.o.d"
+  "p4gen_test"
+  "p4gen_test.pdb"
+  "p4gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_regression_test.dir/plan_regression_test.cc.o"
+  "CMakeFiles/plan_regression_test.dir/plan_regression_test.cc.o.d"
+  "plan_regression_test"
+  "plan_regression_test.pdb"
+  "plan_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

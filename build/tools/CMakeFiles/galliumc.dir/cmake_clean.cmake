@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galliumc.dir/galliumc.cc.o"
+  "CMakeFiles/galliumc.dir/galliumc.cc.o.d"
+  "galliumc"
+  "galliumc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galliumc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for galliumc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for galliumc.
+# This may be replaced when dependencies are built.

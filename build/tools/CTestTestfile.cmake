@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_galliumc_nat "/root/repo/build/tools/galliumc" "nat" "--out" "/root/repo/build/tools")
+set_tests_properties(tool_galliumc_nat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_galliumc_weighted "/root/repo/build/tools/galliumc" "lb" "--objective" "weighted" "--optimize" "--out" "/root/repo/build/tools")
+set_tests_properties(tool_galliumc_weighted PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_galliumc_usage "/root/repo/build/tools/galliumc")
+set_tests_properties(tool_galliumc_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,34 @@
+// gallium/dpdk_glue.h — I/O shim for generated server programs.
+// The production build maps these onto rte_eth burst APIs; this host-side
+// version lets the artifact compile and run standalone.
+#pragma once
+
+#include <vector>
+
+#include "gallium/runtime.h"
+
+namespace gallium {
+
+inline void DpdkInit(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+}
+
+class RxTxLoop {
+ public:
+  explicit RxTxLoop(int port) : port_(port) {}
+
+  std::vector<Packet> RxBurst() { return {}; }
+
+  void Dispatch(Packet&& pkt, const Verdict& verdict) {
+    (void)pkt;
+    (void)verdict;
+  }
+
+  int port() const { return port_; }
+
+ private:
+  int port_;
+};
+
+}  // namespace gallium

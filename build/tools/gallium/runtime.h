@@ -1,0 +1,134 @@
+// gallium/runtime.h — middlebox-server runtime for generated code.
+// Shipped with Gallium; the generated <middlebox>_server.cc includes this.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gallium {
+
+struct EthHeader {
+  uint64_t dst = 0;  // 48-bit MAC in the low bits
+  uint64_t src = 0;
+  uint16_t ether_type = 0x0800;
+};
+
+struct IpHeader {
+  uint32_t saddr = 0;
+  uint32_t daddr = 0;
+  uint8_t protocol = 6;
+  uint8_t ttl = 64;
+};
+
+struct TcpHeader {
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+};
+
+// A parsed packet handed to process(). Field layout mirrors the switch's
+// header model; L4 ports are demuxed behind accessors.
+class Packet {
+ public:
+  EthHeader* eth() { return &eth_; }
+  IpHeader* ip() { return &ip_; }
+  TcpHeader* tcp() { return &tcp_; }
+
+  uint16_t l4_sport() const { return sport_; }
+  uint16_t l4_dport() const { return dport_; }
+  void set_l4_sport(uint64_t v) { sport_ = static_cast<uint16_t>(v); }
+  void set_l4_dport(uint64_t v) { dport_ = static_cast<uint16_t>(v); }
+
+  bool payload_contains(const char* pattern) const {
+    return payload_.find(pattern) != std::string::npos;
+  }
+  uint64_t payload_length() const { return payload_.size(); }
+
+  template <typename Header>
+  const Header* gallium_header() const {
+    return reinterpret_cast<const Header*>(transfer_bytes_.data());
+  }
+
+  // Test/driver access.
+  std::string& payload() { return payload_; }
+  std::vector<uint8_t>& transfer_bytes() { return transfer_bytes_; }
+
+ private:
+  EthHeader eth_;
+  IpHeader ip_;
+  TcpHeader tcp_;
+  uint16_t sport_ = 0;
+  uint16_t dport_ = 0;
+  std::string payload_;
+  std::vector<uint8_t> transfer_bytes_ = std::vector<uint8_t>(256, 0);
+};
+
+struct Verdict {
+  enum Action { kNone, kSend, kDrop };
+  Action action = kNone;
+  uint64_t send_port = 0;
+};
+
+// Staging interface to the switch control plane (§4.3.3): inserts/deletes
+// accumulate in the write-back tables and CommitAtomic() performs the
+// bit-flip protocol. This host-side stub records the operations; the
+// deployment links the real SDK-backed implementation.
+class SwitchSync {
+ public:
+  using Key = std::vector<uint64_t>;
+  using Value = std::vector<uint64_t>;
+
+  void StageInsert(const std::string& table, Key key, Value value) {
+    staged_.push_back({table, std::move(key), std::move(value), false});
+  }
+  void StageDelete(const std::string& table, Key key) {
+    staged_.push_back({table, std::move(key), {}, true});
+  }
+  void StageRegister(const std::string& reg, uint64_t value) {
+    registers_.push_back({reg, value});
+  }
+  bool HasStagedUpdates() const {
+    return !staged_.empty() || !registers_.empty();
+  }
+  void CommitAtomic() {
+    ++commits_;
+    staged_.clear();
+    registers_.clear();
+  }
+  uint64_t commits() const { return commits_; }
+
+ private:
+  struct StagedEntry {
+    std::string table;
+    Key key;
+    Value value;
+    bool is_delete;
+  };
+  std::vector<StagedEntry> staged_;
+  std::vector<std::pair<std::string, uint64_t>> registers_;
+  uint64_t commits_ = 0;
+};
+
+inline uint64_t hash_mix(uint64_t a, uint64_t b) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t v : {a, b}) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+inline uint64_t now_msec() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace gallium

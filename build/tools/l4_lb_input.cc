@@ -1,0 +1,58 @@
+class l4_lb : public Element {
+  HashMap<Key5, Value1> flows;  // max_entries=131072
+  HashMap<Key5, Value1> flow_created;  // max_entries=0
+  Vector<uint32_t> backends;  // max_size=64
+
+  void process(Packet* pkt) {
+  bb0:  // entry
+    uint32_t saddr = ip->saddr;
+    uint32_t daddr = ip->daddr;
+    uint16_t sport = l4->sport;
+    uint16_t dport = l4->dport;
+    uint8_t proto = ip->protocol;
+    uint8_t flags = tcp->flags;
+    auto* flow_found_ptr = flows.find({saddr, daddr, sport, dport, proto});
+    bool is_tcp = proto == 6u;
+    uint8_t fin_rst = flags & 5u;
+    bool has_fin_rst = fin_rst != 0u;
+    bool teardown = is_tcp & has_fin_rst;
+    if (teardown) goto bb1; else goto bb2;
+  bb1:  // if_then
+    if (flow_found) goto bb4; else goto bb5;
+  bb2:  // if_else
+    if (flow_found) goto bb7; else goto bb8;
+  bb3:  // if_join
+    return;
+  bb4:  // if_then
+    flows.erase({saddr, daddr, sport, dport, proto});
+    flow_created.erase({saddr, daddr, sport, dport, proto});
+    ip->daddr = flow_v0;
+    output(1u).push(pkt);
+    return;
+  bb5:  // if_else
+    output(1u).push(pkt);
+    return;
+  bb6:  // if_join
+    goto bb3;
+  bb7:  // if_then
+    ip->daddr = flow_v0;
+    output(1u).push(pkt);
+    return;
+  bb8:  // if_else
+    uint32_t nbackends = backends.size();
+    uint64_t h1 = hash_mix(saddr, daddr);
+    uint32_t ports_hi = sport << 16u;
+    uint32_t ports = ports_hi | dport;
+    uint64_t h2 = hash_mix(h1, ports);
+    uint32_t idx = h2 % nbackends;
+    uint32_t bk_new = backends[idx];
+    uint64_t created_ms = Timestamp::now_msec();
+    flows.insert({saddr, daddr, sport, dport, proto, bk_new});
+    flow_created.insert({saddr, daddr, sport, dport, proto, created_ms});
+    ip->daddr = bk_new;
+    output(1u).push(pkt);
+    return;
+  bb9:  // if_join
+    goto bb3;
+  }
+};

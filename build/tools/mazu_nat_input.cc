@@ -1,0 +1,50 @@
+class mazu_nat : public Element {
+  HashMap<Key2, Value1> nat_out;  // max_entries=65536
+  HashMap<Key1, Value2> nat_in;  // max_entries=65536
+  uint16_t port_counter = 1024;
+
+  void process(Packet* pkt) {
+  bb0:  // entry
+    uint32_t ingress = pkt->ingress_port();
+    uint32_t saddr = ip->saddr;
+    uint16_t sport = l4->sport;
+    uint16_t dport = l4->dport;
+    bool from_internal = ingress == 0u;
+    if (from_internal) goto bb1; else goto bb2;
+  bb1:  // if_then
+    auto* out_found_ptr = nat_out.find({saddr, sport});
+    if (out_found) goto bb4; else goto bb5;
+  bb2:  // if_else
+    auto* in_found_ptr = nat_in.find({dport});
+    if (in_found) goto bb7; else goto bb8;
+  bb3:  // if_join
+    return;
+  bb4:  // if_then
+    ip->saddr = 167772161u;
+    l4->sport = out_v0;
+    output(1u).push(pkt);
+    return;
+  bb5:  // if_else
+    uint16_t alloc_port = port_counter;
+    uint16_t next_port = alloc_port + 1u;
+    port_counter = next_port;
+    nat_out.insert({saddr, sport, alloc_port});
+    nat_in.insert({alloc_port, saddr, sport});
+    ip->saddr = 167772161u;
+    l4->sport = alloc_port;
+    output(1u).push(pkt);
+    return;
+  bb6:  // if_join
+    goto bb3;
+  bb7:  // if_then
+    ip->daddr = in_v0;
+    l4->dport = in_v1;
+    output(0u).push(pkt);
+    return;
+  bb8:  // if_else
+    pkt->kill();
+    return;
+  bb9:  // if_join
+    goto bb3;
+  }
+};
