@@ -1,5 +1,8 @@
 #include "perf/cost_model.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace gallium::perf {
 
 double CostModel::PacketCycles(const runtime::ExecStats& stats,
@@ -21,6 +24,37 @@ double CostModel::PacketServerUs(const runtime::ExecStats& stats,
                                  int wire_bytes, int payload_bytes) const {
   return PacketCycles(stats, wire_bytes, payload_bytes) /
          (server_ghz * 1000.0);
+}
+
+double CostModel::SyncRetryLatencyUs(int tables, int retries) const {
+  double wait = 0;
+  double timeout = control_retry_timeout_us;
+  for (int i = 0; i < retries; ++i) {
+    wait += timeout;
+    timeout = std::min(timeout * control_backoff_factor, control_max_backoff_us);
+  }
+  // Table 3 shape: per-table up to two tables, sub-linear beyond.
+  const double apply =
+      tables <= 2 ? control_apply_us * tables
+                  : control_apply_us * 2 + (control_apply_us * 0.375) *
+                                               (tables - 2);
+  return wait + apply;
+}
+
+double CostModel::ExpectedSyncLatencyUs(int tables, double loss,
+                                        int max_attempts) const {
+  loss = std::clamp(loss, 0.0, 0.999);
+  double expected = 0;
+  double p_reach = 1.0;  // probability the client is still retrying
+  for (int r = 0; r < max_attempts; ++r) {
+    const double p_success_here = p_reach * (1.0 - loss);
+    expected += p_success_here * SyncRetryLatencyUs(tables, r);
+    p_reach *= loss;
+  }
+  // Residual mass: retries exhausted — the runtime gives up and schedules a
+  // resync; charge the full backed-off wait.
+  expected += p_reach * SyncRetryLatencyUs(tables, max_attempts);
+  return expected;
 }
 
 }  // namespace gallium::perf

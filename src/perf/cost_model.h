@@ -46,6 +46,17 @@ struct CostModel {
   // stacks, ten iperf streams): limits small-packet throughput.
   double sender_pps_millions = 50.0;
 
+  // --- Control-plane reliability (hardened state sync) --------------------------
+  // Mirrors runtime::SyncPolicy: retransmit timeout and exponential backoff
+  // of the reliable sync client. Kept here so the analytical latency model
+  // can price a faulty control channel the same way the simulated runtime
+  // experiences it.
+  double control_retry_timeout_us = 500.0;
+  double control_backoff_factor = 2.0;
+  double control_max_backoff_us = 8000.0;
+  // ~135 µs per touched table on a successful delivery (Table 3).
+  double control_apply_us = 135.0;
+
   // --- Derived helpers ---------------------------------------------------------
   // Cycles to process one packet in software given executed-op counts.
   double PacketCycles(const runtime::ExecStats& stats, int wire_bytes,
@@ -61,6 +72,15 @@ struct CostModel {
   double CorePps(double cycles_per_packet) const {
     return server_ghz * 1e9 / cycles_per_packet;
   }
+  // Modeled output-commit wait for a sync batch touching `tables` tables
+  // that needed `retries` retransmissions: each retry waits out the
+  // (exponentially backed-off) timeout before the final successful apply.
+  double SyncRetryLatencyUs(int tables, int retries) const;
+  // Expected sync latency per batch when each delivery (batch or ack) is
+  // lost independently with probability `loss`: sum over the retry
+  // distribution, truncated at `max_attempts`.
+  double ExpectedSyncLatencyUs(int tables, double loss,
+                               int max_attempts = 10) const;
 };
 
 }  // namespace gallium::perf

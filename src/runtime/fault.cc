@@ -1,0 +1,180 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace gallium::runtime {
+
+namespace {
+
+// FNV-1a over the frame body; cheap and adequate for detecting the injected
+// bit flips (we are modeling a CRC, not defending against an adversary).
+uint64_t Fnv1a(const uint8_t* data, size_t len, uint64_t h = 0xcbf29ce484222325ull) {
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::string FaultPlan::ToString() const {
+  std::string s = "FaultPlan{seed=" + std::to_string(seed);
+  auto pct = [](double p) { return std::to_string(static_cast<int>(p * 100)); };
+  s += " to_server[drop=" + pct(to_server.drop) + "% dup=" +
+       pct(to_server.duplicate) + "% reorder=" + pct(to_server.reorder) +
+       "% corrupt=" + pct(to_server.corrupt) + "%]";
+  s += " to_switch[drop=" + pct(to_switch.drop) + "% dup=" +
+       pct(to_switch.duplicate) + "% reorder=" + pct(to_switch.reorder) +
+       "% corrupt=" + pct(to_switch.corrupt) + "%]";
+  s += " sync[batch_drop=" + pct(sync.batch_drop) + "% ack_drop=" +
+       pct(sync.ack_drop) + "% delay=" + pct(sync.delay_prob) + "%]";
+  s += " restarts=" + std::to_string(restart_at_packets.size());
+  s += " outages=" + std::to_string(outages.size()) + "}";
+  return s;
+}
+
+FaultPlan MakeRandomFaultPlan(uint64_t seed, uint64_t num_packets) {
+  // Decorrelate consecutive seeds (Rng(1) and Rng(2) share most state bits).
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  auto channel = [&rng]() {
+    ChannelFaults f;
+    f.drop = rng.NextDouble() * 0.15;
+    f.duplicate = rng.NextDouble() * 0.10;
+    f.reorder = rng.NextDouble() * 0.10;
+    f.corrupt = rng.NextDouble() * 0.05;
+    return f;
+  };
+  plan.to_server = channel();
+  plan.to_switch = channel();
+
+  plan.sync.batch_drop = rng.NextDouble() * 0.20;
+  plan.sync.ack_drop = rng.NextDouble() * 0.15;
+  plan.sync.delay_prob = rng.NextDouble() * 0.30;
+  plan.sync.delay_us_mean = 100.0 + rng.NextDouble() * 300.0;
+
+  // Deterministic coverage: two of every three seeds restart mid-run, one of
+  // every four sustains an outage. (Both can land in the same plan.)
+  if (num_packets >= 4) {
+    if (seed % 3 != 0) {
+      const int restarts = 1 + static_cast<int>(seed % 2);
+      for (int i = 0; i < restarts; ++i) {
+        plan.restart_at_packets.push_back(
+            1 + rng.NextBounded(num_packets - 1));
+      }
+      std::sort(plan.restart_at_packets.begin(),
+                plan.restart_at_packets.end());
+    }
+    if (seed % 4 == 0) {
+      const uint64_t len = std::max<uint64_t>(2, num_packets / 7);
+      const uint64_t start = 1 + rng.NextBounded(num_packets - len);
+      plan.outages.push_back({start, start + len});
+    }
+  }
+  return plan;
+}
+
+void FaultyChannel::Send(std::vector<uint8_t> frame) {
+  ++frames_sent_;
+  if (rng_->NextBool(faults_.drop)) {
+    ++frames_dropped_;
+    // A newer transmission overtaking a lost one still releases the held
+    // frame — the reordered copy is in flight regardless of later losses.
+    if (held_.has_value()) {
+      queue_.push_back(std::move(*held_));
+      held_.reset();
+    }
+    return;
+  }
+  if (rng_->NextBool(faults_.corrupt) && !frame.empty()) {
+    ++frames_corrupted_;
+    frame[rng_->NextBounded(frame.size())] ^=
+        static_cast<uint8_t>(1 + rng_->NextBounded(255));
+  }
+  const bool duplicated = rng_->NextBool(faults_.duplicate);
+  if (duplicated) ++frames_duplicated_;
+
+  if (!held_.has_value() && rng_->NextBool(faults_.reorder)) {
+    ++frames_reordered_;
+    held_ = frame;  // keep one copy back; it re-enters behind the next frame
+    if (duplicated) queue_.push_back(std::move(frame));
+    return;
+  }
+  queue_.push_back(frame);
+  if (duplicated) queue_.push_back(std::move(frame));
+  if (held_.has_value()) {
+    queue_.push_back(std::move(*held_));
+    held_.reset();
+  }
+}
+
+std::optional<std::vector<uint8_t>> FaultyChannel::Receive() {
+  if (queue_.empty()) return std::nullopt;
+  std::vector<uint8_t> frame = std::move(queue_.front());
+  queue_.pop_front();
+  return frame;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      rng_(plan.seed ^ 0xd1b54a32d192ed03ull),
+      channel_rng_(plan.seed ^ 0x2545f4914f6cdd1dull),
+      to_server_(plan.to_server, &channel_rng_),
+      to_switch_(plan.to_switch, &channel_rng_) {}
+
+bool FaultInjector::SwitchDown(uint64_t packet_index) const {
+  for (const auto& [start, end] : plan_.outages) {
+    if (packet_index >= start && packet_index < end) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::TakeRestart(uint64_t packet_index) {
+  bool fired = false;
+  while (next_restart_ < plan_.restart_at_packets.size() &&
+         plan_.restart_at_packets[next_restart_] <= packet_index) {
+    ++next_restart_;
+    fired = true;
+  }
+  return fired;
+}
+
+std::vector<uint8_t> EncodeDataFrame(uint64_t seq,
+                                     const std::vector<uint8_t>& wire) {
+  std::vector<uint8_t> frame;
+  frame.reserve(16 + wire.size());
+  PutU64(&frame, seq);
+  uint64_t h = Fnv1a(frame.data(), 8);
+  h = Fnv1a(wire.data(), wire.size(), h);
+  PutU64(&frame, h);
+  frame.insert(frame.end(), wire.begin(), wire.end());
+  return frame;
+}
+
+bool DecodeDataFrame(const std::vector<uint8_t>& frame, uint64_t* seq,
+                     std::vector<uint8_t>* wire) {
+  if (frame.size() < 16) return false;
+  uint64_t h = Fnv1a(frame.data(), 8);
+  h = Fnv1a(frame.data() + 16, frame.size() - 16, h);
+  if (h != GetU64(frame.data() + 8)) return false;
+  *seq = GetU64(frame.data());
+  wire->assign(frame.begin() + 16, frame.end());
+  return true;
+}
+
+}  // namespace gallium::runtime

@@ -1,0 +1,156 @@
+// Fault injection for the offloaded runtime.
+//
+// Real switch<->server substrates lose, duplicate, reorder, and corrupt both
+// data packets and control-plane messages, and switches restart. The seed
+// runtime modeled that channel as perfect; this layer makes the imperfection
+// explicit and reproducible so the recovery paths in OffloadedMiddlebox can
+// be exercised deterministically (differential chaos testing in the style of
+// Gauntlet's compiler stress testing).
+//
+// A FaultPlan is pure data: per-direction data-plane fault rates, control-
+// plane loss/delay rates, scheduled switch restarts, and sustained outage
+// windows, all keyed to a seed. A FaultInjector is the runtime object built
+// from a plan: it owns the dice and the two FaultyChannels and is consulted
+// by the runtime at each hazard point. Identical plan + identical traffic =>
+// identical fault schedule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gallium::runtime {
+
+// Per-direction data-plane fault rates, each an independent probability
+// applied to every frame crossing the link.
+struct ChannelFaults {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;  // hold the frame back; deliver after the next one
+  double corrupt = 0.0;  // flip bytes in flight (caught by the frame checksum)
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+  }
+};
+
+// Control-plane fault rates for the sync path.
+struct SyncFaults {
+  double batch_drop = 0.0;    // batch lost on the way to the switch
+  double ack_drop = 0.0;      // batch applied but the ack is lost
+  double delay_prob = 0.0;    // batch delayed (adds latency, still delivered)
+  double delay_us_mean = 200.0;
+
+  bool any() const {
+    return batch_drop > 0 || ack_drop > 0 || delay_prob > 0;
+  }
+};
+
+// A complete, seeded fault schedule for one run.
+struct FaultPlan {
+  uint64_t seed = 0;
+  ChannelFaults to_server;  // switch -> server data frames
+  ChannelFaults to_switch;  // server -> switch data frames
+  SyncFaults sync;
+  // Restart the switch (losing all switch state) immediately before
+  // processing the packet with this zero-based index.
+  std::vector<uint64_t> restart_at_packets;
+  // Sustained outages: while a packet's index falls in [first, second), the
+  // switch is unreachable and the runtime must degrade to software-only
+  // processing.
+  std::vector<std::pair<uint64_t, uint64_t>> outages;
+
+  bool HasDataFaults() const { return to_server.any() || to_switch.any(); }
+  std::string ToString() const;
+};
+
+// Randomized plan generator for the chaos harness. Deterministic in `seed`:
+// fault rates are drawn from bounded ranges, every third seed schedules one
+// or two mid-run restarts, and every fourth seed opens a sustained outage
+// window (~15% of the run), so any contiguous block of seeds exercises both
+// recovery paths.
+FaultPlan MakeRandomFaultPlan(uint64_t seed, uint64_t num_packets);
+
+// A lossy frame pipe. Send() subjects the frame to the configured faults;
+// Receive() pops the next delivered frame (nullopt when the queue is empty
+// — e.g. the frame was dropped or is being held back for reordering).
+class FaultyChannel {
+ public:
+  FaultyChannel(ChannelFaults faults, Rng* rng)
+      : faults_(faults), rng_(rng) {}
+
+  void Send(std::vector<uint8_t> frame);
+  std::optional<std::vector<uint8_t>> Receive();
+
+  // True while a frame is held back for reordering (it is released behind
+  // the next frame entering the channel).
+  bool has_held() const { return held_.has_value(); }
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_duplicated() const { return frames_duplicated_; }
+  uint64_t frames_reordered() const { return frames_reordered_; }
+  uint64_t frames_corrupted() const { return frames_corrupted_; }
+
+ private:
+  ChannelFaults faults_;
+  Rng* rng_;
+  std::deque<std::vector<uint8_t>> queue_;
+  // At most one frame is held back for reordering; it is released behind
+  // the next frame that enters the channel.
+  std::optional<std::vector<uint8_t>> held_;
+
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_dropped_ = 0;
+  uint64_t frames_duplicated_ = 0;
+  uint64_t frames_reordered_ = 0;
+  uint64_t frames_corrupted_ = 0;
+};
+
+// Runtime face of a FaultPlan: owns the dice and the data channels, answers
+// the runtime's hazard-point queries.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // True while `packet_index` falls inside a scheduled outage window.
+  bool SwitchDown(uint64_t packet_index) const;
+  // True exactly once per scheduled restart, when its packet index arrives.
+  bool TakeRestart(uint64_t packet_index);
+
+  // Control-plane dice.
+  bool DropBatch() { return rng_.NextBool(plan_.sync.batch_drop); }
+  bool DropAck() { return rng_.NextBool(plan_.sync.ack_drop); }
+  double SyncDelayUs() {
+    if (!rng_.NextBool(plan_.sync.delay_prob)) return 0.0;
+    return rng_.NextExponential(plan_.sync.delay_us_mean);
+  }
+
+  FaultyChannel& to_server() { return to_server_; }
+  FaultyChannel& to_switch() { return to_switch_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  Rng channel_rng_;  // independent stream so data faults don't perturb sync dice
+  FaultyChannel to_server_;
+  FaultyChannel to_switch_;
+  size_t next_restart_ = 0;
+};
+
+// Frame codec for the reliable data link: [seq:8][fnv1a-64 checksum:8][wire
+// bytes]. The checksum covers seq + payload, so in-flight corruption of any
+// byte is detected and the frame treated as lost.
+std::vector<uint8_t> EncodeDataFrame(uint64_t seq,
+                                     const std::vector<uint8_t>& wire);
+// Returns false when the frame is truncated or fails its checksum.
+bool DecodeDataFrame(const std::vector<uint8_t>& frame, uint64_t* seq,
+                     std::vector<uint8_t>* wire);
+
+}  // namespace gallium::runtime

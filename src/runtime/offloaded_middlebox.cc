@@ -1,5 +1,6 @@
 #include "runtime/offloaded_middlebox.h"
 
+#include <algorithm>
 #include <cassert>
 #include <set>
 
@@ -20,12 +21,19 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
       replicated_globals_(spec.fn->globals().size(), false),
       rng_(options.rng_seed) {
   for (const auto& [ref, placement] : plan_.state_placement) {
+    if (ref.kind == ir::StateRef::Kind::kGlobal &&
+        placement == StatePlacement::kSwitchOnly) {
+      switch_only_globals_.push_back(ref.index);
+    }
     if (placement != StatePlacement::kReplicated) continue;
     if (ref.kind == ir::StateRef::Kind::kMap) {
       replicated_maps_[ref.index] = true;
     } else if (ref.kind == ir::StateRef::Kind::kGlobal) {
       replicated_globals_[ref.index] = true;
     }
+  }
+  if (options_.fault_plan != nullptr) {
+    injector_ = std::make_unique<FaultInjector>(*options_.fault_plan);
   }
 }
 
@@ -58,6 +66,7 @@ Result<std::unique_ptr<OffloadedMiddlebox>> OffloadedMiddlebox::Create(
       mbx->switch_, switchsim::Switch::Create(*spec.fn, mbx->plan_,
                                               options.constraints,
                                               options.cache_entries_per_table));
+  mbx->known_epoch_ = mbx->switch_->epoch();
   mbx->cached_maps_.assign(spec.fn->maps().size(), false);
   for (ir::StateIndex m = 0; m < spec.fn->maps().size(); ++m) {
     mbx->cached_maps_[m] = mbx->switch_->IsCachedMap(m);
@@ -82,10 +91,162 @@ Status OffloadedMiddlebox::InitializeState(const mbox::MiddleboxSpec& spec) {
   return Status::Ok();
 }
 
+Result<net::Packet> OffloadedMiddlebox::CrossLink(bool to_server,
+                                                  net::Packet pkt) {
+  const bool faulty =
+      injector_ != nullptr &&
+      (to_server ? injector_->plan().to_server.any()
+                 : injector_->plan().to_switch.any());
+  if (!faulty) {
+    if (!options_.serialize_wire) return pkt;
+    const std::vector<uint8_t> wire = pkt.Serialize();
+    const uint32_t ingress = pkt.ingress_port();
+    GALLIUM_ASSIGN_OR_RETURN(net::Packet parsed, net::Packet::Parse(wire));
+    parsed.set_ingress_port(ingress);
+    return parsed;
+  }
+
+  // Lossy link: frame the wire bytes with a sequence number and checksum,
+  // retransmit until the receiver holds a verifiably intact copy, and
+  // deduplicate by sequence so duplicates/reorders of this or earlier
+  // frames collapse into exactly-once delivery.
+  const std::vector<uint8_t> wire = pkt.Serialize();
+  const uint32_t ingress = pkt.ingress_port();
+  FaultyChannel& chan =
+      to_server ? injector_->to_server() : injector_->to_switch();
+  uint64_t& delivered = to_server ? delivered_to_server_ : delivered_to_switch_;
+  const uint64_t seq = ++next_frame_seq_;
+  const std::vector<uint8_t> frame = EncodeDataFrame(seq, wire);
+
+  for (int attempt = 0; attempt < options_.sync_policy.max_data_attempts;
+       ++attempt) {
+    if (attempt > 0) ++data_retries_;
+    chan.Send(frame);
+    std::optional<std::vector<uint8_t>> got;
+    while (auto f = chan.Receive()) {
+      uint64_t fseq = 0;
+      std::vector<uint8_t> fwire;
+      if (!DecodeDataFrame(*f, &fseq, &fwire)) continue;  // corrupted: lost
+      if (fseq <= delivered) continue;  // stale duplicate
+      if (fseq == seq) got = std::move(fwire);
+    }
+    if (got.has_value()) {
+      delivered = seq;
+      GALLIUM_ASSIGN_OR_RETURN(net::Packet parsed, net::Packet::Parse(*got));
+      parsed.set_ingress_port(ingress);
+      return parsed;
+    }
+  }
+  return Unavailable(
+      std::string(to_server ? "switch->server" : "server->switch") +
+      " data link failed after " +
+      std::to_string(options_.sync_policy.max_data_attempts) + " attempts");
+}
+
+Result<double> OffloadedMiddlebox::SyncReplicated(
+    const std::vector<RecordingStateBackend::MapMutation>& maps,
+    const std::vector<RecordingStateBackend::GlobalMutation>& globals,
+    bool* committed) {
+  *committed = false;
+  SyncBatch batch;
+  batch.seq = ++next_sync_seq_;
+  batch.epoch = known_epoch_;
+  batch.maps = maps;
+  batch.globals = globals;
+  ++sync_batches_sent_;
+
+  double total_us = 0;
+  double timeout_us = options_.sync_policy.timeout_us;
+  for (int attempt = 0; attempt < options_.sync_policy.max_sync_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      // The previous delivery (or its ack) vanished; we waited the
+      // retransmit timeout, then back off.
+      ++sync_retries_;
+      total_us += timeout_us;
+      timeout_us = std::min(timeout_us * options_.sync_policy.backoff_factor,
+                            options_.sync_policy.max_backoff_us);
+    }
+    if (injector_ != nullptr && injector_->DropBatch()) {
+      ++batches_dropped_;
+      continue;
+    }
+    if (injector_ != nullptr) total_us += injector_->SyncDelayUs();
+    GALLIUM_ASSIGN_OR_RETURN(SyncAck ack,
+                             switch_->ApplySyncBatch(batch, &rng_));
+    if (!ack.epoch_ok) {
+      // The switch restarted under us and lost everything, including the
+      // state this batch assumes. The batch's mutations already live in the
+      // authoritative host store, so a full resync both recovers the switch
+      // and commits the batch (the snapshot re-arms the seq high-water
+      // mark past it — it can never be double-applied).
+      ++switch_restarts_seen_;
+      needs_resync_ = true;
+      total_us += ResyncSwitch();
+      *committed = true;
+      return total_us;
+    }
+    total_us += ack.latency_us;
+    if (injector_ != nullptr && injector_->DropAck()) {
+      // Applied on the switch but the server never learns: the retry is
+      // delivered as a duplicate and acked idempotently.
+      ++acks_dropped_;
+      continue;
+    }
+    *committed = true;
+    return total_us;
+  }
+
+  // Control plane unreachable. Availability over output commit: release the
+  // packet, keep the host authoritative, and rebuild the switch before its
+  // next use.
+  ++sync_failures_;
+  needs_resync_ = true;
+  return total_us;
+}
+
+double OffloadedMiddlebox::ResyncSwitch() {
+  const double latency_us =
+      switch_->ResyncFromHost(server_state_, next_sync_seq_, &rng_);
+  known_epoch_ = switch_->epoch();
+  needs_resync_ = false;
+  ++resyncs_;
+  total_resync_latency_us_ += latency_us;
+  return latency_us;
+}
+
+void OffloadedMiddlebox::ReconcileSwitchGlobals() {
+  for (ir::StateIndex g : switch_only_globals_) {
+    if (!switch_->IsResident({ir::StateRef::Kind::kGlobal, g})) continue;
+    server_state_.GlobalWrite(g, switch_->data_plane().GlobalRead(g));
+  }
+}
+
+void OffloadedMiddlebox::EnsureSwitchCoherent() {
+  if (switch_->epoch() != known_epoch_) {
+    ++switch_restarts_seen_;
+    needs_resync_ = true;
+  }
+  if (needs_resync_) ResyncSwitch();
+}
+
 OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
                                                         uint64_t now_ms) {
   Outcome outcome;
+  const uint64_t pkt_index = packets_total_;
   ++packets_total_;
+
+  if (injector_ != nullptr) {
+    if (injector_->TakeRestart(pkt_index)) switch_->Restart();
+    if (injector_->SwitchDown(pkt_index)) {
+      return ProcessDegraded(std::move(pkt), now_ms);
+    }
+  }
+  // Heartbeat: an epoch bump means the switch restarted (scheduled or not)
+  // and lost its state; needs_resync_ means the state went stale while the
+  // switch was unreachable. Either way, rebuild from the host store before
+  // this packet touches a table.
+  EnsureSwitchCoherent();
 
   const bool cache_mode = options_.cache_entries_per_table > 0;
   // In cache mode the pre pass may turn out to be non-authoritative; keep a
@@ -100,6 +261,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
                                         /*in_values=*/nullptr,
                                         &plan_.to_server,
                                         cache_mode ? &cached_maps_ : nullptr);
+  outcome.switch_stats += pre.stats;
   if (!pre.status.ok()) {
     outcome.status = pre.status;
     return outcome;
@@ -110,7 +272,6 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
     miss_outcome.switch_stats += pre.stats;  // the aborted pre attempt
     return miss_outcome;
   }
-  outcome.switch_stats += pre.stats;
 
   if (!pre.needs_server) {
     // Fast path: the switch completed the packet by itself.
@@ -124,6 +285,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
     if (pre.verdict.kind == Verdict::Kind::kSend) {
       outcome.out_packet = std::move(pkt);
     }
+    ReconcileSwitchGlobals();
     return outcome;
   }
   if (pre.verdict.decided()) {
@@ -138,16 +300,14 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
   outcome.transfer_bytes_to_server = static_cast<int>(header1.WireSize());
   net::Packet server_pkt = std::move(pkt);
   server_pkt.set_gallium(std::move(header1));
-  if (options_.serialize_wire) {
-    const std::vector<uint8_t> wire = server_pkt.Serialize();
-    const uint32_t ingress = server_pkt.ingress_port();
-    auto parsed = net::Packet::Parse(wire);
-    if (!parsed.ok()) {
-      outcome.status = parsed.status();
+  {
+    auto crossed = CrossLink(/*to_server=*/true, std::move(server_pkt));
+    if (!crossed.ok()) {
+      outcome.status = crossed.status();
+      needs_resync_ = true;  // the pre pass may have left partial registers
       return outcome;
     }
-    server_pkt = std::move(parsed).value();
-    server_pkt.set_ingress_port(ingress);
+    server_pkt = std::move(crossed).value();
   }
   auto in_values1 =
       UnpackTransfer(*fn_, plan_.to_server, server_pkt.gallium());
@@ -163,23 +323,25 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
   ExecResult srv = interp_.RunPartition(server_pkt, recording, now_ms, plan_,
                                         Part::kNonOffloaded, &plan_.to_server,
                                         &in_values1.value(), &plan_.to_switch);
+  outcome.server_stats += srv.stats;
   if (!srv.status.ok()) {
     outcome.status = srv.status;
     return outcome;
   }
-  outcome.server_stats += srv.stats;
 
   // Atomic update + output commit: the packet is held until every
-  // replicated-state mutation is visible on the switch (§4.3.3).
+  // replicated-state mutation is visible on the switch (§4.3.3) — or, under
+  // a control-plane outage, until the retry budget is exhausted and the
+  // switch is marked for full resync.
   if (recording.HasMutations()) {
-    auto latency = switch_->ApplyAtomicUpdate(recording.map_mutations(),
-                                              recording.global_mutations(),
-                                              &rng_);
+    bool committed = false;
+    auto latency = SyncReplicated(recording.map_mutations(),
+                                  recording.global_mutations(), &committed);
     if (!latency.ok()) {
       outcome.status = latency.status();
       return outcome;
     }
-    outcome.state_synced = true;
+    outcome.state_synced = committed;
     outcome.sync_latency_us = *latency;
   }
 
@@ -189,16 +351,14 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
   outcome.transfer_bytes_to_switch = static_cast<int>(header2.WireSize());
   net::Packet back_pkt = std::move(server_pkt);
   back_pkt.set_gallium(std::move(header2));
-  if (options_.serialize_wire) {
-    const std::vector<uint8_t> wire = back_pkt.Serialize();
-    const uint32_t ingress = back_pkt.ingress_port();
-    auto parsed = net::Packet::Parse(wire);
-    if (!parsed.ok()) {
-      outcome.status = parsed.status();
+  {
+    auto crossed = CrossLink(/*to_server=*/false, std::move(back_pkt));
+    if (!crossed.ok()) {
+      outcome.status = crossed.status();
+      needs_resync_ = true;
       return outcome;
     }
-    back_pkt = std::move(parsed).value();
-    back_pkt.set_ingress_port(ingress);
+    back_pkt = std::move(crossed).value();
   }
   auto in_values2 = UnpackTransfer(*fn_, plan_.to_switch, back_pkt.gallium());
   if (!in_values2.ok()) {
@@ -211,11 +371,11 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
                                          now_ms, plan_, Part::kPost,
                                          &plan_.to_switch, &in_values2.value(),
                                          /*out_spec=*/nullptr);
+  outcome.switch_stats += post.stats;
   if (!post.status.ok()) {
     outcome.status = post.status;
     return outcome;
   }
-  outcome.switch_stats += post.stats;
 
   // Verdict resolution: exactly one of the server / post passes decides.
   if (srv.verdict.decided() == post.verdict.decided()) {
@@ -228,6 +388,35 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
   if (outcome.verdict.kind == Verdict::Kind::kSend) {
     outcome.out_packet = std::move(back_pkt);
   }
+  ReconcileSwitchGlobals();
+  return outcome;
+}
+
+OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessDegraded(
+    net::Packet pkt, uint64_t now_ms) {
+  Outcome outcome;
+  outcome.degraded = true;
+  ++degraded_packets_;
+  // The switch is unreachable; the server carries the whole program against
+  // the authoritative host store — exactly the SoftwareMiddlebox semantics,
+  // so per-flow behavior is indistinguishable from the baseline.
+  ExecResult r = interp_.Run(pkt, server_state_, now_ms);
+  outcome.server_stats += r.stats;
+  if (!r.status.ok()) {
+    outcome.status = r.status;
+    return outcome;
+  }
+  if (!r.verdict.decided()) {
+    outcome.status = Internal("degraded pass finished without a verdict");
+    return outcome;
+  }
+  outcome.verdict = r.verdict;
+  if (r.verdict.kind == Verdict::Kind::kSend) {
+    outcome.out_packet = std::move(pkt);
+  }
+  // Whatever state this packet touched, the switch replica no longer
+  // matches it; repopulate the tables before the switch serves again.
+  needs_resync_ = true;
   return outcome;
 }
 
@@ -242,11 +431,11 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
                                   replicated_globals_);
   ExecResult srv = interp_.RunServerFull(pkt, recording, now_ms, plan_,
                                          &plan_.to_switch, cached_maps_);
+  outcome.server_stats += srv.stats;
   if (!srv.status.ok()) {
     outcome.status = srv.status;
     return outcome;
   }
-  outcome.server_stats += srv.stats;
 
   // Build one atomic batch: the packet's replicated-state mutations plus a
   // cache refresh for every (still-present) key the packet looked up.
@@ -262,8 +451,9 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
     }
   }
   if (!mutations.empty() || !recording.global_mutations().empty()) {
-    auto latency = switch_->ApplyAtomicUpdate(
-        mutations, recording.global_mutations(), &rng_);
+    bool committed = false;
+    auto latency =
+        SyncReplicated(mutations, recording.global_mutations(), &committed);
     if (!latency.ok()) {
       outcome.status = latency.status();
       return outcome;
@@ -271,7 +461,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
     // Output commit applies only to the packet's own state updates; pure
     // cache refreshes do not hold the packet.
     if (recording.HasMutations()) {
-      outcome.state_synced = true;
+      outcome.state_synced = committed;
       outcome.sync_latency_us = *latency;
     }
   }
@@ -289,11 +479,11 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
                                          plan_, Part::kPost,
                                          &plan_.to_switch, &in_values2.value(),
                                          /*out_spec=*/nullptr);
+  outcome.switch_stats += post.stats;
   if (!post.status.ok()) {
     outcome.status = post.status;
     return outcome;
   }
-  outcome.switch_stats += post.stats;
 
   if (srv.verdict.decided() == post.verdict.decided()) {
     outcome.status = Internal(
@@ -306,6 +496,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
   if (outcome.verdict.kind == Verdict::Kind::kSend) {
     outcome.out_packet = std::move(pkt);
   }
+  ReconcileSwitchGlobals();
   return outcome;
 }
 
@@ -327,10 +518,14 @@ Result<int> OffloadedMiddlebox::CollectIdleFlows(ir::StateIndex flows_map,
     server_state_.MapErase(created_map, key);
     mutations.push_back(
         RecordingStateBackend::MapMutation{flows_map, key, {}, true});
+    mutations.push_back(
+        RecordingStateBackend::MapMutation{created_map, key, {}, true});
   }
+  bool committed = false;
   GALLIUM_ASSIGN_OR_RETURN(double latency,
-                           switch_->ApplyAtomicUpdate(mutations, {}, &rng_));
+                           SyncReplicated(mutations, {}, &committed));
   (void)latency;
+  (void)committed;  // on failure the switch is marked for resync
   return static_cast<int>(expired.size());
 }
 

@@ -22,9 +22,11 @@
 
 #include "mbox/middleboxes.h"
 #include "partition/partitioner.h"
+#include "runtime/fault.h"
 #include "runtime/interpreter.h"
 #include "runtime/software_middlebox.h"
 #include "runtime/state.h"
+#include "runtime/sync.h"
 #include "switchsim/switch.h"
 #include "util/rng.h"
 
@@ -43,6 +45,15 @@ struct OffloadedOptions {
   // a partial table is not authoritative, so the pre pass aborts and the
   // server reprocesses the packet from scratch, then refreshes the cache.
   uint64_t cache_entries_per_table = 0;
+
+  // Fault injection: when set, the switch<->server data links run framed
+  // (seq + checksum, retransmit + dedup) through the plan's FaultyChannels,
+  // the control-plane sync path is subject to the plan's loss/delay rates,
+  // and the scheduled restarts/outages fire. Null = perfect substrate.
+  // The plan must outlive the middlebox.
+  const FaultPlan* fault_plan = nullptr;
+  // Retry/backoff policy for the reliable sync client and the data link.
+  SyncPolicy sync_policy;
 };
 
 class OffloadedMiddlebox {
@@ -55,6 +66,7 @@ class OffloadedMiddlebox {
     Verdict verdict;
     bool fast_path = false;      // never left the switch
     bool state_synced = false;   // a control-plane batch was applied
+    bool degraded = false;       // software-only fallback (switch down)
     double sync_latency_us = 0;  // control-plane latency (output commit wait)
     ExecStats switch_stats;      // pre + post pass op counts
     ExecStats server_stats;      // non-offloaded pass op counts
@@ -78,6 +90,12 @@ class OffloadedMiddlebox {
                                ir::StateIndex created_map, uint64_t now_ms,
                                uint64_t timeout_ms);
 
+  // If the switch restarted behind our back or its replicated state is
+  // suspect (failed sync, degraded interval), rebuild it from the
+  // authoritative host store now instead of lazily at the next packet.
+  // Idempotent; used by recovery paths and by tests that inspect tables.
+  void EnsureSwitchCoherent();
+
   // Counters.
   uint64_t packets_total() const { return packets_total_; }
   uint64_t packets_fast_path() const { return packets_fast_; }
@@ -87,6 +105,20 @@ class OffloadedMiddlebox {
                ? 0.0
                : static_cast<double>(packets_fast_) / packets_total_;
   }
+
+  // Fault / recovery counters (all zero on a perfect substrate).
+  uint64_t sync_batches_sent() const { return sync_batches_sent_; }
+  uint64_t sync_retries() const { return sync_retries_; }
+  uint64_t batches_dropped() const { return batches_dropped_; }
+  uint64_t acks_dropped() const { return acks_dropped_; }
+  uint64_t sync_failures() const { return sync_failures_; }
+  uint64_t switch_restarts() const { return switch_restarts_seen_; }
+  uint64_t degraded_packets() const { return degraded_packets_; }
+  uint64_t data_retries() const { return data_retries_; }
+  uint64_t resyncs() const { return resyncs_; }
+  double total_resync_latency_us() const { return total_resync_latency_us_; }
+
+  FaultInjector* injector() { return injector_.get(); }
 
  private:
   OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
@@ -103,14 +135,69 @@ class OffloadedMiddlebox {
   std::vector<bool> replicated_maps_;
   std::vector<bool> replicated_globals_;
   std::vector<bool> cached_maps_;  // §7 cache mode, per map index
+  // Globals whose authoritative writer is the switch data plane; mirrored
+  // into the host store after every completed packet (see
+  // ReconcileSwitchGlobals).
+  std::vector<ir::StateIndex> switch_only_globals_;
   Rng rng_;
+
+  std::unique_ptr<FaultInjector> injector_;
+  // The switch incarnation the server believes it is synchronized with; a
+  // mismatch against switch_->epoch() means an (unannounced) restart.
+  uint64_t known_epoch_ = 0;
+  uint64_t next_sync_seq_ = 0;
+  uint64_t next_frame_seq_ = 0;
+  // Per-direction delivery high-water marks for data-frame deduplication.
+  uint64_t delivered_to_server_ = 0;
+  uint64_t delivered_to_switch_ = 0;
+  // Set when switch state may be stale (degraded packets were processed or
+  // a sync batch could not be delivered); cleared by ResyncSwitch.
+  bool needs_resync_ = false;
 
   uint64_t packets_total_ = 0;
   uint64_t packets_fast_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t sync_batches_sent_ = 0;
+  uint64_t sync_retries_ = 0;
+  uint64_t batches_dropped_ = 0;
+  uint64_t acks_dropped_ = 0;
+  uint64_t sync_failures_ = 0;
+  uint64_t switch_restarts_seen_ = 0;
+  uint64_t degraded_packets_ = 0;
+  uint64_t data_retries_ = 0;
+  uint64_t resyncs_ = 0;
+  double total_resync_latency_us_ = 0;
 
   // Cache-miss recovery: full server pass + cache refresh + post pass.
   Outcome ProcessCacheMiss(net::Packet pkt, uint64_t now_ms);
+
+  // Switch-down fallback: the whole program interpreted on the server
+  // against the authoritative host store (SoftwareMiddlebox semantics).
+  Outcome ProcessDegraded(net::Packet pkt, uint64_t now_ms);
+
+  // Crosses one switch<->server link. On a perfect substrate this is the
+  // plain serialize/reparse of the seed runtime; under a fault plan the
+  // packet travels as a checksummed, sequence-numbered frame with
+  // retransmit + receiver-side dedup (exactly-once, in-order delivery over
+  // a lossy pipe).
+  Result<net::Packet> CrossLink(bool to_server, net::Packet pkt);
+
+  // Reliable control-plane client: sends the mutations as a SyncBatch and
+  // retries with bounded exponential backoff until acked. `committed` is
+  // false only when every attempt failed (the switch is then marked for
+  // resync). Returns the accumulated control-plane latency.
+  Result<double> SyncReplicated(
+      const std::vector<RecordingStateBackend::MapMutation>& maps,
+      const std::vector<RecordingStateBackend::GlobalMutation>& globals,
+      bool* committed);
+
+  // Full switch-state rebuild from the host store; returns modeled latency.
+  double ResyncSwitch();
+
+  // Copies switch-written (kSwitchOnly) globals into the host store after a
+  // completed packet, so the host can take over mid-stream (degraded mode)
+  // and restore the registers on resync.
+  void ReconcileSwitchGlobals();
 };
 
 }  // namespace gallium::runtime

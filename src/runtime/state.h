@@ -64,6 +64,9 @@ class HostStateStore : public StateBackend {
   std::vector<uint64_t>& vector_contents(ir::StateIndex vec) {
     return vectors_[vec];
   }
+  const std::vector<uint64_t>& vector_contents(ir::StateIndex vec) const {
+    return vectors_[vec];
+  }
   uint64_t global_value(ir::StateIndex g) const { return globals_[g]; }
 
   size_t MapSize(ir::StateIndex map) const { return maps_[map].size(); }

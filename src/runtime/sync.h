@@ -1,0 +1,60 @@
+// Hardened switch<->server state synchronization (§4.3.2–4.3.3 under an
+// imperfect control channel).
+//
+// The paper's write-back protocol makes one batch atomic *on the switch*;
+// this header adds the machinery that makes the channel itself survivable:
+// every control-plane update travels as a sequence-numbered SyncBatch tagged
+// with the switch epoch the server believes it is talking to. The switch
+// applies a batch at most once (seq <= last_applied is acked as a duplicate
+// without re-applying), and rejects batches from a stale epoch so the server
+// learns that the switch restarted and must be resynchronized from the
+// authoritative host store.
+//
+// The server side retries un-acked batches with bounded exponential backoff
+// (SyncPolicy); a lost ack therefore produces a duplicate delivery, which the
+// seq check turns into an idempotent no-op — together: exactly-once apply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/state.h"
+
+namespace gallium::runtime {
+
+// One control-plane update: the replicated-state mutations of a single
+// packet (or maintenance pass), applied atomically via the write-back
+// tables.
+struct SyncBatch {
+  // Monotonically increasing per server; never reused, even across switch
+  // restarts (the epoch disambiguates).
+  uint64_t seq = 0;
+  // The switch incarnation this batch was built against. A batch whose
+  // epoch does not match the switch's current epoch is rejected: the state
+  // it assumes was lost in a restart and a full resync must happen first.
+  uint64_t epoch = 0;
+  std::vector<RecordingStateBackend::MapMutation> maps;
+  std::vector<RecordingStateBackend::GlobalMutation> globals;
+};
+
+// The switch's reply to a SyncBatch.
+struct SyncAck {
+  bool epoch_ok = false;   // false: batch was built against a dead epoch
+  bool applied = false;    // true: this delivery performed the mutations
+  bool duplicate = false;  // true: seq already applied; acked idempotently
+  uint64_t switch_epoch = 0;
+  double latency_us = 0;   // modeled control-plane latency of this delivery
+};
+
+// Retry/backoff policy for the reliable sync client and the framed data
+// link. Defaults mirror perf::CostModel's control-plane surface so the
+// analytical model and the simulated runtime agree.
+struct SyncPolicy {
+  double timeout_us = 500.0;       // initial retransmit timeout
+  double backoff_factor = 2.0;     // exponential backoff multiplier
+  double max_backoff_us = 8000.0;  // backoff ceiling
+  int max_sync_attempts = 10;      // per batch, before declaring switch down
+  int max_data_attempts = 100;     // per data frame on the switch<->server link
+};
+
+}  // namespace gallium::runtime

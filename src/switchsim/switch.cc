@@ -155,10 +155,10 @@ Status Switch::PopulateVector(ir::StateIndex vec,
   return Status::Ok();
 }
 
-Result<double> Switch::ApplyAtomicUpdate(
+Result<int> Switch::CommitMutations(
     const std::vector<runtime::RecordingStateBackend::MapMutation>& maps,
-    const std::vector<runtime::RecordingStateBackend::GlobalMutation>& globals,
-    Rng* rng) {
+    const std::vector<runtime::RecordingStateBackend::GlobalMutation>&
+        globals) {
   // Step 1: stage every mutation into the write-back tables.
   std::set<ir::StateIndex> touched_tables;
   for (const auto& m : maps) {
@@ -190,9 +190,91 @@ Result<double> Switch::ApplyAtomicUpdate(
   }
 
   ++sync_batches_;
-  const int ops = static_cast<int>(touched_tables.size()) +
-                  (touched_registers > 0 ? 1 : 0);
+  return static_cast<int>(touched_tables.size()) +
+         (touched_registers > 0 ? 1 : 0);
+}
+
+Result<double> Switch::ApplyAtomicUpdate(
+    const std::vector<runtime::RecordingStateBackend::MapMutation>& maps,
+    const std::vector<runtime::RecordingStateBackend::GlobalMutation>& globals,
+    Rng* rng) {
+  GALLIUM_ASSIGN_OR_RETURN(int ops, CommitMutations(maps, globals));
   return latency_model_.UpdateLatencyUs(ops, rng);
+}
+
+Result<runtime::SyncAck> Switch::ApplySyncBatch(
+    const runtime::SyncBatch& batch, Rng* rng) {
+  runtime::SyncAck ack;
+  ack.switch_epoch = epoch_;
+  if (batch.epoch != epoch_) {
+    // Built against a dead incarnation: the base state the batch assumes is
+    // gone. Nothing is applied; the server must resync first.
+    return ack;
+  }
+  ack.epoch_ok = true;
+  if (batch.seq <= last_applied_seq_) {
+    // Retransmission of a batch whose ack was lost — ack idempotently.
+    ack.duplicate = true;
+    ack.latency_us = latency_model_.UpdateLatencyUs(1, rng);
+    return ack;
+  }
+  GALLIUM_ASSIGN_OR_RETURN(int ops, CommitMutations(batch.maps, batch.globals));
+  last_applied_seq_ = batch.seq;
+  applied_log_.push_back({epoch_, batch.seq});
+  ack.applied = true;
+  ack.latency_us = latency_model_.UpdateLatencyUs(ops, rng);
+  return ack;
+}
+
+void Switch::Restart() {
+  for (auto& table : map_tables_) {
+    if (table != nullptr) table->Clear();
+  }
+  for (auto& vec : vector_tables_) {
+    if (vec != nullptr) vec->clear();
+  }
+  for (size_t g = 0; g < registers_.size(); ++g) {
+    if (registers_[g] != nullptr) {
+      *registers_[g] = fn_->global(static_cast<ir::StateIndex>(g)).init;
+    }
+  }
+  ++epoch_;
+  ++restarts_;
+  last_applied_seq_ = 0;
+}
+
+double Switch::ResyncFromHost(const runtime::HostStateStore& host,
+                              uint64_t server_seq, Rng* rng) {
+  int touched = 0;
+  for (size_t i = 0; i < map_tables_.size(); ++i) {
+    ExactMatchTable* table = map_tables_[i].get();
+    if (table == nullptr) continue;
+    table->Clear();
+    ++touched;
+    // §7 cached tables restart cold: a miss is non-authoritative and routes
+    // through the server anyway, which repopulates the cache as a side
+    // effect. Full tables get the complete authoritative contents.
+    if (table->fifo_eviction()) continue;
+    for (const auto& [key, value] :
+         host.map_contents(static_cast<ir::StateIndex>(i))) {
+      // The snapshot is bounded by the table capacity by construction: the
+      // server map and the full-size table share max_entries.
+      (void)table->InsertMain(key, value);
+    }
+  }
+  for (size_t i = 0; i < vector_tables_.size(); ++i) {
+    if (vector_tables_[i] == nullptr) continue;
+    *vector_tables_[i] = host.vector_contents(static_cast<ir::StateIndex>(i));
+    ++touched;
+  }
+  for (size_t g = 0; g < registers_.size(); ++g) {
+    if (registers_[g] == nullptr) continue;
+    *registers_[g] = host.global_value(static_cast<ir::StateIndex>(g)) &
+                     ir::WidthMask(fn_->global(static_cast<ir::StateIndex>(g)).width);
+  }
+  last_applied_seq_ = server_seq;
+  ++resyncs_;
+  return latency_model_.UpdateLatencyUs(touched, rng);
 }
 
 Switch::ResourceReport Switch::Resources() const {

@@ -15,6 +15,7 @@
 #include "ir/function.h"
 #include "partition/plan.h"
 #include "runtime/state.h"
+#include "runtime/sync.h"
 #include "switchsim/table.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -90,11 +91,47 @@ class Switch {
   // Atomically applies a batch of server-side mutations using the
   // write-back protocol; returns the modeled latency. Mutations touching
   // non-resident state are ignored (that state lives only on the server).
+  // Legacy un-sequenced entry point (benches and direct tests); the
+  // offloaded runtime goes through ApplySyncBatch.
   Result<double> ApplyAtomicUpdate(
       const std::vector<runtime::RecordingStateBackend::MapMutation>& maps,
       const std::vector<runtime::RecordingStateBackend::GlobalMutation>&
           globals,
       Rng* rng);
+
+  // Sequenced, idempotent, epoch-checked apply (§4.3.3 hardened): a batch
+  // from a stale epoch is rejected (epoch_ok=false, nothing applied); a seq
+  // at or below the high-water mark is acked as a duplicate without
+  // re-applying; otherwise the mutations commit atomically via the
+  // write-back protocol. Exactly-once apply under retries follows.
+  Result<runtime::SyncAck> ApplySyncBatch(const runtime::SyncBatch& batch,
+                                          Rng* rng);
+
+  // --- Failure & recovery --------------------------------------------------------
+  // Power-cycles the switch: every table, vector, and register reverts to
+  // its declaration-time initial value, in-flight write-back state is lost,
+  // and the epoch is bumped so stale SyncBatches are rejected.
+  void Restart();
+
+  // Full-state resynchronization from the server's authoritative store:
+  // wipes and repopulates every resident table/vector/register (cached §7
+  // tables restart cold — their misses are non-authoritative by design) and
+  // re-arms the apply high-water mark at `server_seq`, so batches the server
+  // already folded into `host` are treated as applied. Returns the modeled
+  // control-plane latency of pushing the snapshot.
+  double ResyncFromHost(const runtime::HostStateStore& host,
+                        uint64_t server_seq, Rng* rng);
+
+  uint64_t epoch() const { return epoch_; }
+  uint64_t restarts() const { return restarts_; }
+  uint64_t resyncs() const { return resyncs_; }
+  uint64_t last_applied_seq() const { return last_applied_seq_; }
+  // Every (epoch, seq) pair whose mutations were actually performed —
+  // duplicates and stale-epoch rejections never enter. The chaos harness
+  // asserts each seq appears at most once across the whole run.
+  const std::vector<std::pair<uint64_t, uint64_t>>& applied_log() const {
+    return applied_log_;
+  }
 
   // --- Resources ---------------------------------------------------------------
   struct ResourceReport {
@@ -129,12 +166,24 @@ class Switch {
   ControlPlaneLatencyModel latency_model_;
   SwitchStateBackend data_plane_;
 
+  // Applies one batch of mutations via the write-back protocol; returns the
+  // number of touched tables/register groups for the latency model.
+  Result<int> CommitMutations(
+      const std::vector<runtime::RecordingStateBackend::MapMutation>& maps,
+      const std::vector<runtime::RecordingStateBackend::GlobalMutation>&
+          globals);
+
   // Indexed by the function's state indices; null when not resident.
   std::vector<std::unique_ptr<ExactMatchTable>> map_tables_;
   std::vector<std::unique_ptr<std::vector<uint64_t>>> vector_tables_;
   std::vector<std::unique_ptr<uint64_t>> registers_;
 
   uint64_t sync_batches_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t restarts_ = 0;
+  uint64_t resyncs_ = 0;
+  uint64_t last_applied_seq_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> applied_log_;  // (epoch, seq)
 };
 
 }  // namespace gallium::switchsim

@@ -62,6 +62,15 @@ class ExactMatchTable {
   // population before traffic starts).
   Status InsertMain(const TableKey& key, const TableValue& value);
 
+  // Drops every entry (main + staged) and clears the use-write-back bit —
+  // what a switch restart or a pre-resync wipe does to the table.
+  void Clear() {
+    main_.clear();
+    write_back_.clear();
+    insertion_order_.clear();
+    use_write_back_ = false;
+  }
+
   size_t staged_entries() const { return write_back_.size(); }
 
   // Cache mode (§7 "Reducing memory usage"): when the table holds only a

@@ -11,6 +11,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnsupported: return "kUnsupported";
     case ErrorCode::kFailedPrecondition: return "kFailedPrecondition";
     case ErrorCode::kInternal: return "kInternal";
+    case ErrorCode::kUnavailable: return "kUnavailable";
   }
   return "kUnknown";
 }

@@ -23,6 +23,7 @@ enum class ErrorCode {
   kUnsupported,       // operation outside P4 expressiveness / not implemented
   kFailedPrecondition,// object state does not allow the operation
   kInternal,          // invariant violation inside Gallium itself
+  kUnavailable,       // a peer (switch, link) is unreachable after retries
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -68,6 +69,9 @@ inline Status Unsupported(std::string msg) {
 }
 inline Status FailedPrecondition(std::string msg) {
   return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
 }
 inline Status Internal(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));

@@ -1,0 +1,356 @@
+// Chaos harness: differential testing of the offloaded runtime over an
+// imperfect substrate, in the spirit of Gauntlet's stress testing of packet-
+// processing compilers.
+//
+// Every middlebox workload is replayed under ≥ 20 seeded FaultPlans — lossy,
+// duplicating, reordering, corrupting data links; a lossy/delaying control
+// plane; scheduled mid-run switch restarts; and sustained switch outages —
+// and each run asserts:
+//   1. per-packet equivalence with the SoftwareMiddlebox baseline (verdicts,
+//      rewritten headers, payloads),
+//   2. exactly-once application of every SyncBatch on the switch (via the
+//      switch's applied-sequence log),
+//   3. zero lost replicated-state mutations: after recovery, every
+//      replicated switch table equals the server's authoritative map.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mbox/middleboxes.h"
+#include "runtime/fault.h"
+#include "runtime/offloaded_middlebox.h"
+#include "runtime/software_middlebox.h"
+#include "workload/packet_gen.h"
+
+namespace gallium {
+namespace {
+
+using net::Packet;
+using runtime::FaultPlan;
+using runtime::OffloadedMiddlebox;
+using runtime::OffloadedOptions;
+using runtime::SoftwareMiddlebox;
+using runtime::Verdict;
+
+constexpr uint64_t kNumPlans = 20;
+
+struct ChaosCase {
+  std::string name;
+  std::function<Result<mbox::MiddleboxSpec>()> build;
+  workload::TraceOptions trace;
+};
+
+std::vector<ChaosCase> MakeCases() {
+  std::vector<ChaosCase> cases;
+  {
+    ChaosCase c;
+    c.name = "mini_lb";
+    c.build = [] { return mbox::BuildMiniLb(); };
+    c.trace.num_flows = 25;
+    cases.push_back(std::move(c));
+  }
+  {
+    ChaosCase c;
+    c.name = "mazu_nat";
+    c.build = [] { return mbox::BuildMazuNat(); };
+    c.trace.num_flows = 25;
+    c.trace.ingress_port = mbox::kPortInternal;
+    cases.push_back(std::move(c));
+  }
+  {
+    ChaosCase c;
+    c.name = "l4_lb";
+    c.build = [] { return mbox::BuildLoadBalancer(); };
+    c.trace.num_flows = 30;
+    c.trace.udp_fraction = 0.3;
+    cases.push_back(std::move(c));
+  }
+  {
+    ChaosCase c;
+    c.name = "proxy";
+    c.build = [] { return mbox::BuildProxy({80, 8080, 443}); };
+    c.trace.num_flows = 20;
+    c.trace.udp_fraction = 0.2;
+    cases.push_back(std::move(c));
+  }
+  {
+    ChaosCase c;
+    c.name = "trojan_detector";
+    c.build = [] { return mbox::BuildTrojanDetector(); };
+    c.trace.num_flows = 20;
+    c.trace.marked_fraction = 0.3;
+    c.trace.marker = mbox::kPatternHttpGet;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+std::string HeadersOf(const Packet& pkt) {
+  return pkt.ToString() + " ttl=" + std::to_string(pkt.ip().ttl) +
+         " src=" + net::Ipv4ToString(pkt.ip().saddr) +
+         " dst=" + net::Ipv4ToString(pkt.ip().daddr);
+}
+
+// Replays one workload under one FaultPlan; returns the offloaded runtime's
+// counters through the out-params so the caller can assert plan coverage.
+void RunOnePlan(const ChaosCase& param, uint64_t plan_seed,
+                uint64_t* restarts_seen, uint64_t* degraded_seen) {
+  auto spec_a = param.build();
+  auto spec_b = param.build();
+  ASSERT_TRUE(spec_a.ok() && spec_b.ok());
+
+  SoftwareMiddlebox software(*spec_a);
+
+  Rng trace_rng(2024 ^ plan_seed);
+  const workload::Trace trace = workload::MakeTrace(trace_rng, param.trace);
+  ASSERT_FALSE(trace.packets.empty());
+
+  const FaultPlan plan =
+      runtime::MakeRandomFaultPlan(plan_seed, trace.packets.size());
+  SCOPED_TRACE(param.name + " under " + plan.ToString());
+
+  OffloadedOptions options;
+  options.fault_plan = &plan;
+  options.rng_seed = plan_seed * 31 + 7;
+  auto offloaded = OffloadedMiddlebox::Create(*spec_b, options);
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+
+  uint64_t now_ms = 0;
+  for (const Packet& original : trace.packets) {
+    now_ms += 1;
+    Packet sw_pkt = original;
+    auto sw_out = software.Process(sw_pkt, now_ms);
+    ASSERT_TRUE(sw_out.status.ok()) << sw_out.status.ToString();
+
+    auto off_out = (*offloaded)->Process(original, now_ms);
+    ASSERT_TRUE(off_out.status.ok())
+        << off_out.status.ToString() << " pkt=" << original.ToString();
+
+    ASSERT_EQ(sw_out.verdict.kind, off_out.verdict.kind)
+        << "verdict mismatch on " << original.ToString();
+    if (sw_out.verdict.kind == Verdict::Kind::kSend) {
+      EXPECT_EQ(sw_out.verdict.egress_port, off_out.verdict.egress_port);
+      EXPECT_EQ(HeadersOf(sw_pkt), HeadersOf(off_out.out_packet))
+          << "rewritten headers differ on " << original.ToString();
+      EXPECT_EQ(sw_pkt.payload(), off_out.out_packet.payload());
+    }
+  }
+
+  // Exactly-once batch application: the switch's applied log must contain
+  // no repeated sequence number — not even across epochs. (A batch whose
+  // ack was lost is retried and must be acked as a duplicate; a batch
+  // overtaken by a restart is folded into the resync snapshot, never
+  // re-applied.)
+  auto& device = (*offloaded)->device();
+  std::set<uint64_t> applied_seqs;
+  for (const auto& [epoch, seq] : device.applied_log()) {
+    EXPECT_TRUE(applied_seqs.insert(seq).second)
+        << "seq " << seq << " applied twice (second time in epoch " << epoch
+        << ")";
+    EXPECT_GE(seq, 1u);
+    EXPECT_LE(seq, (*offloaded)->sync_batches_sent());
+  }
+
+  // Zero lost replicated-state mutations: once the switch is brought back
+  // to coherence, every replicated table must equal the server's
+  // authoritative map — nothing the server committed may be missing.
+  (*offloaded)->EnsureSwitchCoherent();
+  const auto& plan_state = (*offloaded)->plan();
+  for (const auto& [ref, placement] : plan_state.state_placement) {
+    if (placement != partition::StatePlacement::kReplicated ||
+        ref.kind != ir::StateRef::Kind::kMap) {
+      continue;
+    }
+    auto* table = device.table(ref.index);
+    ASSERT_NE(table, nullptr);
+    const auto& server_map =
+        (*offloaded)->server_state().map_contents(ref.index);
+    EXPECT_EQ(table->size(), server_map.size())
+        << "replicated map " << (*offloaded)->fn().StateName(ref)
+        << " diverged";
+    for (const auto& [key, value] : server_map) {
+      runtime::StateValue switch_value;
+      EXPECT_TRUE(table->Lookup(key, &switch_value))
+          << "switch lost a committed mutation in "
+          << (*offloaded)->fn().StateName(ref);
+      EXPECT_EQ(switch_value, value);
+    }
+  }
+
+  *restarts_seen += (*offloaded)->switch_restarts();
+  *degraded_seen += (*offloaded)->degraded_packets();
+}
+
+class ChaosTest : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosTest, SurvivesSeededFaultPlans) {
+  uint64_t restarts = 0, degraded = 0;
+  for (uint64_t seed = 1; seed <= kNumPlans; ++seed) {
+    RunOnePlan(GetParam(), seed, &restarts, &degraded);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The plan generator guarantees coverage over any 20 consecutive seeds:
+  // mid-run restarts (two of every three seeds) and sustained outages with
+  // software-only degradation (every fourth seed).
+  EXPECT_GT(restarts, 0u) << "no plan exercised a switch restart";
+  EXPECT_GT(degraded, 0u) << "no plan exercised a sustained outage";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMiddleboxes, ChaosTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<ChaosCase>& info) {
+      return info.param.name;
+    });
+
+// --- Component-level tests ----------------------------------------------------
+
+TEST(FaultyChannel, DeterministicPerSeedAndCountsFaults) {
+  runtime::ChannelFaults faults;
+  faults.drop = 0.3;
+  faults.duplicate = 0.2;
+  faults.reorder = 0.2;
+  faults.corrupt = 0.1;
+  auto run = [&](uint64_t seed) {
+    Rng rng(seed);
+    runtime::FaultyChannel chan(faults, &rng);
+    std::vector<size_t> delivered;
+    for (uint64_t i = 0; i < 200; ++i) {
+      chan.Send(std::vector<uint8_t>(8, static_cast<uint8_t>(i)));
+      while (auto f = chan.Receive()) delivered.push_back(f->size());
+    }
+    return std::make_tuple(delivered.size(), chan.frames_dropped(),
+                           chan.frames_duplicated(), chan.frames_corrupted(),
+                           chan.has_held());
+  };
+  EXPECT_EQ(run(5), run(5)) << "same seed must give the same fault schedule";
+  const auto [count, dropped, duplicated, corrupted, held] = run(5);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(duplicated, 0u);
+  EXPECT_GT(corrupted, 0u);
+  // Every frame is accounted for: delivered, dropped, or (at most one)
+  // still held back for reordering.
+  EXPECT_EQ(count + (held ? 1 : 0), 200 - dropped + duplicated);
+}
+
+TEST(DataFrame, ChecksumCatchesCorruption) {
+  const std::vector<uint8_t> wire = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<uint8_t> frame = runtime::EncodeDataFrame(77, wire);
+  uint64_t seq = 0;
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(runtime::DecodeDataFrame(frame, &seq, &out));
+  EXPECT_EQ(seq, 77u);
+  EXPECT_EQ(out, wire);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::vector<uint8_t> tampered = frame;
+    tampered[i] ^= 0x40;
+    EXPECT_FALSE(runtime::DecodeDataFrame(tampered, &seq, &out))
+        << "flip at byte " << i << " undetected";
+  }
+  EXPECT_FALSE(runtime::DecodeDataFrame({1, 2, 3}, &seq, &out));
+}
+
+TEST(SyncBatchApply, IdempotentUnderRetriesAndStaleEpochs) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  partition::Partitioner partitioner(*spec->fn, {});
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+  auto sw = switchsim::Switch::Create(*spec->fn, *plan, {});
+  ASSERT_TRUE(sw.ok());
+
+  runtime::SyncBatch batch;
+  batch.seq = 1;
+  batch.epoch = (*sw)->epoch();
+  batch.maps.push_back({0, {10, 20}, {1024}, false});
+
+  Rng rng(3);
+  auto first = (*sw)->ApplySyncBatch(batch, &rng);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->applied);
+  EXPECT_FALSE(first->duplicate);
+
+  // Retransmission (lost ack): acked as duplicate, not re-applied.
+  auto second = (*sw)->ApplySyncBatch(batch, &rng);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->applied);
+  EXPECT_TRUE(second->duplicate);
+  EXPECT_EQ((*sw)->applied_log().size(), 1u);
+
+  // A restart invalidates the epoch: stale batches are rejected unapplied.
+  (*sw)->Restart();
+  runtime::SyncBatch stale;
+  stale.seq = 2;
+  stale.epoch = batch.epoch;
+  stale.maps.push_back({0, {11, 21}, {2048}, false});
+  auto third = (*sw)->ApplySyncBatch(stale, &rng);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->epoch_ok);
+  EXPECT_FALSE(third->applied);
+  runtime::StateValue value;
+  EXPECT_FALSE((*sw)->data_plane().MapLookup(0, {11, 21}, &value))
+      << "stale-epoch batch must not mutate the tables";
+}
+
+TEST(SwitchRestart, WipesStateAndResyncRestoresFromHost) {
+  auto spec = mbox::BuildMiniLb();
+  ASSERT_TRUE(spec.ok());
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+
+  // Drive a little traffic so replicated tables hold flow state.
+  Rng rng(11);
+  const workload::Trace trace = workload::MakeTrace(rng, {.num_flows = 10});
+  uint64_t now_ms = 0;
+  for (const Packet& pkt : trace.packets) {
+    ASSERT_TRUE((*mbx)->Process(pkt, ++now_ms).status.ok());
+  }
+
+  auto& device = (*mbx)->device();
+  const uint64_t epoch_before = device.epoch();
+  device.Restart();
+  EXPECT_EQ(device.epoch(), epoch_before + 1);
+  EXPECT_EQ(device.last_applied_seq(), 0u);
+
+  // The heartbeat notices the epoch bump and rebuilds every resident table
+  // from the authoritative host store.
+  (*mbx)->EnsureSwitchCoherent();
+  EXPECT_EQ((*mbx)->switch_restarts(), 1u);
+  EXPECT_EQ((*mbx)->resyncs(), 1u);
+  const auto& plan_state = (*mbx)->plan();
+  for (const auto& [ref, placement] : plan_state.state_placement) {
+    if (placement != partition::StatePlacement::kReplicated ||
+        ref.kind != ir::StateRef::Kind::kMap) {
+      continue;
+    }
+    auto* table = device.table(ref.index);
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table->size(),
+              (*mbx)->server_state().map_contents(ref.index).size());
+  }
+
+  // Traffic keeps flowing after recovery.
+  for (const Packet& pkt : trace.packets) {
+    ASSERT_TRUE((*mbx)->Process(pkt, ++now_ms).status.ok());
+  }
+}
+
+TEST(FaultPlanGenerator, IsDeterministicAndCoversRecoveryPaths) {
+  uint64_t restarts = 0, outages = 0;
+  for (uint64_t seed = 1; seed <= kNumPlans; ++seed) {
+    const FaultPlan a = runtime::MakeRandomFaultPlan(seed, 100);
+    const FaultPlan b = runtime::MakeRandomFaultPlan(seed, 100);
+    EXPECT_EQ(a.ToString(), b.ToString());
+    restarts += a.restart_at_packets.size();
+    outages += a.outages.size();
+    for (uint64_t at : a.restart_at_packets) EXPECT_LT(at, 100u);
+    for (const auto& [start, end] : a.outages) {
+      EXPECT_LT(start, end);
+      EXPECT_LE(end, 100u);
+    }
+  }
+  EXPECT_GT(restarts, 0u);
+  EXPECT_GT(outages, 0u);
+}
+
+}  // namespace
+}  // namespace gallium

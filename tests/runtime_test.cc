@@ -273,6 +273,92 @@ TEST(Offloaded, IdleFlowCollectionSyncsSwitch) {
   EXPECT_EQ(table->size(), 4u) << "switch table pruned in sync";
 }
 
+TEST(Offloaded, IdleFlowCollectionOnEmptyMapIsNoOp) {
+  auto spec = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec.ok());
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+
+  const uint64_t batches_before = (*mbx)->sync_batches_sent();
+  auto collected = (*mbx)->CollectIdleFlows(spec->MapIndex("flows"),
+                                            spec->MapIndex("flow_created"),
+                                            /*now_ms=*/310000,
+                                            /*timeout_ms=*/300000);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(*collected, 0);
+  // Nothing expired => no sync batch crosses the control plane.
+  EXPECT_EQ((*mbx)->sync_batches_sent(), batches_before);
+}
+
+TEST(Offloaded, IdleFlowCollectionExpiresEverything) {
+  auto spec = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec.ok());
+  const ir::StateIndex flows_map = spec->MapIndex("flows");
+  const ir::StateIndex created_map = spec->MapIndex("flow_created");
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+
+  Rng rng(39);
+  for (int i = 0; i < 6; ++i) {
+    net::Packet syn = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpSyn, 0);
+    syn.set_ingress_port(mbox::kPortInternal);
+    ASSERT_TRUE((*mbx)->Process(syn, /*now_ms=*/1000).status.ok());
+  }
+  ASSERT_EQ((*mbx)->server_state().MapSize(flows_map), 6u);
+
+  auto collected = (*mbx)->CollectIdleFlows(flows_map, created_map,
+                                            /*now_ms=*/1000000,
+                                            /*timeout_ms=*/300000);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(*collected, 6);
+  EXPECT_EQ((*mbx)->server_state().MapSize(flows_map), 0u);
+  EXPECT_EQ((*mbx)->server_state().MapSize(created_map), 0u);
+  EXPECT_EQ((*mbx)->device().table(flows_map)->size(), 0u);
+}
+
+TEST(Offloaded, IdleFlowCollectionErasesSameKeysOnSwitchReplica) {
+  auto spec = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec.ok());
+  const ir::StateIndex flows_map = spec->MapIndex("flows");
+  const ir::StateIndex created_map = spec->MapIndex("flow_created");
+  auto mbx = OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(mbx.ok());
+
+  Rng rng(40);
+  for (int i = 0; i < 5; ++i) {
+    net::Packet syn = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpSyn, 0);
+    syn.set_ingress_port(mbox::kPortInternal);
+    ASSERT_TRUE((*mbx)->Process(syn, /*now_ms=*/1000).status.ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    net::Packet syn = net::MakeTcpPacket(workload::RandomFlow(rng),
+                                         net::kTcpSyn, 0);
+    syn.set_ingress_port(mbox::kPortInternal);
+    ASSERT_TRUE((*mbx)->Process(syn, /*now_ms=*/400000).status.ok());
+  }
+
+  auto collected = (*mbx)->CollectIdleFlows(flows_map, created_map,
+                                            /*now_ms=*/500000,
+                                            /*timeout_ms=*/300000);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(*collected, 5);
+
+  // The switch replica of every replicated map must hold exactly the
+  // surviving host entries: same size and every surviving key present.
+  for (ir::StateIndex map : {flows_map, created_map}) {
+    auto* table = (*mbx)->device().table(map);
+    if (table == nullptr) continue;  // not resident on the switch
+    const auto& host = (*mbx)->server_state().map_contents(map);
+    EXPECT_EQ(table->size(), host.size()) << "map " << map;
+    for (const auto& [key, value] : host) {
+      switchsim::TableValue replica;
+      EXPECT_TRUE(table->Lookup(key, &replica)) << "map " << map;
+    }
+  }
+}
+
 TEST(Software, MatchesSpecInitialState) {
   auto spec = mbox::BuildProxy({8080});
   ASSERT_TRUE(spec.ok());

@@ -11,8 +11,14 @@
 //   galliumc <middlebox> [--out DIR] [--pipeline-depth K]
 //            [--metadata-bytes N] [--transfer-bytes N] [--memory-mb N]
 //            [--objective count|weighted] [--optimize] [--print]
+//            [--run N] [--chaos-seed S]
 //
 //   <middlebox> ∈ {minilb, nat, lb, firewall, proxy, trojan, router}
+//
+// --run N drives N synthetic packets through the offloaded runtime after
+// compiling and reports the fast-path fraction and the fault/recovery
+// counters; --chaos-seed S additionally runs them over a seeded faulty
+// substrate (lossy links, lossy control plane, switch restarts/outages).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +29,9 @@
 #include "ir/printer.h"
 #include "mbox/middleboxes.h"
 #include "net/headers.h"
+#include "runtime/fault.h"
+#include "runtime/offloaded_middlebox.h"
+#include "workload/packet_gen.h"
 
 namespace {
 
@@ -66,8 +75,81 @@ int Usage() {
       "usage: galliumc <minilb|nat|lb|firewall|proxy|trojan|router>\n"
       "                [--out DIR] [--pipeline-depth K] [--metadata-bytes N]\n"
       "                [--transfer-bytes N] [--memory-mb N]\n"
-      "                [--objective count|weighted] [--optimize] [--print]\n");
+      "                [--objective count|weighted] [--optimize] [--print]\n"
+      "                [--run N] [--chaos-seed S]\n");
   return 2;
+}
+
+// Drives `num_packets` synthetic packets through the offloaded runtime and
+// prints the counters, including the fault/retry/degraded-mode ones.
+int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
+               uint64_t chaos_seed, bool chaos) {
+  runtime::FaultPlan plan;
+  runtime::OffloadedOptions options;
+  if (chaos) {
+    plan = runtime::MakeRandomFaultPlan(chaos_seed,
+                                        static_cast<uint64_t>(num_packets));
+    options.fault_plan = &plan;
+    std::printf("  chaos: %s\n", plan.ToString().c_str());
+  }
+  auto mbx = runtime::OffloadedMiddlebox::Create(spec, options);
+  if (!mbx.ok()) {
+    std::fprintf(stderr, "galliumc: runtime creation failed: %s\n",
+                 mbx.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(chaos_seed ^ 0x5ca1ab1eull);
+  workload::TraceOptions trace_options;
+  trace_options.num_flows = std::max(8, num_packets / 8);
+  trace_options.ingress_port = mbox::kPortInternal;
+  const workload::Trace trace = workload::MakeTrace(rng, trace_options);
+  if (trace.packets.empty()) {
+    std::fprintf(stderr, "galliumc: empty trace\n");
+    return 1;
+  }
+
+  uint64_t now_ms = 0;
+  int processed = 0, degraded = 0, synced = 0, errors = 0;
+  double sync_latency_total = 0;
+  while (processed < num_packets) {
+    const net::Packet& pkt =
+        trace.packets[processed % trace.packets.size()];
+    now_ms += 1;
+    auto out = (*mbx)->Process(pkt, now_ms);
+    ++processed;
+    if (!out.status.ok()) {
+      ++errors;
+      continue;
+    }
+    if (out.degraded) ++degraded;
+    if (out.state_synced) {
+      ++synced;
+      sync_latency_total += out.sync_latency_us;
+    }
+  }
+  (*mbx)->EnsureSwitchCoherent();
+
+  std::printf("  run: %d packets  fast-path %.1f%%  degraded %d  errors %d\n",
+              processed, 100.0 * (*mbx)->FastPathFraction(), degraded, errors);
+  std::printf(
+      "  sync: batches=%llu retries=%llu batch-drops=%llu ack-drops=%llu "
+      "failures=%llu mean-commit=%.1fus\n",
+      static_cast<unsigned long long>((*mbx)->sync_batches_sent()),
+      static_cast<unsigned long long>((*mbx)->sync_retries()),
+      static_cast<unsigned long long>((*mbx)->batches_dropped()),
+      static_cast<unsigned long long>((*mbx)->acks_dropped()),
+      static_cast<unsigned long long>((*mbx)->sync_failures()),
+      synced == 0 ? 0.0 : sync_latency_total / synced);
+  std::printf(
+      "  recovery: data-retries=%llu switch-restarts=%llu resyncs=%llu "
+      "degraded-packets=%llu cache-misses=%llu\n",
+      static_cast<unsigned long long>((*mbx)->data_retries()),
+      static_cast<unsigned long long>((*mbx)->switch_restarts()),
+      static_cast<unsigned long long>((*mbx)->resyncs()),
+      static_cast<unsigned long long>((*mbx)->degraded_packets()),
+      static_cast<unsigned long long>((*mbx)->cache_miss_aborts()));
+  return errors == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -77,6 +159,9 @@ int main(int argc, char** argv) {
   const std::string name = argv[1];
   std::string out_dir = ".";
   bool print = false;
+  int run_packets = 0;
+  uint64_t chaos_seed = 0;
+  bool chaos = false;
   core::CompileOptions options;
 
   for (int i = 2; i < argc; ++i) {
@@ -117,6 +202,15 @@ int main(int argc, char** argv) {
       options.optimize = true;
     } else if (arg == "--print") {
       print = true;
+    } else if (arg == "--run") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      run_packets = std::atoi(v);
+    } else if (arg == "--chaos-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      chaos_seed = std::strtoull(v, nullptr, 10);
+      chaos = true;
     } else {
       return Usage();
     }
@@ -168,6 +262,9 @@ int main(int argc, char** argv) {
               base.c_str(), base.c_str(), base.c_str(), base.c_str());
   if (print) {
     std::printf("\n%s\n", result->p4_source.c_str());
+  }
+  if (run_packets > 0) {
+    return RunTraffic(*spec, run_packets, chaos_seed, chaos);
   }
   return 0;
 }
