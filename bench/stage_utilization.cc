@@ -1,0 +1,68 @@
+// Per-stage RMT utilization of the paper middleboxes on the default
+// Tofino-like profile: how many physical stages each offloaded program
+// occupies, which resource binds it, the stage-aware traversal latency the
+// cost model derives from that, and how much headroom is left for sharing
+// the pipeline with other programs (the paper's §7 multi-tenancy remark).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "perf/cost_model.h"
+#include "perf/harness.h"
+#include "rmt/feedback.h"
+#include "rmt/target.h"
+
+int main() {
+  using namespace gallium;
+  const partition::SwitchConstraints constraints;
+  const rmt::RmtTargetModel target = rmt::DefaultTofinoProfile(constraints);
+  const perf::CostModel cost;
+  const int kWireBytes = 64;
+
+  std::printf("RMT stage utilization on %s\n", target.Summary().c_str());
+  bench::PrintRule(100);
+  std::printf("%-16s %7s %7s %10s %-14s %11s %11s %9s\n", "middlebox",
+              "tables", "stages", "peak util", "binding", "traverse us",
+              "latency us", "headroom");
+  bench::PrintRule(100);
+
+  for (const auto& entry : bench::PaperMiddleboxes()) {
+    auto spec = entry.build();
+    if (!spec.ok()) {
+      std::printf("%-16s  error: %s\n", entry.display_name.c_str(),
+                  spec.status().ToString().c_str());
+      return 1;
+    }
+    auto planned = rmt::PartitionAndPlace(*spec->fn, constraints, target);
+    if (!planned.ok()) {
+      std::printf("%-16s  error: %s\n", entry.display_name.c_str(),
+                  planned.status().ToString().c_str());
+      return 1;
+    }
+    const rmt::PlacementReport& placement = planned->placement;
+    std::string binding;
+    const double peak = placement.MaxStageUtilization(&binding);
+    const int stages = placement.StagesOccupied();
+    std::printf("%-16s %7zu %4d/%-2d %9.0f%% %-14s %11.2f %11.1f %8dx\n",
+                entry.display_name.c_str(), placement.tables.size(), stages,
+                target.num_stages, peak * 100.0, binding.c_str(),
+                cost.SwitchTraversalUs(stages),
+                perf::OffloadedFastPathLatencyUs(cost, kWireBytes, stages),
+                cost.SharingHeadroom(placement));
+  }
+  bench::PrintRule(100);
+  std::printf(
+      "flat-pipeline traversal for comparison: %.2f us; fast-path latency "
+      "with it: %.1f us\n",
+      cost.switch_pipeline_us,
+      perf::OffloadedFastPathLatencyUs(cost, kWireBytes));
+
+  // Per-stage occupancy of the most stage-hungry program (the firewall's
+  // two 128K-entry whitelists), the shape `galliumc --resources` reports.
+  auto fw = mbox::BuildFirewall();
+  if (!fw.ok()) return 1;
+  auto planned = rmt::PartitionAndPlace(*fw->fn, constraints, target);
+  if (!planned.ok()) return 1;
+  std::printf("\nFirewall placement detail:\n%s",
+              planned->placement.Summary().c_str());
+  return 0;
+}

@@ -1,34 +1,128 @@
 #include "core/compiler.h"
 
+#include <sstream>
+
 #include "ir/passes.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
 #include "util/strings.h"
 
 namespace gallium::core {
+namespace {
 
-Result<CompileResult> Compiler::Compile(const ir::Function& input_fn) const {
-  GALLIUM_RETURN_IF_ERROR(ir::VerifyFunction(input_fn));
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void FillDiag(CompileDiagnostic* diag, const std::string& phase,
+              const Status& status) {
+  if (diag == nullptr) return;
+  diag->phase = phase;
+  diag->message = status.ToString();
+}
+
+}  // namespace
+
+std::string CompileDiagnostic::ToJson() const {
+  std::ostringstream out;
+  out << "{\"error\":\"" << JsonEscape(phase) << "\"";
+  if (!table.empty()) out << ",\"table\":\"" << JsonEscape(table) << "\"";
+  if (stage >= 0) out << ",\"stage\":" << stage;
+  if (!resource.empty()) {
+    out << ",\"resource\":\"" << JsonEscape(resource) << "\"";
+  }
+  out << ",\"message\":\"" << JsonEscape(message) << "\"}";
+  return out.str();
+}
+
+Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
+                                        CompileDiagnostic* diag) const {
+  if (Status v = ir::VerifyFunction(input_fn); !v.ok()) {
+    FillDiag(diag, "verify", v);
+    return v;
+  }
 
   // The optimizer works on a copy; the caller's function is never mutated.
   ir::Function optimized = input_fn;
   if (options_.optimize) {
     ir::OptimizeFunction(&optimized);
-    GALLIUM_RETURN_IF_ERROR(ir::VerifyFunction(optimized));
+    if (Status v = ir::VerifyFunction(optimized); !v.ok()) {
+      FillDiag(diag, "verify", v);
+      return v;
+    }
   }
   const ir::Function& fn = options_.optimize ? optimized : input_fn;
 
   CompileResult result;
 
-  partition::Partitioner partitioner(fn, options_.constraints);
-  GALLIUM_ASSIGN_OR_RETURN(result.plan, partitioner.Run());
+  // Partition + RMT placement with the spill feedback loop: the emitted P4
+  // corresponds to a plan that is known to place on the target.
+  const rmt::RmtTargetModel target =
+      options_.target.has_value()
+          ? *options_.target
+          : rmt::DefaultTofinoProfile(options_.constraints);
+  rmt::PlacementFailure failure;
+  auto planned =
+      rmt::PartitionAndPlace(fn, options_.constraints, target, &failure);
+  if (!planned.ok()) {
+    FillDiag(diag, "partition", planned.status());
+    if (diag != nullptr && !failure.table.empty()) {
+      diag->phase = "placement";
+      diag->table = failure.table;
+      diag->stage = failure.stage;
+      diag->resource = failure.resource;
+    }
+    return planned.status();
+  }
+  result.plan = std::move(planned->plan);
+  result.placement = std::move(planned->placement);
+  result.spilled_state = std::move(planned->spilled);
+  result.partition_rounds = planned->rounds;
 
-  GALLIUM_ASSIGN_OR_RETURN(result.p4_program,
-                           p4::GenerateP4(fn, result.plan, options_.p4));
+  auto p4_program = p4::GenerateP4(fn, result.plan, options_.p4);
+  if (!p4_program.ok()) {
+    FillDiag(diag, "codegen", p4_program.status());
+    return p4_program.status();
+  }
+  result.p4_program = std::move(*p4_program);
+
+  // Cross-check the two independent derivations of the switch program: every
+  // match table the P4 backend emitted must exist in the placement report
+  // (same naming contract), or the report would lie about the artifact.
+  for (const auto& table : result.p4_program.tables) {
+    bool found = false;
+    for (const auto& req : result.placement.tables) {
+      if (req.name == table.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Status s = Internal("rmt placement is missing emitted table '" +
+                          table.name + "'");
+      FillDiag(diag, "placement", s);
+      return s;
+    }
+  }
+
   result.p4_source = p4::EmitP4(result.p4_program);
-  GALLIUM_ASSIGN_OR_RETURN(
-      result.server_source,
-      cppgen::GenerateServerCpp(fn, result.plan, options_.cpp));
+  auto server = cppgen::GenerateServerCpp(fn, result.plan, options_.cpp);
+  if (!server.ok()) {
+    FillDiag(diag, "codegen", server.status());
+    return server.status();
+  }
+  result.server_source = std::move(*server);
   result.click_source = ir::RenderClickSource(fn);
 
   result.input_loc = CountCodeLines(result.click_source);

@@ -10,13 +10,16 @@
 // artifacts), and the transfer-header layout.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cppgen/codegen.h"
 #include "ir/function.h"
 #include "p4/ast.h"
 #include "p4/codegen.h"
 #include "partition/partitioner.h"
+#include "rmt/feedback.h"
 #include "util/status.h"
 
 namespace gallium::core {
@@ -29,6 +32,9 @@ struct CompileOptions {
   // default so compiled output maps 1:1 to the input statements (Table 1
   // accounting); the passes are semantics-preserving (fuzz-checked).
   bool optimize = false;
+  // RMT pipeline to place tables on; nullopt derives the default
+  // Tofino-like profile from `constraints`.
+  std::optional<rmt::RmtTargetModel> target;
 };
 
 struct CompileResult {
@@ -38,17 +44,39 @@ struct CompileResult {
   std::string server_source;  // deployable DPDK C++ text
   std::string click_source;   // rendered input program (Table 1's "Input")
 
+  // RMT backend output: where each table landed, what had to be spilled
+  // back to the server to make the program place, and how many partition
+  // rounds the feedback loop took.
+  rmt::PlacementReport placement;
+  std::vector<ir::StateRef> spilled_state;
+  int partition_rounds = 1;
+
   // Lines of code as Table 1 counts them (blank/comment lines excluded).
   int input_loc = 0;
   int p4_loc = 0;
   int server_loc = 0;
 };
 
+// Machine-readable failure report for driver frontends (galliumc emits it
+// as JSON with a dedicated exit code).
+struct CompileDiagnostic {
+  std::string phase;     // "verify" | "partition" | "placement" | "codegen"
+  std::string table;     // unplaceable table, when phase == "placement"
+  int stage = -1;        // last stage tried
+  std::string resource;  // binding resource ("sram_blocks", "stages", ...)
+  std::string message;
+
+  std::string ToJson() const;
+};
+
 class Compiler {
  public:
   explicit Compiler(CompileOptions options = {}) : options_(options) {}
 
-  Result<CompileResult> Compile(const ir::Function& fn) const;
+  // `diag`, when non-null, is filled with the structured failure cause
+  // whenever the returned status is not ok.
+  Result<CompileResult> Compile(const ir::Function& fn,
+                                CompileDiagnostic* diag = nullptr) const;
 
  private:
   CompileOptions options_;

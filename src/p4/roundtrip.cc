@@ -1,0 +1,209 @@
+#include "p4/roundtrip.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gallium::p4::exec {
+
+namespace {
+
+const char* OpText(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kAdd: return "+";
+    case Expr::Op::kSub: return "-";
+    case Expr::Op::kAnd: return "&";
+    case Expr::Op::kOr: return "|";
+    case Expr::Op::kXor: return "^";
+    case Expr::Op::kShl: return "<<";
+    case Expr::Op::kShr: return ">>";
+    case Expr::Op::kEq: return "==";
+    case Expr::Op::kNe: return "!=";
+    case Expr::Op::kLt: return "<";
+    case Expr::Op::kLe: return "<=";
+    case Expr::Op::kGt: return ">";
+    case Expr::Op::kGe: return ">=";
+  }
+  return "+";
+}
+
+// Fully parenthesized so precedence never depends on the printer; every
+// printed form is also a valid unary operand (cast bodies, ~ bodies).
+void PrintExpr(const Expr& e, std::ostream& os) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      os << e.literal;
+      return;
+    case Expr::Kind::kField:
+      os << e.field;
+      return;
+    case Expr::Kind::kUnaryNot:
+      os << "~";
+      PrintExpr(*e.a, os);
+      return;
+    case Expr::Kind::kBinary:
+      os << "(";
+      PrintExpr(*e.a, os);
+      os << " " << OpText(e.op) << " ";
+      PrintExpr(*e.b, os);
+      os << ")";
+      return;
+    case Expr::Kind::kTernary:
+      os << "(";
+      PrintExpr(*e.c, os);
+      os << " ? ";
+      PrintExpr(*e.a, os);
+      os << " : ";
+      PrintExpr(*e.b, os);
+      os << ")";
+      return;
+    case Expr::Kind::kCast:
+      os << "(bit<" << e.cast_bits << ">)";
+      PrintExpr(*e.a, os);
+      return;
+    case Expr::Kind::kIsValid:
+      os << e.field << ".isValid()";
+      return;
+  }
+}
+
+void PrintStmts(const std::vector<StmtPtr>& stmts, int indent,
+                std::ostream& os);
+
+void PrintStmt(const Stmt& s, int indent, std::ostream& os) {
+  const std::string pad(indent, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::kAssign:
+      os << pad << s.target << " = ";
+      PrintExpr(*s.value, os);
+      os << ";\n";
+      return;
+    case Stmt::Kind::kIf:
+      os << pad << "if (";
+      PrintExpr(*s.value, os);
+      os << ") {\n";
+      PrintStmts(s.then_body, indent + 2, os);
+      os << pad << "}";
+      if (!s.else_body.empty()) {
+        os << " else {\n";
+        PrintStmts(s.else_body, indent + 2, os);
+        os << pad << "}";
+      }
+      os << "\n";
+      return;
+    case Stmt::Kind::kApplyTable:
+      os << pad << s.target << ".apply();\n";
+      return;
+    case Stmt::Kind::kRegRead:
+      // The parser stores the destination field as a kField expr in `value`.
+      os << pad << s.target << ".read(" << s.value->field << ", ";
+      PrintExpr(*s.index, os);
+      os << ");\n";
+      return;
+    case Stmt::Kind::kRegWrite:
+      os << pad << s.target << ".write(";
+      PrintExpr(*s.index, os);
+      os << ", ";
+      PrintExpr(*s.value, os);
+      os << ");\n";
+      return;
+    case Stmt::Kind::kMarkDrop:
+      os << pad << "mark_to_drop(standard_metadata);\n";
+      return;
+    case Stmt::Kind::kSetValid:
+      os << pad << s.target << ".setValid();\n";
+      return;
+    case Stmt::Kind::kSetInvalid:
+      os << pad << s.target << ".setInvalid();\n";
+      return;
+  }
+}
+
+void PrintStmts(const std::vector<StmtPtr>& stmts, int indent,
+                std::ostream& os) {
+  for (const StmtPtr& s : stmts) PrintStmt(*s, indent, os);
+}
+
+}  // namespace
+
+std::string PrintParsed(const ParsedProgram& program) {
+  std::ostringstream os;
+
+  // field_bits is a sorted map, so grouping by prefix is deterministic and
+  // stable across parse/print cycles: headers alphabetical, fields within a
+  // header alphabetical.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> headers;
+  std::vector<std::pair<std::string, int>> metadata;
+  for (const auto& [name, bits] : program.field_bits) {
+    if (name.rfind("hdr.", 0) == 0) {
+      const size_t dot = name.find('.', 4);
+      if (dot == std::string::npos) continue;
+      headers[name.substr(4, dot - 4)].push_back({name.substr(dot + 1), bits});
+    } else if (name.rfind("meta.", 0) == 0) {
+      metadata.push_back({name.substr(5), bits});
+    }
+  }
+
+  for (const auto& [inst, fields] : headers) {
+    os << "header " << inst << "_t {\n";
+    for (const auto& [field, bits] : fields) {
+      os << "  bit<" << bits << "> " << field << ";\n";
+    }
+    os << "}\n\n";
+  }
+
+  os << "struct metadata_t {\n";
+  for (const auto& [field, bits] : metadata) {
+    os << "  bit<" << bits << "> " << field << ";\n";
+  }
+  os << "}\n\n";
+
+  os << "control GalliumIngress(inout metadata_t meta) {\n";
+  for (const RegisterDecl& reg : program.registers) {
+    os << "  register<bit<" << reg.bits << ">>(" << reg.size << ") "
+       << reg.name << ";\n";
+  }
+  for (const ActionDecl& action : program.actions) {
+    os << "  action " << action.name << "(";
+    for (size_t i = 0; i < action.params.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "bit<" << action.params[i].second << "> " << action.params[i].first;
+    }
+    os << ") {\n";
+    PrintStmts(action.body, 4, os);
+    os << "  }\n";
+  }
+  for (const TableDecl& table : program.tables) {
+    os << "  table " << table.name << " {\n";
+    if (!table.key_fields.empty()) {
+      os << "    key = {\n";
+      // TableDecl keeps a single lpm bit for the whole key; printing it on
+      // every field round-trips to the same bit.
+      for (const std::string& key : table.key_fields) {
+        os << "      " << key << " : " << (table.lpm ? "lpm" : "exact")
+           << ";\n";
+      }
+      os << "    }\n";
+    }
+    os << "    actions = {\n";
+    for (const std::string& action : table.actions) {
+      os << "      " << action << ";\n";
+    }
+    os << "    }\n";
+    if (!table.default_action.empty()) {
+      os << "    default_action = " << table.default_action << "();\n";
+    }
+    if (table.size != 0) {
+      os << "    size = " << table.size << ";\n";
+    }
+    os << "  }\n";
+  }
+  os << "  apply {\n";
+  PrintStmts(program.ingress_apply, 4, os);
+  os << "  }\n";
+  os << "}\n";
+
+  return os.str();
+}
+
+}  // namespace gallium::p4::exec

@@ -1,0 +1,21 @@
+// Round-trip printer for the parsed P4 AST (Gauntlet-style translation
+// validation): PrintParsed reconstructs P4 source that the parser accepts and
+// that parses back to an identical program. Tests assert the fixpoint
+// print(parse(print(parse(src)))) == print(parse(src)) over the emitted
+// artifacts and a fuzz corpus, which pins the emitter, the grammar, and the
+// AST to one another — a silent mismatch in any of the three breaks the
+// equality.
+#pragma once
+
+#include <string>
+
+#include "p4/parser.h"
+
+namespace gallium::p4::exec {
+
+// Prints a parsed program back to P4 source. The output is canonical:
+// declarations are grouped (headers, metadata struct, control members in
+// parse order), expressions fully parenthesized, literals decimal.
+std::string PrintParsed(const ParsedProgram& program);
+
+}  // namespace gallium::p4::exec

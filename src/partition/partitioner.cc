@@ -101,7 +101,16 @@ void Partitioner::InitLabels() {
       labels_[s] = LabelSet{false, false};
       continue;
     }
-    const bool supported = StatementSupportedByP4(fn_, *insts_[s]);
+    bool supported = StatementSupportedByP4(fn_, *insts_[s]);
+    // Spilled state (RMT placement feedback): accesses stay on the server.
+    if (supported && !c_.spilled_state.empty()) {
+      ir::StateRef ref;
+      if (ir::Function::InstStateRef(*insts_[s], &ref) &&
+          std::find(c_.spilled_state.begin(), c_.spilled_state.end(), ref) !=
+              c_.spilled_state.end()) {
+        supported = false;
+      }
+    }
     labels_[s] = LabelSet{supported, supported};
   }
 }

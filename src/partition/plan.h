@@ -66,6 +66,12 @@ struct SwitchConstraints {
   // Placement-scoring objective (§7): statement count by default.
   OffloadObjective objective = OffloadObjective::kStatementCount;
   OffloadWeights weights;
+
+  // State objects the RMT placement backend spilled back to the server
+  // (rmt::PartitionAndPlace's feedback loop). Every statement touching a
+  // listed object keeps only its non_off label, so the next partition
+  // round cannot re-offload it.
+  std::vector<ir::StateRef> spilled_state;
 };
 
 // Registers carried across a partition boundary inside the synthesized

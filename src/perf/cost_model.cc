@@ -57,4 +57,39 @@ double CostModel::ExpectedSyncLatencyUs(int tables, double loss,
   return expected;
 }
 
+double CostModel::PredictedSwitchMpps(const rmt::PlacementReport& report,
+                                      int wire_bytes) const {
+  // RMT processes one packet per pipeline clock independent of how many
+  // stages the program occupies; the wire caps small-packet rates.
+  const double line_mpps =
+      link_gbps * 1e3 / (std::max(64, wire_bytes) * 8.0);
+  (void)report;  // occupancy does not derate a single program's rate
+  return std::min(switch_clock_mpps, line_mpps);
+}
+
+int CostModel::SharingHeadroom(const rmt::PlacementReport& report) const {
+  const rmt::RmtTargetModel& t = report.target;
+  int headroom = 1 << 20;
+  bool any = false;
+  for (const rmt::StageOccupancy& occ : report.stages) {
+    if (occ.tables.empty()) continue;
+    any = true;
+    struct {
+      int used, cap;
+    } dims[] = {
+        {occ.sram_blocks, t.sram_blocks_per_stage},
+        {occ.tcam_blocks, t.tcam_blocks_per_stage},
+        {occ.hash_units, t.hash_units_per_stage},
+        {occ.action_alus, t.action_alus_per_stage},
+        {occ.crossbar_bits, t.crossbar_bits_per_stage},
+        {occ.num_tables, t.max_tables_per_stage},
+    };
+    for (const auto& d : dims) {
+      if (d.used == 0) continue;
+      headroom = std::min(headroom, (d.cap - d.used) / d.used);
+    }
+  }
+  return any ? headroom : (1 << 20);
+}
+
 }  // namespace gallium::perf

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "rmt/placement.h"
 #include "runtime/interpreter.h"
 
 namespace gallium::perf {
@@ -38,7 +39,15 @@ struct CostModel {
 
   // --- Devices / wires ------------------------------------------------------------
   double link_gbps = 100.0;
-  double switch_pipeline_us = 0.8;   // Tofino ingress->egress
+  double switch_pipeline_us = 0.8;   // Tofino ingress->egress, full pipeline
+  // Stage-resolved decomposition of switch_pipeline_us (RMT backend):
+  // parser/deparser plus a per-traversed-stage cost. With the default
+  // 12-stage profile, parse + 12 stages reproduces the flat constant.
+  double switch_parse_us = 0.2;
+  double switch_stage_us = 0.05;
+  // Per-pipe packet budget of the match-action clock: an RMT pipeline
+  // forwards one packet per clock regardless of program complexity (§2.1).
+  double switch_clock_mpps = 1450.0;
   double nic_latency_us = 3.0;       // PCIe + MAC, per NIC traversal
   double endhost_stack_us = 7.5;     // Linux endpoint send or receive path
 
@@ -81,6 +90,24 @@ struct CostModel {
   // distribution, truncated at `max_attempts`.
   double ExpectedSyncLatencyUs(int tables, double loss,
                                int max_attempts = 10) const;
+
+  // --- RMT stage-aware hooks (rmt::PlaceTables output) ---------------------------
+  // One traversal of a pipeline whose placement occupies `stages_occupied`
+  // stages: parse/deparse plus the per-stage cost of every stage up to the
+  // highest occupied one (the packet physically crosses all of them).
+  double SwitchTraversalUs(int stages_occupied) const {
+    return switch_parse_us + switch_stage_us * stages_occupied;
+  }
+  // Predicted switch-side throughput for a placed program. RMT forwards at
+  // the match-action clock whatever the placement looks like; the line rate
+  // for `wire_bytes` packets caps it.
+  double PredictedSwitchMpps(const rmt::PlacementReport& report,
+                             int wire_bytes) const;
+  // How many additional copies of this program's per-stage demand the
+  // pipeline could co-host (multi-middlebox sharing headroom): floor over
+  // stages of free/used for the binding resource. Returns INT_MAX-like
+  // large value when the placement is empty.
+  int SharingHeadroom(const rmt::PlacementReport& report) const;
 };
 
 }  // namespace gallium::perf

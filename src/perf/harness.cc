@@ -110,6 +110,13 @@ double OffloadedFastPathLatencyUs(const CostModel& cost, int wire_bytes) {
          + cost.WireUs(wire_bytes) + cost.endhost_stack_us;
 }
 
+double OffloadedFastPathLatencyUs(const CostModel& cost, int wire_bytes,
+                                  int stages_occupied) {
+  return cost.endhost_stack_us + cost.WireUs(wire_bytes) +
+         cost.SwitchTraversalUs(stages_occupied) + cost.WireUs(wire_bytes) +
+         cost.endhost_stack_us;
+}
+
 double ClickThroughputGbps(const CostModel& cost,
                            const runtime::ExecStats& stats, int wire_bytes,
                            int cores) {

@@ -43,6 +43,11 @@ double FastClickLatencyUs(const CostModel& cost,
 // endhost -> switch (pre+post in-pipeline) -> endhost.
 double OffloadedFastPathLatencyUs(const CostModel& cost, int wire_bytes);
 
+// Stage-aware variant: the pipeline traversal is priced by the stages the
+// RMT placement actually occupies instead of the flat full-pipe constant.
+double OffloadedFastPathLatencyUs(const CostModel& cost, int wire_bytes,
+                                  int stages_occupied);
+
 // --- Throughput (Fig. 7) ------------------------------------------------------
 
 // Achievable throughput of the FastClick middlebox on `cores` cores for

@@ -1,0 +1,55 @@
+// The placement -> spill -> re-partition loop.
+//
+// §4.2.2 validates resource constraints with proxies; the RMT backend
+// validates them for real by placing the plan's tables into stages. When
+// placement fails, the plan was too optimistic: some switch-resident state
+// must go back to the server. The loop picks the resident state object with
+// the lowest offload benefit (the same OffloadWeights the weighted
+// objective uses), adds it to `SwitchConstraints::spilled_state` — which
+// the partitioner honors by stripping the pre/post labels of every
+// statement touching that state — and re-partitions. It terminates: each
+// round removes one resident state object, and an empty switch program
+// always places.
+//
+// Both the compiler (core::Compiler) and the runtime
+// (runtime::OffloadedMiddlebox) plan through this entry point, so the
+// policy lives in exactly one place and the simulated switch executes the
+// same placement the emitted P4 reports.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.h"
+#include "partition/plan.h"
+#include "rmt/placement.h"
+#include "rmt/target.h"
+#include "util/status.h"
+
+namespace gallium::rmt {
+
+struct OffloadPlanResult {
+  partition::PartitionPlan plan;
+  PlacementReport placement;
+  // State spilled back to the server to make the program place, in spill
+  // order (empty when the first plan fit).
+  std::vector<ir::StateRef> spilled;
+  int rounds = 1;  // partition attempts (1 = no spill needed)
+};
+
+// Partitions `fn` under `constraints`, places the resulting tables on
+// `target`, and spills/re-partitions until the program fits. Returns
+// kResourceExhausted (with `*failure_out` filled when non-null) only if the
+// program still cannot place with no spillable state left.
+Result<OffloadPlanResult> PartitionAndPlace(
+    const ir::Function& fn, const partition::SwitchConstraints& constraints,
+    const RmtTargetModel& target, PlacementFailure* failure_out = nullptr);
+
+// The next state object the loop would spill for this plan: the resident
+// map/vector/global whose offloaded accesses carry the lowest total weight.
+// Returns false when nothing is left to spill.
+bool ChooseSpillVictim(const ir::Function& fn,
+                       const partition::PartitionPlan& plan,
+                       const partition::OffloadWeights& weights,
+                       ir::StateRef* victim);
+
+}  // namespace gallium::rmt

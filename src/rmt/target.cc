@@ -1,0 +1,64 @@
+#include "rmt/target.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace gallium::rmt {
+
+Status RmtTargetModel::Validate() const {
+  if (num_stages <= 0) return InvalidArgument("rmt: num_stages must be > 0");
+  if (sram_blocks_per_stage <= 0 || sram_block_kb <= 0) {
+    return InvalidArgument("rmt: per-stage SRAM must be > 0");
+  }
+  if (tcam_blocks_per_stage < 0 || tcam_block_entries <= 0 ||
+      tcam_block_bits <= 0) {
+    return InvalidArgument("rmt: invalid TCAM geometry");
+  }
+  if (crossbar_bits_per_stage <= 0 || hash_units_per_stage <= 0 ||
+      hash_unit_bits <= 0 || action_alus_per_stage <= 0 ||
+      max_tables_per_stage <= 0) {
+    return InvalidArgument("rmt: per-stage match/action budgets must be > 0");
+  }
+  return Status::Ok();
+}
+
+std::string RmtTargetModel::Summary() const {
+  std::ostringstream out;
+  out << name << ": " << num_stages << " stages x [sram "
+      << sram_blocks_per_stage << "x" << sram_block_kb << "KB, tcam "
+      << tcam_blocks_per_stage << "x" << tcam_block_entries << "e, xbar "
+      << crossbar_bits_per_stage << "b, hash " << hash_units_per_stage
+      << ", alu " << action_alus_per_stage << "], total sram "
+      << FormatBytes(TotalSramBytes());
+  return out.str();
+}
+
+RmtTargetModel DefaultTofinoProfile(const partition::SwitchConstraints& c) {
+  RmtTargetModel t;
+  t.num_stages = std::max(1, c.pipeline_depth);
+  const uint64_t block_bytes = static_cast<uint64_t>(t.sram_block_kb) * 1024;
+  const uint64_t blocks_needed =
+      (c.memory_bytes + t.num_stages * block_bytes - 1) /
+      (t.num_stages * block_bytes);
+  t.sram_blocks_per_stage =
+      std::max<int>(80, static_cast<int>(blocks_needed));
+  return t;
+}
+
+RmtTargetModel TinyTestProfile() {
+  RmtTargetModel t;
+  t.name = "tiny-test";
+  t.num_stages = 4;
+  t.sram_blocks_per_stage = 2;
+  t.sram_block_kb = 16;
+  t.tcam_blocks_per_stage = 1;
+  t.crossbar_bits_per_stage = 256;
+  t.hash_units_per_stage = 2;
+  t.action_alus_per_stage = 8;
+  t.max_tables_per_stage = 2;
+  return t;
+}
+
+}  // namespace gallium::rmt

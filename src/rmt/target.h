@@ -1,0 +1,74 @@
+// RMT pipeline target model (§2.2's hardware constraints made concrete).
+//
+// The partitioner's resource refinement works on proxies — dependency
+// distance for pipeline depth, aggregate bytes for memory. A real
+// Tofino-class target is an RMT pipeline (Bosshart et al., SIGCOMM'13): K
+// physical match-action stages, each with a fixed budget of SRAM blocks,
+// TCAM blocks, match-crossbar input bits, hash units, and action ALUs.
+// Whether an offloaded program fits is decided by *placing* its tables into
+// stages under those budgets, not by comparing aggregate sums. This header
+// describes the target; placement.h performs the allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "partition/plan.h"
+#include "util/status.h"
+
+namespace gallium::rmt {
+
+// One RMT ingress pipeline. Defaults model a Tofino-class device sized so
+// the aggregate SRAM matches `SwitchConstraints`' 16 MB memory budget
+// spread over the default 12-stage pipeline.
+struct RmtTargetModel {
+  std::string name = "tofino-like";
+
+  // Physical match-action stages (SwitchConstraints::pipeline_depth).
+  int num_stages = 12;
+
+  // Per-stage SRAM: unit blocks usable for exact-match ways and action data.
+  int sram_blocks_per_stage = 86;
+  int sram_block_kb = 16;
+
+  // Per-stage TCAM: blocks of ternary entries for lpm/ternary tables.
+  int tcam_blocks_per_stage = 24;
+  int tcam_block_entries = 512;  // entries per block at <=44 match bits
+  int tcam_block_bits = 44;      // match width one block contributes
+
+  // Match-crossbar input bits a stage can route into its match keys.
+  int crossbar_bits_per_stage = 1280;
+
+  // Exact-match hash units (each hashes up to `hash_unit_bits` key bits).
+  int hash_units_per_stage = 6;
+  int hash_unit_bits = 128;
+
+  // VLIW action-ALU slots (one per written PHV field per table action).
+  int action_alus_per_stage = 32;
+
+  // Logical table IDs available per stage.
+  int max_tables_per_stage = 16;
+
+  uint64_t SramBytesPerStage() const {
+    return static_cast<uint64_t>(sram_blocks_per_stage) * sram_block_kb *
+           1024;
+  }
+  uint64_t TotalSramBytes() const { return SramBytesPerStage() * num_stages; }
+
+  Status Validate() const;
+  std::string Summary() const;
+};
+
+// The default profile for a given constraint set: `num_stages` follows
+// `pipeline_depth`, and the per-stage SRAM budget is scaled (up from the
+// stock 80-block stage, never down) so the pipeline's aggregate SRAM covers
+// `memory_bytes`. The two views of the same device stay consistent: what
+// the partitioner admits by aggregate accounting, the placement pass can at
+// least attempt to allocate.
+RmtTargetModel DefaultTofinoProfile(const partition::SwitchConstraints& c);
+
+// A deliberately tiny pipeline for exercising placement failure and the
+// spill/re-partition path in tests.
+RmtTargetModel TinyTestProfile();
+
+}  // namespace gallium::rmt

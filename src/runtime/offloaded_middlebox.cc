@@ -39,8 +39,17 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
 
 Result<std::unique_ptr<OffloadedMiddlebox>> OffloadedMiddlebox::Create(
     const mbox::MiddleboxSpec& spec, OffloadedOptions options) {
-  partition::Partitioner partitioner(*spec.fn, options.constraints);
-  GALLIUM_ASSIGN_OR_RETURN(partition::PartitionPlan plan, partitioner.Run());
+  // Partition against the concrete RMT target, not just the aggregate
+  // proxies: if the tables do not place into stages, the feedback loop
+  // spills state back to the server until they do.
+  const rmt::RmtTargetModel target =
+      options.rmt_target.has_value()
+          ? *options.rmt_target
+          : rmt::DefaultTofinoProfile(options.constraints);
+  GALLIUM_ASSIGN_OR_RETURN(
+      rmt::OffloadPlanResult planned,
+      rmt::PartitionAndPlace(*spec.fn, options.constraints, target));
+  partition::PartitionPlan plan = std::move(planned.plan);
   if (plan.to_server.cond_regs.size() > 32 ||
       plan.to_switch.cond_regs.size() > 32) {
     return Unsupported("more than 32 transferred branch conditions");
@@ -62,10 +71,14 @@ Result<std::unique_ptr<OffloadedMiddlebox>> OffloadedMiddlebox::Create(
 
   auto mbx = std::unique_ptr<OffloadedMiddlebox>(
       new OffloadedMiddlebox(spec, std::move(plan), options));
+  mbx->placement_ = std::move(planned.placement);
+  mbx->spilled_ = std::move(planned.spilled);
+  mbx->partition_rounds_ = planned.rounds;
   GALLIUM_ASSIGN_OR_RETURN(
       mbx->switch_, switchsim::Switch::Create(*spec.fn, mbx->plan_,
                                               options.constraints,
                                               options.cache_entries_per_table));
+  mbx->switch_->SetPlacement(mbx->placement_);
   mbx->known_epoch_ = mbx->switch_->epoch();
   mbx->cached_maps_.assign(spec.fn->maps().size(), false);
   for (ir::StateIndex m = 0; m < spec.fn->maps().size(); ++m) {
@@ -255,6 +268,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
   if (cache_mode) pristine = pkt;
 
   // --- 1. Switch: pre-processing pass ---------------------------------------
+  switch_->BeginPipelinePass();
   ExecResult pre = interp_.RunPartition(pkt, switch_->data_plane(), now_ms,
                                         plan_, Part::kPre,
                                         /*in_spec=*/nullptr,
@@ -367,6 +381,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
   }
   back_pkt.clear_gallium();
 
+  switch_->BeginPipelinePass();
   ExecResult post = interp_.RunPartition(back_pkt, switch_->data_plane(),
                                          now_ms, plan_, Part::kPost,
                                          &plan_.to_switch, &in_values2.value(),
@@ -475,6 +490,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
     outcome.status = in_values2.status();
     return outcome;
   }
+  switch_->BeginPipelinePass();
   ExecResult post = interp_.RunPartition(pkt, switch_->data_plane(), now_ms,
                                          plan_, Part::kPost,
                                          &plan_.to_switch, &in_values2.value(),

@@ -19,9 +19,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "mbox/middleboxes.h"
 #include "partition/partitioner.h"
+#include "rmt/feedback.h"
 #include "runtime/fault.h"
 #include "runtime/interpreter.h"
 #include "runtime/software_middlebox.h"
@@ -54,6 +57,12 @@ struct OffloadedOptions {
   const FaultPlan* fault_plan = nullptr;
   // Retry/backoff policy for the reliable sync client and the data link.
   SyncPolicy sync_policy;
+
+  // RMT pipeline the plan's tables are placed on (stage-aware execution);
+  // nullopt derives the default Tofino-like profile from `constraints`. If
+  // the plan does not place, the spill feedback loop re-partitions until it
+  // does — the runtime never deploys a plan the target cannot hold.
+  std::optional<rmt::RmtTargetModel> rmt_target;
 };
 
 class OffloadedMiddlebox {
@@ -81,6 +90,12 @@ class OffloadedMiddlebox {
   const ir::Function& fn() const { return *fn_; }
   switchsim::Switch& device() { return *switch_; }
   HostStateStore& server_state() { return server_state_; }
+
+  // RMT placement backing the deployed plan, and the state the feedback
+  // loop had to spill back to the server to make it place.
+  const rmt::PlacementReport& placement() const { return placement_; }
+  const std::vector<ir::StateRef>& spilled_state() const { return spilled_; }
+  int partition_rounds() const { return partition_rounds_; }
 
   // Server-side maintenance used by the L4 load balancer: erases flows whose
   // creation time in `created_map` is older than `timeout_ms`, from both
@@ -128,6 +143,9 @@ class OffloadedMiddlebox {
 
   const ir::Function* fn_;
   partition::PartitionPlan plan_;
+  rmt::PlacementReport placement_;
+  std::vector<ir::StateRef> spilled_;
+  int partition_rounds_ = 1;
   OffloadedOptions options_;
   Interpreter interp_;
   HostStateStore server_state_;

@@ -33,6 +33,7 @@ bool SwitchStateBackend::MapLookup(ir::StateIndex map,
                                    runtime::StateValue* values) {
   ExactMatchTable* table = sw_->map_tables_[map].get();
   assert(table != nullptr && "lookup of a non-resident map on the switch");
+  sw_->TouchState({ir::StateRef::Kind::kMap, map});
   return table->Lookup(key, values);
 }
 
@@ -48,6 +49,7 @@ void SwitchStateBackend::MapErase(ir::StateIndex, const runtime::StateKey&) {
 uint64_t SwitchStateBackend::VectorGet(ir::StateIndex vec, uint64_t index) {
   const auto* contents = sw_->vector_tables_[vec].get();
   assert(contents != nullptr && "non-resident vector on the switch");
+  sw_->TouchState({ir::StateRef::Kind::kVector, vec});
   // Index table miss semantics: out-of-range reads return zero.
   if (index >= contents->size()) return 0;
   return (*contents)[index];
@@ -56,19 +58,61 @@ uint64_t SwitchStateBackend::VectorGet(ir::StateIndex vec, uint64_t index) {
 uint64_t SwitchStateBackend::VectorSize(ir::StateIndex vec) {
   const auto* contents = sw_->vector_tables_[vec].get();
   assert(contents != nullptr);
+  sw_->TouchState({ir::StateRef::Kind::kVector, vec});
   return contents->size();
 }
 
 uint64_t SwitchStateBackend::GlobalRead(ir::StateIndex global) {
   const auto* reg = sw_->registers_[global].get();
   assert(reg != nullptr && "non-resident global on the switch");
+  sw_->TouchState({ir::StateRef::Kind::kGlobal, global});
   return *reg;
 }
 
 void SwitchStateBackend::GlobalWrite(ir::StateIndex global, uint64_t value) {
   auto* reg = sw_->registers_[global].get();
   assert(reg != nullptr);
+  sw_->TouchState({ir::StateRef::Kind::kGlobal, global});
   *reg = value & ir::WidthMask(sw_->fn_->global(global).width);
+}
+
+void Switch::SetPlacement(const rmt::PlacementReport& report) {
+  stage_of_state_.clear();
+  for (size_t i = 0; i < report.tables.size(); ++i) {
+    const rmt::TableRequirement& req = report.tables[i];
+    // The primary access stage of a state object: its main match table, or
+    // the register itself for globals. Write-back shadows execute in their
+    // own (earlier) stage but share the main table's lookup site.
+    if (req.kind == rmt::TableRequirement::Kind::kWriteBack) continue;
+    if (req.kind == rmt::TableRequirement::Kind::kRegister &&
+        req.state.kind != ir::StateRef::Kind::kGlobal) {
+      continue;  // wb-active / size registers ride with the match table
+    }
+    if (report.stage_of[i] >= 0) {
+      stage_of_state_[req.state] = report.stage_of[i];
+    }
+  }
+  stages_occupied_ = report.StagesOccupied();
+  stage_aware_ = true;
+  pass_cursor_ = -1;
+}
+
+void Switch::BeginPipelinePass() {
+  ++pipeline_passes_;
+  pass_cursor_ = -1;
+}
+
+void Switch::TouchState(const ir::StateRef& ref) {
+  if (!stage_aware_) return;
+  const auto it = stage_of_state_.find(ref);
+  if (it == stage_of_state_.end()) return;
+  if (it->second < pass_cursor_) {
+    // The packet already passed this stage in the current traversal; a real
+    // RMT pipeline cannot flow backwards.
+    ++stage_order_violations_;
+    return;
+  }
+  pass_cursor_ = it->second;
 }
 
 Switch::Switch(const ir::Function& fn, const partition::PartitionPlan& plan,
@@ -284,6 +328,7 @@ Switch::ResourceReport Switch::Resources() const {
   report.metadata_bytes_used = plan_->metadata_peak_bytes;
   report.pipeline_stages_used = plan_->pipeline_stages_used;
   report.pipeline_stages_limit = limits_.pipeline_depth;
+  report.rmt_stages_occupied = stages_occupied_;
   for (size_t i = 0; i < map_tables_.size(); ++i) {
     if (map_tables_[i] == nullptr) continue;
     ++report.num_tables;

@@ -9,11 +9,13 @@
 // protocol and a latency model calibrated to Table 3.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "ir/function.h"
 #include "partition/plan.h"
+#include "rmt/placement.h"
 #include "runtime/state.h"
 #include "runtime/sync.h"
 #include "switchsim/table.h"
@@ -133,6 +135,28 @@ class Switch {
     return applied_log_;
   }
 
+  // --- Stage-aware execution (RMT placement) -----------------------------------
+  // Installs the table placement computed by rmt::PlaceTables: every state
+  // access is pinned to its physical stage. Each pipeline pass must then
+  // touch state in non-decreasing stage order (the packet flows through the
+  // stages once); violations are counted, and the pass's latency is keyed
+  // on the stages the placement occupies rather than a flat constant.
+  void SetPlacement(const rmt::PlacementReport& report);
+  bool stage_aware() const { return stage_aware_; }
+
+  // Marks the start of one traversal of the pipeline (the pre pass, the
+  // post pass, each pass of a resync probe...). Resets the stage cursor.
+  void BeginPipelinePass();
+
+  // Stages with at least one placed table (0 when no placement installed).
+  int stages_occupied() const { return stages_occupied_; }
+  // Pipeline passes begun and stage-order violations observed so far. A
+  // violation means an access was placed in an earlier stage than one
+  // already executed this pass — impossible on real RMT hardware, so any
+  // non-zero count flags a broken placement.
+  uint64_t pipeline_passes() const { return pipeline_passes_; }
+  uint64_t stage_order_violations() const { return stage_order_violations_; }
+
   // --- Resources ---------------------------------------------------------------
   struct ResourceReport {
     uint64_t memory_bytes_used = 0;
@@ -141,6 +165,9 @@ class Switch {
     int metadata_bytes_limit = 0;
     int pipeline_stages_used = 0;
     int pipeline_stages_limit = 0;
+    // From the installed placement (0 when not stage-aware): physical
+    // stages the program occupies on the RMT pipeline.
+    int rmt_stages_occupied = 0;
     int num_tables = 0;
     int num_registers = 0;
     bool within_limits = true;
@@ -173,10 +200,22 @@ class Switch {
       const std::vector<runtime::RecordingStateBackend::GlobalMutation>&
           globals);
 
+  // Records a data-plane access to `ref` against the stage cursor of the
+  // current pipeline pass (no-op until SetPlacement).
+  void TouchState(const ir::StateRef& ref);
+
   // Indexed by the function's state indices; null when not resident.
   std::vector<std::unique_ptr<ExactMatchTable>> map_tables_;
   std::vector<std::unique_ptr<std::vector<uint64_t>>> vector_tables_;
   std::vector<std::unique_ptr<uint64_t>> registers_;
+
+  // RMT placement view (SetPlacement): primary stage per state object.
+  bool stage_aware_ = false;
+  std::map<ir::StateRef, int> stage_of_state_;
+  int stages_occupied_ = 0;
+  int pass_cursor_ = -1;  // highest stage touched in the current pass
+  uint64_t pipeline_passes_ = 0;
+  uint64_t stage_order_violations_ = 0;
 
   uint64_t sync_batches_ = 0;
   uint64_t epoch_ = 0;

@@ -6,6 +6,8 @@
 
 #include "mbox/middleboxes.h"
 #include "partition/partitioner.h"
+#include "rmt/feedback.h"
+#include "rmt/target.h"
 
 namespace gallium::partition {
 namespace {
@@ -118,6 +120,65 @@ TEST(Replicable, TrojanReadsAllReplicable) {
     }
   }
   EXPECT_TRUE(plan->to_server.var_regs.empty());
+}
+
+// Golden per-stage placements on the default Tofino-like profile. A table
+// spanning several stages (match ways split across SRAM of consecutive
+// stages) is listed in each stage it occupies. As with the plan shapes
+// above, these pins are deliberately brittle: a placement shift is a
+// hardware-resource story that must be reviewed, not slip by.
+std::string StageMapOf(const mbox::MiddleboxSpec& spec) {
+  const SwitchConstraints constraints;
+  auto planned = rmt::PartitionAndPlace(
+      *spec.fn, constraints, rmt::DefaultTofinoProfile(constraints));
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  if (!planned.ok()) return "";
+  EXPECT_TRUE(planned->spilled.empty()) << spec.name;
+  return planned->placement.StageMapString();
+}
+
+TEST(PlacementRegression, MazuNat) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(StageMapOf(*spec),
+            "0:wb_active_nat_in,wb_active_nat_out "
+            "1:tbl_nat_in_wb,tbl_nat_out_wb "
+            "2:tbl_nat_in,tbl_nat_out 3:tbl_nat_out 4:reg_port_counter");
+}
+
+TEST(PlacementRegression, LoadBalancer) {
+  auto spec = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(StageMapOf(*spec),
+            "0:tbl_backends,wb_active_flows 1:tbl_flows_wb 2:tbl_flows "
+            "3:tbl_flows 4:reg_backends_size");
+}
+
+TEST(PlacementRegression, Firewall) {
+  auto spec = mbox::BuildFirewall();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(StageMapOf(*spec),
+            "0:wb_active_whitelist_in,wb_active_whitelist_out "
+            "1:tbl_whitelist_in_wb,tbl_whitelist_out_wb 2:tbl_whitelist_in "
+            "3:tbl_whitelist_in,tbl_whitelist_out 4:tbl_whitelist_out "
+            "5:tbl_whitelist_out");
+}
+
+TEST(PlacementRegression, Proxy) {
+  auto spec = mbox::BuildProxy();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(StageMapOf(*spec),
+            "0:wb_active_redirect_ports 1:tbl_redirect_ports_wb "
+            "2:tbl_redirect_ports");
+}
+
+TEST(PlacementRegression, TrojanDetector) {
+  auto spec = mbox::BuildTrojanDetector();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(StageMapOf(*spec),
+            "0:wb_active_flow_state,wb_active_host_stage "
+            "1:tbl_flow_state_wb,tbl_host_stage_wb 2:tbl_flow_state "
+            "3:tbl_flow_state,tbl_host_stage 4:tbl_host_stage");
 }
 
 TEST(PlanRegression, PipelineStagesWithinDefaultDepth) {

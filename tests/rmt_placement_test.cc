@@ -1,0 +1,243 @@
+// RMT table placement: the five paper middleboxes must place on the default
+// Tofino-like profile, dependency order must translate into strictly
+// increasing stages, an oversized program on a tiny pipeline must trigger
+// the spill/re-partition feedback loop (and stay functionally equivalent),
+// and placement failure must be structured enough to drive the JSON
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "mbox/middleboxes.h"
+#include "partition/partitioner.h"
+#include "rmt/feedback.h"
+#include "rmt/placement.h"
+#include "rmt/target.h"
+#include "runtime/offloaded_middlebox.h"
+#include "runtime/software_middlebox.h"
+#include "workload/packet_gen.h"
+
+#include "program_generator.h"
+
+namespace gallium::rmt {
+namespace {
+
+int IndexOfTable(const PlacementReport& report, const std::string& name) {
+  for (size_t i = 0; i < report.tables.size(); ++i) {
+    if (report.tables[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(RmtTarget, DefaultProfileIsValidAndCoversConstraints) {
+  const partition::SwitchConstraints constraints;
+  const RmtTargetModel target = DefaultTofinoProfile(constraints);
+  EXPECT_TRUE(target.Validate().ok());
+  EXPECT_EQ(target.num_stages, constraints.pipeline_depth);
+  EXPECT_GE(target.TotalSramBytes(), constraints.memory_bytes);
+  EXPECT_TRUE(TinyTestProfile().Validate().ok());
+}
+
+TEST(RmtPlacement, AllPaperMiddleboxesPlaceOnDefaultProfile) {
+  const partition::SwitchConstraints constraints;
+  const RmtTargetModel target = DefaultTofinoProfile(constraints);
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    auto planned = PartitionAndPlace(*spec.fn, constraints, target);
+    ASSERT_TRUE(planned.ok()) << spec.name << ": "
+                              << planned.status().ToString();
+    EXPECT_TRUE(planned->spilled.empty())
+        << spec.name << " should fit without spilling";
+    EXPECT_EQ(planned->rounds, 1) << spec.name;
+    EXPECT_FALSE(planned->placement.tables.empty()) << spec.name;
+    EXPECT_LE(planned->placement.StagesOccupied(), target.num_stages)
+        << spec.name;
+    // Every table landed in a real stage.
+    for (size_t i = 0; i < planned->placement.tables.size(); ++i) {
+      EXPECT_GE(planned->placement.stage_of[i], 0)
+          << spec.name << ": " << planned->placement.tables[i].name;
+      EXPECT_LT(planned->placement.stage_of[i], target.num_stages)
+          << spec.name << ": " << planned->placement.tables[i].name;
+    }
+  }
+}
+
+TEST(RmtPlacement, DependenciesGetStrictlyIncreasingStages) {
+  const partition::SwitchConstraints constraints;
+  const RmtTargetModel target = DefaultTofinoProfile(constraints);
+  for (auto& spec : mbox::BuildAllPaperMiddleboxes()) {
+    auto planned = PartitionAndPlace(*spec.fn, constraints, target);
+    ASSERT_TRUE(planned.ok()) << spec.name;
+    const PlacementReport& report = planned->placement;
+    for (size_t i = 0; i < report.tables.size(); ++i) {
+      for (int dep : report.tables[i].after) {
+        EXPECT_LT(report.stage_of[dep], report.stage_of[i])
+            << spec.name << ": " << report.tables[dep].name
+            << " must complete before " << report.tables[i].name;
+      }
+    }
+  }
+}
+
+TEST(RmtPlacement, WriteBackChainOrdersBeforeMainTable) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  const partition::SwitchConstraints constraints;
+  auto planned = PartitionAndPlace(*spec->fn, constraints,
+                                   DefaultTofinoProfile(constraints));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  const PlacementReport& report = planned->placement;
+
+  int checked = 0;
+  for (size_t i = 0; i < report.tables.size(); ++i) {
+    const TableRequirement& table = report.tables[i];
+    if (table.kind != TableRequirement::Kind::kMatchTable) continue;
+    const int wb = IndexOfTable(report, table.name + "_wb");
+    if (wb < 0) continue;
+    const int active = IndexOfTable(
+        report, "wb_active_" + table.name.substr(std::string("tbl_").size()));
+    ASSERT_GE(active, 0) << table.name;
+    // §4.3.3: read the use-write-back bit, consult the shadow, then the main
+    // table — three strictly ordered stages.
+    EXPECT_LT(report.stage_of[active], report.stage_of[wb]) << table.name;
+    EXPECT_LT(report.stage_of[wb], report.stage_of[static_cast<int>(i)])
+        << table.name;
+    ++checked;
+  }
+  EXPECT_GE(checked, 2) << "NAT should carry two write-back chains";
+}
+
+TEST(RmtFeedback, TinyPipelineSpillsAndRepartitions) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  const partition::SwitchConstraints constraints;
+  PlacementFailure failure;
+  auto planned =
+      PartitionAndPlace(*spec->fn, constraints, TinyTestProfile(), &failure);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_FALSE(planned->spilled.empty())
+      << "NAT tables cannot fit a 4-stage, 32KB/stage pipeline";
+  EXPECT_GT(planned->rounds, 1);
+  // Whatever remains on the switch genuinely places.
+  EXPECT_LE(planned->placement.StagesOccupied(),
+            TinyTestProfile().num_stages);
+}
+
+TEST(RmtFeedback, OversizedFuzzProgramsSpillButStillPlace) {
+  const partition::SwitchConstraints constraints;
+  const RmtTargetModel tiny = TinyTestProfile();
+  int spilled_programs = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    testing::ProgramGenerator generator(seed);
+    auto spec = generator.Generate();
+    ASSERT_TRUE(spec.ok()) << "seed " << seed;
+    auto planned = PartitionAndPlace(*spec->fn, constraints, tiny);
+    ASSERT_TRUE(planned.ok()) << "seed " << seed << ": "
+                              << planned.status().ToString();
+    if (!planned->spilled.empty()) {
+      ++spilled_programs;
+      EXPECT_GT(planned->rounds, 1) << "seed " << seed;
+    }
+  }
+  EXPECT_GT(spilled_programs, 0)
+      << "the fuzz corpus never exceeded the tiny pipeline";
+}
+
+TEST(RmtFeedback, SpilledPlanStaysEquivalentToSoftware) {
+  auto spec_sw = mbox::BuildMazuNat();
+  auto spec_off = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec_sw.ok() && spec_off.ok());
+
+  runtime::SoftwareMiddlebox software(*spec_sw);
+  runtime::OffloadedOptions options;
+  options.rmt_target = TinyTestProfile();
+  auto offloaded = runtime::OffloadedMiddlebox::Create(*spec_off, options);
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+  EXPECT_FALSE((*offloaded)->spilled_state().empty());
+  EXPECT_GT((*offloaded)->partition_rounds(), 1);
+
+  Rng rng(99);
+  workload::TraceOptions trace_options;
+  trace_options.num_flows = 30;
+  trace_options.ingress_port = mbox::kPortInternal;
+  const workload::Trace trace = workload::MakeTrace(rng, trace_options);
+  ASSERT_FALSE(trace.packets.empty());
+
+  uint64_t now_ms = 0;
+  for (const net::Packet& original : trace.packets) {
+    ++now_ms;
+    net::Packet sw_pkt = original;
+    auto sw_out = software.Process(sw_pkt, now_ms);
+    ASSERT_TRUE(sw_out.status.ok());
+    auto off_out = (*offloaded)->Process(original, now_ms);
+    ASSERT_TRUE(off_out.status.ok());
+    ASSERT_EQ(sw_out.verdict.kind, off_out.verdict.kind)
+        << original.ToString();
+    if (sw_out.verdict.kind == runtime::Verdict::Kind::kSend) {
+      EXPECT_EQ(sw_out.verdict.egress_port, off_out.verdict.egress_port);
+    }
+  }
+}
+
+TEST(RmtPlacement, FailureIsStructured) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  const partition::SwitchConstraints constraints;
+  partition::Partitioner partitioner(*spec->fn, constraints);
+  auto plan = partitioner.Run();
+  ASSERT_TRUE(plan.ok());
+
+  // One stage cannot host the 3-deep write-back chain regardless of memory.
+  RmtTargetModel one_stage = DefaultTofinoProfile(constraints);
+  one_stage.num_stages = 1;
+  const PlacementResult result = PlaceTables(*spec->fn, *plan, one_stage);
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(result.failure->table.empty());
+  EXPECT_FALSE(result.failure->resource.empty());
+  EXPECT_FALSE(result.failure->message.empty());
+}
+
+TEST(RmtPlacement, DiagnosticJsonIsMachineReadable) {
+  core::CompileDiagnostic diag;
+  diag.phase = "placement";
+  diag.table = "tbl_nat_in";
+  diag.stage = 3;
+  diag.resource = "sram_blocks";
+  diag.message = "needs 90 blocks, stage 3 has \"86\"";
+  const std::string json = diag.ToJson();
+  EXPECT_EQ(json.find("{\"error\":\"placement\""), 0u) << json;
+  EXPECT_NE(json.find("\"table\":\"tbl_nat_in\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stage\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"resource\":\"sram_blocks\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\\\"86\\\""), std::string::npos)
+      << "quotes must be escaped: " << json;
+}
+
+TEST(RmtRuntime, StageAwareExecutionSeesNoOrderViolations) {
+  auto spec = mbox::BuildMazuNat();
+  ASSERT_TRUE(spec.ok());
+  auto offloaded = runtime::OffloadedMiddlebox::Create(*spec);
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+  ASSERT_TRUE((*offloaded)->device().stage_aware());
+
+  Rng rng(7);
+  workload::TraceOptions trace_options;
+  trace_options.num_flows = 20;
+  trace_options.ingress_port = mbox::kPortInternal;
+  const workload::Trace trace = workload::MakeTrace(rng, trace_options);
+  uint64_t now_ms = 0;
+  for (const net::Packet& pkt : trace.packets) {
+    ++now_ms;
+    auto out = (*offloaded)->Process(pkt, now_ms);
+    ASSERT_TRUE(out.status.ok());
+  }
+
+  const switchsim::Switch& device = (*offloaded)->device();
+  EXPECT_GT(device.pipeline_passes(), 0u);
+  EXPECT_GT(device.stages_occupied(), 0);
+  // The placement's stage order must agree with actual execution order:
+  // every state access happened in or after the stage of the previous one.
+  EXPECT_EQ(device.stage_order_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace gallium::rmt

@@ -11,14 +11,21 @@
 //   galliumc <middlebox> [--out DIR] [--pipeline-depth K]
 //            [--metadata-bytes N] [--transfer-bytes N] [--memory-mb N]
 //            [--objective count|weighted] [--optimize] [--print]
-//            [--run N] [--chaos-seed S]
+//            [--resources] [--run N] [--chaos-seed S]
 //
 //   <middlebox> ∈ {minilb, nat, lb, firewall, proxy, trojan, router}
+//
+// --resources prints the RMT placement report: the per-stage occupancy of
+// every table the plan puts on the switch, the peak stage utilization, and
+// the cost model's stage-aware latency/throughput prediction.
 //
 // --run N drives N synthetic packets through the offloaded runtime after
 // compiling and reports the fast-path fraction and the fault/recovery
 // counters; --chaos-seed S additionally runs them over a seeded faulty
 // substrate (lossy links, lossy control plane, switch restarts/outages).
+//
+// Exit codes: 0 success, 1 generic failure, 2 usage, 3 partition/placement
+// infeasibility (a machine-readable JSON diagnostic is printed to stderr).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +36,7 @@
 #include "ir/printer.h"
 #include "mbox/middleboxes.h"
 #include "net/headers.h"
+#include "perf/harness.h"
 #include "runtime/fault.h"
 #include "runtime/offloaded_middlebox.h"
 #include "workload/packet_gen.h"
@@ -76,7 +84,7 @@ int Usage() {
       "                [--out DIR] [--pipeline-depth K] [--metadata-bytes N]\n"
       "                [--transfer-bytes N] [--memory-mb N]\n"
       "                [--objective count|weighted] [--optimize] [--print]\n"
-      "                [--run N] [--chaos-seed S]\n");
+      "                [--resources] [--run N] [--chaos-seed S]\n");
   return 2;
 }
 
@@ -159,6 +167,7 @@ int main(int argc, char** argv) {
   const std::string name = argv[1];
   std::string out_dir = ".";
   bool print = false;
+  bool resources = false;
   int run_packets = 0;
   uint64_t chaos_seed = 0;
   bool chaos = false;
@@ -202,6 +211,8 @@ int main(int argc, char** argv) {
       options.optimize = true;
     } else if (arg == "--print") {
       print = true;
+    } else if (arg == "--resources") {
+      resources = true;
     } else if (arg == "--run") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -223,10 +234,18 @@ int main(int argc, char** argv) {
   }
 
   core::Compiler compiler(options);
-  auto result = compiler.Compile(*spec->fn);
+  core::CompileDiagnostic diag;
+  auto result = compiler.Compile(*spec->fn, &diag);
   if (!result.ok()) {
     std::fprintf(stderr, "galliumc: compilation failed: %s\n",
                  result.status().ToString().c_str());
+    // Resource infeasibility gets a dedicated exit code plus a
+    // machine-readable diagnostic naming the table/stage/resource, so CI
+    // and tooling can react without scraping prose.
+    if (diag.phase == "partition" || diag.phase == "placement") {
+      std::fprintf(stderr, "%s\n", diag.ToJson().c_str());
+      return 3;
+    }
     return 1;
   }
 
@@ -260,6 +279,28 @@ int main(int argc, char** argv) {
               result->plan.metadata_peak_bytes);
   std::printf("  wrote %s.p4 %s_server.cc %s_input.cc %s_plan.txt\n",
               base.c_str(), base.c_str(), base.c_str(), base.c_str());
+  if (!result->spilled_state.empty()) {
+    std::printf("  spilled to server after %d partition rounds:",
+                result->partition_rounds);
+    for (const auto& ref : result->spilled_state) {
+      std::printf(" %s", spec->fn->StateName(ref).c_str());
+    }
+    std::printf("\n");
+  }
+  if (resources) {
+    const auto& placement = result->placement;
+    std::printf("\n-- RMT placement --\n%s", placement.Summary().c_str());
+    std::printf("stage map: %s\n", placement.StageMapString().c_str());
+    const perf::CostModel cost;
+    const int stages = placement.StagesOccupied();
+    std::printf(
+        "cost model: traversal %.2fus (vs %.2fus flat), fast-path latency "
+        "%.1fus, switch %.0f Mpps @64B, sharing headroom %dx\n",
+        cost.SwitchTraversalUs(stages), cost.switch_pipeline_us,
+        perf::OffloadedFastPathLatencyUs(cost, 64, stages),
+        cost.PredictedSwitchMpps(placement, 64),
+        cost.SharingHeadroom(placement));
+  }
   if (print) {
     std::printf("\n%s\n", result->p4_source.c_str());
   }
