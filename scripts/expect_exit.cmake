@@ -1,0 +1,22 @@
+# Runs a command and asserts a specific exit code — used by the CLI tests
+# to pin galliumc's exit-code contract (0 ok, 2 usage, 3 placement,
+# 4 verification).
+#
+#   cmake -DEXPECTED=<code> -DCMD="<prog> <args...>" -P expect_exit.cmake
+if(NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "expect_exit.cmake: EXPECTED not set")
+endif()
+if(NOT DEFINED CMD)
+  message(FATAL_ERROR "expect_exit.cmake: CMD not set")
+endif()
+separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
+execute_process(
+  COMMAND ${cmd_list}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL ${EXPECTED})
+  message(FATAL_ERROR
+          "expected exit code ${EXPECTED}, got '${rc}'\n"
+          "command: ${CMD}\nstdout:\n${out}\nstderr:\n${err}")
+endif()

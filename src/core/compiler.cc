@@ -42,6 +42,15 @@ std::string CompileDiagnostic::ToJson() const {
   if (!resource.empty()) {
     out << ",\"resource\":\"" << JsonEscape(resource) << "\"";
   }
+  out << ",\"exit_code\":" << exit_code;
+  if (!findings.empty()) {
+    out << ",\"findings\":[";
+    for (size_t i = 0; i < findings.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << JsonEscape(findings[i]) << "\"";
+    }
+    out << "]";
+  }
   out << ",\"message\":\"" << JsonEscape(message) << "\"}";
   return out.str();
 }
@@ -77,11 +86,14 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
       rmt::PartitionAndPlace(fn, options_.constraints, target, &failure);
   if (!planned.ok()) {
     FillDiag(diag, "partition", planned.status());
-    if (diag != nullptr && !failure.table.empty()) {
-      diag->phase = "placement";
-      diag->table = failure.table;
-      diag->stage = failure.stage;
-      diag->resource = failure.resource;
+    if (diag != nullptr) {
+      diag->exit_code = 3;
+      if (!failure.table.empty()) {
+        diag->phase = "placement";
+        diag->table = failure.table;
+        diag->stage = failure.stage;
+        diag->resource = failure.resource;
+      }
     }
     return planned.status();
   }
@@ -128,6 +140,34 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
   result.input_loc = CountCodeLines(result.click_source);
   result.p4_loc = CountCodeLines(result.p4_source);
   result.server_loc = CountCodeLines(result.server_source);
+
+  // Verification gate: translation validation + offload-safety lints.
+  if (options_.verify) {
+    result.validation =
+        verify::ValidateTranslation(fn, result.plan, options_.verify_limits);
+    result.lints = verify::LintAll(fn, result.plan, &result.p4_program);
+    result.verified = true;
+    const bool lint_errors = verify::HasErrors(result.lints);
+    if (!result.validation.equivalent || lint_errors) {
+      Status s = Internal(
+          !result.validation.equivalent
+              ? "translation validation rejected the partition plan"
+              : "offload-safety lint reported errors");
+      FillDiag(diag, "verification", s);
+      if (diag != nullptr) {
+        diag->exit_code = 4;
+        for (const verify::Mismatch& m : result.validation.mismatches) {
+          diag->findings.push_back(m.ToString());
+        }
+        for (const verify::LintFinding& f : result.lints) {
+          if (f.severity == verify::LintSeverity::kError) {
+            diag->findings.push_back(f.ToString());
+          }
+        }
+      }
+      return s;
+    }
+  }
   return result;
 }
 

@@ -21,6 +21,8 @@
 #include "partition/partitioner.h"
 #include "rmt/feedback.h"
 #include "util/status.h"
+#include "verify/lint.h"
+#include "verify/validator.h"
 
 namespace gallium::core {
 
@@ -35,6 +37,13 @@ struct CompileOptions {
   // RMT pipeline to place tables on; nullopt derives the default
   // Tofino-like profile from `constraints`.
   std::optional<rmt::RmtTargetModel> target;
+
+  // Gate the compile on translation validation + offload-safety lints
+  // (galliumc --verify). A plan the validator rejects, or one with
+  // error-severity lint findings, fails the compile with phase
+  // "verification" (exit code 4 in galliumc).
+  bool verify = false;
+  verify::PathLimits verify_limits;
 };
 
 struct CompileResult {
@@ -55,16 +64,28 @@ struct CompileResult {
   int input_loc = 0;
   int p4_loc = 0;
   int server_loc = 0;
+
+  // Populated when CompileOptions::verify is set (also on success, so
+  // callers can inspect paths_checked and warning-level lints).
+  bool verified = false;
+  verify::ValidationResult validation;
+  std::vector<verify::LintFinding> lints;
 };
 
 // Machine-readable failure report for driver frontends (galliumc emits it
 // as JSON with a dedicated exit code).
 struct CompileDiagnostic {
   std::string phase;     // "verify" | "partition" | "placement" | "codegen"
+                         // | "verification"
   std::string table;     // unplaceable table, when phase == "placement"
   int stage = -1;        // last stage tried
   std::string resource;  // binding resource ("sram_blocks", "stages", ...)
   std::string message;
+  // Individual validator mismatches / lint errors (phase "verification").
+  std::vector<std::string> findings;
+  // The process exit code galliumc maps this diagnostic to: 3 for
+  // partition/placement failures, 4 for verification failures, 1 otherwise.
+  int exit_code = 1;
 
   std::string ToJson() const;
 };

@@ -266,4 +266,59 @@ Status VerifyFunction(const Function& fn) {
   return Status::Ok();
 }
 
+Status VerifyFunctionWithWarnings(const Function& fn,
+                                  std::vector<VerifyWarning>* warnings) {
+  GALLIUM_RETURN_IF_ERROR(VerifyFunction(fn));
+  if (warnings == nullptr) return Status::Ok();
+
+  // Reachability from entry (the main pass already validated targets).
+  std::vector<bool> reachable(fn.num_blocks(), false);
+  reachable[fn.entry_block()] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock& bb : fn.blocks()) {
+      if (!reachable[bb.id]) continue;
+      const Instruction& term = bb.insts.back();
+      for (int t : {term.target_true, term.target_false}) {
+        if (t >= 0 && !reachable[t]) {
+          reachable[t] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (const BasicBlock& bb : fn.blocks()) {
+    if (reachable[bb.id]) continue;
+    VerifyWarning w;
+    w.kind = VerifyWarning::Kind::kUnreachableBlock;
+    w.block = bb.id;
+    w.message = "block " + bb.name + " is unreachable from entry";
+    warnings->push_back(std::move(w));
+  }
+
+  // Registers written (in reachable code) but never read anywhere.
+  std::vector<bool> written(fn.num_regs(), false);
+  std::vector<bool> read(fn.num_regs(), false);
+  for (const BasicBlock& bb : fn.blocks()) {
+    if (!reachable[bb.id]) continue;
+    for (const Instruction& inst : bb.insts) {
+      for (Reg r : inst.dsts) written[r] = true;
+      for (const Value& v : inst.args) {
+        if (v.is_reg()) read[v.reg] = true;
+      }
+    }
+  }
+  for (Reg r = 0; r < static_cast<Reg>(fn.num_regs()); ++r) {
+    if (written[r] && !read[r]) {
+      VerifyWarning w;
+      w.kind = VerifyWarning::Kind::kNeverReadRegister;
+      w.reg = r;
+      w.message = "register %" + fn.reg_name(r) + " is written but never read";
+      warnings->push_back(std::move(w));
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace gallium::ir

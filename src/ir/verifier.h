@@ -20,4 +20,21 @@ namespace gallium::ir {
 //  - instruction ids are unique.
 Status VerifyFunction(const Function& fn);
 
+// Warn-level diagnostic produced alongside verification. Warnings never fail
+// a compile; the partitioner folds them into the plan report and the verify
+// lint suite re-surfaces them as findings.
+struct VerifyWarning {
+  enum class Kind : uint8_t { kUnreachableBlock, kNeverReadRegister };
+  Kind kind = Kind::kUnreachableBlock;
+  int block = -1;  // kUnreachableBlock
+  Reg reg = 0;     // kNeverReadRegister
+  std::string message;
+};
+
+// Same checks as VerifyFunction; additionally appends warnings for blocks
+// unreachable from entry and for registers that are written but never read.
+// `warnings` may be null (then identical to VerifyFunction).
+Status VerifyFunctionWithWarnings(const Function& fn,
+                                  std::vector<VerifyWarning>* warnings);
+
 }  // namespace gallium::ir

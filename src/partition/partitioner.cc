@@ -5,6 +5,8 @@
 #include <cassert>
 #include <set>
 
+#include "ir/verifier.h"
+
 namespace gallium::partition {
 
 using analysis::Location;
@@ -170,6 +172,56 @@ int Partitioner::RunFixpointOn(std::vector<LabelSet>& labels) const {
         if (has_state[s1] && has_state[s2] && state[s1] == state[s2]) {
           if (labels[s1].pre) clear_pre(s2);
           if (labels[s2].post) clear_post(s1);
+        }
+      }
+    }
+
+    // Rule 6 (pre horizon): the pre pass walks the CFG linearly and stops
+    // at the first branch whose condition it cannot evaluate — one not
+    // produced by a pre or replicable statement (interpreter stop
+    // semantics). A statement beyond such a branch would be silently
+    // skipped by the pre pass on every path through the branch, so it
+    // cannot keep its pre label even when it is not control-dependent on
+    // the branch (e.g. it sits in the post-dominating join block).
+    for (const ir::BasicBlock& bb : fn_.blocks()) {
+      if (bb.insts.empty()) continue;
+      const Instruction& term = bb.insts.back();
+      if (term.op != Opcode::kBranch || insts_[term.id] == nullptr) continue;
+      const ir::Value& cond = term.args[0];
+      bool pre_visible = cond.is_imm();
+      if (!pre_visible) {
+        bool has_def = false;
+        pre_visible = true;
+        for (InstId d = 0; d < n; ++d) {
+          if (insts_[d] == nullptr) continue;
+          for (ir::Reg dst : insts_[d]->dsts) {
+            if (dst != cond.reg) continue;
+            has_def = true;
+            if (!labels[d].pre && !replicable_[d]) pre_visible = false;
+          }
+        }
+        if (!has_def) pre_visible = false;
+      }
+      if (pre_visible) continue;
+      std::vector<bool> seen(fn_.num_blocks(), false);
+      std::vector<int> stack = {term.target_true, term.target_false};
+      while (!stack.empty()) {
+        const int blk = stack.back();
+        stack.pop_back();
+        if (blk < 0 || blk >= fn_.num_blocks() || seen[blk]) continue;
+        seen[blk] = true;
+        const ir::BasicBlock& rb = fn_.block(blk);
+        for (const Instruction& inst : rb.insts) {
+          if (insts_[inst.id] == nullptr || inst.IsTerminator()) continue;
+          clear_pre(inst.id);
+        }
+        if (rb.insts.empty()) continue;
+        const Instruction& t = rb.insts.back();
+        if (t.op == Opcode::kBranch) {
+          stack.push_back(t.target_true);
+          stack.push_back(t.target_false);
+        } else if (t.op == Opcode::kJump) {
+          stack.push_back(t.target_true);
         }
       }
     }
@@ -680,6 +732,17 @@ Result<PartitionPlan> Partitioner::Run() {
       case Part::kPre: ++plan.num_pre; break;
       case Part::kNonOffloaded: ++plan.num_non_offloaded; break;
       case Part::kPost: ++plan.num_post; break;
+    }
+  }
+
+  // Surface warn-level verifier diagnostics in the plan report.
+  {
+    std::vector<ir::VerifyWarning> warns;
+    GALLIUM_RETURN_IF_ERROR(ir::VerifyFunctionWithWarnings(fn_, &warns));
+    for (const ir::VerifyWarning& w : warns) plan.warnings.push_back(w.message);
+    if (plan.num_pre == 0 && plan.num_post == 0) {
+      plan.warnings.push_back(
+          "no statements were offloaded; both switch partitions are empty");
     }
   }
 

@@ -96,6 +96,9 @@ std::string PartitionPlan::Summary(const ir::Function& fn) const {
     out << "  state " << fn.StateName(ref) << ": "
         << StatePlacementName(placement) << "\n";
   }
+  for (const std::string& w : warnings) {
+    out << "  warning: " << w << "\n";
+  }
   return out.str();
 }
 

@@ -128,6 +128,11 @@ struct PartitionPlan {
   int num_non_offloaded = 0;
   int num_post = 0;
 
+  // Warn-level diagnostics from ir::VerifyFunctionWithWarnings (unreachable
+  // blocks, never-read registers) plus partition-level notes (e.g. an empty
+  // switch partition). Informational only; never fails the compile.
+  std::vector<std::string> warnings;
+
   Part PartOf(ir::InstId id) const { return assignment[id]; }
   bool OnSwitch(ir::InstId id) const {
     return assignment[id] != Part::kNonOffloaded;

@@ -1,0 +1,334 @@
+#include "verify/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "analysis/cfg.h"
+#include "ir/verifier.h"
+
+namespace gallium::verify {
+
+namespace {
+
+using ir::InstId;
+using ir::Opcode;
+using partition::Part;
+
+bool ReadsState(Opcode op) {
+  return op == Opcode::kMapGet || op == Opcode::kGlobalRead;
+}
+
+bool IsVerdict(Opcode op) {
+  return op == Opcode::kSend || op == Opcode::kDrop;
+}
+
+// All occurrences of "meta.<ident>" in a line, as (position, field name).
+std::vector<std::pair<size_t, std::string>> MetaTokens(const std::string& line) {
+  std::vector<std::pair<size_t, std::string>> out;
+  size_t pos = 0;
+  while ((pos = line.find("meta.", pos)) != std::string::npos) {
+    const size_t start = pos + 5;
+    size_t end = start;
+    while (end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[end])) != 0 ||
+            line[end] == '_')) {
+      ++end;
+    }
+    if (end > start) out.emplace_back(pos, line.substr(start, end - start));
+    pos = end;
+  }
+  return out;
+}
+
+// True when the first meta token of `line` is the target of an assignment
+// ("meta.x = ..." but not "meta.x == ...").
+bool LineWritesFirstToken(const std::string& line, size_t token_pos,
+                          const std::string& field) {
+  size_t i = token_pos + 5 + field.size();
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  return i < line.size() && line[i] == '=' &&
+         (i + 1 >= line.size() || line[i + 1] != '=');
+}
+
+// True when the token at `token_pos` is the out-argument of a P4 register
+// read ("reg.read(meta.x, idx)"), which writes meta.x rather than reading it.
+bool IsRegisterReadTarget(const std::string& line, size_t token_pos) {
+  size_t i = token_pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(line[i - 1]))) {
+    --i;
+  }
+  return i >= 6 && line.compare(i - 6, 6, ".read(") == 0;
+}
+
+}  // namespace
+
+const char* LintSeverityName(LintSeverity s) {
+  return s == LintSeverity::kError ? "error" : "warning";
+}
+
+std::string LintFinding::ToString() const {
+  return std::string(LintSeverityName(severity)) + " [" + code + "] " +
+         message;
+}
+
+std::vector<LintFinding> LintPlan(const ir::Function& fn,
+                                  const partition::PartitionPlan& plan) {
+  std::vector<LintFinding> findings;
+  auto add = [&](LintSeverity sev, std::string code, std::string msg) {
+    findings.push_back({sev, std::move(code), std::move(msg)});
+  };
+
+  const analysis::CfgInfo cfg(fn);
+
+  // Gather per-state-object accesses with their partition.
+  struct Access {
+    InstId inst;
+    Part part;
+    bool is_write;
+  };
+  std::map<ir::StateRef, std::vector<Access>> accesses;
+  std::vector<std::pair<InstId, Part>> verdicts;
+  for (const ir::BasicBlock& bb : fn.blocks()) {
+    for (const ir::Instruction& inst : bb.insts) {
+      if (inst.id >= static_cast<InstId>(plan.assignment.size())) continue;
+      const Part part = plan.assignment[inst.id];
+      ir::StateRef ref;
+      if (ir::Function::InstStateRef(inst, &ref)) {
+        if (inst.WritesState() || ReadsState(inst.op)) {
+          accesses[ref].push_back({inst.id, part, inst.WritesState()});
+        }
+      }
+      if (IsVerdict(inst.op)) verdicts.emplace_back(inst.id, part);
+    }
+  }
+
+  // Replicated-state write-after-read hazard: a switch read that some trace
+  // performs after a server write to the same object would need a value the
+  // asynchronous write-back sync cannot guarantee to have arrived.
+  for (const auto& [ref, list] : accesses) {
+    const auto it = plan.state_placement.find(ref);
+    if (it == plan.state_placement.end() ||
+        it->second != partition::StatePlacement::kReplicated) {
+      continue;
+    }
+    for (const Access& read : list) {
+      if (read.is_write || read.part == Part::kNonOffloaded) continue;
+      for (const Access& write : list) {
+        if (!write.is_write || write.part != Part::kNonOffloaded) continue;
+        if (cfg.CanHappenAfter(read.inst, write.inst)) {
+          add(LintSeverity::kError, "replicated-war-hazard",
+              "switch-side read (inst " + std::to_string(read.inst) +
+                  ") of replicated state " + fn.StateName(ref) +
+                  " can happen after server-side write (inst " +
+                  std::to_string(write.inst) +
+                  "); the read may observe a stale replica");
+        }
+      }
+    }
+  }
+
+  // Output-commit violation: a pre-partition verdict followed (on some
+  // trace) by non-pre work with externally visible effects.
+  for (const auto& [verdict_inst, verdict_part] : verdicts) {
+    if (verdict_part != Part::kPre) continue;
+    for (const ir::BasicBlock& bb : fn.blocks()) {
+      for (const ir::Instruction& inst : bb.insts) {
+        if (inst.id >= static_cast<InstId>(plan.assignment.size())) continue;
+        if (plan.assignment[inst.id] == Part::kPre) continue;
+        if (!inst.WritesState() && !IsVerdict(inst.op)) continue;
+        if (cfg.CanHappenAfter(inst.id, verdict_inst)) {
+          add(LintSeverity::kError, "output-commit",
+              "pre-partition verdict (inst " + std::to_string(verdict_inst) +
+                  ") can be followed by " + std::string(ir::OpcodeName(inst.op)) +
+                  " (inst " + std::to_string(inst.id) + ") in the " +
+                  partition::PartName(plan.assignment[inst.id]) +
+                  " partition; the verdict commits before the server "
+                  "finishes");
+        }
+      }
+    }
+  }
+
+  if (plan.num_pre == 0) {
+    add(LintSeverity::kWarning, "dead-partition",
+        "pre partition is empty; no statements were offloaded ahead of the "
+        "server");
+  }
+  if (plan.num_post == 0) {
+    add(LintSeverity::kWarning, "dead-partition",
+        "post partition is empty; no statements were offloaded after the "
+        "server");
+  }
+
+  std::vector<ir::VerifyWarning> warns;
+  if (ir::VerifyFunctionWithWarnings(fn, &warns).ok()) {
+    for (const ir::VerifyWarning& w : warns) {
+      add(LintSeverity::kWarning,
+          w.kind == ir::VerifyWarning::Kind::kUnreachableBlock
+              ? "unreachable-block"
+              : "never-read-register",
+          w.message);
+    }
+  }
+  return findings;
+}
+
+std::vector<LintFinding> LintP4(const p4::P4Program& program) {
+  std::vector<LintFinding> findings;
+  auto add = [&](LintSeverity sev, std::string code, std::string msg) {
+    findings.push_back({sev, std::move(code), std::move(msg)});
+  };
+
+  std::set<std::string> defined;
+  for (const p4::P4Action& a : program.actions) defined.insert(a.name);
+  std::set<std::string> referenced;
+
+  for (const p4::P4Table& t : program.tables) {
+    if (t.actions.empty()) {
+      add(LintSeverity::kError, "p4-uncovered-table",
+          "table " + t.name + " lists no actions");
+    }
+    for (const std::string& a : t.actions) {
+      referenced.insert(a);
+      if (a != "NoAction" && defined.count(a) == 0) {
+        add(LintSeverity::kError, "p4-undefined-action",
+            "table " + t.name + " references undefined action " + a);
+      }
+    }
+    if (t.default_action.empty()) {
+      add(LintSeverity::kError, "p4-uncovered-table",
+          "table " + t.name + " has no default action; a miss is undefined");
+    } else {
+      referenced.insert(t.default_action);
+      if (t.default_action != "NoAction" &&
+          defined.count(t.default_action) == 0) {
+        add(LintSeverity::kError, "p4-undefined-action",
+            "table " + t.name + " defaults to undefined action " +
+                t.default_action);
+      } else if (std::find(t.actions.begin(), t.actions.end(),
+                           t.default_action) == t.actions.end() &&
+                 t.default_action != "NoAction") {
+        add(LintSeverity::kError, "p4-uncovered-table",
+            "table " + t.name + " defaults to " + t.default_action +
+                " which is not in its action list");
+      }
+    }
+  }
+
+  for (const p4::P4Action& a : program.actions) {
+    if (referenced.count(a.name) == 0) {
+      add(LintSeverity::kWarning, "p4-dead-action",
+          "action " + a.name + " is not referenced by any table");
+    }
+  }
+
+  // Uninitialized metadata reads: fields assigned by the parser or (once a
+  // table applies) by its actions count as initialized; a read before any
+  // assignment is flagged. Control structure is ignored (assignments are
+  // treated as unconditional), so this is a may-be-uninitialized heuristic.
+  std::set<std::string> assigned;
+  for (const p4::P4ParserState& s : program.parser_states) {
+    for (const std::string& line : s.statements) {
+      for (const auto& [pos, field] : MetaTokens(line)) {
+        if (LineWritesFirstToken(line, pos, field)) assigned.insert(field);
+      }
+    }
+  }
+  for (const std::string& line : program.ingress.apply_body) {
+    const size_t apply_pos = line.find(".apply()");
+    if (apply_pos != std::string::npos) {
+      // The call may be embedded ("if (...) { tbl.apply(); }"): the table
+      // name is the identifier immediately preceding ".apply()".
+      size_t name_start = apply_pos;
+      while (name_start > 0 &&
+             (std::isalnum(static_cast<unsigned char>(line[name_start - 1])) !=
+                  0 ||
+              line[name_start - 1] == '_')) {
+        --name_start;
+      }
+      const std::string tbl = line.substr(name_start, apply_pos - name_start);
+      for (const p4::P4Table& t : program.tables) {
+        if (t.name != tbl) continue;
+        for (const std::string& key : t.keys) {
+          for (const auto& [pos, field] : MetaTokens(key)) {
+            (void)pos;
+            if (assigned.count(field) == 0) {
+              add(LintSeverity::kWarning, "p4-uninit-meta-read",
+                  "table " + t.name + " matches on meta." + field +
+                      " which no prior statement assigns");
+              assigned.insert(field);  // report once
+            }
+          }
+        }
+        for (const std::string& action_name : t.actions) {
+          for (const p4::P4Action& a : program.actions) {
+            if (a.name != action_name) continue;
+            for (const std::string& body_line : a.body) {
+              for (const auto& [pos, field] : MetaTokens(body_line)) {
+                if (LineWritesFirstToken(body_line, pos, field)) {
+                  assigned.insert(field);
+                }
+              }
+            }
+          }
+        }
+      }
+      continue;
+    }
+    const auto tokens = MetaTokens(line);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const auto& [pos, field] = tokens[i];
+      if (IsRegisterReadTarget(line, pos)) {
+        assigned.insert(field);
+        continue;
+      }
+      if (i == 0 && LineWritesFirstToken(line, pos, field)) {
+        // Reads on the right-hand side are checked below; record the write
+        // after scanning them.
+        for (size_t j = 1; j < tokens.size(); ++j) {
+          if (assigned.count(tokens[j].second) == 0) {
+            add(LintSeverity::kWarning, "p4-uninit-meta-read",
+                "meta." + tokens[j].second +
+                    " read before assignment in apply statement: " + line);
+            assigned.insert(tokens[j].second);
+          }
+        }
+        assigned.insert(field);
+        break;
+      }
+      if (assigned.count(field) == 0) {
+        add(LintSeverity::kWarning, "p4-uninit-meta-read",
+            "meta." + field + " read before assignment in apply statement: " +
+                line);
+        assigned.insert(field);  // report once per field
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<LintFinding> LintAll(const ir::Function& fn,
+                                 const partition::PartitionPlan& plan,
+                                 const p4::P4Program* program) {
+  std::vector<LintFinding> findings = LintPlan(fn, plan);
+  if (program != nullptr) {
+    std::vector<LintFinding> p4_findings = LintP4(*program);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(p4_findings.begin()),
+                    std::make_move_iterator(p4_findings.end()));
+  }
+  return findings;
+}
+
+bool HasErrors(const std::vector<LintFinding>& findings) {
+  for (const LintFinding& f : findings) {
+    if (f.severity == LintSeverity::kError) return true;
+  }
+  return false;
+}
+
+}  // namespace gallium::verify

@@ -1,0 +1,64 @@
+// Offload-safety lints over a partition plan and the generated P4 program.
+//
+// The validator (validator.h) proves per-path semantic equivalence; the lints
+// catch structural hazards that equivalence alone does not rule out — stale
+// reads of replicated state, verdicts committed before the server finishes,
+// malformed generated P4 — plus hygiene warnings (dead partitions,
+// unreachable blocks, never-read registers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "p4/ast.h"
+#include "partition/plan.h"
+
+namespace gallium::verify {
+
+enum class LintSeverity : uint8_t { kWarning, kError };
+const char* LintSeverityName(LintSeverity s);
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  // Stable machine-readable code, e.g. "replicated-war-hazard",
+  // "output-commit", "p4-undefined-action".
+  std::string code;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Plan-level lints:
+//  - replicated-war-hazard (error): a switch-side read of replicated state
+//    that can happen after a server-side write to the same object — the read
+//    may observe a stale pre-sync value.
+//  - output-commit (error): a send/drop in the pre partition that can be
+//    followed by non-offloaded work with externally visible effects (state
+//    writes or another verdict) — the verdict is committed before the server
+//    finishes deciding.
+//  - dead-partition (warning): a switch partition with zero assigned
+//    statements.
+//  - unreachable-block / never-read-register (warnings) from
+//    ir::VerifyFunctionWithWarnings.
+std::vector<LintFinding> LintPlan(const ir::Function& fn,
+                                  const partition::PartitionPlan& plan);
+
+// Generated-P4 lints:
+//  - p4-undefined-action (error): a table lists or defaults to an action the
+//    program does not define.
+//  - p4-uncovered-table (error): a table with no actions, or no default
+//    action (a miss would have undefined behavior).
+//  - p4-dead-action (warning): an action no table references.
+//  - p4-uninit-meta-read (warning): an apply-body read of a metadata field
+//    that no prior apply statement, action body, or parser state assigns.
+std::vector<LintFinding> LintP4(const p4::P4Program& program);
+
+// Runs every lint; `program` may be null when no P4 was generated.
+std::vector<LintFinding> LintAll(const ir::Function& fn,
+                                 const partition::PartitionPlan& plan,
+                                 const p4::P4Program* program);
+
+bool HasErrors(const std::vector<LintFinding>& findings);
+
+}  // namespace gallium::verify

@@ -1,0 +1,79 @@
+// Gauntlet-style mutation driver: seeds known-bad transformations of a
+// partition plan (or the composed program the plan produces) and asserts the
+// translation validator rejects each with a concrete counterexample. This is
+// the validator's own test oracle — a validator that misses these seeded bug
+// classes would also miss the corresponding compiler bugs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "partition/plan.h"
+#include "verify/validator.h"
+
+namespace gallium::verify {
+
+enum class MutationClass : uint8_t {
+  // A statement's non-offloaded label is wrongly removed: a server statement
+  // is hoisted into the pre partition where its inputs are not yet defined.
+  kLabelMisRemoval,
+  // A server-side state write is dropped from the composed program (the
+  // write-back that keeps switch replicas fresh never happens).
+  kDroppedWriteBack,
+  // Two state-accessing statements on the same object are reordered (the
+  // write-back/sync order the plan promised is violated).
+  kReorderedSync,
+  // An offloaded table lookup wires its results to the wrong destinations —
+  // the emitted table invokes the wrong action.
+  kWrongTableAction,
+  // A statement is moved across the wrong side of a partition boundary
+  // (pre work deferred past the server hand-off, or post work hoisted
+  // before it).
+  kSwappedBoundary,
+};
+inline constexpr int kNumMutationClasses = 5;
+
+const char* MutationClassName(MutationClass c);
+
+struct Mutation {
+  MutationClass cls = MutationClass::kLabelMisRemoval;
+  std::string description;
+  // The mutated composed program (== the original for plan-only mutations)
+  // and the mutated plan (== the input plan for program-only mutations).
+  ir::Function fn;
+  partition::PartitionPlan plan;
+};
+
+// Enumerates up to `max_candidates` seeded mutations of the given class.
+// Candidates are chosen so the mutation is semantics-changing on some packet
+// path; an empty result means the program offers no seeding point for the
+// class (e.g. no offloaded table lookup).
+std::vector<Mutation> EnumerateMutations(const ir::Function& fn,
+                                         const partition::PartitionPlan& plan,
+                                         MutationClass cls,
+                                         int max_candidates = 4);
+
+struct CampaignClassResult {
+  MutationClass cls = MutationClass::kLabelMisRemoval;
+  int generated = 0;
+  int caught = 0;                  // validator reported non-equivalence
+  int with_counterexample = 0;     // ... with a concrete witness packet
+  std::string example;             // first caught mismatch, for reports
+};
+
+struct CampaignResult {
+  std::vector<CampaignClassResult> classes;
+  int generated = 0;
+  int caught = 0;
+
+  std::string Summary() const;
+};
+
+// Runs every mutation class against the validator.
+CampaignResult RunMutationCampaign(const ir::Function& fn,
+                                   const partition::PartitionPlan& plan,
+                                   const PathLimits& limits = {},
+                                   int max_candidates_per_class = 4);
+
+}  // namespace gallium::verify

@@ -1,0 +1,93 @@
+// Symbolic values for translation validation.
+//
+// A Term is an immutable expression DAG over named symbolic inputs (packet
+// header fields, payload predicates, state-oracle results) and constants,
+// combined with the IR's ALU vocabulary. Every term carries a canonical
+// string rendering built at construction; two terms denote the same value
+// iff their renderings are equal (constant folding and the normalization
+// rules below make this a practical, conservative equivalence).
+//
+// Normalizations (applied by the factory functions):
+//   - constant folding through ir::EvalAluOp at u64 width,
+//   - And(x, low-mask) == x when the mask covers x's known bit width,
+//   - Ne(x, 0) == x when x is already boolean (a comparison result),
+// so the original program and the composed partitioned program produce
+// literally identical terms whenever the partition plan is semantics-
+// preserving, and different terms expose a concrete divergence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace gallium::verify {
+
+enum class TermKind : uint8_t { kConst, kInput, kAlu };
+
+struct Term;
+using TermRef = std::shared_ptr<const Term>;
+
+struct Term {
+  TermKind kind = TermKind::kConst;
+  uint64_t value = 0;     // kConst
+  std::string input;      // kInput: canonical input name
+  ir::AluOp alu = ir::AluOp::kAdd;
+  TermRef a, b;           // kAlu operands (b null for unary ops)
+
+  // Number of significant low bits guaranteed by construction (0 = unknown,
+  // treat as 64). Comparisons and truthiness produce is_bool single bits.
+  int max_bits = 0;
+  bool is_bool = false;
+
+  // Canonical rendering; equality of terms == equality of reprs.
+  std::string repr;
+
+  bool is_const() const { return kind == TermKind::kConst; }
+};
+
+// --- Factories -------------------------------------------------------------
+TermRef MakeConst(uint64_t v);
+TermRef MakeInput(std::string name, int max_bits, bool is_bool = false);
+// Binary/unary ALU application with folding; pass nullptr b for unary ops.
+TermRef MakeAlu(ir::AluOp op, TermRef a, TermRef b);
+// Narrows `t` to `w` (identity when t provably fits).
+TermRef Masked(TermRef t, ir::Width w);
+// 0/1 truthiness of `t` (identity when t is already boolean).
+TermRef Truthy(TermRef t);
+
+inline bool SameTerm(const TermRef& x, const TermRef& y) {
+  return x == y || (x != nullptr && y != nullptr && x->repr == y->repr);
+}
+
+// --- Path conditions & concretization --------------------------------------
+
+// One branch constraint: Truthy(term) must evaluate to `truth`.
+struct Constraint {
+  TermRef term;
+  bool truth = true;
+};
+
+std::string ConstraintString(const Constraint& c);
+std::string PathConditionString(const std::vector<Constraint>& cs);
+
+// Concrete valuation of symbolic inputs, by canonical input name. Inputs
+// absent from the map evaluate to 0 (mirroring the interpreter's defaults).
+using Assignment = std::map<std::string, uint64_t>;
+
+uint64_t EvalTerm(const Term& t, const Assignment& inputs);
+
+// Searches for an assignment satisfying every constraint — and, when
+// `distinguish_a`/`distinguish_b` are non-null, additionally making the two
+// terms differ in truthiness-or-value. The search is a constant-seeded
+// randomized concretization (constants harvested from the constraint terms,
+// their neighbors, and random draws); it is sound but incomplete: a true
+// return yields a genuine witness, a false return is inconclusive.
+bool SolveConstraints(const std::vector<Constraint>& constraints,
+                      const TermRef& distinguish_a, const TermRef& distinguish_b,
+                      uint64_t seed, int tries, Assignment* out);
+
+}  // namespace gallium::verify

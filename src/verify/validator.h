@@ -1,0 +1,97 @@
+// Translation validation (Gauntlet-style, §4.3's correctness claim made
+// static): for one compile, prove that the composed partitioned program —
+// P4 pre pass, server non-offloaded pass, P4 post pass, with the plan's
+// transfer headers and write-back ordering — is path-by-path equivalent to
+// the original middlebox IR.
+//
+// The validator enumerates symbolic packet paths through the original
+// function (bounded DFS over branch outcomes), then replays each path
+// through the composed pipeline exactly as runtime::Interpreter executes it
+// (same partition filtering, replicable re-execution, transfer-header
+// truthiness packing, per-pass undefined-condition semantics). Equivalence
+// per path requires:
+//   - identical branch-condition terms at every replicated branch,
+//   - each statement on the path executed exactly once across the passes,
+//   - per-state-object write sequences identical (op, key terms, value
+//     terms, order) — write-back/sync reordering shows up here,
+//   - identical verdict (send/drop, symbolic egress port) and final
+//     symbolic header contents.
+// On mismatch it reports the failing path's condition and attempts to
+// concretize a counterexample packet that drives execution down it.
+//
+// Soundness caveats (documented in DESIGN.md): map reads with symbolic keys
+// use a may-alias oracle (conservative, no false negatives for aligned
+// histories); path enumeration is bounded (`exhaustive` reports whether the
+// budget sufficed); TCP-only header fields assume a TCP packet.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "net/packet.h"
+#include "partition/plan.h"
+#include "verify/symbolic.h"
+
+namespace gallium::verify {
+
+struct PathLimits {
+  int max_paths = 2048;          // enumerated symbolic paths
+  int max_steps_per_path = 4096; // instructions walked per path
+  int max_mismatches = 8;        // stop reporting after this many
+  int solver_tries = 4000;       // concretization budget per mismatch
+  uint64_t solver_seed = 0x9a11u;
+};
+
+struct Counterexample {
+  // True when the solver produced a concrete witness; `inputs` then
+  // satisfies the path condition (and distinguishes the diverging terms),
+  // and `packet` realizes its header-field inputs.
+  bool concrete = false;
+  Assignment inputs;
+  net::Packet packet;
+  std::string path_condition;
+
+  std::string ToString() const;
+};
+
+struct Mismatch {
+  std::string kind;    // "branch" | "exec-count" | "state-trace" | "verdict"
+                       // | "header" | "undefined-use" | ...
+  std::string detail;
+  int path = -1;       // index of the failing symbolic path
+  Counterexample cex;
+
+  std::string ToString() const;
+};
+
+struct ValidationResult {
+  bool equivalent = false;
+  bool exhaustive = true;  // false when a path budget was hit
+  int paths_checked = 0;
+  std::vector<Mismatch> mismatches;
+
+  std::string Summary() const;
+};
+
+// Validates that `plan` applied to `fn` preserves `fn`'s semantics.
+ValidationResult ValidateTranslation(const ir::Function& fn,
+                                     const partition::PartitionPlan& plan,
+                                     const PathLimits& limits = {});
+
+// Mutation-driver entry point: `composed` stands in for the (possibly
+// buggy) compiled artifact and is executed on the partitioned side, while
+// `original` provides the reference semantics. Both functions must share
+// block/instruction/register numbering.
+ValidationResult ValidateTranslationAgainst(const ir::Function& original,
+                                            const ir::Function& composed,
+                                            const partition::PartitionPlan& plan,
+                                            const PathLimits& limits = {});
+
+// Builds a packet realizing the assignment's "hdr.*" / "payload.*" inputs
+// (TCP skeleton; best-effort for payload length). Exposed for tests.
+net::Packet PacketFromAssignment(const Assignment& inputs,
+                                 const ir::Function& fn);
+
+}  // namespace gallium::verify

@@ -19,6 +19,8 @@
 #include "mbox/middleboxes.h"
 #include "runtime/offloaded_middlebox.h"
 #include "runtime/software_middlebox.h"
+#include "verify/mutation.h"
+#include "verify/validator.h"
 #include "workload/packet_gen.h"
 
 #include "program_generator.h"
@@ -209,6 +211,50 @@ TEST_P(RandomProgramCompile, FullPipelineSucceeds) {
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, RandomProgramCompile,
                          ::testing::Range<uint64_t>(100, 120));
+
+// The translation validator over the fuzz corpus: every correct plan the
+// partitioner emits for a random program must validate with zero false
+// alarms (the validator's symbolic replay is exact for loop-free programs,
+// so any mismatch here is a partitioner or validator bug).
+class RandomProgramValidation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramValidation, ValidatorHasZeroFalseAlarms) {
+  ProgramGenerator gen(GetParam());
+  auto spec = gen.Generate();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  core::Compiler compiler;
+  auto result = compiler.Compile(*spec->fn);
+  ASSERT_TRUE(result.ok()) << result.status().ToString()
+                           << " seed=" << GetParam();
+  const verify::ValidationResult v =
+      verify::ValidateTranslation(*spec->fn, result->plan, {});
+  EXPECT_TRUE(v.equivalent) << "seed=" << GetParam() << "\n" << v.Summary();
+  EXPECT_GT(v.paths_checked, 0) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomProgramValidation,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// And the converse: seeded bugs in those same plans must be caught. Every
+// mutant the campaign generates for a random program is detected.
+class RandomProgramMutationCatch : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramMutationCatch, EveryGeneratedMutantIsCaught) {
+  ProgramGenerator gen(GetParam());
+  auto spec = gen.Generate();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  core::Compiler compiler;
+  auto result = compiler.Compile(*spec->fn);
+  ASSERT_TRUE(result.ok()) << result.status().ToString()
+                           << " seed=" << GetParam();
+  const verify::CampaignResult cr = verify::RunMutationCampaign(
+      *spec->fn, result->plan, {}, /*max_candidates_per_class=*/2);
+  EXPECT_EQ(cr.caught, cr.generated)
+      << "seed=" << GetParam() << "\n" << cr.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomProgramMutationCatch,
+                         ::testing::Range<uint64_t>(1, 9));
 
 
 // The §7 cache extension under fuzz: random programs with tiny switch

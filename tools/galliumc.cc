@@ -12,6 +12,7 @@
 //            [--metadata-bytes N] [--transfer-bytes N] [--memory-mb N]
 //            [--objective count|weighted] [--optimize] [--print]
 //            [--resources] [--run N] [--chaos-seed S]
+//            [--verify] [--campaign] [--mutate CLASS]
 //
 //   <middlebox> ∈ {minilb, nat, lb, firewall, proxy, trojan, router}
 //
@@ -24,8 +25,22 @@
 // counters; --chaos-seed S additionally runs them over a seeded faulty
 // substrate (lossy links, lossy control plane, switch restarts/outages).
 //
-// Exit codes: 0 success, 1 generic failure, 2 usage, 3 partition/placement
-// infeasibility (a machine-readable JSON diagnostic is printed to stderr).
+// --verify gates the compile on translation validation (symbolic path
+// equivalence of the composed pre/server/post pipeline against the source
+// IR) plus the offload-safety lint suite. --campaign additionally runs the
+// Gauntlet-style mutation campaign (all seeded bug classes) against the
+// plan; --mutate CLASS restricts it to one class (label-mis-removal,
+// dropped-write-back, reordered-sync, wrong-table-action,
+// swapped-boundary).
+//
+// Exit-code contract (stable; CI and tooling rely on it):
+//   0  success
+//   1  generic failure (I/O, runtime errors, IR verification)
+//   2  usage error
+//   3  partition/placement infeasibility (JSON diagnostic on stderr)
+//   4  verification failure: translation validation rejected the plan, an
+//      error-severity lint fired, or a mutation campaign missed a mutant
+//      (JSON diagnostic with per-finding details on stderr)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +54,7 @@
 #include "perf/harness.h"
 #include "runtime/fault.h"
 #include "runtime/offloaded_middlebox.h"
+#include "verify/mutation.h"
 #include "workload/packet_gen.h"
 
 namespace {
@@ -77,14 +93,34 @@ bool WriteFile(const std::string& path, const std::string& contents) {
   return true;
 }
 
-int Usage() {
+void PrintUsage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: galliumc <minilb|nat|lb|firewall|proxy|trojan|router>\n"
       "                [--out DIR] [--pipeline-depth K] [--metadata-bytes N]\n"
       "                [--transfer-bytes N] [--memory-mb N]\n"
       "                [--objective count|weighted] [--optimize] [--print]\n"
-      "                [--resources] [--run N] [--chaos-seed S]\n");
+      "                [--resources] [--run N] [--chaos-seed S]\n"
+      "                [--verify] [--campaign] [--mutate CLASS]\n"
+      "\n"
+      "verification:\n"
+      "  --verify         gate the compile on translation validation +\n"
+      "                   offload-safety lints\n"
+      "  --campaign       run the mutation campaign (all seeded bug classes)\n"
+      "  --mutate CLASS   run one class: label-mis-removal,\n"
+      "                   dropped-write-back, reordered-sync,\n"
+      "                   wrong-table-action, swapped-boundary\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  generic failure\n"
+      "  2  usage error\n"
+      "  3  partition/placement infeasibility (JSON diagnostic on stderr)\n"
+      "  4  verification failure (JSON diagnostic on stderr)\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -164,6 +200,10 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    PrintUsage(stdout);
+    return 0;
+  }
   const std::string name = argv[1];
   std::string out_dir = ".";
   bool print = false;
@@ -171,6 +211,8 @@ int main(int argc, char** argv) {
   int run_packets = 0;
   uint64_t chaos_seed = 0;
   bool chaos = false;
+  bool campaign = false;
+  std::string mutate_class;
   core::CompileOptions options;
 
   for (int i = 2; i < argc; ++i) {
@@ -222,7 +264,34 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       chaos_seed = std::strtoull(v, nullptr, 10);
       chaos = true;
+    } else if (arg == "--verify") {
+      options.verify = true;
+    } else if (arg == "--campaign") {
+      options.verify = true;  // the campaign implies the baseline gate
+      campaign = true;
+    } else if (arg == "--mutate") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.verify = true;
+      mutate_class = v;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
     } else {
+      return Usage();
+    }
+  }
+  if (!mutate_class.empty()) {
+    bool known = false;
+    for (int c = 0; c < verify::kNumMutationClasses; ++c) {
+      if (mutate_class ==
+          verify::MutationClassName(static_cast<verify::MutationClass>(c))) {
+        known = true;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "galliumc: unknown mutation class '%s'\n",
+                   mutate_class.c_str());
       return Usage();
     }
   }
@@ -239,14 +308,15 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "galliumc: compilation failed: %s\n",
                  result.status().ToString().c_str());
-    // Resource infeasibility gets a dedicated exit code plus a
-    // machine-readable diagnostic naming the table/stage/resource, so CI
-    // and tooling can react without scraping prose.
-    if (diag.phase == "partition" || diag.phase == "placement") {
+    // Resource infeasibility and verification failures get dedicated exit
+    // codes (3 resp. 4) plus a machine-readable diagnostic naming the
+    // table/stage/resource or the individual findings, so CI and tooling
+    // can react without scraping prose.
+    if (diag.phase == "partition" || diag.phase == "placement" ||
+        diag.phase == "verification") {
       std::fprintf(stderr, "%s\n", diag.ToJson().c_str());
-      return 3;
     }
-    return 1;
+    return diag.exit_code;
   }
 
   const std::string base = out_dir + "/" + spec->name;
@@ -300,6 +370,36 @@ int main(int argc, char** argv) {
         perf::OffloadedFastPathLatencyUs(cost, 64, stages),
         cost.PredictedSwitchMpps(placement, 64),
         cost.SharingHeadroom(placement));
+  }
+  if (options.verify && result->verified) {
+    std::printf("  verification: %s\n",
+                result->validation.Summary().c_str());
+    for (const auto& f : result->lints) {
+      std::printf("  lint: %s\n", f.ToString().c_str());
+    }
+  }
+  if (campaign || !mutate_class.empty()) {
+    const auto cr = verify::RunMutationCampaign(*spec->fn, result->plan,
+                                                options.verify_limits);
+    bool missed = false;
+    std::printf("\n-- mutation campaign --\n");
+    for (const auto& c : cr.classes) {
+      if (!mutate_class.empty() &&
+          mutate_class != verify::MutationClassName(c.cls)) {
+        continue;
+      }
+      std::printf("  %s: %d/%d caught, %d with concrete counterexample\n",
+                  verify::MutationClassName(c.cls), c.caught, c.generated,
+                  c.with_counterexample);
+      if (!c.example.empty()) std::printf("    e.g. %s\n", c.example.c_str());
+      if (c.caught < c.generated) missed = true;
+    }
+    if (missed) {
+      std::fprintf(stderr,
+                   "galliumc: mutation campaign missed at least one seeded "
+                   "bug; the validator is not trustworthy for this plan\n");
+      return 4;
+    }
   }
   if (print) {
     std::printf("\n%s\n", result->p4_source.c_str());
