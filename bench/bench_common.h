@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "mbox/middleboxes.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace gallium::bench {
@@ -47,5 +50,70 @@ inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+// Machine-readable record of one bench invocation: the knobs it ran with
+// (config + RNG seed) and a metrics-registry snapshot of every number it
+// produced. Written as <bench>_manifest.json next to wherever the bench
+// ran, so sweep scripts and CI trend checks consume the results without
+// scraping the human-readable tables.
+class RunManifest {
+ public:
+  RunManifest(std::string bench_name, uint64_t seed)
+      : bench_name_(std::move(bench_name)), seed_(seed) {}
+
+  void SetConfig(const std::string& key, const std::string& value) {
+    config_.emplace_back(key,
+                         "\"" + telemetry::JsonEscape(value) + "\"");
+  }
+  void SetConfig(const std::string& key, double value) {
+    std::ostringstream out;
+    out << value;
+    config_.emplace_back(key, out.str());
+  }
+
+  // The registry results are recorded into; benches with their own
+  // telemetry-aware plumbing can also pass it down.
+  telemetry::MetricsRegistry& registry() { return registry_; }
+
+  // Convenience: one result value as a labeled gauge.
+  void RecordResult(const std::string& name, telemetry::LabelSet labels,
+                    double value, const std::string& help = "") {
+    registry_.GetGauge(name, std::move(labels), help)->Set(value);
+  }
+
+  std::string ToJson() const {
+    std::ostringstream out;
+    out << "{\"bench\":\"" << telemetry::JsonEscape(bench_name_)
+        << "\",\"seed\":" << seed_ << ",\"config\":{";
+    for (size_t i = 0; i < config_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << telemetry::JsonEscape(config_[i].first)
+          << "\":" << config_[i].second;
+    }
+    out << "},\"telemetry\":" << registry_.ToJson() << "}";
+    return out.str();
+  }
+
+  // Writes <bench>_manifest.json (or `path` when given); prints where.
+  bool Write(const std::string& path = "") const {
+    const std::string target =
+        path.empty() ? bench_name_ + "_manifest.json" : path;
+    std::ofstream out(target);
+    if (!out) {
+      std::fprintf(stderr, "manifest: cannot write %s\n", target.c_str());
+      return false;
+    }
+    out << ToJson() << "\n";
+    std::printf("wrote run manifest: %s\n", target.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  uint64_t seed_;
+  // Values stored pre-rendered as JSON (quoted strings or bare numbers).
+  std::vector<std::pair<std::string, std::string>> config_;
+  telemetry::MetricsRegistry registry_;
+};
 
 }  // namespace gallium::bench

@@ -18,6 +18,10 @@ int main() {
   const perf::CostModel cost;
   const int kWireBytes = 64;
 
+  bench::RunManifest manifest("stage_utilization", 0);
+  manifest.SetConfig("wire_bytes", kWireBytes);
+  manifest.SetConfig("target", target.Summary());
+
   std::printf("RMT stage utilization on %s\n", target.Summary().c_str());
   bench::PrintRule(100);
   std::printf("%-16s %7s %7s %10s %-14s %11s %11s %9s\n", "middlebox",
@@ -48,6 +52,17 @@ int main() {
                 cost.SwitchTraversalUs(stages),
                 perf::OffloadedFastPathLatencyUs(cost, kWireBytes, stages),
                 cost.SharingHeadroom(placement));
+    const telemetry::LabelSet labels = {{"mbox", entry.display_name}};
+    manifest.RecordResult("bench_rmt_stages_occupied", labels,
+                          static_cast<double>(stages),
+                          "physical RMT stages the placement occupies");
+    manifest.RecordResult("bench_rmt_peak_stage_utilization", labels, peak);
+    manifest.RecordResult(
+        "bench_fast_path_latency_us", labels,
+        perf::OffloadedFastPathLatencyUs(cost, kWireBytes, stages),
+        "stage-aware fast-path latency");
+    manifest.RecordResult("bench_rmt_sharing_headroom", labels,
+                          static_cast<double>(cost.SharingHeadroom(placement)));
   }
   bench::PrintRule(100);
   std::printf(
@@ -64,5 +79,6 @@ int main() {
   if (!planned.ok()) return 1;
   std::printf("\nFirewall placement detail:\n%s",
               planned->placement.Summary().c_str());
+  manifest.Write();
   return 0;
 }

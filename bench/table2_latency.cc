@@ -15,6 +15,11 @@ int main() {
   const int kTrials = 20;
   const int kProbeBytes = 64 + 54;  // small Nptcp probe on the wire
 
+  bench::RunManifest manifest("table2_latency", 77);
+  manifest.SetConfig("trials", kTrials);
+  manifest.SetConfig("probe_bytes", kProbeBytes);
+  manifest.SetConfig("num_flows", 20);
+
   std::printf("Table 2: latency comparison (us, mean +- stdev, %d probes)\n",
               kTrials);
   bench::PrintRule(64);
@@ -38,6 +43,15 @@ int main() {
     std::printf("%-16s %12.2f +- %4.2f %12.2f +- %4.2f\n",
                 entry.display_name.c_str(), mfc.mean, mfc.stdev, mga.mean,
                 mga.stdev);
+    for (const auto& [system, m] :
+         {std::pair{"fastclick", mfc}, std::pair{"gallium", mga}}) {
+      manifest.RecordResult("bench_latency_us",
+                            {{"mbox", entry.display_name}, {"system", system}},
+                            m.mean, "end-to-end one-way latency, mean");
+      manifest.RecordResult(
+          "bench_latency_stdev_us",
+          {{"mbox", entry.display_name}, {"system", system}}, m.stdev);
+    }
     sum_reduction += 1.0 - gallium / fastclick;
     ++rows;
   }
@@ -49,5 +63,11 @@ int main() {
   std::printf(
       "Paper: FastClick 22.45-23.16 us, Gallium 14.80-15.98 us across the\n"
       "five middleboxes.\n");
+  if (rows > 0) {
+    manifest.RecordResult("bench_latency_reduction", {},
+                          sum_reduction / rows,
+                          "mean Gallium latency reduction vs FastClick");
+  }
+  manifest.Write();
   return 0;
 }

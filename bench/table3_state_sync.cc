@@ -103,6 +103,9 @@ int main() {
   Rng rng(3141);
   const int kTrials = 50;
 
+  bench::RunManifest manifest("table3_state_sync", 3141);
+  manifest.SetConfig("trials", kTrials);
+
   std::printf(
       "Table 3: latency of updating offloaded P4 tables from the server "
       "(us)\n");
@@ -120,6 +123,11 @@ int main() {
     for (const char* op : {"insert", "modify", "delete"}) {
       const Row row = Measure(*rig->device, tables, op, rng, kTrials);
       std::printf("      %7.1f +- %5.1f", row.mean, row.stdev);
+      const telemetry::LabelSet labels = {
+          {"num_tables", std::to_string(tables)}, {"op", op}};
+      manifest.RecordResult("bench_sync_latency_us", labels, row.mean,
+                            "control-plane table-update latency, mean");
+      manifest.RecordResult("bench_sync_latency_stdev_us", labels, row.stdev);
     }
     std::printf("\n");
   }
@@ -129,5 +137,6 @@ int main() {
       "4 tables 371.0/363.0/366.1 (sub-linear beyond two tables).\n"
       "A single update is ~5x the end-to-end latency of a software "
       "middlebox.\n");
+  manifest.Write();
   return 0;
 }

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate galliumc telemetry exports against the checked-in schemas.
+
+Stdlib-only (no jsonschema dependency): implements the small subset of JSON
+Schema the schemas in scripts/schema/ actually use — type, required,
+properties, additionalProperties, items, enum, pattern, minimum — which is
+enough to catch the failure modes that matter (missing fields, wrong types,
+malformed metric names, negative counts).
+
+Usage:
+  validate_telemetry.py --metrics FILE.json [--trace FILE.json]
+  validate_telemetry.py --trace FILE.json
+
+Beyond the schema, semantic checks:
+  - metrics: each histogram's per-bucket counts sum to its total count, and
+    at least one gallium_*/bench_* series exists.
+  - trace: every "X" event sits on a named lane (an "M" thread_name event
+    with the same tid), and per-packet hop sequences start at switch.pre.
+
+Exit code 0 = all supplied files validate; 1 = any violation (printed).
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SCHEMA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "schema")
+
+
+def check(instance, schema, path="$"):
+    """Yields error strings for every violation of `schema` by `instance`."""
+    stype = schema.get("type")
+    if stype is not None:
+        types = stype if isinstance(stype, list) else [stype]
+        ok = any(_is_type(instance, t) for t in types)
+        if not ok:
+            yield f"{path}: expected type {stype}, got {type(instance).__name__}"
+            return
+    if "enum" in schema and instance not in schema["enum"]:
+        yield f"{path}: {instance!r} not in enum {schema['enum']}"
+    if "pattern" in schema and isinstance(instance, str):
+        if not re.match(schema["pattern"], instance):
+            yield f"{path}: {instance!r} does not match {schema['pattern']!r}"
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            yield f"{path}: {instance} < minimum {schema['minimum']}"
+    if isinstance(instance, dict):
+        for req in schema.get("required", []):
+            if req not in instance:
+                yield f"{path}: missing required key {req!r}"
+        props = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in props:
+                yield from check(value, props[key], f"{path}.{key}")
+            elif isinstance(schema.get("additionalProperties"), dict):
+                yield from check(value, schema["additionalProperties"],
+                                 f"{path}.{key}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            yield from check(item, schema["items"], f"{path}[{i}]")
+
+
+def _is_type(instance, name):
+    if name == "object":
+        return isinstance(instance, dict)
+    if name == "array":
+        return isinstance(instance, list)
+    if name == "string":
+        return isinstance(instance, str)
+    if name == "number":
+        return isinstance(instance, (int, float)) and not isinstance(
+            instance, bool)
+    if name == "boolean":
+        return isinstance(instance, bool)
+    if name == "null":
+        return instance is None
+    return False
+
+
+def semantic_metrics(doc):
+    metrics = doc.get("metrics", [])
+    if not any(m.get("name", "").startswith(("gallium", "bench")) for m in
+               metrics):
+        yield "metrics: no gallium_*/bench_* series found (empty scrape?)"
+    for i, metric in enumerate(metrics):
+        if metric.get("type") != "histogram":
+            continue
+        buckets = metric.get("buckets", [])
+        if not buckets:
+            yield f"metrics[{i}]: histogram without buckets"
+            continue
+        # The JSON export carries per-bucket (non-cumulative) counts; they
+        # must add up to the series' total.
+        total = sum(b.get("count", 0) for b in buckets)
+        if total != metric.get("count"):
+            yield (f"metrics[{i}] ({metric.get('name')}): bucket counts sum "
+                   f"to {total}, series count is {metric.get('count')}")
+
+
+def semantic_trace(doc):
+    events = doc.get("traceEvents", [])
+    named_lanes = {e.get("tid") for e in events if e.get("ph") == "M"
+                   and e.get("name") == "thread_name"}
+    hops = [e for e in events if e.get("ph") == "X"]
+    for i, event in enumerate(hops):
+        if event.get("tid") not in named_lanes:
+            yield f"traceEvents: X event {i} on unnamed lane tid={event.get('tid')}"
+            break
+    # Reconstruct per-packet hop sequences: every packet's first hop (by
+    # appearance order; hops of one packet are emitted in order) is the
+    # switch pre-pass.
+    first_hop = {}
+    for event in hops:
+        pid = event.get("args", {}).get("packet_id")
+        if pid is not None and pid not in first_hop:
+            first_hop[pid] = event.get("name")
+    for pid, name in first_hop.items():
+        if name != "switch.pre":
+            yield f"packet {pid}: path starts at {name!r}, not 'switch.pre'"
+
+
+def validate(path, schema_name, semantic):
+    schema_path = os.path.join(SCHEMA_DIR, schema_name)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    errors = list(check(doc, schema))
+    errors += list(semantic(doc))
+    return [f"{path}: {e}" for e in errors]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="metrics JSON (--metrics-out *.json)")
+    parser.add_argument("--trace", help="trace JSON (--trace-out)")
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        parser.error("need --metrics and/or --trace")
+
+    errors = []
+    if args.metrics:
+        errors += validate(args.metrics, "metrics.schema.json",
+                           semantic_metrics)
+    if args.trace:
+        errors += validate(args.trace, "trace.schema.json", semantic_trace)
+    for error in errors:
+        print(f"validate_telemetry: {error}", file=sys.stderr)
+    if not errors:
+        checked = [p for p in (args.metrics, args.trace) if p]
+        print(f"validate_telemetry: OK ({', '.join(checked)})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

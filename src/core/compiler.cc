@@ -1,5 +1,6 @@
 #include "core/compiler.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "ir/passes.h"
@@ -32,6 +33,33 @@ void FillDiag(CompileDiagnostic* diag, const std::string& phase,
   diag->message = status.ToString();
 }
 
+// Accumulates the per-phase wall-clock timings of one Compile call.
+class PhaseClock {
+ public:
+  PhaseClock() : last_(Clock::now()) {}
+
+  void Mark(const char* phase) {
+    const Clock::time_point now = Clock::now();
+    times_.emplace_back(
+        phase, std::chrono::duration<double, std::micro>(now - last_).count());
+    last_ = now;
+  }
+
+  const std::vector<std::pair<std::string, double>>& times() const {
+    return times_;
+  }
+  double TotalUs() const {
+    double total = 0;
+    for (const auto& [phase, us] : times_) total += us;
+    return total;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point last_;
+  std::vector<std::pair<std::string, double>> times_;
+};
+
 }  // namespace
 
 std::string CompileDiagnostic::ToJson() const {
@@ -51,16 +79,34 @@ std::string CompileDiagnostic::ToJson() const {
     }
     out << "]";
   }
+  if (!phase_times_us.empty()) {
+    out << ",\"phase_times_us\":{";
+    for (size_t i = 0; i < phase_times_us.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << JsonEscape(phase_times_us[i].first)
+          << "\":" << phase_times_us[i].second;
+    }
+    out << "}";
+  }
   out << ",\"message\":\"" << JsonEscape(message) << "\"}";
   return out.str();
 }
 
 Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
                                         CompileDiagnostic* diag) const {
+  PhaseClock clock;
+  // Whatever phases completed before a failure still get reported: the
+  // diagnostic carries their timings alongside the failure cause.
+  auto finish_diag = [&] {
+    if (diag != nullptr) diag->phase_times_us = clock.times();
+  };
+
   if (Status v = ir::VerifyFunction(input_fn); !v.ok()) {
     FillDiag(diag, "verify", v);
+    finish_diag();
     return v;
   }
+  clock.Mark("verify");
 
   // The optimizer works on a copy; the caller's function is never mutated.
   ir::Function optimized = input_fn;
@@ -68,8 +114,10 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
     ir::OptimizeFunction(&optimized);
     if (Status v = ir::VerifyFunction(optimized); !v.ok()) {
       FillDiag(diag, "verify", v);
+      finish_diag();
       return v;
     }
+    clock.Mark("optimize");
   }
   const ir::Function& fn = options_.optimize ? optimized : input_fn;
 
@@ -95,16 +143,19 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
         diag->resource = failure.resource;
       }
     }
+    finish_diag();
     return planned.status();
   }
   result.plan = std::move(planned->plan);
   result.placement = std::move(planned->placement);
   result.spilled_state = std::move(planned->spilled);
   result.partition_rounds = planned->rounds;
+  clock.Mark("partition");
 
   auto p4_program = p4::GenerateP4(fn, result.plan, options_.p4);
   if (!p4_program.ok()) {
     FillDiag(diag, "codegen", p4_program.status());
+    finish_diag();
     return p4_program.status();
   }
   result.p4_program = std::move(*p4_program);
@@ -124,14 +175,17 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
       Status s = Internal("rmt placement is missing emitted table '" +
                           table.name + "'");
       FillDiag(diag, "placement", s);
+      finish_diag();
       return s;
     }
   }
 
   result.p4_source = p4::EmitP4(result.p4_program);
+  clock.Mark("codegen.p4");
   auto server = cppgen::GenerateServerCpp(fn, result.plan, options_.cpp);
   if (!server.ok()) {
     FillDiag(diag, "codegen", server.status());
+    finish_diag();
     return server.status();
   }
   result.server_source = std::move(*server);
@@ -140,6 +194,7 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
   result.input_loc = CountCodeLines(result.click_source);
   result.p4_loc = CountCodeLines(result.p4_source);
   result.server_loc = CountCodeLines(result.server_source);
+  clock.Mark("codegen.cpp");
 
   // Verification gate: translation validation + offload-safety lints.
   if (options_.verify) {
@@ -147,6 +202,7 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
         verify::ValidateTranslation(fn, result.plan, options_.verify_limits);
     result.lints = verify::LintAll(fn, result.plan, &result.p4_program);
     result.verified = true;
+    clock.Mark("verification");
     const bool lint_errors = verify::HasErrors(result.lints);
     if (!result.validation.equivalent || lint_errors) {
       Status s = Internal(
@@ -165,9 +221,12 @@ Result<CompileResult> Compiler::Compile(const ir::Function& input_fn,
           }
         }
       }
+      finish_diag();
       return s;
     }
   }
+  result.phase_times_us = clock.times();
+  result.total_compile_us = clock.TotalUs();
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cppgen/codegen.h"
@@ -70,6 +71,12 @@ struct CompileResult {
   bool verified = false;
   verify::ValidationResult validation;
   std::vector<verify::LintFinding> lints;
+
+  // Wall-clock per-phase compile timings in execution order ("verify",
+  // "optimize", "partition", "codegen.p4", "codegen.cpp", "verification");
+  // galliumc republishes them as gauges for --metrics-out.
+  std::vector<std::pair<std::string, double>> phase_times_us;
+  double total_compile_us = 0;
 };
 
 // Machine-readable failure report for driver frontends (galliumc emits it
@@ -83,6 +90,8 @@ struct CompileDiagnostic {
   std::string message;
   // Individual validator mismatches / lint errors (phase "verification").
   std::vector<std::string> findings;
+  // Timings of the phases that did run before the failure (µs).
+  std::vector<std::pair<std::string, double>> phase_times_us;
   // The process exit code galliumc maps this diagnostic to: 3 for
   // partition/placement failures, 4 for verification failures, 1 otherwise.
   int exit_code = 1;

@@ -1,5 +1,6 @@
 #include "perf/harness.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "workload/packet_gen.h"
@@ -27,7 +28,22 @@ runtime::ExecStats DivideStats(const runtime::ExecStats& total, int count) {
 
 Result<MiddleboxProfile> ProfileMiddlebox(
     const std::function<Result<mbox::MiddleboxSpec>()>& build, int num_flows,
-    uint64_t seed) {
+    uint64_t seed, telemetry::Timeline* timeline) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  auto wall_us = [&t0] {
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+        .count();
+  };
+  double phase_start = 0;
+  auto end_phase = [&](const char* phase_name) {
+    if (timeline == nullptr) return;
+    const double now = wall_us();
+    timeline->CompleteEvent(phase_name, "profile", phase_start,
+                            now - phase_start);
+    phase_start = now;
+  };
+
   GALLIUM_ASSIGN_OR_RETURN(mbox::MiddleboxSpec spec_sw, build());
   GALLIUM_ASSIGN_OR_RETURN(mbox::MiddleboxSpec spec_off, build());
 
@@ -36,6 +52,7 @@ Result<MiddleboxProfile> ProfileMiddlebox(
   options.serialize_wire = false;  // profiling loop, wire cost modeled later
   GALLIUM_ASSIGN_OR_RETURN(auto offloaded, runtime::OffloadedMiddlebox::Create(
                                                spec_off, options));
+  end_phase("profile.build_runtimes");
 
   MiddleboxProfile profile;
   profile.name = spec_sw.name;
@@ -49,6 +66,7 @@ Result<MiddleboxProfile> ProfileMiddlebox(
   trace_options.min_flow_bytes = 500000;
   trace_options.max_flow_bytes = 2000000;
   const workload::Trace trace = workload::MakeTrace(rng, trace_options);
+  end_phase("profile.generate_trace");
 
   runtime::ExecStats baseline_total;
   runtime::ExecStats server_total;
@@ -75,6 +93,8 @@ Result<MiddleboxProfile> ProfileMiddlebox(
       }
     }
   }
+
+  end_phase("profile.replay");
 
   const int total = static_cast<int>(trace.packets.size());
   profile.baseline_stats = DivideStats(baseline_total, total);
@@ -147,6 +167,40 @@ double OffloadedThroughputGbps(const CostModel& cost,
     achieved = std::min(achieved, server_pps / slow_fraction);
   }
   return achieved * wire_bytes * 8.0 / 1e9;
+}
+
+void StampTrace(const CostModel& cost, int wire_bytes,
+                telemetry::PacketTrace* trace) {
+  double cursor = 0;
+  for (telemetry::TraceHop& hop : trace->hops) {
+    if (hop.duration_us == 0) {
+      if (hop.stage == telemetry::kHopSwitchPre ||
+          hop.stage == telemetry::kHopSwitchPost) {
+        hop.duration_us = hop.stages_occupied > 0
+                              ? cost.SwitchTraversalUs(hop.stages_occupied)
+                              : cost.switch_pipeline_us;
+      } else if (hop.stage == telemetry::kHopWireToServer ||
+                 hop.stage == telemetry::kHopWireToSwitch) {
+        // Gallium header bytes ride the original packet; the wire hop costs
+        // serialization of packet + transfer header plus one NIC traversal.
+        hop.duration_us =
+            cost.WireUs(wire_bytes + hop.transfer_bytes) + cost.nic_latency_us;
+      } else {
+        // Server-side hops (full pass, degraded pass, cache recovery):
+        // priced by the op counts the interpreter recorded there.
+        hop.duration_us = cost.PacketServerUs(
+            runtime::FromOpCounts(hop.ops), wire_bytes, /*payload_bytes=*/0);
+      }
+    }
+    hop.ts_us = cursor;
+    cursor += hop.duration_us;
+  }
+  trace->total_us = cursor;
+  // Fault events recorded without a timestamp land at the end of the packet
+  // (the runtime stamps sync-path events relative to the commit hop).
+  for (telemetry::TraceFaultEvent& ev : trace->events) {
+    if (ev.ts_us == 0) ev.ts_us = cursor;
+  }
 }
 
 Measurement Jittered(double base, int trials, double rel_stddev, Rng& rng) {

@@ -12,6 +12,8 @@
 #include "perf/cost_model.h"
 #include "runtime/offloaded_middlebox.h"
 #include "runtime/software_middlebox.h"
+#include "telemetry/timeline.h"
+#include "telemetry/trace.h"
 #include "util/rng.h"
 
 namespace gallium::perf {
@@ -27,10 +29,24 @@ struct MiddleboxProfile {
   double mean_sync_latency_us = 0.0;
 };
 
-// Runs `num_flows` TCP flows through both runtimes and averages.
+// Runs `num_flows` TCP flows through both runtimes and averages. When
+// `timeline` is non-null, the harness records its phases (trace generation,
+// software pass, offloaded pass) as wall-clock slices on it, so a profiling
+// sweep over many middleboxes renders as one Perfetto timeline.
 Result<MiddleboxProfile> ProfileMiddlebox(
     const std::function<Result<mbox::MiddleboxSpec>()>& build, int num_flows,
-    uint64_t seed = 7);
+    uint64_t seed = 7, telemetry::Timeline* timeline = nullptr);
+
+// --- Trace stamping ----------------------------------------------------------
+
+// Prices every hop of a packet trace with the cost model: switch passes by
+// the RMT stages they occupied, wire hops by serialization + NIC latency,
+// server hops by the op counts the interpreter recorded. Hops that already
+// carry a duration (sync commits: the runtime stamps the modeled
+// control-plane latency natively) are left alone. Hop timestamps become
+// cumulative offsets from the packet start and `total_us` is filled in.
+void StampTrace(const CostModel& cost, int wire_bytes,
+                telemetry::PacketTrace* trace);
 
 // --- Latency (Table 2) -----------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
 
 namespace gallium::runtime {
 
@@ -21,6 +22,24 @@ ExecStats& ExecStats::operator+=(const ExecStats& other) {
   payload_ops += other.payload_ops;
   branches += other.branches;
   return *this;
+}
+
+ExecStats FromOpCounts(const telemetry::OpCounts& counts) {
+  auto clamp = [](int64_t v) {
+    return static_cast<int>(std::min<int64_t>(
+        v, std::numeric_limits<int>::max()));
+  };
+  ExecStats stats;
+  stats.insts = clamp(counts.insts);
+  stats.alu_ops = clamp(counts.alu_ops);
+  stats.header_ops = clamp(counts.header_ops);
+  stats.map_lookups = clamp(counts.map_lookups);
+  stats.map_updates = clamp(counts.map_updates);
+  stats.vector_ops = clamp(counts.vector_ops);
+  stats.global_ops = clamp(counts.global_ops);
+  stats.payload_ops = clamp(counts.payload_ops);
+  stats.branches = clamp(counts.branches);
+  return stats;
 }
 
 Interpreter::Interpreter(const ir::Function& fn) : fn_(&fn) {}

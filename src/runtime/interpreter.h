@@ -17,6 +17,7 @@
 #include "net/packet.h"
 #include "partition/plan.h"
 #include "runtime/state.h"
+#include "telemetry/trace.h"
 #include "util/status.h"
 
 namespace gallium::runtime {
@@ -51,6 +52,26 @@ struct ExecStats {
 
   ExecStats& operator+=(const ExecStats& other);
 };
+
+// Bridge into the telemetry vocabulary: the same counts, field for field,
+// in the leaf-library mirror that traces and registry recorders carry.
+// Runs once per pipeline pass on the packet hot path, hence inline.
+inline telemetry::OpCounts ToOpCounts(const ExecStats& stats) {
+  telemetry::OpCounts counts;
+  counts.insts = stats.insts;
+  counts.alu_ops = stats.alu_ops;
+  counts.header_ops = stats.header_ops;
+  counts.map_lookups = stats.map_lookups;
+  counts.map_updates = stats.map_updates;
+  counts.vector_ops = stats.vector_ops;
+  counts.global_ops = stats.global_ops;
+  counts.payload_ops = stats.payload_ops;
+  counts.branches = stats.branches;
+  return counts;
+}
+// Inverse bridge (cost-model helpers take ExecStats; trace hops carry
+// OpCounts). Counts are clamped into int range on the way back.
+ExecStats FromOpCounts(const telemetry::OpCounts& counts);
 
 struct ExecResult {
   Status status = Status::Ok();

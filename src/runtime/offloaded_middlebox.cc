@@ -20,6 +20,53 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
       replicated_maps_(spec.fn->maps().size(), false),
       replicated_globals_(spec.fn->globals().size(), false),
       rng_(options.rng_seed) {
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<telemetry::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  const telemetry::LabelSet scope{{"mbox", spec.name}};
+  auto counter = [&](const char* name, const char* help) {
+    return registry_->GetCounter(name, scope, help);
+  };
+  c_.packets_total =
+      counter("gallium_packets_total", "packets entering the pipeline");
+  c_.packets_fast = counter("gallium_packets_fast_path_total",
+                            "packets completed by the switch alone");
+  c_.cache_misses = counter("gallium_cache_miss_aborts_total",
+                            "pre passes aborted on a cache miss (S7 mode)");
+  c_.sync_batches_sent =
+      counter("gallium_sync_batches_total", "state-sync batches sent");
+  c_.sync_retries =
+      counter("gallium_sync_retries_total", "sync deliveries retransmitted");
+  c_.batches_dropped =
+      counter("gallium_sync_batch_drops_total", "sync batches lost in flight");
+  c_.acks_dropped =
+      counter("gallium_sync_ack_drops_total", "sync acks lost in flight");
+  c_.sync_failures = counter("gallium_sync_failures_total",
+                             "sync batches abandoned after all retries");
+  c_.switch_restarts = counter("gallium_switch_restarts_total",
+                               "switch restarts observed by the server");
+  c_.degraded_packets = counter("gallium_degraded_packets_total",
+                                "packets served software-only (switch down)");
+  c_.data_retries = counter("gallium_data_retries_total",
+                            "data-link frames retransmitted");
+  c_.resyncs =
+      counter("gallium_resyncs_total", "full switch-state rebuilds from host");
+  c_.sync_latency_us = registry_->GetHistogram(
+      "gallium_sync_latency_us", scope, telemetry::DefaultLatencyBucketsUs(),
+      "output-commit wait per committed sync batch");
+  c_.resync_latency_us = registry_->GetHistogram(
+      "gallium_resync_latency_us", scope, telemetry::DefaultLatencyBucketsUs(),
+      "control-plane latency per full resync");
+  telemetry::LabelSet switch_scope = scope, server_scope = scope;
+  switch_scope.push_back({"where", "switch"});
+  server_scope.push_back({"where", "server"});
+  switch_ops_ = telemetry::OpCountsRecorder(registry_, "gallium_ops_total",
+                                            std::move(switch_scope));
+  server_ops_ = telemetry::OpCountsRecorder(registry_, "gallium_ops_total",
+                                            std::move(server_scope));
   for (const auto& [ref, placement] : plan_.state_placement) {
     if (ref.kind == ir::StateRef::Kind::kGlobal &&
         placement == StatePlacement::kSwitchOnly) {
@@ -133,7 +180,10 @@ Result<net::Packet> OffloadedMiddlebox::CrossLink(bool to_server,
 
   for (int attempt = 0; attempt < options_.sync_policy.max_data_attempts;
        ++attempt) {
-    if (attempt > 0) ++data_retries_;
+    if (attempt > 0) {
+      c_.data_retries->Increment();
+      RecordFault("retransmit", to_server ? "switch->server" : "server->switch");
+    }
     chan.Send(frame);
     std::optional<std::vector<uint8_t>> got;
     while (auto f = chan.Receive()) {
@@ -166,7 +216,7 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
   batch.epoch = known_epoch_;
   batch.maps = maps;
   batch.globals = globals;
-  ++sync_batches_sent_;
+  c_.sync_batches_sent->Increment();
 
   double total_us = 0;
   double timeout_us = options_.sync_policy.timeout_us;
@@ -175,13 +225,15 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
     if (attempt > 0) {
       // The previous delivery (or its ack) vanished; we waited the
       // retransmit timeout, then back off.
-      ++sync_retries_;
+      c_.sync_retries->Increment();
+      RecordFault("sync.retry");
       total_us += timeout_us;
       timeout_us = std::min(timeout_us * options_.sync_policy.backoff_factor,
                             options_.sync_policy.max_backoff_us);
     }
     if (injector_ != nullptr && injector_->DropBatch()) {
-      ++batches_dropped_;
+      c_.batches_dropped->Increment();
+      RecordFault("sync.batch_drop");
       continue;
     }
     if (injector_ != nullptr) total_us += injector_->SyncDelayUs();
@@ -193,7 +245,8 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
       // authoritative host store, so a full resync both recovers the switch
       // and commits the batch (the snapshot re-arms the seq high-water
       // mark past it — it can never be double-applied).
-      ++switch_restarts_seen_;
+      c_.switch_restarts->Increment();
+      RecordFault("switch.restart", "stale epoch on sync");
       needs_resync_ = true;
       total_us += ResyncSwitch();
       *committed = true;
@@ -203,17 +256,20 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
     if (injector_ != nullptr && injector_->DropAck()) {
       // Applied on the switch but the server never learns: the retry is
       // delivered as a duplicate and acked idempotently.
-      ++acks_dropped_;
+      c_.acks_dropped->Increment();
+      RecordFault("sync.ack_drop");
       continue;
     }
     *committed = true;
+    c_.sync_latency_us->Observe(total_us);
     return total_us;
   }
 
   // Control plane unreachable. Availability over output commit: release the
   // packet, keep the host authoritative, and rebuild the switch before its
   // next use.
-  ++sync_failures_;
+  c_.sync_failures->Increment();
+  RecordFault("sync.failure", "retry budget exhausted");
   needs_resync_ = true;
   return total_us;
 }
@@ -223,8 +279,9 @@ double OffloadedMiddlebox::ResyncSwitch() {
       switch_->ResyncFromHost(server_state_, next_sync_seq_, &rng_);
   known_epoch_ = switch_->epoch();
   needs_resync_ = false;
-  ++resyncs_;
-  total_resync_latency_us_ += latency_us;
+  c_.resyncs->Increment();
+  c_.resync_latency_us->Observe(latency_us);
+  RecordFault("resync");
   return latency_us;
 }
 
@@ -237,14 +294,77 @@ void OffloadedMiddlebox::ReconcileSwitchGlobals() {
 
 void OffloadedMiddlebox::EnsureSwitchCoherent() {
   if (switch_->epoch() != known_epoch_) {
-    ++switch_restarts_seen_;
+    c_.switch_restarts->Increment();
+    RecordFault("switch.restart", "epoch bump on heartbeat");
     needs_resync_ = true;
   }
   if (needs_resync_) ResyncSwitch();
 }
 
-OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
-                                                        uint64_t now_ms) {
+telemetry::TraceHop* OffloadedMiddlebox::AddHop(const char* stage) {
+  if (active_trace_ == nullptr) return nullptr;
+  active_trace_->hops.push_back(telemetry::TraceHop{});
+  active_trace_->hops.back().stage = stage;
+  return &active_trace_->hops.back();
+}
+
+void OffloadedMiddlebox::RecordFault(const char* kind, std::string detail) {
+  if (active_trace_ == nullptr) return;
+  active_trace_->events.push_back(
+      telemetry::TraceFaultEvent{kind, std::move(detail), 0});
+}
+
+void OffloadedMiddlebox::RecordSwitchHop(const char* stage,
+                                         const ExecStats& stats) {
+  telemetry::TraceHop* hop = AddHop(stage);
+  hop->ops = ToOpCounts(stats);
+  hop->stages_occupied = switch_->stages_occupied();
+}
+
+void OffloadedMiddlebox::RecordWireHop(const char* stage, int transfer_bytes) {
+  AddHop(stage)->transfer_bytes = transfer_bytes;
+}
+
+void OffloadedMiddlebox::RecordServerHop(const char* stage,
+                                         const ExecStats& stats) {
+  AddHop(stage)->ops = ToOpCounts(stats);
+}
+
+void OffloadedMiddlebox::RecordSyncHop(double latency_us) {
+  // The modeled control-plane latency is known here — stamp it natively
+  // (perf::StampTrace leaves non-zero durations alone).
+  AddHop(telemetry::kHopSyncCommit)->duration_us = latency_us;
+}
+
+void OffloadedMiddlebox::PublishSwitchStageMetrics() {
+  // Scrape point: push the locally batched per-packet counts and op counts
+  // onto the registry so an export that follows sees the full series.
+  c_.packets_total->Increment(packets_total_ - pushed_packets_total_);
+  pushed_packets_total_ = packets_total_;
+  c_.packets_fast->Increment(packets_fast_ - pushed_packets_fast_);
+  pushed_packets_fast_ = packets_fast_;
+  switch_ops_.Flush();
+  server_ops_.Flush();
+  switch_->PublishStageMetrics(registry_, fn_->name());
+}
+
+OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessTraced(
+    net::Packet&& pkt, uint64_t now_ms) {
+  telemetry::PacketTrace trace;
+  trace.packet_id = packets_total();
+  trace.scope = fn_->name();
+  active_trace_ = &trace;
+  Outcome outcome = ProcessInner(std::move(pkt), now_ms);
+  active_trace_ = nullptr;
+  trace.fast_path = outcome.fast_path;
+  trace.degraded = outcome.degraded;
+  trace.ok = outcome.status.ok();
+  options_.tracer->Commit(std::move(trace));
+  return outcome;
+}
+
+OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
+                                                             uint64_t now_ms) {
   Outcome outcome;
   const uint64_t pkt_index = packets_total_;
   ++packets_total_;
@@ -276,12 +396,20 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
                                         &plan_.to_server,
                                         cache_mode ? &cached_maps_ : nullptr);
   outcome.switch_stats += pre.stats;
+  switch_ops_.Add(ToOpCounts(pre.stats));
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordSwitchHop(telemetry::kHopSwitchPre, pre.stats);
+  }
   if (!pre.status.ok()) {
     outcome.status = pre.status;
     return outcome;
   }
   if (pre.cache_miss_abort) {
-    ++cache_misses_;
+    c_.cache_misses->Increment();
+    if (active_trace_ != nullptr) [[unlikely]] {
+      RecordFault("cache_miss", "pre pass aborted on a non-authoritative miss");
+      active_trace_->cache_miss = true;
+    }
     Outcome miss_outcome = ProcessCacheMiss(std::move(pristine), now_ms);
     miss_outcome.switch_stats += pre.stats;  // the aborted pre attempt
     return miss_outcome;
@@ -312,6 +440,9 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
   net::GalliumHeader header1 = PackTransfer(*fn_, plan_.to_server,
                                             pre.transfer_out);
   outcome.transfer_bytes_to_server = static_cast<int>(header1.WireSize());
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordWireHop(telemetry::kHopWireToServer, outcome.transfer_bytes_to_server);
+  }
   net::Packet server_pkt = std::move(pkt);
   server_pkt.set_gallium(std::move(header1));
   {
@@ -338,6 +469,10 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
                                         Part::kNonOffloaded, &plan_.to_server,
                                         &in_values1.value(), &plan_.to_switch);
   outcome.server_stats += srv.stats;
+  server_ops_.Add(ToOpCounts(srv.stats));
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordServerHop(telemetry::kHopServer, srv.stats);
+  }
   if (!srv.status.ok()) {
     outcome.status = srv.status;
     return outcome;
@@ -357,12 +492,16 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
     }
     outcome.state_synced = committed;
     outcome.sync_latency_us = *latency;
+    if (active_trace_ != nullptr) [[unlikely]] RecordSyncHop(*latency);
   }
 
   // --- 4. Wire: server -> switch, then the post-processing pass ----------------
   net::GalliumHeader header2 = PackTransfer(*fn_, plan_.to_switch,
                                             srv.transfer_out);
   outcome.transfer_bytes_to_switch = static_cast<int>(header2.WireSize());
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordWireHop(telemetry::kHopWireToSwitch, outcome.transfer_bytes_to_switch);
+  }
   net::Packet back_pkt = std::move(server_pkt);
   back_pkt.set_gallium(std::move(header2));
   {
@@ -387,6 +526,10 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::Process(net::Packet pkt,
                                          &plan_.to_switch, &in_values2.value(),
                                          /*out_spec=*/nullptr);
   outcome.switch_stats += post.stats;
+  switch_ops_.Add(ToOpCounts(post.stats));
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordSwitchHop(telemetry::kHopSwitchPost, post.stats);
+  }
   if (!post.status.ok()) {
     outcome.status = post.status;
     return outcome;
@@ -411,12 +554,17 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessDegraded(
     net::Packet pkt, uint64_t now_ms) {
   Outcome outcome;
   outcome.degraded = true;
-  ++degraded_packets_;
+  c_.degraded_packets->Increment();
+  RecordFault("degraded", "switch down; software-only fallback");
   // The switch is unreachable; the server carries the whole program against
   // the authoritative host store — exactly the SoftwareMiddlebox semantics,
   // so per-flow behavior is indistinguishable from the baseline.
   ExecResult r = interp_.Run(pkt, server_state_, now_ms);
   outcome.server_stats += r.stats;
+  server_ops_.Add(ToOpCounts(r.stats));
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordServerHop(telemetry::kHopDegraded, r.stats);
+  }
   if (!r.status.ok()) {
     outcome.status = r.status;
     return outcome;
@@ -447,6 +595,10 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
   ExecResult srv = interp_.RunServerFull(pkt, recording, now_ms, plan_,
                                          &plan_.to_switch, cached_maps_);
   outcome.server_stats += srv.stats;
+  server_ops_.Add(ToOpCounts(srv.stats));
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordServerHop(telemetry::kHopServerFull, srv.stats);
+  }
   if (!srv.status.ok()) {
     outcome.status = srv.status;
     return outcome;
@@ -478,6 +630,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
     if (recording.HasMutations()) {
       outcome.state_synced = committed;
       outcome.sync_latency_us = *latency;
+      if (active_trace_ != nullptr) [[unlikely]] RecordSyncHop(*latency);
     }
   }
 
@@ -485,6 +638,9 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
   net::GalliumHeader header2 =
       PackTransfer(*fn_, plan_.to_switch, srv.transfer_out);
   outcome.transfer_bytes_to_switch = static_cast<int>(header2.WireSize());
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordWireHop(telemetry::kHopWireToSwitch, outcome.transfer_bytes_to_switch);
+  }
   auto in_values2 = UnpackTransfer(*fn_, plan_.to_switch, header2);
   if (!in_values2.ok()) {
     outcome.status = in_values2.status();
@@ -496,6 +652,10 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
                                          &plan_.to_switch, &in_values2.value(),
                                          /*out_spec=*/nullptr);
   outcome.switch_stats += post.stats;
+  switch_ops_.Add(ToOpCounts(post.stats));
+  if (active_trace_ != nullptr) [[unlikely]] {
+    RecordSwitchHop(telemetry::kHopSwitchPost, post.stats);
+  }
   if (!post.status.ok()) {
     outcome.status = post.status;
     return outcome;

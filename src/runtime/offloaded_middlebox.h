@@ -31,6 +31,8 @@
 #include "runtime/state.h"
 #include "runtime/sync.h"
 #include "switchsim/switch.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/rng.h"
 
 namespace gallium::runtime {
@@ -63,6 +65,17 @@ struct OffloadedOptions {
   // the plan does not place, the spill feedback loop re-partitions until it
   // does — the runtime never deploys a plan the target cannot hold.
   std::optional<rmt::RmtTargetModel> rmt_target;
+
+  // Metrics registry all runtime counters live on (packets, fault/recovery
+  // events, per-kind op counts, latency histograms), labeled
+  // {mbox=<spec.name>}. Null = the middlebox owns a private registry, so
+  // independent instances never share counters.
+  telemetry::MetricsRegistry* registry = nullptr;
+  // Per-packet INT-style tracing: when set, every Process() call commits a
+  // PacketTrace recording the pre -> sync-channel -> server -> post hop
+  // sequence with op counts and fault events. Null = tracing off; the hot
+  // path then takes a single branch per packet.
+  telemetry::Tracer* tracer = nullptr;
 };
 
 class OffloadedMiddlebox {
@@ -84,7 +97,13 @@ class OffloadedMiddlebox {
     net::Packet out_packet;      // valid when verdict is kSend
   };
 
-  Outcome Process(net::Packet pkt, uint64_t now_ms = 0);
+  // Inline dispatch: with tracing off this compiles down to the plain
+  // pre-telemetry call, so the fast path pays one branch, not a wrapper
+  // frame and an extra packet move.
+  Outcome Process(net::Packet pkt, uint64_t now_ms = 0) {
+    if (options_.tracer == nullptr) return ProcessInner(std::move(pkt), now_ms);
+    return ProcessTraced(std::move(pkt), now_ms);
+  }
 
   const partition::PartitionPlan& plan() const { return plan_; }
   const ir::Function& fn() const { return *fn_; }
@@ -111,27 +130,47 @@ class OffloadedMiddlebox {
   // Idempotent; used by recovery paths and by tests that inspect tables.
   void EnsureSwitchCoherent();
 
-  // Counters.
+  // Counters. All live on the metrics registry (one source of truth for
+  // --run output, traces, and exporters); the accessors below are thin
+  // reads kept for source compatibility with pre-telemetry callers. The
+  // two per-packet counters are batched like the op recorders: a plain
+  // member is the live value (Process is serialized per instance) and
+  // PublishSwitchStageMetrics pushes the delta onto the registry, keeping
+  // the packet hot path free of atomics.
   uint64_t packets_total() const { return packets_total_; }
   uint64_t packets_fast_path() const { return packets_fast_; }
-  uint64_t cache_miss_aborts() const { return cache_misses_; }
+  uint64_t cache_miss_aborts() const { return c_.cache_misses->Value(); }
   double FastPathFraction() const {
-    return packets_total_ == 0
-               ? 0.0
-               : static_cast<double>(packets_fast_) / packets_total_;
+    const uint64_t total = packets_total();
+    return total == 0 ? 0.0
+                      : static_cast<double>(packets_fast_path()) / total;
   }
 
   // Fault / recovery counters (all zero on a perfect substrate).
-  uint64_t sync_batches_sent() const { return sync_batches_sent_; }
-  uint64_t sync_retries() const { return sync_retries_; }
-  uint64_t batches_dropped() const { return batches_dropped_; }
-  uint64_t acks_dropped() const { return acks_dropped_; }
-  uint64_t sync_failures() const { return sync_failures_; }
-  uint64_t switch_restarts() const { return switch_restarts_seen_; }
-  uint64_t degraded_packets() const { return degraded_packets_; }
-  uint64_t data_retries() const { return data_retries_; }
-  uint64_t resyncs() const { return resyncs_; }
-  double total_resync_latency_us() const { return total_resync_latency_us_; }
+  uint64_t sync_batches_sent() const { return c_.sync_batches_sent->Value(); }
+  uint64_t sync_retries() const { return c_.sync_retries->Value(); }
+  uint64_t batches_dropped() const { return c_.batches_dropped->Value(); }
+  uint64_t acks_dropped() const { return c_.acks_dropped->Value(); }
+  uint64_t sync_failures() const { return c_.sync_failures->Value(); }
+  uint64_t switch_restarts() const { return c_.switch_restarts->Value(); }
+  uint64_t degraded_packets() const { return c_.degraded_packets->Value(); }
+  uint64_t data_retries() const { return c_.data_retries->Value(); }
+  uint64_t resyncs() const { return c_.resyncs->Value(); }
+  double total_resync_latency_us() const {
+    return c_.resync_latency_us->Sum();
+  }
+
+  // The registry this instance's instruments live on (the private one
+  // unless OffloadedOptions::registry injected a shared scrape target).
+  telemetry::MetricsRegistry& metrics() { return *registry_; }
+  // Registry-backed aggregate op counts per execution location — the
+  // ExecStats totals, read back from the counters (replaces hand-rolled
+  // `ExecStats::operator+=` accumulation loops in drivers).
+  telemetry::OpCounts switch_op_totals() const { return switch_ops_.Totals(); }
+  telemetry::OpCounts server_op_totals() const { return server_ops_.Totals(); }
+  // Publishes the switch's per-stage access/match/miss/recirculation
+  // counters (keyed by the RMT placement) onto the registry as gauges.
+  void PublishSwitchStageMetrics();
 
   FaultInjector* injector() { return injector_.get(); }
 
@@ -172,19 +211,62 @@ class OffloadedMiddlebox {
   // a sync batch could not be delivered); cleared by ResyncSwitch.
   bool needs_resync_ = false;
 
+  // Registry the counters below are registered on; owned when the options
+  // did not inject a shared one.
+  std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  struct Counters {
+    telemetry::Counter* packets_total;
+    telemetry::Counter* packets_fast;
+    telemetry::Counter* cache_misses;
+    telemetry::Counter* sync_batches_sent;
+    telemetry::Counter* sync_retries;
+    telemetry::Counter* batches_dropped;
+    telemetry::Counter* acks_dropped;
+    telemetry::Counter* sync_failures;
+    telemetry::Counter* switch_restarts;
+    telemetry::Counter* degraded_packets;
+    telemetry::Counter* data_retries;
+    telemetry::Counter* resyncs;
+    telemetry::Histogram* sync_latency_us;
+    telemetry::Histogram* resync_latency_us;
+  };
+  Counters c_{};
+  telemetry::OpCountsRecorder switch_ops_;
+  telemetry::OpCountsRecorder server_ops_;
+  // Live per-packet counts (single writer); pushed_* track what has been
+  // forwarded to the registry counters so flushes are delta increments.
   uint64_t packets_total_ = 0;
   uint64_t packets_fast_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t sync_batches_sent_ = 0;
-  uint64_t sync_retries_ = 0;
-  uint64_t batches_dropped_ = 0;
-  uint64_t acks_dropped_ = 0;
-  uint64_t sync_failures_ = 0;
-  uint64_t switch_restarts_seen_ = 0;
-  uint64_t degraded_packets_ = 0;
-  uint64_t data_retries_ = 0;
-  uint64_t resyncs_ = 0;
-  double total_resync_latency_us_ = 0;
+  mutable uint64_t pushed_packets_total_ = 0;
+  mutable uint64_t pushed_packets_fast_ = 0;
+
+  // Trace context of the packet currently inside Process(); hops and fault
+  // events recorded by the pass/link/sync helpers attach here. Null when
+  // tracing is off (the runtime is single-threaded per instance).
+  telemetry::PacketTrace* active_trace_ = nullptr;
+
+  // Appends a hop / fault event to the active trace; no-ops when off.
+  telemetry::TraceHop* AddHop(const char* stage);
+  void RecordFault(const char* kind, std::string detail = "");
+  // Cold, out-of-line hop recorders. Call sites in the packet path guard
+  // with `if (active_trace_ != nullptr) [[unlikely]]`, so with tracing off
+  // the hot loop pays one predictable branch per site instead of carrying
+  // the recording bodies (OpCounts copies, vector pushes) inline.
+  [[gnu::cold]] [[gnu::noinline]] void RecordSwitchHop(const char* stage,
+                                                       const ExecStats& stats);
+  [[gnu::cold]] [[gnu::noinline]] void RecordWireHop(const char* stage,
+                                                     int transfer_bytes);
+  [[gnu::cold]] [[gnu::noinline]] void RecordServerHop(const char* stage,
+                                                       const ExecStats& stats);
+  [[gnu::cold]] [[gnu::noinline]] void RecordSyncHop(double latency_us);
+
+  // The pre-telemetry Process() body; Process() wraps it with trace
+  // begin/commit when a tracer is configured.
+  // Both take an rvalue reference (not by value) so the inline Process
+  // dispatch forwards the packet without an extra header copy.
+  Outcome ProcessInner(net::Packet&& pkt, uint64_t now_ms);
+  Outcome ProcessTraced(net::Packet&& pkt, uint64_t now_ms);
 
   // Cache-miss recovery: full server pass + cache refresh + post pass.
   Outcome ProcessCacheMiss(net::Packet pkt, uint64_t now_ms);

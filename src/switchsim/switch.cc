@@ -1,5 +1,6 @@
 #include "switchsim/switch.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <set>
@@ -33,8 +34,9 @@ bool SwitchStateBackend::MapLookup(ir::StateIndex map,
                                    runtime::StateValue* values) {
   ExactMatchTable* table = sw_->map_tables_[map].get();
   assert(table != nullptr && "lookup of a non-resident map on the switch");
-  sw_->TouchState({ir::StateRef::Kind::kMap, map});
-  return table->Lookup(key, values);
+  const bool hit = table->Lookup(key, values);
+  sw_->TouchState({ir::StateRef::Kind::kMap, map}, hit ? 1 : 0);
+  return hit;
 }
 
 void SwitchStateBackend::MapInsert(ir::StateIndex, const runtime::StateKey&,
@@ -92,6 +94,11 @@ void Switch::SetPlacement(const rmt::PlacementReport& report) {
       stage_of_state_[req.state] = report.stage_of[i];
     }
   }
+  int max_stage = -1;
+  for (const auto& [state, stage] : stage_of_state_) {
+    max_stage = std::max(max_stage, stage);
+  }
+  stage_counters_.assign(static_cast<size_t>(max_stage + 1), StageCounters{});
   stages_occupied_ = report.StagesOccupied();
   stage_aware_ = true;
   pass_cursor_ = -1;
@@ -102,17 +109,54 @@ void Switch::BeginPipelinePass() {
   pass_cursor_ = -1;
 }
 
-void Switch::TouchState(const ir::StateRef& ref) {
+void Switch::TouchState(const ir::StateRef& ref, int lookup_hit) {
   if (!stage_aware_) return;
   const auto it = stage_of_state_.find(ref);
   if (it == stage_of_state_.end()) return;
+  StageCounters& counters = stage_counters_[static_cast<size_t>(it->second)];
+  ++counters.accesses;
+  if (lookup_hit == 1) ++counters.matches;
+  if (lookup_hit == 0) ++counters.misses;
   if (it->second < pass_cursor_) {
     // The packet already passed this stage in the current traversal; a real
-    // RMT pipeline cannot flow backwards.
+    // RMT pipeline cannot flow backwards — reaching the state would take a
+    // recirculation through the whole pipe.
     ++stage_order_violations_;
+    ++counters.recirculations;
     return;
   }
   pass_cursor_ = it->second;
+}
+
+void Switch::PublishStageMetrics(telemetry::MetricsRegistry* registry,
+                                 const std::string& scope) const {
+  auto publish = [&](const char* name, int stage, uint64_t value,
+                     const char* help) {
+    registry
+        ->GetGauge(name, {{"mbox", scope}, {"stage", std::to_string(stage)}},
+                   help)
+        ->Set(static_cast<double>(value));
+  };
+  for (size_t stage = 0; stage < stage_counters_.size(); ++stage) {
+    const StageCounters& counters = stage_counters_[stage];
+    const int s = static_cast<int>(stage);
+    publish("gallium_switch_stage_accesses", s, counters.accesses,
+            "data-plane state accesses per RMT stage");
+    publish("gallium_switch_stage_matches", s, counters.matches,
+            "match-table lookup hits per RMT stage");
+    publish("gallium_switch_stage_misses", s, counters.misses,
+            "match-table lookup misses per RMT stage");
+    publish("gallium_switch_stage_recirculations", s, counters.recirculations,
+            "accesses needing a recirculation (stage-order violations)");
+  }
+  registry
+      ->GetGauge("gallium_switch_pipeline_passes", {{"mbox", scope}},
+                 "pipeline traversals begun")
+      ->Set(static_cast<double>(pipeline_passes_));
+  registry
+      ->GetGauge("gallium_switch_recirculations", {{"mbox", scope}},
+                 "total stage-order violations across the run")
+      ->Set(static_cast<double>(stage_order_violations_));
 }
 
 Switch::Switch(const ir::Function& fn, const partition::PartitionPlan& plan,

@@ -19,6 +19,7 @@
 #include "runtime/state.h"
 #include "runtime/sync.h"
 #include "switchsim/table.h"
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -157,6 +158,29 @@ class Switch {
   uint64_t pipeline_passes() const { return pipeline_passes_; }
   uint64_t stage_order_violations() const { return stage_order_violations_; }
 
+  // --- Per-stage data-plane counters (telemetry) ---------------------------------
+  // Counted only in stage-aware mode, keyed by the physical stage the RMT
+  // placement assigned to the touched state: every access, match-table
+  // lookup hits/misses, and accesses that would force a recirculation
+  // (same as a stage-order violation — the packet would need another pass).
+  struct StageCounters {
+    uint64_t accesses = 0;
+    uint64_t matches = 0;
+    uint64_t misses = 0;
+    uint64_t recirculations = 0;
+  };
+  // Indexed by physical stage; sized to the highest placed stage + 1.
+  const std::vector<StageCounters>& stage_counters() const {
+    return stage_counters_;
+  }
+
+  // Snapshots the per-stage counters (plus passes/recirculation totals)
+  // onto `registry` as gauges labeled {mbox=<scope>, stage=<n>}.
+  // Idempotent: gauges are Set, not incremented, so republishing after more
+  // traffic just refreshes the values.
+  void PublishStageMetrics(telemetry::MetricsRegistry* registry,
+                           const std::string& scope) const;
+
   // --- Resources ---------------------------------------------------------------
   struct ResourceReport {
     uint64_t memory_bytes_used = 0;
@@ -201,8 +225,9 @@ class Switch {
           globals);
 
   // Records a data-plane access to `ref` against the stage cursor of the
-  // current pipeline pass (no-op until SetPlacement).
-  void TouchState(const ir::StateRef& ref);
+  // current pipeline pass (no-op until SetPlacement). `lookup_hit` carries
+  // the match-table outcome for map lookups (-1 = not a lookup access).
+  void TouchState(const ir::StateRef& ref, int lookup_hit = -1);
 
   // Indexed by the function's state indices; null when not resident.
   std::vector<std::unique_ptr<ExactMatchTable>> map_tables_;
@@ -212,6 +237,7 @@ class Switch {
   // RMT placement view (SetPlacement): primary stage per state object.
   bool stage_aware_ = false;
   std::map<ir::StateRef, int> stage_of_state_;
+  std::vector<StageCounters> stage_counters_;
   int stages_occupied_ = 0;
   int pass_cursor_ = -1;  // highest stage touched in the current pass
   uint64_t pipeline_passes_ = 0;

@@ -1,0 +1,57 @@
+#include "telemetry/timeline.h"
+
+#include <sstream>
+
+#include "telemetry/metrics.h"
+
+namespace gallium::telemetry {
+
+void Timeline::CompleteEvent(const std::string& name,
+                             const std::string& category, double ts_us,
+                             double dur_us, int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({'X', name, category, ts_us, dur_us, 0, tid});
+}
+
+void Timeline::InstantEvent(const std::string& name,
+                            const std::string& category, double ts_us,
+                            int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({'i', name, category, ts_us, 0, 0, tid});
+}
+
+void Timeline::CounterSample(const std::string& name, double ts_us,
+                             double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({'C', name, "counter", ts_us, 0, value, 0});
+}
+
+size_t Timeline::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Timeline::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(ev.name) << "\",\"cat\":\""
+        << JsonEscape(ev.category) << "\",\"ph\":\"" << ev.phase
+        << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << ev.ts_us;
+    switch (ev.phase) {
+      case 'X': out << ",\"dur\":" << ev.dur_us; break;
+      case 'i': out << ",\"s\":\"t\""; break;
+      case 'C': out << ",\"args\":{\"value\":" << ev.value << "}"; break;
+      default: break;
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace gallium::telemetry

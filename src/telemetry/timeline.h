@@ -1,0 +1,46 @@
+// Pipeline timelines: a thread-safe recorder of Chrome trace-event JSON.
+//
+// Where the Tracer captures the per-packet view, the Timeline captures the
+// simulation / harness view — discrete-event firings, profiling phases,
+// compile phases — as named slices and instants on a virtual-time axis.
+// The output loads in Perfetto (ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gallium::telemetry {
+
+class Timeline {
+ public:
+  // A slice [ts_us, ts_us + dur_us) on lane `tid`.
+  void CompleteEvent(const std::string& name, const std::string& category,
+                     double ts_us, double dur_us, int tid = 0);
+  // A zero-duration marker at ts_us.
+  void InstantEvent(const std::string& name, const std::string& category,
+                    double ts_us, int tid = 0);
+  // A sampled counter track (rendered as a graph in Perfetto).
+  void CounterSample(const std::string& name, double ts_us, double value);
+
+  size_t size() const;
+
+  // {"traceEvents":[...]} — Chrome trace-event JSON.
+  std::string ToChromeJson() const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete, 'i' instant, 'C' counter
+    std::string name;
+    std::string category;
+    double ts_us;
+    double dur_us;
+    double value;
+    int tid;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace gallium::telemetry

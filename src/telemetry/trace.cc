@@ -1,0 +1,149 @@
+#include "telemetry/trace.h"
+
+#include <sstream>
+
+namespace gallium::telemetry {
+
+OpCountsRecorder::OpCountsRecorder(MetricsRegistry* registry,
+                                   const std::string& metric_name,
+                                   LabelSet base_labels) {
+  for (size_t i = 0; i < std::size(kOpCountFields); ++i) {
+    LabelSet labels = base_labels;
+    labels.push_back({"kind", kOpCountFields[i].name});
+    counters_[i] = registry->GetCounter(metric_name, std::move(labels),
+                                        "interpreter ops executed, by kind");
+  }
+}
+
+void OpCountsRecorder::Flush() const {
+  if (!bound()) return;
+  for (size_t i = 0; i < std::size(kOpCountFields); ++i) {
+    const int64_t delta = pending_.*(kOpCountFields[i].field);
+    if (delta > 0) counters_[i]->Increment(static_cast<uint64_t>(delta));
+  }
+  pending_ = OpCounts{};
+}
+
+OpCounts OpCountsRecorder::Totals() const {
+  if (!bound()) return pending_;
+  Flush();
+  OpCounts totals;
+  for (size_t i = 0; i < std::size(kOpCountFields); ++i) {
+    totals.*(kOpCountFields[i].field) =
+        static_cast<int64_t>(counters_[i]->Value());
+  }
+  return totals;
+}
+
+std::string PacketTrace::PathString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& hop : hops) {
+    if (!first) out << " -> ";
+    first = false;
+    out << hop.stage;
+  }
+  return out.str();
+}
+
+void Tracer::Commit(PacketTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++committed_;
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) {
+    traces_.pop_front();
+    ++dropped_;
+  }
+}
+
+uint64_t Tracer::committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<PacketTrace> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+namespace {
+
+// Lane assignment for the Perfetto view: one "thread" per pipeline
+// location so the hops of every packet line up vertically.
+int LaneOf(const std::string& stage) {
+  if (stage.rfind("switch.", 0) == 0) return 1;
+  if (stage.rfind("wire.", 0) == 0) return 2;
+  if (stage.rfind("server", 0) == 0) return 3;
+  if (stage.rfind("sync", 0) == 0) return 4;
+  return 5;
+}
+
+void AppendHopArgs(std::ostringstream& out, const TraceHop& hop,
+                   const PacketTrace& trace) {
+  out << "\"args\":{\"packet_id\":" << trace.packet_id << ",\"ops_total\":"
+      << hop.ops.Total();
+  for (const auto& f : kOpCountFields) {
+    const int64_t v = hop.ops.*(f.field);
+    if (v != 0) out << ",\"ops_" << f.name << "\":" << v;
+  }
+  if (hop.transfer_bytes > 0) {
+    out << ",\"transfer_bytes\":" << hop.transfer_bytes;
+  }
+  if (hop.stages_occupied > 0) {
+    out << ",\"rmt_stages\":" << hop.stages_occupied;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson() const { return TracesToChromeJson(Snapshot()); }
+
+std::string TracesToChromeJson(const std::vector<PacketTrace>& traces) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  // Lane naming metadata so Perfetto shows locations, not bare tids.
+  const std::pair<int, const char*> lanes[] = {{1, "switch pipeline"},
+                                               {2, "wire"},
+                                               {3, "middlebox server"},
+                                               {4, "control plane (sync)"},
+                                               {5, "other"}};
+  for (const auto& [tid, name] : lanes) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << name << "\"}}";
+  }
+  for (const auto& trace : traces) {
+    for (const auto& hop : trace.hops) {
+      comma();
+      out << "{\"name\":\"" << JsonEscape(hop.stage)
+          << "\",\"cat\":\"packet\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+          << LaneOf(hop.stage) << ",\"ts\":" << trace.start_us + hop.ts_us
+          << ",\"dur\":" << hop.duration_us << ",";
+      AppendHopArgs(out, hop, trace);
+      out << "}";
+    }
+    for (const auto& ev : trace.events) {
+      comma();
+      out << "{\"name\":\"" << JsonEscape(ev.kind)
+          << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+          << "\"tid\":4,\"ts\":" << trace.start_us + ev.ts_us
+          << ",\"args\":{\"packet_id\":" << trace.packet_id << ",\"detail\":\""
+          << JsonEscape(ev.detail) << "\"}}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace gallium::telemetry

@@ -13,6 +13,7 @@
 //            [--objective count|weighted] [--optimize] [--print]
 //            [--resources] [--run N] [--chaos-seed S]
 //            [--verify] [--campaign] [--mutate CLASS]
+//            [--metrics-out FILE] [--trace-out FILE]
 //
 //   <middlebox> ∈ {minilb, nat, lb, firewall, proxy, trojan, router}
 //
@@ -24,6 +25,16 @@
 // compiling and reports the fast-path fraction and the fault/recovery
 // counters; --chaos-seed S additionally runs them over a seeded faulty
 // substrate (lossy links, lossy control plane, switch restarts/outages).
+//
+// --metrics-out FILE scrapes the telemetry registry after the compile (and
+// the --run traffic, when requested) into FILE: JSON when the path ends in
+// .json, Prometheus text exposition otherwise. Includes per-phase compile
+// timings, the runtime's packet/sync/fault counters, per-op-kind execution
+// counts, and the per-RMT-stage switch counters.
+//
+// --trace-out FILE writes the per-packet traces of the --run traffic as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing), every
+// hop priced by the calibrated cost model.
 //
 // --verify gates the compile on translation validation (symbolic path
 // equivalence of the composed pre/server/post pipeline against the source
@@ -45,6 +56,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/compiler.h"
 #include "cppgen/support.h"
@@ -54,6 +66,8 @@
 #include "perf/harness.h"
 #include "runtime/fault.h"
 #include "runtime/offloaded_middlebox.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "verify/mutation.h"
 #include "workload/packet_gen.h"
 
@@ -102,6 +116,15 @@ void PrintUsage(std::FILE* to) {
       "                [--objective count|weighted] [--optimize] [--print]\n"
       "                [--resources] [--run N] [--chaos-seed S]\n"
       "                [--verify] [--campaign] [--mutate CLASS]\n"
+      "                [--metrics-out FILE] [--trace-out FILE]\n"
+      "\n"
+      "telemetry:\n"
+      "  --metrics-out FILE  dump the metrics registry (compile timings,\n"
+      "                      runtime counters, per-stage switch counters):\n"
+      "                      JSON if FILE ends in .json, Prometheus text\n"
+      "                      otherwise\n"
+      "  --trace-out FILE    write per-packet traces of the --run traffic\n"
+      "                      as Chrome trace-event JSON (Perfetto-loadable)\n"
       "\n"
       "verification:\n"
       "  --verify         gate the compile on translation validation +\n"
@@ -125,11 +148,17 @@ int Usage() {
 }
 
 // Drives `num_packets` synthetic packets through the offloaded runtime and
-// prints the counters, including the fault/retry/degraded-mode ones.
+// prints the counters, including the fault/retry/degraded-mode ones. The
+// runtime publishes its counters into `registry` and, when `tracer` is
+// non-null, commits one INT-style trace per packet into it.
 int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
-               uint64_t chaos_seed, bool chaos) {
+               uint64_t chaos_seed, bool chaos,
+               telemetry::MetricsRegistry* registry,
+               telemetry::Tracer* tracer) {
   runtime::FaultPlan plan;
   runtime::OffloadedOptions options;
+  options.registry = registry;
+  options.tracer = tracer;
   if (chaos) {
     plan = runtime::MakeRandomFaultPlan(chaos_seed,
                                         static_cast<uint64_t>(num_packets));
@@ -173,6 +202,7 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
     }
   }
   (*mbx)->EnsureSwitchCoherent();
+  (*mbx)->PublishSwitchStageMetrics();
 
   std::printf("  run: %d packets  fast-path %.1f%%  degraded %d  errors %d\n",
               processed, 100.0 * (*mbx)->FastPathFraction(), degraded, errors);
@@ -213,6 +243,8 @@ int main(int argc, char** argv) {
   bool chaos = false;
   bool campaign = false;
   std::string mutate_class;
+  std::string metrics_out;
+  std::string trace_out;
   core::CompileOptions options;
 
   for (int i = 2; i < argc; ++i) {
@@ -274,6 +306,14 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       options.verify = true;
       mutate_class = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_out = v;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -318,6 +358,23 @@ int main(int argc, char** argv) {
     }
     return diag.exit_code;
   }
+
+  // One registry per invocation: the compile-phase timings land next to
+  // whatever counters the --run runtime publishes, so --metrics-out is a
+  // single scrape of everything this run did.
+  telemetry::MetricsRegistry registry;
+  telemetry::Tracer tracer;
+  for (const auto& [phase, us] : result->phase_times_us) {
+    registry
+        .GetGauge("galliumc_compile_phase_us",
+                  {{"mbox", spec->name}, {"phase", phase}},
+                  "wall-clock compile time per phase")
+        ->Set(us);
+  }
+  registry
+      .GetGauge("galliumc_compile_total_us", {{"mbox", spec->name}},
+                "wall-clock compile time, all phases")
+      ->Set(result->total_compile_us);
 
   const std::string base = out_dir + "/" + spec->name;
   // The server artifact is materialized with its support headers so the
@@ -404,8 +461,39 @@ int main(int argc, char** argv) {
   if (print) {
     std::printf("\n%s\n", result->p4_source.c_str());
   }
+  int rc = 0;
   if (run_packets > 0) {
-    return RunTraffic(*spec, run_packets, chaos_seed, chaos);
+    rc = RunTraffic(*spec, run_packets, chaos_seed, chaos, &registry,
+                    trace_out.empty() ? nullptr : &tracer);
   }
-  return 0;
+  if (!metrics_out.empty()) {
+    const bool json = metrics_out.size() >= 5 &&
+                      metrics_out.rfind(".json") == metrics_out.size() - 5;
+    if (!WriteFile(metrics_out,
+                   json ? registry.ToJson() : registry.ToPrometheusText())) {
+      return 1;
+    }
+    std::printf("  wrote metrics (%s, %zu series) to %s\n",
+                json ? "json" : "prometheus", registry.size(),
+                metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    // Stamp every hop with the cost model and lay the packets out
+    // back-to-back on the trace clock so Perfetto shows the run as one
+    // contiguous timeline (64B packets, the paper's microbenchmark size).
+    const perf::CostModel cost;
+    std::vector<telemetry::PacketTrace> traces = tracer.Snapshot();
+    double clock_us = 0;
+    for (telemetry::PacketTrace& trace : traces) {
+      perf::StampTrace(cost, /*wire_bytes=*/64, &trace);
+      trace.start_us = clock_us;
+      clock_us += trace.total_us + 1.0;  // 1us inter-packet gap
+    }
+    if (!WriteFile(trace_out, telemetry::TracesToChromeJson(traces))) {
+      return 1;
+    }
+    std::printf("  wrote %zu packet traces to %s\n", traces.size(),
+                trace_out.c_str());
+  }
+  return rc;
 }
