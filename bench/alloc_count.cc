@@ -1,0 +1,102 @@
+// Steady-state allocation accounting for the runtime hot path.
+//
+// Counts global operator-new calls per packet through the offloaded runtime
+// once flow state is warm. Table lookups and packet processing should not
+// allocate per packet in the fast path; this bench pins the actual number
+// so regressions (a copy that became a fresh vector, a map rebuilt per
+// packet) show up as an allocs/packet jump in the checked-in BENCH baseline
+// rather than as an unexplained throughput loss.
+//
+// The count is deterministic for a fixed seed: same trace, same state
+// history, same container growth — which is what makes it CI-gateable.
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace {
+unsigned long long g_allocs = 0;
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include "bench_common.h"
+#include "runtime/offloaded_middlebox.h"
+#include "workload/packet_gen.h"
+
+int main() {
+  using namespace gallium;
+  const uint64_t kSeed = 99;
+  const int kMeasuredPackets = 2000;
+
+  bench::RunManifest manifest("alloc_count", kSeed);
+  manifest.SetConfig("measured_packets", kMeasuredPackets);
+
+  std::printf("Steady-state allocations per packet (offloaded runtime)\n");
+  bench::PrintRule(60);
+  std::printf("%-18s %12s %16s\n", "Middlebox", "allocs", "allocs/packet");
+  bench::PrintRule(60);
+
+  for (const auto& entry : bench::PaperMiddleboxes()) {
+    auto spec = entry.build();
+    if (!spec.ok()) {
+      std::printf("%-18s BUILD ERROR: %s\n", entry.display_name.c_str(),
+                  spec.status().ToString().c_str());
+      return 1;
+    }
+    auto mbx = runtime::OffloadedMiddlebox::Create(*spec);
+    if (!mbx.ok()) {
+      std::printf("%-18s RUNTIME ERROR: %s\n", entry.display_name.c_str(),
+                  mbx.status().ToString().c_str());
+      return 1;
+    }
+
+    Rng rng(kSeed);
+    workload::TraceOptions trace_options;
+    trace_options.num_flows = 32;
+    trace_options.ingress_port = mbox::kPortInternal;
+    const workload::Trace trace = workload::MakeTrace(rng, trace_options);
+    if (trace.packets.empty()) {
+      std::printf("%-18s EMPTY TRACE\n", entry.display_name.c_str());
+      return 1;
+    }
+
+    // Warm-up pass: install all flow state so the measured window sees the
+    // steady state, not the one-time insert cost.
+    uint64_t now_ms = 0;
+    for (const net::Packet& pkt : trace.packets) {
+      if (!(*mbx)->Process(pkt, ++now_ms).status.ok()) {
+        std::printf("%-18s PROCESS ERROR (warmup)\n",
+                    entry.display_name.c_str());
+        return 1;
+      }
+    }
+
+    const unsigned long long before = g_allocs;
+    for (int i = 0; i < kMeasuredPackets; ++i) {
+      const net::Packet& pkt = trace.packets[i % trace.packets.size()];
+      if (!(*mbx)->Process(pkt, ++now_ms).status.ok()) {
+        std::printf("%-18s PROCESS ERROR\n", entry.display_name.c_str());
+        return 1;
+      }
+    }
+    const unsigned long long delta = g_allocs - before;
+    const double per_packet = static_cast<double>(delta) / kMeasuredPackets;
+    std::printf("%-18s %12llu %16.2f\n", entry.display_name.c_str(), delta,
+                per_packet);
+    manifest.RecordResult("bench_allocs_per_packet",
+                          {{"mbox", entry.display_name}}, per_packet,
+                          "global operator-new calls per steady-state packet");
+  }
+  bench::PrintRule(60);
+  manifest.Write();
+  return 0;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench RunManifest against its checked-in BENCH baseline.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_figure7_throughput.json \
+      --current build/figure7_throughput_manifest.json [--tolerance 0.05]
+
+Both files are RunManifest JSON (see bench/bench_common.h). Only the gated
+metric families below are compared — everything else in the manifest is
+informational. A series present in the baseline but missing from the
+current run is a failure (coverage loss), new series in the current run are
+fine (they become gated once the baseline is refreshed).
+
+To refresh a baseline after an intentional change, rerun the bench and copy
+its manifest over the BENCH_*.json at the repo root in the same PR.
+"""
+
+import argparse
+import json
+import sys
+
+# Metric families the gate enforces, with their improvement direction.
+HIGHER_IS_BETTER = {
+    "bench_throughput_gbps",
+    "bench_fast_path_fraction",
+}
+LOWER_IS_BETTER = {
+    "bench_allocs_per_packet",
+    "bench_sync_latency_us",
+    "bench_backlog_latency_per_packet_us",
+    "bench_latency_us",
+}
+
+
+def series_key(metric):
+    labels = metric.get("labels", {})
+    label_str = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{metric['name']}{{{label_str}}}"
+
+
+def gated_series(manifest):
+    out = {}
+    for metric in manifest.get("telemetry", {}).get("metrics", []):
+        name = metric.get("name", "")
+        if name in HIGHER_IS_BETTER or name in LOWER_IS_BETTER:
+            out[series_key(metric)] = (name, float(metric["value"]))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative regression (default 5%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = gated_series(json.load(f))
+    with open(args.current) as f:
+        current = gated_series(json.load(f))
+
+    if not baseline:
+        print(f"error: no gated series in baseline {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    compared = 0
+    for key, (name, base_value) in sorted(baseline.items()):
+        if key not in current:
+            failures.append(f"{key}: present in baseline, missing from "
+                            "current run (coverage loss)")
+            continue
+        cur_value = current[key][1]
+        compared += 1
+        if base_value == 0.0:
+            # A zero baseline has no relative scale; only a strictly worse
+            # nonzero value counts as a regression.
+            worse = cur_value > 0 if name in LOWER_IS_BETTER else cur_value < 0
+            delta_txt = f"{base_value} -> {cur_value}"
+        else:
+            change = (cur_value - base_value) / base_value
+            worse = (change > args.tolerance if name in LOWER_IS_BETTER
+                     else change < -args.tolerance)
+            delta_txt = f"{base_value:.4g} -> {cur_value:.4g} ({change:+.1%})"
+        if worse:
+            direction = ("lower" if name in LOWER_IS_BETTER else
+                         "higher") + "-is-better"
+            failures.append(f"{key} [{direction}]: {delta_txt} exceeds "
+                            f"{args.tolerance:.0%} tolerance")
+
+    if failures:
+        print(f"bench regression check FAILED "
+              f"({len(failures)} of {len(baseline)} gated series):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("(intentional change? rerun the bench and refresh the "
+              "BENCH_*.json baseline in this PR)", file=sys.stderr)
+        return 1
+
+    print(f"bench regression check passed: {compared} gated series within "
+          f"{args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "runtime/fault.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/strings.h"
 
@@ -30,6 +31,16 @@ uint64_t GetU64(const uint8_t* p) {
 
 }  // namespace
 
+const char* GreyWindowKindName(GreyWindow::Kind kind) {
+  switch (kind) {
+    case GreyWindow::Kind::kLatencySpike: return "latency_spike";
+    case GreyWindow::Kind::kSlowSwitch: return "slow_switch";
+    case GreyWindow::Kind::kAsymmetricLoss: return "asymmetric_loss";
+    case GreyWindow::Kind::kBurstLoss: return "burst_loss";
+  }
+  return "?";
+}
+
 std::string FaultPlan::ToString() const {
   std::string s = "FaultPlan{seed=" + std::to_string(seed);
   auto pct = [](double p) { return std::to_string(static_cast<int>(p * 100)); };
@@ -42,7 +53,12 @@ std::string FaultPlan::ToString() const {
   s += " sync[batch_drop=" + pct(sync.batch_drop) + "% ack_drop=" +
        pct(sync.ack_drop) + "% delay=" + pct(sync.delay_prob) + "%]";
   s += " restarts=" + std::to_string(restart_at_packets.size());
-  s += " outages=" + std::to_string(outages.size()) + "}";
+  s += " outages=" + std::to_string(outages.size());
+  for (const GreyWindow& w : grey_windows) {
+    s += std::string(" ") + GreyWindowKindName(w.kind) + "[" +
+         std::to_string(w.start) + "," + std::to_string(w.end) + ")";
+  }
+  s += "}";
   return s;
 }
 
@@ -89,9 +105,115 @@ FaultPlan MakeRandomFaultPlan(uint64_t seed, uint64_t num_packets) {
   return plan;
 }
 
+FaultPlan MakeOverloadFaultPlan(uint64_t seed, uint64_t num_packets) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x94d049bb133111ebull);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  // Clean-ish data links: overload is a control-plane phenomenon; the point
+  // is to grow the sync backlog, not to lose the packets themselves.
+  plan.to_server.drop = rng.NextDouble() * 0.02;
+  plan.to_switch.drop = rng.NextDouble() * 0.02;
+
+  // Congested control plane: heavy batch/ack loss forces retries, and every
+  // retry burns the delivery budget the backlog is waiting on.
+  plan.sync.batch_drop = 0.15 + rng.NextDouble() * 0.25;
+  plan.sync.ack_drop = 0.10 + rng.NextDouble() * 0.15;
+  plan.sync.delay_prob = 0.30 + rng.NextDouble() * 0.40;
+  plan.sync.delay_us_mean = 200.0 + rng.NextDouble() * 600.0;
+
+  if (num_packets >= 16) {
+    // One or two burst-loss windows: near-total loss on both directions for
+    // a short span (~3% of the run each).
+    const int bursts = 1 + static_cast<int>(seed % 2);
+    for (int i = 0; i < bursts; ++i) {
+      GreyWindow w;
+      w.kind = GreyWindow::Kind::kBurstLoss;
+      const uint64_t len = std::max<uint64_t>(2, num_packets / 32);
+      w.start = 1 + rng.NextBounded(num_packets - len);
+      w.end = w.start + len;
+      w.drop_to_server = 0.85 + rng.NextDouble() * 0.10;
+      w.drop_to_switch = w.drop_to_server;
+      w.sync_drop = 0.5;
+      plan.grey_windows.push_back(w);
+    }
+    // A sustained asymmetric-loss window on one direction (~10% of the run).
+    GreyWindow asym;
+    asym.kind = GreyWindow::Kind::kAsymmetricLoss;
+    const uint64_t len = std::max<uint64_t>(4, num_packets / 10);
+    asym.start = 1 + rng.NextBounded(num_packets - len);
+    asym.end = asym.start + len;
+    if (seed % 2 == 0) {
+      asym.drop_to_switch = 0.4 + rng.NextDouble() * 0.3;
+    } else {
+      asym.drop_to_server = 0.4 + rng.NextDouble() * 0.3;
+    }
+    plan.grey_windows.push_back(asym);
+  }
+  return plan;
+}
+
+FaultPlan MakeGreyFailureFaultPlan(uint64_t seed, uint64_t num_packets) {
+  Rng rng(seed * 0xbf58476d1ce4e5b9ull + 0x2545f4914f6cdd1dull);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  // Light base noise so detection has to discriminate, not just threshold
+  // on "any fault at all".
+  plan.to_server.drop = rng.NextDouble() * 0.03;
+  plan.to_switch.drop = rng.NextDouble() * 0.03;
+  plan.sync.batch_drop = rng.NextDouble() * 0.05;
+  plan.sync.ack_drop = rng.NextDouble() * 0.05;
+
+  if (num_packets >= 16) {
+    // Alternating latency-spike and slow-switch windows across the run —
+    // the switch keeps answering, so a naive detector flaps on every one.
+    const int windows = 2 + static_cast<int>(seed % 3);
+    for (int i = 0; i < windows; ++i) {
+      GreyWindow w;
+      const uint64_t len = std::max<uint64_t>(3, num_packets / 12);
+      w.start = 1 + rng.NextBounded(num_packets - len);
+      w.end = w.start + len;
+      if (i % 2 == 0) {
+        w.kind = GreyWindow::Kind::kLatencySpike;
+        w.latency_factor = 4.0 + rng.NextDouble() * 8.0;
+        w.extra_delay_us = 500.0 + rng.NextDouble() * 1500.0;
+      } else {
+        w.kind = GreyWindow::Kind::kSlowSwitch;
+        w.latency_factor = 2.0 + rng.NextDouble() * 3.0;
+        w.extra_delay_us = 200.0 + rng.NextDouble() * 400.0;
+        w.probe_miss = 0.3 + rng.NextDouble() * 0.4;
+        w.sync_drop = 0.1 + rng.NextDouble() * 0.2;
+      }
+      plan.grey_windows.push_back(w);
+    }
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlanFromSpec(const std::string& spec,
+                                    uint64_t num_packets) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    return InvalidArgument("fault-plan spec must be <kind>:<seed>, got '" +
+                           spec + "'");
+  }
+  const std::string kind = spec.substr(0, colon);
+  char* end = nullptr;
+  const uint64_t seed = std::strtoull(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return InvalidArgument("fault-plan seed is not a number in '" + spec + "'");
+  }
+  if (kind == "random") return MakeRandomFaultPlan(seed, num_packets);
+  if (kind == "overload") return MakeOverloadFaultPlan(seed, num_packets);
+  if (kind == "grey") return MakeGreyFailureFaultPlan(seed, num_packets);
+  return InvalidArgument("unknown fault-plan kind '" + kind +
+                         "' (try: random overload grey)");
+}
+
 void FaultyChannel::Send(std::vector<uint8_t> frame) {
   ++frames_sent_;
-  if (rng_->NextBool(faults_.drop)) {
+  if (rng_->NextBool(std::min(1.0, faults_.drop + drop_boost_))) {
     ++frames_dropped_;
     // A newer transmission overtaking a lost one still releases the held
     // frame — the reordered copy is in flight regardless of later losses.
@@ -130,6 +252,13 @@ std::optional<std::vector<uint8_t>> FaultyChannel::Receive() {
   return frame;
 }
 
+void FaultyChannel::Drain() {
+  if (held_.has_value()) {
+    queue_.push_back(std::move(*held_));
+    held_.reset();
+  }
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_(plan),
       rng_(plan.seed ^ 0xd1b54a32d192ed03ull),
@@ -142,6 +271,27 @@ bool FaultInjector::SwitchDown(uint64_t packet_index) const {
     if (packet_index >= start && packet_index < end) return true;
   }
   return false;
+}
+
+void FaultInjector::BeginPacket(uint64_t packet_index) {
+  grey_active_ = false;
+  grey_latency_factor_ = 1.0;
+  grey_extra_delay_us_ = 0.0;
+  grey_probe_miss_ = 0.0;
+  grey_sync_drop_ = 0.0;
+  double boost_to_server = 0.0, boost_to_switch = 0.0;
+  for (const GreyWindow& w : plan_.grey_windows) {
+    if (!w.Active(packet_index)) continue;
+    grey_active_ = true;
+    grey_latency_factor_ = std::max(grey_latency_factor_, w.latency_factor);
+    grey_extra_delay_us_ += w.extra_delay_us;
+    grey_probe_miss_ = std::min(1.0, grey_probe_miss_ + w.probe_miss);
+    grey_sync_drop_ = std::min(1.0, grey_sync_drop_ + w.sync_drop);
+    boost_to_server += w.drop_to_server;
+    boost_to_switch += w.drop_to_switch;
+  }
+  to_server_.set_drop_boost(boost_to_server);
+  to_switch_.set_drop_boost(boost_to_switch);
 }
 
 bool FaultInjector::TakeRestart(uint64_t packet_index) {

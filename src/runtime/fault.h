@@ -15,6 +15,7 @@
 // identical fault schedule.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace gallium::runtime {
 
@@ -51,6 +53,35 @@ struct SyncFaults {
   }
 };
 
+// A windowed grey failure: the switch stays formally reachable but behaves
+// badly for every packet whose index falls in [start, end). Unlike the
+// binary outage windows, these are the faults a naive failure detector
+// flaps on — the control plane answers, just slowly or lossily — so they
+// are what the watchdog's hysteresis exists for.
+struct GreyWindow {
+  enum class Kind : uint8_t {
+    kLatencySpike,    // control-plane latency multiplied/offset
+    kSlowSwitch,      // sustained slow switch: latency up + probes lossy
+    kAsymmetricLoss,  // heavy loss on one data direction only
+    kBurstLoss,       // short near-total loss burst on both directions
+  };
+  Kind kind = Kind::kLatencySpike;
+  uint64_t start = 0, end = 0;  // [start, end) in packet indices
+
+  double latency_factor = 1.0;   // multiplies sync/probe latency
+  double extra_delay_us = 0.0;   // added to every sync/probe round-trip
+  double probe_miss = 0.0;       // P(heartbeat probe lost)
+  double sync_drop = 0.0;        // extra batch/ack loss on the control plane
+  double drop_to_server = 0.0;   // extra drop on switch->server data frames
+  double drop_to_switch = 0.0;   // extra drop on server->switch data frames
+
+  bool Active(uint64_t packet_index) const {
+    return packet_index >= start && packet_index < end;
+  }
+};
+
+const char* GreyWindowKindName(GreyWindow::Kind kind);
+
 // A complete, seeded fault schedule for one run.
 struct FaultPlan {
   uint64_t seed = 0;
@@ -64,6 +95,8 @@ struct FaultPlan {
   // switch is unreachable and the runtime must degrade to software-only
   // processing.
   std::vector<std::pair<uint64_t, uint64_t>> outages;
+  // Grey failures layered on top of the base rates (see GreyWindow).
+  std::vector<GreyWindow> grey_windows;
 
   bool HasDataFaults() const { return to_server.any() || to_switch.any(); }
   std::string ToString() const;
@@ -76,6 +109,22 @@ struct FaultPlan {
 // recovery paths.
 FaultPlan MakeRandomFaultPlan(uint64_t seed, uint64_t num_packets);
 
+// Overload-flavored plan: clean data links but a congested control plane —
+// elevated batch/ack loss plus burst-loss and asymmetric-loss windows — the
+// regime that grows the sync backlog under flow churn.
+FaultPlan MakeOverloadFaultPlan(uint64_t seed, uint64_t num_packets);
+
+// Grey-failure-flavored plan: no hard outages; instead latency-spike and
+// slow-switch windows (plus lossy probes) that an un-hysteretic failure
+// detector would flap on.
+FaultPlan MakeGreyFailureFaultPlan(uint64_t seed, uint64_t num_packets);
+
+// Parses "<kind>:<seed>" where kind ∈ {random, overload, grey} into the
+// corresponding generated plan — the reproduction handle chaos failures
+// print and galliumc --fault-plan accepts.
+Result<FaultPlan> FaultPlanFromSpec(const std::string& spec,
+                                    uint64_t num_packets);
+
 // A lossy frame pipe. Send() subjects the frame to the configured faults;
 // Receive() pops the next delivered frame (nullopt when the queue is empty
 // — e.g. the frame was dropped or is being held back for reordering).
@@ -87,8 +136,19 @@ class FaultyChannel {
   void Send(std::vector<uint8_t> frame);
   std::optional<std::vector<uint8_t>> Receive();
 
+  // Releases a frame held back for reordering into the delivery queue.
+  // Called at channel drain/shutdown: a reordered frame is late, never
+  // lost — without this, a frame held when the run ends would silently
+  // vanish and the channel's conservation accounting would not balance.
+  void Drain();
+
+  // Extra drop probability layered on the configured rate (active grey
+  // window); applied as min(1, drop + boost) per frame.
+  void set_drop_boost(double boost) { drop_boost_ = boost; }
+  double drop_boost() const { return drop_boost_; }
+
   // True while a frame is held back for reordering (it is released behind
-  // the next frame entering the channel).
+  // the next frame entering the channel, or by Drain()).
   bool has_held() const { return held_.has_value(); }
 
   uint64_t frames_sent() const { return frames_sent_; }
@@ -100,6 +160,7 @@ class FaultyChannel {
  private:
   ChannelFaults faults_;
   Rng* rng_;
+  double drop_boost_ = 0.0;
   std::deque<std::vector<uint8_t>> queue_;
   // At most one frame is held back for reordering; it is released behind
   // the next frame that enters the channel.
@@ -123,13 +184,35 @@ class FaultInjector {
   // True exactly once per scheduled restart, when its packet index arrives.
   bool TakeRestart(uint64_t packet_index);
 
-  // Control-plane dice.
-  bool DropBatch() { return rng_.NextBool(plan_.sync.batch_drop); }
-  bool DropAck() { return rng_.NextBool(plan_.sync.ack_drop); }
-  double SyncDelayUs() {
-    if (!rng_.NextBool(plan_.sync.delay_prob)) return 0.0;
-    return rng_.NextExponential(plan_.sync.delay_us_mean);
+  // Activates the grey windows covering `packet_index`: folds their extra
+  // loss into the data channels' drop boosts and caches the control-plane
+  // latency/loss effects the dice below consult. Call once per packet,
+  // before any hazard point fires.
+  void BeginPacket(uint64_t packet_index);
+
+  // Control-plane dice. Batch/ack loss honors the active grey window's
+  // extra sync_drop on top of the plan's base rates.
+  bool DropBatch() {
+    return rng_.NextBool(std::min(1.0, plan_.sync.batch_drop + grey_sync_drop_));
   }
+  bool DropAck() {
+    return rng_.NextBool(std::min(1.0, plan_.sync.ack_drop + grey_sync_drop_));
+  }
+  double SyncDelayUs() {
+    double delay = grey_extra_delay_us_;
+    if (rng_.NextBool(plan_.sync.delay_prob)) {
+      delay += rng_.NextExponential(plan_.sync.delay_us_mean);
+    }
+    return delay;
+  }
+
+  // Grey-failure surface for the watchdog/sync paths: multiplier applied to
+  // modeled control-plane/probe latencies, and the heartbeat-loss dice.
+  double LatencyFactor() const { return grey_latency_factor_; }
+  double ExtraDelayUs() const { return grey_extra_delay_us_; }
+  bool ProbeMiss() { return rng_.NextBool(grey_probe_miss_); }
+  // True while any grey window covers the current packet.
+  bool InGreyWindow() const { return grey_active_; }
 
   FaultyChannel& to_server() { return to_server_; }
   FaultyChannel& to_switch() { return to_switch_; }
@@ -142,6 +225,13 @@ class FaultInjector {
   FaultyChannel to_server_;
   FaultyChannel to_switch_;
   size_t next_restart_ = 0;
+
+  // Effects of the grey windows covering the current packet (BeginPacket).
+  bool grey_active_ = false;
+  double grey_latency_factor_ = 1.0;
+  double grey_extra_delay_us_ = 0.0;
+  double grey_probe_miss_ = 0.0;
+  double grey_sync_drop_ = 0.0;
 };
 
 // Frame codec for the reliable data link: [seq:8][fnv1a-64 checksum:8][wire

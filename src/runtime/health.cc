@@ -1,0 +1,87 @@
+#include "runtime/health.h"
+
+namespace gallium::runtime {
+
+const char* HealthWatchdog::ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kOffloaded: return "offloaded";
+    case Mode::kDegraded: return "degraded";
+    case Mode::kResyncPending: return "resync_pending";
+  }
+  return "?";
+}
+
+bool HealthWatchdog::OnPacket() {
+  ++packets_in_mode_;
+  ++packets_since_probe_;
+  const uint64_t interval =
+      mode_ == Mode::kOffloaded ? options_.probe_interval_packets : 1;
+  if (packets_since_probe_ < interval) return false;
+  packets_since_probe_ = 0;
+  ++probes_sent_;
+  return true;
+}
+
+void HealthWatchdog::RecordObservation(bool success, double latency_us) {
+  if (success) {
+    consecutive_misses_ = 0;
+    ++consecutive_successes_;
+    if (!ewma_primed_) {
+      ewma_us_ = latency_us;
+      ewma_primed_ = true;
+    } else {
+      ewma_us_ = options_.ewma_alpha * latency_us +
+                 (1.0 - options_.ewma_alpha) * ewma_us_;
+    }
+  } else {
+    consecutive_successes_ = 0;
+    ++consecutive_misses_;
+    ++probes_missed_;
+    // A miss is worst-case latency evidence: pull the EWMA toward the entry
+    // threshold so sustained loss trips the detector even when the few
+    // answered probes are fast.
+    const double penalty = options_.latency_enter_us * 2.0;
+    ewma_us_ = ewma_primed_
+                   ? options_.ewma_alpha * penalty +
+                         (1.0 - options_.ewma_alpha) * ewma_us_
+                   : penalty;
+    ewma_primed_ = true;
+  }
+
+  switch (mode_) {
+    case Mode::kOffloaded: {
+      const bool unhealthy =
+          consecutive_misses_ >= options_.miss_enter_threshold ||
+          ewma_us_ >= options_.latency_enter_us;
+      if (unhealthy && DwellElapsed()) SwitchMode(Mode::kDegraded);
+      break;
+    }
+    case Mode::kDegraded: {
+      const bool healthy =
+          consecutive_successes_ >= options_.ok_exit_threshold &&
+          ewma_us_ <= options_.latency_exit_us;
+      if (healthy && DwellElapsed()) SwitchMode(Mode::kResyncPending);
+      break;
+    }
+    case Mode::kResyncPending:
+      // If health collapses again while the rebuild is still pending, fall
+      // straight back — resyncing against a sick switch wastes the snapshot.
+      if (consecutive_misses_ >= options_.miss_enter_threshold) {
+        SwitchMode(Mode::kDegraded);
+      }
+      break;
+  }
+}
+
+void HealthWatchdog::NotifyResynced() {
+  if (mode_ == Mode::kResyncPending) SwitchMode(Mode::kOffloaded);
+}
+
+void HealthWatchdog::SwitchMode(Mode next) {
+  mode_ = next;
+  packets_in_mode_ = 0;
+  packets_since_probe_ = 0;
+  ++transitions_;
+}
+
+}  // namespace gallium::runtime

@@ -1,0 +1,109 @@
+// Health watchdog for the offloaded runtime.
+//
+// The seed runtime had perfect failure knowledge: the fault injector told
+// it, per packet, whether the switch was down. Real deployments only get
+// evidence — heartbeat probes and sync outcomes — and grey failures (a
+// switch that answers slowly, or drops every third probe) make that
+// evidence noisy. A detector that degrades on the first miss and recovers
+// on the first success flaps between offloaded and software-only mode on
+// every noise spike, paying a full state resync per flap.
+//
+// The watchdog is a φ-style failure detector with hysteresis:
+//
+//   * evidence:  consecutive probe/sync misses, and an EWMA of observed
+//                control-plane latency;
+//   * entry:     degrade when misses >= miss_enter_threshold OR the latency
+//                EWMA crosses latency_enter_us;
+//   * exit:      arm recovery only after ok_exit_threshold consecutive
+//                successes AND the EWMA back under latency_exit_us
+//                (latency_exit_us < latency_enter_us: the two thresholds
+//                must be crossed in opposite directions — classic
+//                Schmitt-trigger hysteresis);
+//   * dwell:     a mode switch is refused until min_dwell_packets have been
+//                processed in the current mode, bounding the transition
+//                rate no matter how adversarial the fault schedule is.
+//
+// Recovery is two-phase (offloaded -> degraded -> resync -> offloaded): on
+// exit the watchdog parks in kResyncPending; the runtime rebuilds the
+// switch from the authoritative host store and only then reports
+// kOffloaded. Intermittent faults therefore cost at most one resync per
+// dwell period.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gallium::runtime {
+
+struct HealthOptions {
+  bool enabled = false;
+  // Probe the switch every this-many packets while offloaded (and every
+  // packet while degraded, so recovery is prompt).
+  uint64_t probe_interval_packets = 4;
+  // Consecutive probe/sync misses that enter degraded mode.
+  int miss_enter_threshold = 3;
+  // Consecutive successes required before recovery arms.
+  int ok_exit_threshold = 4;
+  // Latency EWMA thresholds (entry above, exit below; exit < entry).
+  double latency_enter_us = 2000.0;
+  double latency_exit_us = 800.0;
+  // EWMA smoothing factor for observed probe/sync latency.
+  double ewma_alpha = 0.3;
+  // Minimum packets spent in a mode before the next transition.
+  uint64_t min_dwell_packets = 32;
+};
+
+class HealthWatchdog {
+ public:
+  enum class Mode : uint8_t {
+    kOffloaded,      // switch healthy; packets use the pipeline
+    kDegraded,       // software-only; switch quarantined
+    kResyncPending,  // health recovered; awaiting the state rebuild
+  };
+
+  explicit HealthWatchdog(HealthOptions options) : options_(options) {}
+
+  Mode mode() const { return mode_; }
+  // Advances the per-packet clock; returns true when this packet should
+  // carry a heartbeat probe.
+  bool OnPacket();
+
+  // Feeds one piece of evidence (a heartbeat outcome or a sync delivery
+  // outcome) into the detector and runs the mode machine.
+  void RecordObservation(bool success, double latency_us);
+
+  // The runtime finished rebuilding the switch from the host store;
+  // kResyncPending -> kOffloaded.
+  void NotifyResynced();
+
+  double latency_ewma_us() const { return ewma_us_; }
+  int consecutive_misses() const { return consecutive_misses_; }
+  int consecutive_successes() const { return consecutive_successes_; }
+  // Mode changes of any kind — the bounded-flapping quantity the soak
+  // harness asserts on.
+  uint64_t transitions() const { return transitions_; }
+  uint64_t probes_sent() const { return probes_sent_; }
+  uint64_t probes_missed() const { return probes_missed_; }
+
+  static const char* ModeName(Mode mode);
+
+ private:
+  bool DwellElapsed() const {
+    return packets_in_mode_ >= options_.min_dwell_packets;
+  }
+  void SwitchMode(Mode next);
+
+  HealthOptions options_;
+  Mode mode_ = Mode::kOffloaded;
+  double ewma_us_ = 0.0;
+  bool ewma_primed_ = false;
+  int consecutive_misses_ = 0;
+  int consecutive_successes_ = 0;
+  uint64_t packets_in_mode_ = 0;
+  uint64_t packets_since_probe_ = 0;
+  uint64_t transitions_ = 0;
+  uint64_t probes_sent_ = 0;
+  uint64_t probes_missed_ = 0;
+};
+
+}  // namespace gallium::runtime

@@ -54,6 +54,19 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
                             "data-link frames retransmitted");
   c_.resyncs =
       counter("gallium_resyncs_total", "full switch-state rebuilds from host");
+  c_.packets_shed =
+      counter("gallium_packets_shed_total",
+              "packets refused at ingress with the backlog at its bound");
+  c_.backpressure_events =
+      counter("gallium_sync_backpressure_total",
+              "packets that blocked on an inline backlog drain at the bound");
+  c_.backlog_pumps = counter("gallium_sync_backlog_pumps_total",
+                             "coalesced backlog batches delivered");
+  c_.probe_misses = counter("gallium_probe_misses_total",
+                            "heartbeat probes lost or unanswered");
+  c_.unwatched_fallbacks =
+      counter("gallium_unwatched_fallbacks_total",
+              "per-packet degraded fallbacks before the watchdog caught up");
   c_.sync_latency_us = registry_->GetHistogram(
       "gallium_sync_latency_us", scope, telemetry::DefaultLatencyBucketsUs(),
       "output-commit wait per committed sync batch");
@@ -81,6 +94,9 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
   }
   if (options_.fault_plan != nullptr) {
     injector_ = std::make_unique<FaultInjector>(*options_.fault_plan);
+  }
+  if (options_.health.enabled) {
+    watchdog_ = std::make_unique<HealthWatchdog>(options_.health);
   }
 }
 
@@ -252,7 +268,9 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
       *committed = true;
       return total_us;
     }
-    total_us += ack.latency_us;
+    // A grey slow-switch window stretches the control-plane service time.
+    total_us += injector_ != nullptr ? ack.latency_us * injector_->LatencyFactor()
+                                     : ack.latency_us;
     if (injector_ != nullptr && injector_->DropAck()) {
       // Applied on the switch but the server never learns: the retry is
       // delivered as a duplicate and acked idempotently.
@@ -275,6 +293,10 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
 }
 
 double OffloadedMiddlebox::ResyncSwitch() {
+  // The snapshot below carries the full host store, so every queued-but-
+  // undelivered mutation is subsumed; delivering them afterwards would
+  // reorder behind the snapshot.
+  sync_queue_.ClearForResync();
   const double latency_us =
       switch_->ResyncFromHost(server_state_, next_sync_seq_, &rng_);
   known_epoch_ = switch_->epoch();
@@ -299,6 +321,45 @@ void OffloadedMiddlebox::EnsureSwitchCoherent() {
     needs_resync_ = true;
   }
   if (needs_resync_) ResyncSwitch();
+}
+
+Status OffloadedMiddlebox::PumpSyncBacklog(double* latency_out) {
+  std::vector<RecordingStateBackend::MapMutation> maps;
+  std::vector<RecordingStateBackend::GlobalMutation> globals;
+  sync_queue_.DrainInto(&maps, &globals);
+  if (maps.empty() && globals.empty()) return Status::Ok();
+  c_.backlog_pumps->Increment();
+  bool committed = false;
+  auto latency = SyncReplicated(maps, globals, &committed);
+  if (!latency.ok()) return latency.status();
+  // A pump is control-plane evidence just like a heartbeat: its outcome and
+  // latency feed the failure detector.
+  if (watchdog_ != nullptr) watchdog_->RecordObservation(committed, *latency);
+  if (latency_out != nullptr) *latency_out = *latency;
+  return Status::Ok();
+}
+
+void OffloadedMiddlebox::FlushSyncBacklog() {
+  if (!sync_queue_.empty()) (void)PumpSyncBacklog(nullptr);
+  // A failed delivery left needs_resync_ set; make the replica match now.
+  EnsureSwitchCoherent();
+}
+
+void OffloadedMiddlebox::ProbeSwitchHealth(bool switch_down) {
+  bool ok = !switch_down;
+  double latency_us = 0.0;
+  if (ok && injector_ != nullptr && injector_->ProbeMiss()) ok = false;
+  if (ok) {
+    latency_us = switch_->ProbeHealth(&rng_);
+    if (injector_ != nullptr) {
+      latency_us =
+          latency_us * injector_->LatencyFactor() + injector_->ExtraDelayUs();
+    }
+  } else {
+    c_.probe_misses->Increment();
+    RecordFault("probe.miss");
+  }
+  watchdog_->RecordObservation(ok, latency_us);
 }
 
 telemetry::TraceHop* OffloadedMiddlebox::AddHop(const char* stage) {
@@ -346,6 +407,43 @@ void OffloadedMiddlebox::PublishSwitchStageMetrics() {
   switch_ops_.Flush();
   server_ops_.Flush();
   switch_->PublishStageMetrics(registry_, fn_->name());
+  if (options_.sync_queue.enabled()) {
+    const telemetry::LabelSet scope{{"mbox", fn_->name()}};
+    registry_
+        ->GetGauge("gallium_sync_backlog_depth", scope,
+                   "queued sync batches awaiting the next pump")
+        ->Set(static_cast<double>(sync_queue_.depth()));
+    registry_
+        ->GetGauge("gallium_sync_backlog_peak_depth", scope,
+                   "high-water mark of the sync backlog")
+        ->Set(static_cast<double>(sync_queue_.peak_depth()));
+    registry_
+        ->GetGauge("gallium_sync_coalesced_mutations", scope,
+                   "queued mutations superseded by a later same-key write")
+        ->Set(static_cast<double>(sync_queue_.coalesced_mutations()));
+    registry_
+        ->GetGauge("gallium_sync_enqueued_mutations", scope,
+                   "replicated-state mutations that entered the backlog")
+        ->Set(static_cast<double>(sync_queue_.enqueued_mutations()));
+  }
+  if (watchdog_ != nullptr) {
+    const telemetry::LabelSet scope{{"mbox", fn_->name()}};
+    registry_
+        ->GetGauge("gallium_watchdog_mode", scope,
+                   "0=offloaded 1=degraded 2=resync_pending")
+        ->Set(static_cast<double>(watchdog_->mode()));
+    registry_
+        ->GetGauge("gallium_watchdog_transitions", scope,
+                   "mode changes — the bounded-flapping quantity")
+        ->Set(static_cast<double>(watchdog_->transitions()));
+    registry_
+        ->GetGauge("gallium_watchdog_probes_sent", scope, "heartbeats sent")
+        ->Set(static_cast<double>(watchdog_->probes_sent()));
+    registry_
+        ->GetGauge("gallium_watchdog_latency_ewma_us", scope,
+                   "smoothed control-plane latency the detector sees")
+        ->Set(watchdog_->latency_ewma_us());
+  }
 }
 
 OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessTraced(
@@ -369,12 +467,80 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
   const uint64_t pkt_index = packets_total_;
   ++packets_total_;
 
+  bool switch_down = false;
   if (injector_ != nullptr) {
+    injector_->BeginPacket(pkt_index);
     if (injector_->TakeRestart(pkt_index)) switch_->Restart();
-    if (injector_->SwitchDown(pkt_index)) {
+    switch_down = injector_->SwitchDown(pkt_index);
+  }
+
+  if (watchdog_ != nullptr) {
+    // Evidence-based mode control: the injector's per-packet ground truth is
+    // invisible here; only probes and sync outcomes move the mode machine.
+    if (watchdog_->OnPacket()) ProbeSwitchHealth(switch_down);
+    if (watchdog_->mode() == HealthWatchdog::Mode::kResyncPending &&
+        !switch_down) {
+      // Two-phase recovery: rebuild the replica from the authoritative host
+      // store, then report offloaded again.
+      needs_resync_ = true;
+      EnsureSwitchCoherent();
+      watchdog_->NotifyResynced();
+    }
+    if (watchdog_->mode() != HealthWatchdog::Mode::kOffloaded) {
       return ProcessDegraded(std::move(pkt), now_ms);
     }
+    if (switch_down) {
+      // An outage the detector has not noticed yet. Fall back per packet for
+      // safety, but count it separately: the watchdog's transition count
+      // stays the honest measure of mode flapping.
+      c_.unwatched_fallbacks->Increment();
+      RecordFault("switch.unreachable", "fallback before watchdog caught up");
+      return ProcessDegraded(std::move(pkt), now_ms);
+    }
+  } else if (switch_down) {
+    return ProcessDegraded(std::move(pkt), now_ms);
   }
+
+  if (options_.sync_queue.enabled()) {
+    // Bounded-backlog admission control. The shed happens before this packet
+    // touches any state or crosses any link, so a shed packet is invisible
+    // to both the host store and the switch — "equivalence modulo
+    // explicitly-shed packets" stays checkable.
+    if (sync_queue_.depth() >= options_.sync_queue.max_backlog_batches) {
+      if (options_.sync_queue.overflow ==
+          SyncQueueOptions::OverflowPolicy::kShedIngress) {
+        c_.packets_shed->Increment();
+        RecordFault("overload.shed", "backlog at bound; refused at ingress");
+        outcome.shed = true;
+        outcome.verdict.kind = Verdict::Kind::kDrop;
+        return outcome;
+      }
+      // Backpressure: this packet blocks on an inline drain, paying the
+      // legacy-style control-plane wait to get the backlog under the bound.
+      c_.backpressure_events->Increment();
+      RecordFault("overload.backpressure", "inline drain at the bound");
+      double wait_us = 0;
+      Status drained = PumpSyncBacklog(&wait_us);
+      outcome.sync_latency_us += wait_us;
+      if (!drained.ok()) {
+        outcome.status = drained;
+        return outcome;
+      }
+    }
+    // Scheduled pump: deliver the coalesced backlog every pump interval so
+    // switch staleness is bounded by pump_interval_packets.
+    if (++packets_since_pump_ >= options_.sync_queue.pump_interval_packets) {
+      packets_since_pump_ = 0;
+      if (!sync_queue_.empty()) {
+        Status pumped = PumpSyncBacklog(nullptr);
+        if (!pumped.ok()) {
+          outcome.status = pumped;
+          return outcome;
+        }
+      }
+    }
+  }
+
   // Heartbeat: an epoch bump means the switch restarted (scheduled or not)
   // and lost its state; needs_resync_ means the state went stale while the
   // switch was unreachable. Either way, rebuild from the host store before
@@ -481,18 +647,43 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
   // Atomic update + output commit: the packet is held until every
   // replicated-state mutation is visible on the switch (§4.3.3) — or, under
   // a control-plane outage, until the retry budget is exhausted and the
-  // switch is marked for full resync.
+  // switch is marked for full resync. In queued mode the commit is relaxed
+  // for map mutations: they join the coalescing backlog and the packet is
+  // released now. That deferral is sound only because map staleness is
+  // *detectable* — a queued insert the switch has not seen surfaces as a
+  // table miss, which routes the packet to the server for an authoritative
+  // recompute against the host store. A replicated global has no miss path
+  // (the switch reads whatever the register holds, e.g. mazu_nat's
+  // port_counter feeding allocations), so any batch carrying a global
+  // mutation keeps strict output commit: the backlog drains first to
+  // preserve ordering, then the whole batch syncs inline.
   if (recording.HasMutations()) {
-    bool committed = false;
-    auto latency = SyncReplicated(recording.map_mutations(),
-                                  recording.global_mutations(), &committed);
-    if (!latency.ok()) {
-      outcome.status = latency.status();
-      return outcome;
+    const bool deferrable = options_.sync_queue.enabled() &&
+                            recording.global_mutations().empty();
+    if (deferrable) {
+      sync_queue_.Enqueue(recording.map_mutations(),
+                          recording.global_mutations());
+      outcome.sync_queued = true;
+      RecordFault("sync.queued");
+    } else {
+      if (options_.sync_queue.enabled() && !sync_queue_.empty()) {
+        Status drained = PumpSyncBacklog(nullptr);
+        if (!drained.ok()) {
+          outcome.status = drained;
+          return outcome;
+        }
+      }
+      bool committed = false;
+      auto latency = SyncReplicated(recording.map_mutations(),
+                                    recording.global_mutations(), &committed);
+      if (!latency.ok()) {
+        outcome.status = latency.status();
+        return outcome;
+      }
+      outcome.state_synced = committed;
+      outcome.sync_latency_us = *latency;
+      if (active_trace_ != nullptr) [[unlikely]] RecordSyncHop(*latency);
     }
-    outcome.state_synced = committed;
-    outcome.sync_latency_us = *latency;
-    if (active_trace_ != nullptr) [[unlikely]] RecordSyncHop(*latency);
   }
 
   // --- 4. Wire: server -> switch, then the post-processing pass ----------------
@@ -618,6 +809,17 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
     }
   }
   if (!mutations.empty() || !recording.global_mutations().empty()) {
+    // Cache refreshes must install synchronously (the next pre pass relies
+    // on them), so this stays an inline sync even in queued mode — but the
+    // backlog must land first, or a queued older write to one of these keys
+    // would later overwrite the refreshed value.
+    if (options_.sync_queue.enabled() && !sync_queue_.empty()) {
+      Status drained = PumpSyncBacklog(nullptr);
+      if (!drained.ok()) {
+        outcome.status = drained;
+        return outcome;
+      }
+    }
     bool committed = false;
     auto latency =
         SyncReplicated(mutations, recording.global_mutations(), &committed);
@@ -696,6 +898,13 @@ Result<int> OffloadedMiddlebox::CollectIdleFlows(ir::StateIndex flows_map,
         RecordingStateBackend::MapMutation{flows_map, key, {}, true});
     mutations.push_back(
         RecordingStateBackend::MapMutation{created_map, key, {}, true});
+  }
+  if (options_.sync_queue.enabled()) {
+    // Queue the erases behind any pending writes to the same keys: per-key
+    // last-writer-wins then guarantees the erase is what the switch ends up
+    // seeing, exactly as the host store does.
+    sync_queue_.Enqueue(mutations, {});
+    return static_cast<int>(expired.size());
   }
   bool committed = false;
   GALLIUM_ASSIGN_OR_RETURN(double latency,

@@ -26,10 +26,12 @@
 #include "partition/partitioner.h"
 #include "rmt/feedback.h"
 #include "runtime/fault.h"
+#include "runtime/health.h"
 #include "runtime/interpreter.h"
 #include "runtime/software_middlebox.h"
 #include "runtime/state.h"
 #include "runtime/sync.h"
+#include "runtime/sync_queue.h"
 #include "switchsim/switch.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -60,6 +62,23 @@ struct OffloadedOptions {
   // Retry/backoff policy for the reliable sync client and the data link.
   SyncPolicy sync_policy;
 
+  // Overload handling: when sync_queue.enabled(), replicated *map*
+  // mutations are enqueued into a bounded coalescing backlog (relaxed
+  // output commit; the host store stays authoritative and a stale switch
+  // miss falls through to the server) and drained as one coalesced
+  // control-plane batch every pump_interval_packets. Batches carrying a
+  // replicated-global mutation keep strict output commit — register reads
+  // have no miss path, so their staleness would be undetectable. At the
+  // bound, the overflow policy either drains inline (backpressure) or
+  // refuses the packet at ingress (explicit shedding, Outcome::shed).
+  // Disabled = the legacy inline blocking sync path.
+  SyncQueueOptions sync_queue;
+  // Health watchdog: when health.enabled, degraded-mode entry/exit is
+  // governed by the hysteretic failure detector in runtime/health.h
+  // (heartbeat probes + sync outcomes) instead of per-packet fault-injector
+  // ground truth, so grey failures cannot flap the mode.
+  HealthOptions health;
+
   // RMT pipeline the plan's tables are placed on (stage-aware execution);
   // nullopt derives the default Tofino-like profile from `constraints`. If
   // the plan does not place, the spill feedback loop re-partitions until it
@@ -88,7 +107,9 @@ class OffloadedMiddlebox {
     Verdict verdict;
     bool fast_path = false;      // never left the switch
     bool state_synced = false;   // a control-plane batch was applied
+    bool sync_queued = false;    // mutations deferred into the backlog
     bool degraded = false;       // software-only fallback (switch down)
+    bool shed = false;           // refused at ingress (backlog at bound)
     double sync_latency_us = 0;  // control-plane latency (output commit wait)
     ExecStats switch_stats;      // pre + post pass op counts
     ExecStats server_stats;      // non-offloaded pass op counts
@@ -130,6 +151,13 @@ class OffloadedMiddlebox {
   // Idempotent; used by recovery paths and by tests that inspect tables.
   void EnsureSwitchCoherent();
 
+  // Delivers the entire coalesced sync backlog now (one control-plane
+  // batch) and, if the delivery failed, rebuilds the switch from the host
+  // store. After this returns the switch replica matches the host for every
+  // queued key. No-op in legacy inline-sync mode. Quiescence points (end of
+  // a run, table inspection) call this; the packet path never does.
+  void FlushSyncBacklog();
+
   // Counters. All live on the metrics registry (one source of truth for
   // --run output, traces, and exporters); the accessors below are thin
   // reads kept for source compatibility with pre-telemetry callers. The
@@ -159,6 +187,20 @@ class OffloadedMiddlebox {
   double total_resync_latency_us() const {
     return c_.resync_latency_us->Sum();
   }
+
+  // Overload / watchdog counters (zero in legacy inline-sync mode).
+  uint64_t packets_shed() const { return c_.packets_shed->Value(); }
+  uint64_t backpressure_events() const {
+    return c_.backpressure_events->Value();
+  }
+  uint64_t backlog_pumps() const { return c_.backlog_pumps->Value(); }
+  uint64_t unwatched_fallbacks() const {
+    return c_.unwatched_fallbacks->Value();
+  }
+  // The coalescing backlog itself — depth/peak/coalesced accounting.
+  const CoalescingSyncQueue& sync_backlog() const { return sync_queue_; }
+  // Null unless OffloadedOptions::health.enabled.
+  const HealthWatchdog* watchdog() const { return watchdog_.get(); }
 
   // The registry this instance's instruments live on (the private one
   // unless OffloadedOptions::registry injected a shared scrape target).
@@ -211,6 +253,12 @@ class OffloadedMiddlebox {
   // a sync batch could not be delivered); cleared by ResyncSwitch.
   bool needs_resync_ = false;
 
+  // Bounded coalescing control-plane backlog (empty/idle in legacy mode).
+  CoalescingSyncQueue sync_queue_;
+  uint64_t packets_since_pump_ = 0;
+  // Hysteretic failure detector; null unless options_.health.enabled.
+  std::unique_ptr<HealthWatchdog> watchdog_;
+
   // Registry the counters below are registered on; owned when the options
   // did not inject a shared one.
   std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;
@@ -228,6 +276,11 @@ class OffloadedMiddlebox {
     telemetry::Counter* degraded_packets;
     telemetry::Counter* data_retries;
     telemetry::Counter* resyncs;
+    telemetry::Counter* packets_shed;
+    telemetry::Counter* backpressure_events;
+    telemetry::Counter* backlog_pumps;
+    telemetry::Counter* probe_misses;
+    telemetry::Counter* unwatched_fallbacks;
     telemetry::Histogram* sync_latency_us;
     telemetry::Histogram* resync_latency_us;
   };
@@ -292,7 +345,19 @@ class OffloadedMiddlebox {
       bool* committed);
 
   // Full switch-state rebuild from the host store; returns modeled latency.
+  // Drops the queued backlog first — the snapshot subsumes every pending
+  // mutation (the host store already holds them).
   double ResyncSwitch();
+
+  // Drains the backlog into one coalesced SyncBatch and delivers it,
+  // feeding the delivery outcome to the watchdog as health evidence.
+  // Returns the control-plane latency via `latency_out` when non-null. A
+  // failed delivery marks the switch for resync, like the inline path.
+  Status PumpSyncBacklog(double* latency_out);
+
+  // Heartbeat: one minimal control-plane round-trip, shaped (or eaten) by
+  // the injector's active grey window, recorded into the watchdog.
+  void ProbeSwitchHealth(bool switch_down);
 
   // Copies switch-written (kSwitchOnly) globals into the host store after a
   // completed packet, so the host can take over mid-stream (degraded mode)

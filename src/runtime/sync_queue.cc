@@ -1,0 +1,74 @@
+#include "runtime/sync_queue.h"
+
+#include <algorithm>
+
+namespace gallium::runtime {
+
+void CoalescingSyncQueue::Enqueue(const std::vector<MapMutation>& maps,
+                                  const std::vector<GlobalMutation>& globals) {
+  for (const MapMutation& m : maps) {
+    auto key = std::make_pair(m.map, m.key);
+    auto it = pending_maps_.find(key);
+    if (it == pending_maps_.end()) {
+      pending_maps_.emplace(std::move(key), std::make_pair(next_rank_++, m));
+    } else {
+      // Last-writer-wins: the queued mutation to this key is superseded.
+      // The arrival rank is kept — per-key ordering collapses to "the final
+      // value", which is the only thing the switch ever needed to see.
+      it->second.second = m;
+      ++coalesced_mutations_;
+    }
+  }
+  for (const GlobalMutation& g : globals) {
+    auto it = pending_globals_.find(g.global);
+    if (it == pending_globals_.end()) {
+      pending_globals_.emplace(g.global, std::make_pair(next_rank_++, g));
+    } else {
+      it->second.second = g;
+      ++coalesced_mutations_;
+    }
+  }
+  ++enqueued_batches_;
+  enqueued_mutations_ += maps.size() + globals.size();
+  ++depth_;
+  peak_depth_ = std::max(peak_depth_, depth_);
+}
+
+void CoalescingSyncQueue::DrainInto(std::vector<MapMutation>* maps,
+                                    std::vector<GlobalMutation>* globals) {
+  maps->clear();
+  globals->clear();
+  std::vector<std::pair<uint64_t, MapMutation>> ordered_maps;
+  ordered_maps.reserve(pending_maps_.size());
+  for (auto& [key, ranked] : pending_maps_) {
+    ordered_maps.push_back(std::move(ranked));
+  }
+  std::sort(ordered_maps.begin(), ordered_maps.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  maps->reserve(ordered_maps.size());
+  for (auto& [rank, m] : ordered_maps) maps->push_back(std::move(m));
+
+  std::vector<std::pair<uint64_t, GlobalMutation>> ordered_globals;
+  ordered_globals.reserve(pending_globals_.size());
+  for (auto& [idx, ranked] : pending_globals_) {
+    ordered_globals.push_back(ranked);
+  }
+  std::sort(ordered_globals.begin(), ordered_globals.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  globals->reserve(ordered_globals.size());
+  for (auto& [rank, g] : ordered_globals) globals->push_back(g);
+
+  pending_maps_.clear();
+  pending_globals_.clear();
+  drained_batches_ += depth_;
+  depth_ = 0;
+}
+
+void CoalescingSyncQueue::ClearForResync() {
+  cleared_mutations_ += pending_maps_.size() + pending_globals_.size();
+  pending_maps_.clear();
+  pending_globals_.clear();
+  depth_ = 0;
+}
+
+}  // namespace gallium::runtime

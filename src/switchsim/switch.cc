@@ -290,6 +290,17 @@ Result<double> Switch::ApplyAtomicUpdate(
   return latency_model_.UpdateLatencyUs(ops, rng);
 }
 
+double Switch::ProbeHealth(Rng* rng) const {
+  // An epoch read costs roughly a tenth of a one-table driver update; keep
+  // the same jitter source so probe latencies and sync latencies move
+  // together under a shared substrate.
+  double base = latency_model_.per_table_us * 0.1;
+  if (rng != nullptr) {
+    base += rng->NextDouble() * latency_model_.jitter_stddev_us * 0.2;
+  }
+  return base;
+}
+
 Result<runtime::SyncAck> Switch::ApplySyncBatch(
     const runtime::SyncBatch& batch, Rng* rng) {
   runtime::SyncAck ack;

@@ -102,6 +102,12 @@ class Switch {
           globals,
       Rng* rng);
 
+  // Health heartbeat: a minimal control-plane round-trip (read the epoch,
+  // touch no tables). Returns the modeled probe latency — a small fraction
+  // of a one-table update, jittered. The watchdog's failure detector feeds
+  // on these.
+  double ProbeHealth(Rng* rng) const;
+
   // Sequenced, idempotent, epoch-checked apply (§4.3.3 hardened): a batch
   // from a stale epoch is rejected (epoch_ok=false, nothing applied); a seq
   // at or below the high-water mark is acked as a duplicate without

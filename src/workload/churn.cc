@@ -1,0 +1,60 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gallium::workload {
+
+Trace MakeChurnTrace(Rng& rng, const ChurnOptions& options) {
+  Trace trace;
+  trace.packets.reserve(options.num_packets + options.established_flows);
+
+  // Open the established working set first: one SYN per flow, so by the
+  // time churn starts these flows are known state and their data segments
+  // can ride the fast path.
+  struct Established {
+    net::FiveTuple tuple;
+    uint32_t next_seq = 1;
+  };
+  std::vector<Established> working_set;
+  working_set.reserve(options.established_flows);
+  for (int f = 0; f < options.established_flows; ++f) {
+    Established e{RandomFlow(rng, net::kIpProtoTcp), 1};
+    trace.packets.push_back(net::MakeTcpPacket(e.tuple, net::kTcpSyn, 0));
+    working_set.push_back(e);
+  }
+  trace.num_flows = options.established_flows;
+
+  uint64_t burst_remaining = 0;
+  for (uint64_t i = 0; i < options.num_packets; ++i) {
+    if (options.burst_period > 0 && options.burst_len > 0 &&
+        i % options.burst_period == 0) {
+      burst_remaining = options.burst_len;
+    }
+    bool fresh = burst_remaining > 0 || rng.NextBool(options.new_flow_fraction);
+    if (burst_remaining > 0) --burst_remaining;
+    if (fresh || working_set.empty()) {
+      const bool udp = rng.NextBool(options.udp_fraction);
+      const net::FiveTuple tuple =
+          RandomFlow(rng, udp ? net::kIpProtoUdp : net::kIpProtoTcp);
+      trace.packets.push_back(udp ? net::MakeUdpPacket(tuple, 64)
+                                  : net::MakeTcpPacket(tuple, net::kTcpSyn, 0));
+      ++trace.num_flows;
+    } else {
+      Established& e = working_set[rng.NextBounded(working_set.size())];
+      const size_t chunk = 512;
+      trace.packets.push_back(net::MakeTcpPacket(
+          e.tuple, net::kTcpAck | net::kTcpPsh, chunk, e.next_seq));
+      e.next_seq += static_cast<uint32_t>(chunk);
+    }
+  }
+
+  uint64_t id = 1;
+  for (auto& pkt : trace.packets) {
+    pkt.set_ingress_port(options.ingress_port);
+    pkt.set_id(id++);
+  }
+  return trace;
+}
+
+}  // namespace gallium::workload

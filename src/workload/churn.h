@@ -1,0 +1,52 @@
+// Adversarial flow-churn / SYN-flood traffic for the overload and chaos
+// harnesses.
+//
+// The shapes MakeTrace produces are friendly: long flows, so most packets
+// hit established state and the control plane is idle. This generator
+// produces the opposite — the worst case for Gallium's write-back protocol:
+// a stream dominated by *fresh* flows, where nearly every packet installs
+// new replicated state and therefore costs a control-plane round-trip on
+// the inline sync path. Against the coalescing backlog it is the workload
+// that drives the queue to its bound and forces the overflow policy to act.
+//
+// Two knobs shape the attack:
+//   * new_flow_fraction — the steady-state churn rate (0.7 means 7 of 10
+//     packets open a brand-new flow);
+//   * burst_period/burst_len — periodic SYN-flood bursts where *every*
+//     packet is a fresh SYN, modeling the classic flood on top of the
+//     steady churn.
+//
+// The remaining packets are data segments drawn from a small established
+// working set, so the trace still exercises the fast path and keeps the
+// differential baseline meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "workload/packet_gen.h"
+
+namespace gallium::workload {
+
+struct ChurnOptions {
+  uint64_t num_packets = 2000;
+  // Probability that a steady-state packet opens a brand-new flow (a SYN,
+  // or a first datagram for UDP flows).
+  double new_flow_fraction = 0.7;
+  // Established flows the non-churn packets draw data segments from. Each
+  // is opened by a SYN at the head of the trace so the switch learns them.
+  int established_flows = 32;
+  // SYN-flood bursts: every `burst_period` packets, the next `burst_len`
+  // packets are all fresh SYNs regardless of new_flow_fraction. 0 = none.
+  uint64_t burst_period = 0;
+  uint64_t burst_len = 0;
+  // Fraction of *fresh* flows that are UDP first-datagrams instead of SYNs.
+  double udp_fraction = 0.0;
+  uint32_t ingress_port = 0;
+};
+
+// Deterministic for a given (rng state, options): the chaos harness replays
+// the identical trace through the software baseline.
+Trace MakeChurnTrace(Rng& rng, const ChurnOptions& options);
+
+}  // namespace gallium::workload

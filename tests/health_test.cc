@@ -1,0 +1,155 @@
+// Unit tests for the health watchdog failure detector: entry/exit
+// hysteresis, dwell-bounded transitions, two-phase recovery, and probe
+// cadence. The soak tests in chaos_test.cc exercise the watchdog end to end
+// inside the runtime; these pin down the detector's state machine in
+// isolation, where every piece of evidence is hand-fed.
+#include <gtest/gtest.h>
+
+#include "runtime/health.h"
+
+namespace gallium {
+namespace {
+
+using runtime::HealthOptions;
+using runtime::HealthWatchdog;
+using Mode = runtime::HealthWatchdog::Mode;
+
+HealthOptions TightOptions() {
+  HealthOptions opts;
+  opts.enabled = true;
+  opts.probe_interval_packets = 1;  // every packet carries a probe
+  opts.miss_enter_threshold = 3;
+  opts.ok_exit_threshold = 4;
+  opts.latency_enter_us = 2000.0;
+  opts.latency_exit_us = 800.0;
+  opts.ewma_alpha = 0.3;
+  opts.min_dwell_packets = 4;
+  return opts;
+}
+
+// One simulated packet: advance the clock, feed evidence if probed.
+void Step(HealthWatchdog* dog, bool success, double latency_us) {
+  if (dog->OnPacket()) dog->RecordObservation(success, latency_us);
+}
+
+TEST(HealthWatchdog, StaysOffloadedOnHealthyEvidence) {
+  HealthWatchdog dog(TightOptions());
+  for (int i = 0; i < 50; ++i) Step(&dog, true, 100.0);
+  EXPECT_EQ(dog.mode(), Mode::kOffloaded);
+  EXPECT_EQ(dog.transitions(), 0u);
+  EXPECT_NEAR(dog.latency_ewma_us(), 100.0, 1.0);
+}
+
+TEST(HealthWatchdog, ConsecutiveMissesEnterDegradedAfterDwell) {
+  HealthWatchdog dog(TightOptions());
+  // Three misses satisfy the entry threshold at packet 3, but the dwell
+  // floor (4 packets) refuses the transition until the next packet.
+  Step(&dog, false, 0.0);
+  Step(&dog, false, 0.0);
+  Step(&dog, false, 0.0);
+  EXPECT_EQ(dog.mode(), Mode::kOffloaded) << "dwell must delay entry";
+  Step(&dog, false, 0.0);
+  EXPECT_EQ(dog.mode(), Mode::kDegraded);
+  EXPECT_EQ(dog.transitions(), 1u);
+  EXPECT_EQ(dog.probes_missed(), 4u);
+}
+
+TEST(HealthWatchdog, LatencyEwmaAloneTripsEntry) {
+  HealthWatchdog dog(TightOptions());
+  // Every probe answers — slowly. No miss ever happens, but the EWMA sits
+  // above latency_enter_us, so the slow-switch grey failure still degrades.
+  for (int i = 0; i < 4; ++i) Step(&dog, true, 5000.0);
+  EXPECT_EQ(dog.mode(), Mode::kDegraded);
+  EXPECT_EQ(dog.probes_missed(), 0u);
+}
+
+TEST(HealthWatchdog, ExitRequiresSustainedSuccessAndLowLatency) {
+  HealthWatchdog dog(TightOptions());
+  for (int i = 0; i < 4; ++i) Step(&dog, false, 0.0);
+  ASSERT_EQ(dog.mode(), Mode::kDegraded);
+  // Miss penalty parked the EWMA at 2x the entry threshold (4000 us).
+  ASSERT_GE(dog.latency_ewma_us(), 2000.0);
+
+  // Four consecutive fast successes satisfy the count gate, but the EWMA
+  // (4000 -> 2830 -> 2011 -> 1438 -> 1036) is still above latency_exit_us:
+  // recovery must NOT arm yet. That is the Schmitt-trigger exit — both
+  // gates, crossed in the opposite direction from entry.
+  for (int i = 0; i < 4; ++i) Step(&dog, true, 100.0);
+  EXPECT_EQ(dog.mode(), Mode::kDegraded)
+      << "count gate alone must not arm recovery";
+
+  // One more success decays the EWMA under 800: now recovery arms, and it
+  // parks in resync-pending rather than jumping straight to offloaded.
+  Step(&dog, true, 100.0);
+  EXPECT_EQ(dog.mode(), Mode::kResyncPending);
+  EXPECT_LE(dog.latency_ewma_us(), 800.0);
+
+  // Only the runtime's state rebuild completes the recovery.
+  dog.NotifyResynced();
+  EXPECT_EQ(dog.mode(), Mode::kOffloaded);
+  EXPECT_EQ(dog.transitions(), 3u);
+}
+
+TEST(HealthWatchdog, ResyncPendingFallsBackOnRenewedMisses) {
+  HealthWatchdog dog(TightOptions());
+  for (int i = 0; i < 4; ++i) Step(&dog, false, 0.0);
+  for (int i = 0; i < 5; ++i) Step(&dog, true, 100.0);
+  ASSERT_EQ(dog.mode(), Mode::kResyncPending);
+  // Health collapses before the rebuild happens: fall straight back to
+  // degraded instead of resyncing against a sick switch.
+  for (int i = 0; i < 3; ++i) Step(&dog, false, 0.0);
+  EXPECT_EQ(dog.mode(), Mode::kDegraded);
+}
+
+TEST(HealthWatchdog, NotifyResyncedIsANoOpOutsideResyncPending) {
+  HealthWatchdog fresh(TightOptions());
+  fresh.NotifyResynced();
+  EXPECT_EQ(fresh.mode(), Mode::kOffloaded);
+  EXPECT_EQ(fresh.transitions(), 0u);
+
+  HealthWatchdog sick(TightOptions());
+  for (int i = 0; i < 4; ++i) Step(&sick, false, 0.0);
+  ASSERT_EQ(sick.mode(), Mode::kDegraded);
+  sick.NotifyResynced();
+  EXPECT_EQ(sick.mode(), Mode::kDegraded)
+      << "a resync cannot short-circuit the health gates";
+}
+
+TEST(HealthWatchdog, DwellBoundsTransitionsUnderAdversarialEvidence) {
+  HealthOptions opts = TightOptions();
+  opts.min_dwell_packets = 8;
+  HealthWatchdog dog(opts);
+  // Adversarial schedule tuned to flap as fast as possible: alternating
+  // bursts of misses and fast successes. The dwell floor caps the rate at
+  // one transition per 8 packets regardless.
+  const uint64_t kPackets = 400;
+  for (uint64_t i = 0; i < kPackets; ++i) {
+    const bool miss = (i / 4) % 2 == 0;
+    Step(&dog, !miss, miss ? 0.0 : 100.0);
+    if (dog.mode() == Mode::kResyncPending) dog.NotifyResynced();
+  }
+  EXPECT_GT(dog.transitions(), 0u) << "schedule never tripped the detector";
+  EXPECT_LE(dog.transitions(), kPackets / opts.min_dwell_packets + 1);
+}
+
+TEST(HealthWatchdog, ProbeCadenceTightensWhileDegraded) {
+  HealthOptions opts = TightOptions();
+  opts.probe_interval_packets = 4;
+  opts.min_dwell_packets = 1;
+  HealthWatchdog dog(opts);
+  // Offloaded and healthy: one probe per interval (packets 4, 8, 12, 16).
+  for (int i = 0; i < 16; ++i) Step(&dog, true, 100.0);
+  ASSERT_EQ(dog.mode(), Mode::kOffloaded);
+  EXPECT_EQ(dog.probes_sent(), 4u);
+  // Now the switch stops answering. Probes at packets 20 and 24 miss; the
+  // second miss penalty lifts the EWMA past the entry threshold.
+  for (int i = 0; i < 8; ++i) Step(&dog, false, 0.0);
+  ASSERT_EQ(dog.mode(), Mode::kDegraded);
+  EXPECT_EQ(dog.probes_sent(), 6u);
+  // Degraded: every packet probes, so recovery evidence accumulates fast.
+  for (int i = 0; i < 4; ++i) Step(&dog, false, 0.0);
+  EXPECT_EQ(dog.probes_sent(), 10u);
+}
+
+}  // namespace
+}  // namespace gallium

@@ -12,6 +12,8 @@
 //            [--metadata-bytes N] [--transfer-bytes N] [--memory-mb N]
 //            [--objective count|weighted] [--optimize] [--print]
 //            [--resources] [--run N] [--chaos-seed S]
+//            [--fault-plan KIND:SEED] [--sync-queue DEPTH]
+//            [--pump-interval N] [--shed] [--watchdog]
 //            [--verify] [--campaign] [--mutate CLASS]
 //            [--metrics-out FILE] [--trace-out FILE]
 //
@@ -25,6 +27,13 @@
 // compiling and reports the fast-path fraction and the fault/recovery
 // counters; --chaos-seed S additionally runs them over a seeded faulty
 // substrate (lossy links, lossy control plane, switch restarts/outages).
+// --fault-plan KIND:SEED replays a named fault-plan generator instead
+// (KIND ∈ {random, overload, grey}) — the reproduction handle the chaos
+// tests print on failure. --sync-queue DEPTH enables the bounded coalescing
+// sync backlog (with --pump-interval N packets between drains and --shed
+// selecting ingress shedding over backpressure at the bound), and
+// --watchdog enables the health watchdog; both print their counters after
+// the run.
 //
 // --metrics-out FILE scrapes the telemetry registry after the compile (and
 // the --run traffic, when requested) into FILE: JSON when the path ends in
@@ -65,7 +74,9 @@
 #include "net/headers.h"
 #include "perf/harness.h"
 #include "runtime/fault.h"
+#include "runtime/health.h"
 #include "runtime/offloaded_middlebox.h"
+#include "runtime/sync_queue.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "verify/mutation.h"
@@ -115,8 +126,22 @@ void PrintUsage(std::FILE* to) {
       "                [--transfer-bytes N] [--memory-mb N]\n"
       "                [--objective count|weighted] [--optimize] [--print]\n"
       "                [--resources] [--run N] [--chaos-seed S]\n"
+      "                [--fault-plan KIND:SEED] [--sync-queue DEPTH]\n"
+      "                [--pump-interval N] [--shed] [--watchdog]\n"
       "                [--verify] [--campaign] [--mutate CLASS]\n"
       "                [--metrics-out FILE] [--trace-out FILE]\n"
+      "\n"
+      "robustness:\n"
+      "  --fault-plan KIND:SEED  replay a named fault generator (random,\n"
+      "                          overload, grey) — the spec chaos failures\n"
+      "                          print for reproduction\n"
+      "  --sync-queue DEPTH      bounded coalescing sync backlog of DEPTH\n"
+      "                          batches (0 = legacy inline sync)\n"
+      "  --pump-interval N       drain the backlog every N packets\n"
+      "  --shed                  shed at ingress when the backlog is full\n"
+      "                          (default: backpressure)\n"
+      "  --watchdog              enable the health watchdog (hysteretic\n"
+      "                          offloaded/degraded failure detector)\n"
       "\n"
       "telemetry:\n"
       "  --metrics-out FILE  dump the metrics registry (compile timings,\n"
@@ -153,13 +178,28 @@ int Usage() {
 // non-null, commits one INT-style trace per packet into it.
 int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
                uint64_t chaos_seed, bool chaos,
+               const std::string& fault_spec,
+               const runtime::SyncQueueOptions& sync_queue, bool watchdog,
                telemetry::MetricsRegistry* registry,
                telemetry::Tracer* tracer) {
   runtime::FaultPlan plan;
   runtime::OffloadedOptions options;
   options.registry = registry;
   options.tracer = tracer;
-  if (chaos) {
+  options.sync_queue = sync_queue;
+  options.health.enabled = watchdog;
+  if (!fault_spec.empty()) {
+    auto parsed = runtime::FaultPlanFromSpec(
+        fault_spec, static_cast<uint64_t>(num_packets));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "galliumc: bad --fault-plan: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    plan = *parsed;
+    options.fault_plan = &plan;
+    std::printf("  chaos: %s\n", plan.ToString().c_str());
+  } else if (chaos) {
     plan = runtime::MakeRandomFaultPlan(chaos_seed,
                                         static_cast<uint64_t>(num_packets));
     options.fault_plan = &plan;
@@ -201,7 +241,9 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
       sync_latency_total += out.sync_latency_us;
     }
   }
-  (*mbx)->EnsureSwitchCoherent();
+  // Deliver whatever the backlog still holds before scraping counters, so
+  // the printed state reflects a quiesced runtime.
+  (*mbx)->FlushSyncBacklog();
   (*mbx)->PublishSwitchStageMetrics();
 
   std::printf("  run: %d packets  fast-path %.1f%%  degraded %d  errors %d\n",
@@ -223,6 +265,28 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
       static_cast<unsigned long long>((*mbx)->resyncs()),
       static_cast<unsigned long long>((*mbx)->degraded_packets()),
       static_cast<unsigned long long>((*mbx)->cache_miss_aborts()));
+  if (sync_queue.enabled()) {
+    const auto& backlog = (*mbx)->sync_backlog();
+    std::printf(
+        "  backlog: peak-depth=%llu enqueued=%llu coalesced=%llu pumps=%llu "
+        "shed=%llu backpressure=%llu\n",
+        static_cast<unsigned long long>(backlog.peak_depth()),
+        static_cast<unsigned long long>(backlog.enqueued_mutations()),
+        static_cast<unsigned long long>(backlog.coalesced_mutations()),
+        static_cast<unsigned long long>((*mbx)->backlog_pumps()),
+        static_cast<unsigned long long>((*mbx)->packets_shed()),
+        static_cast<unsigned long long>((*mbx)->backpressure_events()));
+  }
+  if (const auto* dog = (*mbx)->watchdog(); dog != nullptr) {
+    std::printf(
+        "  watchdog: mode=%s transitions=%llu probes=%llu missed=%llu "
+        "latency-ewma=%.1fus\n",
+        runtime::HealthWatchdog::ModeName(dog->mode()),
+        static_cast<unsigned long long>(dog->transitions()),
+        static_cast<unsigned long long>(dog->probes_sent()),
+        static_cast<unsigned long long>(dog->probes_missed()),
+        dog->latency_ewma_us());
+  }
   return errors == 0 ? 0 : 1;
 }
 
@@ -241,6 +305,9 @@ int main(int argc, char** argv) {
   int run_packets = 0;
   uint64_t chaos_seed = 0;
   bool chaos = false;
+  std::string fault_spec;
+  runtime::SyncQueueOptions sync_queue;
+  bool watchdog = false;
   bool campaign = false;
   std::string mutate_class;
   std::string metrics_out;
@@ -296,6 +363,24 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       chaos_seed = std::strtoull(v, nullptr, 10);
       chaos = true;
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      fault_spec = v;
+    } else if (arg == "--sync-queue") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      sync_queue.max_backlog_batches = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--pump-interval") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      sync_queue.pump_interval_packets = std::strtoull(v, nullptr, 10);
+      if (sync_queue.pump_interval_packets == 0) return Usage();
+    } else if (arg == "--shed") {
+      sync_queue.overflow =
+          runtime::SyncQueueOptions::OverflowPolicy::kShedIngress;
+    } else if (arg == "--watchdog") {
+      watchdog = true;
     } else if (arg == "--verify") {
       options.verify = true;
     } else if (arg == "--campaign") {
@@ -463,7 +548,8 @@ int main(int argc, char** argv) {
   }
   int rc = 0;
   if (run_packets > 0) {
-    rc = RunTraffic(*spec, run_packets, chaos_seed, chaos, &registry,
+    rc = RunTraffic(*spec, run_packets, chaos_seed, chaos, fault_spec,
+                    sync_queue, watchdog, &registry,
                     trace_out.empty() ? nullptr : &tracer);
   }
   if (!metrics_out.empty()) {
