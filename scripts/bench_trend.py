@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Per-bench trend report over RunManifest history.
+
+Every bench writes a RunManifest (<bench>_manifest.json, see
+bench/bench_common.h). This script folds the manifests of the current run
+into a history file (JSON lines, one record per bench invocation) and
+renders a markdown trend report: per series, the checked-in BENCH baseline,
+the recent history, the latest value, and the deltas. CI uploads the report
+and the history file as artifacts, so regressions that stay inside the
+gate's tolerance are still visible as a drift curve instead of silently
+accumulating.
+
+Usage:
+  bench_trend.py --manifests build/bench-out --history build/bench_history.jsonl \
+      --baseline-dir . --out build/bench_trend.md [--run-label SHA] [--keep N]
+
+Stdlib only; safe to run anywhere the manifests exist.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def series_key(metric):
+    labels = metric.get("labels", {})
+    label_str = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{metric['name']}{{{label_str}}}"
+
+
+def manifest_series(manifest):
+    out = {}
+    for metric in manifest.get("telemetry", {}).get("metrics", []):
+        out[series_key(metric)] = float(metric["value"])
+    return out
+
+
+def load_history(path):
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a truncated tail entry must not kill the report
+    return records
+
+
+def fmt(value):
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.3f}"
+
+
+def fmt_delta(cur, ref):
+    if ref is None or cur is None:
+        return "-"
+    if ref == 0:
+        return "=" if cur == 0 else f"+{fmt(cur)} abs"
+    change = (cur - ref) / ref
+    if abs(change) < 5e-4:
+        return "="
+    return f"{change:+.1%}"
+
+
+def spark(values):
+    """ASCII sparkline of a value series (oldest -> newest)."""
+    pts = [v for v in values if v is not None]
+    if len(pts) < 2 or min(pts) == max(pts):
+        return "·" * len([v for v in values if v is not None])
+    lo, hi = min(pts), max(pts)
+    glyphs = "▁▂▃▄▅▆▇█"
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+        else:
+            idx = int((v - lo) / (hi - lo) * (len(glyphs) - 1))
+            out.append(glyphs[idx])
+    return "".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--manifests", required=True,
+                        help="directory holding the run's *_manifest.json")
+    parser.add_argument("--history", required=True,
+                        help="JSONL history file; appended in place")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the BENCH_<bench>.json baselines")
+    parser.add_argument("--out", required=True, help="markdown report path")
+    parser.add_argument("--run-label", default="",
+                        help="label for this run (commit SHA, date, ...)")
+    parser.add_argument("--keep", type=int, default=50,
+                        help="history entries retained per bench (default 50)")
+    args = parser.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.manifests, "*_manifest.json")))
+    if not paths:
+        print(f"error: no *_manifest.json under {args.manifests}",
+              file=sys.stderr)
+        return 1
+
+    history = load_history(args.history)
+    for path in paths:
+        with open(path) as f:
+            manifest = json.load(f)
+        history.append({
+            "bench": manifest.get("bench", os.path.basename(path)),
+            "label": args.run_label,
+            "config": manifest.get("config", {}),
+            "series": manifest_series(manifest),
+        })
+
+    # Retain a bounded window per bench, oldest first.
+    by_bench = {}
+    for record in history:
+        by_bench.setdefault(record["bench"], []).append(record)
+    for bench, records in by_bench.items():
+        by_bench[bench] = records[-args.keep:]
+
+    os.makedirs(os.path.dirname(args.history) or ".", exist_ok=True)
+    with open(args.history, "w") as f:
+        for bench in sorted(by_bench):
+            for record in by_bench[bench]:
+                f.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    lines = ["# Bench trends", ""]
+    if args.run_label:
+        lines.append(f"Latest run: `{args.run_label}`")
+        lines.append("")
+    for bench in sorted(by_bench):
+        records = by_bench[bench]
+        latest = records[-1]["series"]
+        prev = records[-2]["series"] if len(records) > 1 else {}
+
+        baseline = {}
+        baseline_path = os.path.join(args.baseline_dir, f"BENCH_{bench}.json")
+        if os.path.exists(baseline_path):
+            with open(baseline_path) as f:
+                baseline = manifest_series(json.load(f))
+
+        lines.append(f"## {bench} ({len(records)} runs)")
+        lines.append("")
+        lines.append("| series | baseline | latest | vs baseline | vs prev "
+                     f"| trend (last {min(len(records), 20)}) |")
+        lines.append("|---|---|---|---|---|---|")
+        for key in sorted(latest):
+            base = baseline.get(key)
+            values = [r["series"].get(key) for r in records[-20:]]
+            lines.append(
+                f"| `{key}` | {fmt(base)} | {fmt(latest[key])} "
+                f"| {fmt_delta(latest[key], base)} "
+                f"| {fmt_delta(latest[key], prev.get(key))} "
+                f"| {spark(values)} |")
+        dropped = sorted(k for k in baseline if k not in latest)
+        for key in dropped:
+            lines.append(f"| `{key}` | {fmt(baseline[key])} | - | MISSING "
+                         "| - | |")
+        lines.append("")
+
+    with open(args.out, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    print(f"wrote trend report for {len(by_bench)} benches "
+          f"({sum(len(r) for r in by_bench.values())} history entries) "
+          f"to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

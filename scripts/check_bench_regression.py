@@ -20,9 +20,14 @@ import json
 import sys
 
 # Metric families the gate enforces, with their improvement direction.
+# bench_engine_scaling_x is measured (wall-clock, best-of-N trials); its
+# checked-in baseline is pinned at the 3.0 acceptance floor rather than a
+# measured value, so the gate enforces "still scales >= ~3x at 4 workers"
+# instead of chasing machine-specific throughput.
 HIGHER_IS_BETTER = {
     "bench_throughput_gbps",
     "bench_fast_path_fraction",
+    "bench_engine_scaling_x",
 }
 LOWER_IS_BETTER = {
     "bench_allocs_per_packet",

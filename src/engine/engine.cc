@@ -1,0 +1,392 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace gallium::engine {
+
+using runtime::OffloadedMiddlebox;
+using runtime::Verdict;
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+// Shared home for every global register. Map state shards cleanly by flow;
+// a global is one register all flows read, so the shards must observe a
+// single copy. Atomics make the hub safe under threaded workers; in
+// deterministic mode they degenerate to plain loads/stores.
+class Engine::GlobalHub {
+ public:
+  explicit GlobalHub(size_t n)
+      : values_(std::make_unique<std::atomic<uint64_t>[]>(n)) {}
+
+  uint64_t Load(ir::StateIndex g) const {
+    return values_[g].load(std::memory_order_acquire);
+  }
+  void Store(ir::StateIndex g, uint64_t v) {
+    values_[g].store(v, std::memory_order_release);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> values_;
+};
+
+// One shard's window onto the hub. Writes additionally notify the sync
+// core over the shard's SPSC note ring (threaded mode), which drains them
+// and refreshes the switch replicas — the worker never touches another
+// shard's state. Notes are best-effort: a full ring only delays the refresh
+// until the next quiescence broadcast, it never loses the value (the hub
+// already holds it).
+class Engine::GlobalPort : public runtime::GlobalOverlay {
+ public:
+  GlobalPort(GlobalHub* hub, SpscRing<GlobalNote>* notes)
+      : hub_(hub), notes_(notes) {}
+
+  uint64_t Read(ir::StateIndex g) const override { return hub_->Load(g); }
+  void Write(ir::StateIndex g, uint64_t v) override {
+    hub_->Store(g, v);
+    if (notes_ != nullptr) (void)notes_->TryPush(GlobalNote{g, v});
+  }
+
+ private:
+  GlobalHub* hub_;
+  SpscRing<GlobalNote>* notes_;
+};
+
+double RunReport::MaxWorkerBusyUs() const {
+  double max_us = 0;
+  for (double us : worker_busy_us) max_us = std::max(max_us, us);
+  return max_us;
+}
+
+double RunReport::AggregateMpps() const {
+  // packets per microsecond == millions of packets per second.
+  const double busy_us = MaxWorkerBusyUs();
+  return busy_us <= 0 ? 0.0 : static_cast<double>(packets) / busy_us;
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), steering_(options_.workers) {}
+
+Engine::~Engine() = default;
+
+Result<std::unique_ptr<Engine>> Engine::Create(const mbox::MiddleboxSpec& spec,
+                                               EngineOptions options) {
+  if (options.workers < 1) options.workers = 1;
+  if (options.burst < 1) options.burst = 1;
+  auto eng = std::unique_ptr<Engine>(new Engine(std::move(options)));
+  const EngineOptions& opts = eng->options_;
+
+  if (opts.runtime.registry != nullptr) {
+    eng->registry_ = opts.runtime.registry;
+  } else {
+    eng->owned_registry_ = std::make_unique<telemetry::MetricsRegistry>();
+    eng->registry_ = eng->owned_registry_.get();
+  }
+  eng->burst_occupancy_ = eng->registry_->GetHistogram(
+      "gallium_engine_burst_occupancy", {{"mbox", spec.name}},
+      {1, 2, 4, 8, 16, 24, 32, 64},
+      "packets per burst through the run-to-completion loop");
+
+  eng->hub_ = std::make_unique<GlobalHub>(spec.fn->globals().size());
+  for (int w = 0; w < opts.workers; ++w) {
+    runtime::OffloadedOptions shard_opts = opts.runtime;
+    shard_opts.registry = eng->registry_;
+    shard_opts.extra_labels.push_back({"worker", std::to_string(w)});
+    // Worker 0 keeps the caller's seed, so a one-worker engine models the
+    // same latencies as a bare OffloadedMiddlebox with the same options.
+    shard_opts.rng_seed = opts.runtime.rng_seed + static_cast<uint64_t>(w);
+    GALLIUM_ASSIGN_OR_RETURN(auto shard,
+                             OffloadedMiddlebox::Create(spec, shard_opts));
+    eng->shards_.push_back(std::move(shard));
+  }
+
+  // Re-home every global into the hub. Each shard gets its own port so the
+  // threaded note rings stay single-producer.
+  for (int w = 0; w < opts.workers; ++w) {
+    SpscRing<GlobalNote>* notes = nullptr;
+    if (opts.threaded) {
+      eng->note_rings_.push_back(std::make_unique<SpscRing<GlobalNote>>(256));
+      notes = eng->note_rings_.back().get();
+    }
+    eng->ports_.push_back(std::make_unique<GlobalPort>(eng->hub_.get(), notes));
+    for (size_t g = 0; g < spec.fn->globals().size(); ++g) {
+      eng->shards_[w]->server_state().DelegateGlobal(
+          static_cast<ir::StateIndex>(g), eng->ports_[w].get());
+    }
+  }
+
+  // Globals the switch replicas hold a copy of; BroadcastGlobals keeps
+  // those copies equal to the hub between packets.
+  for (const auto& [ref, placement] : eng->shards_[0]->plan().state_placement) {
+    if (ref.kind != ir::StateRef::Kind::kGlobal) continue;
+    if (placement == partition::StatePlacement::kReplicated ||
+        placement == partition::StatePlacement::kSwitchOnly) {
+      eng->broadcast_globals_.push_back(ref.index);
+    }
+  }
+
+  eng->slots_.resize(static_cast<size_t>(opts.burst));
+  eng->owners_.resize(static_cast<size_t>(opts.burst));
+  eng->busy_ns_.assign(static_cast<size_t>(opts.workers), 0);
+  eng->worker_packets_.assign(static_cast<size_t>(opts.workers), 0);
+  return eng;
+}
+
+void Engine::BroadcastGlobals() {
+  if (workers() == 1 || broadcast_globals_.empty()) return;
+  for (ir::StateIndex g : broadcast_globals_) {
+    const uint64_t v = hub_->Load(g);
+    for (auto& shard : shards_) shard->device().SetGlobalRegister(g, v);
+  }
+}
+
+void Engine::AfterPacket(int owner,
+                         const OffloadedMiddlebox::Outcome& outcome) {
+  if (outcome.verdict.kind == Verdict::Kind::kSend) {
+    // Flow director: a rewriting middlebox (NAT translation, LB backend
+    // rewrite) emitted a tuple whose return traffic would hash to the wrong
+    // worker — pin it to this one. Established flows are already pinned, so
+    // the steady state takes the lookup and skips the (allocating) insert.
+    const net::FiveTuple out = outcome.out_packet.five_tuple();
+    if (steering_.OwnerOf(out) != owner) steering_.Pin(out, owner);
+  }
+  // The sync core's inline global commit, propagated: every switch replica
+  // sees the hub's value before the next packet executes. This is what
+  // makes a sharded deterministic run bit-identical to single-core even for
+  // switch-resident registers.
+  BroadcastGlobals();
+}
+
+void Engine::Tally(RunReport* report, int owner,
+                   const OffloadedMiddlebox::Outcome& outcome) {
+  ++report->packets;
+  ++report->worker_packets[owner];
+  if (!outcome.status.ok()) {
+    ++report->errors;
+    return;
+  }
+  if (outcome.shed) {
+    ++report->shed;
+    return;
+  }
+  if (outcome.fast_path) ++report->fast_path;
+  if (outcome.verdict.kind == Verdict::Kind::kSend) {
+    ++report->sends;
+  } else if (outcome.verdict.kind == Verdict::Kind::kDrop) {
+    ++report->drops;
+  }
+}
+
+RunReport Engine::NewReport() const {
+  RunReport report;
+  report.worker_packets.assign(shards_.size(), 0);
+  report.worker_busy_us.assign(shards_.size(), 0.0);
+  return report;
+}
+
+OffloadedMiddlebox::Outcome Engine::Process(net::Packet pkt, uint64_t now_ms) {
+  const int owner = steering_.OwnerOf(pkt.five_tuple());
+  const auto t0 = Clock::now();
+  OffloadedMiddlebox::Outcome outcome =
+      shards_[owner]->Process(std::move(pkt), now_ms);
+  busy_ns_[owner] +=
+      static_cast<uint64_t>((Clock::now() - t0).count());
+  ++worker_packets_[owner];
+  AfterPacket(owner, outcome);
+  return outcome;
+}
+
+RunReport Engine::Run(const std::vector<net::Packet>& trace,
+                      uint64_t start_now_ms, std::vector<net::Packet>* sink) {
+  if (options_.threaded) return RunThreaded(trace, start_now_ms);
+  return RunDeterministic(trace, start_now_ms, sink);
+}
+
+RunReport Engine::RunDeterministic(const std::vector<net::Packet>& trace,
+                                   uint64_t start_now_ms,
+                                   std::vector<net::Packet>* sink) {
+  RunReport report = NewReport();
+  const size_t burst = static_cast<size_t>(options_.burst);
+  uint64_t now_ms = start_now_ms;
+  // busy_ns_ accumulates across Run calls (it feeds the Quiesce gauges);
+  // the report covers this run only. Stash the starting counts in the
+  // report's inline storage so a warm Run stays allocation-free.
+  for (size_t w = 0; w < shards_.size(); ++w) {
+    report.worker_busy_us[w] = static_cast<double>(busy_ns_[w]);
+  }
+
+  for (size_t base = 0; base < trace.size(); base += burst) {
+    const size_t n = std::min(burst, trace.size() - base);
+    burst_occupancy_->Observe(static_cast<double>(n));
+
+    // Pass 1: steer the whole burst and issue prefetches, so pass 2's
+    // director probes, shard headers, and payload scans hit warm lines.
+    for (size_t i = 0; i < n; ++i) {
+      const net::Packet& src = trace[base + i];
+      __builtin_prefetch(steering_.PrefetchSlot(src.five_tuple()));
+      owners_[i] = steering_.OwnerOf(src.five_tuple());
+      __builtin_prefetch(shards_[owners_[i]].get());
+      if (!src.payload().empty()) __builtin_prefetch(src.payload().data());
+    }
+
+    // Pass 2: execute run-to-completion in strict arrival order. Per-packet
+    // wall time lands in the owning worker's busy counter — the
+    // dedicated-cores model the aggregate throughput figure is built on.
+    for (size_t i = 0; i < n; ++i) {
+      const int owner = owners_[i];
+      net::Packet& slot = slots_[i];
+      slot = trace[base + i];  // copy-assign reuses the slot's buffers
+      const auto t0 = Clock::now();
+      OffloadedMiddlebox::Outcome outcome =
+          shards_[owner]->Process(std::move(slot), now_ms++);
+      busy_ns_[owner] +=
+          static_cast<uint64_t>((Clock::now() - t0).count());
+      ++worker_packets_[owner];
+      Tally(&report, owner, outcome);
+      AfterPacket(owner, outcome);
+      if (sink != nullptr && outcome.verdict.kind == Verdict::Kind::kSend) {
+        sink->push_back(outcome.out_packet);
+      }
+      if (outcome.verdict.decided()) {
+        // Recycle the packet's buffers into the slot pool: the next burst's
+        // copy-assign then allocates nothing.
+        slot = std::move(outcome.out_packet);
+      }
+    }
+  }
+
+  for (size_t w = 0; w < shards_.size(); ++w) {
+    report.worker_busy_us[w] =
+        (static_cast<double>(busy_ns_[w]) - report.worker_busy_us[w]) / 1000.0;
+  }
+  return report;
+}
+
+RunReport Engine::RunThreaded(const std::vector<net::Packet>& trace,
+                              uint64_t start_now_ms) {
+  const int workers_n = workers();
+  struct alignas(64) WorkerTotals {
+    uint64_t packets = 0, sends = 0, drops = 0, errors = 0, shed = 0, fast = 0;
+    uint64_t busy_ns = 0;
+  };
+  std::vector<WorkerTotals> totals(static_cast<size_t>(workers_n));
+  std::vector<std::unique_ptr<SpscRing<WorkItem>>> ingress;
+  for (int w = 0; w < workers_n; ++w) {
+    ingress.push_back(std::make_unique<SpscRing<WorkItem>>(
+        options_.ring_capacity));
+  }
+  std::atomic<bool> stop{false};
+
+  auto drain_notes = [&] {
+    GlobalNote note;
+    for (auto& ring : note_rings_) {
+      while (ring->TryPop(&note)) ++global_handoffs_;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers_n));
+  for (int w = 0; w < workers_n; ++w) {
+    threads.emplace_back([&, w] {
+      OffloadedMiddlebox& shard = *shards_[w];
+      WorkerTotals& t = totals[static_cast<size_t>(w)];
+      WorkItem item;
+      for (;;) {
+        if (!ingress[w]->TryPop(&item)) {
+          if (stop.load(std::memory_order_acquire) &&
+              ingress[w]->EmptyForConsumer()) {
+            break;
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        const auto t0 = Clock::now();
+        OffloadedMiddlebox::Outcome outcome =
+            shard.Process(std::move(item.pkt), item.now_ms);
+        t.busy_ns += static_cast<uint64_t>((Clock::now() - t0).count());
+        ++t.packets;
+        if (!outcome.status.ok()) {
+          ++t.errors;
+        } else if (outcome.shed) {
+          ++t.shed;
+        } else {
+          if (outcome.fast_path) ++t.fast;
+          if (outcome.verdict.kind == Verdict::Kind::kSend) ++t.sends;
+          if (outcome.verdict.kind == Verdict::Kind::kDrop) ++t.drops;
+        }
+      }
+    });
+  }
+
+  // The calling thread is the dispatcher and the sync core's control loop:
+  // it steers (the steering table is single-threaded by design) and drains
+  // the mutation note rings while it feeds.
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const int owner = steering_.OwnerOf(trace[i].five_tuple());
+    WorkItem item{trace[i], start_now_ms + i};
+    while (!ingress[owner]->TryPush(std::move(item))) {
+      // Ring full: the worker is behind; keep the control plane moving.
+      drain_notes();
+      std::this_thread::yield();
+      item = WorkItem{trace[i], start_now_ms + i};
+    }
+    drain_notes();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  drain_notes();
+  // Workers are parked: refresh every switch replica from the hub.
+  BroadcastGlobals();
+
+  RunReport report = NewReport();
+  for (int w = 0; w < workers_n; ++w) {
+    const WorkerTotals& t = totals[static_cast<size_t>(w)];
+    report.packets += t.packets;
+    report.sends += t.sends;
+    report.drops += t.drops;
+    report.errors += t.errors;
+    report.shed += t.shed;
+    report.fast_path += t.fast;
+    report.worker_packets[w] = t.packets;
+    report.worker_busy_us[w] = static_cast<double>(t.busy_ns) / 1000.0;
+    busy_ns_[w] += t.busy_ns;
+    worker_packets_[w] += t.packets;
+  }
+  return report;
+}
+
+void Engine::Quiesce() {
+  GlobalNote note;
+  for (auto& ring : note_rings_) {
+    while (ring->TryPop(&note)) ++global_handoffs_;
+  }
+  for (auto& shard : shards_) {
+    shard->FlushSyncBacklog();
+    shard->PublishSwitchStageMetrics();
+  }
+  BroadcastGlobals();
+  for (size_t w = 0; w < shards_.size(); ++w) {
+    const telemetry::LabelSet scope{{"worker", std::to_string(w)}};
+    registry_
+        ->GetGauge("gallium_engine_worker_packets", scope,
+                   "packets executed by this worker shard")
+        ->Set(static_cast<double>(worker_packets_[w]));
+    registry_
+        ->GetGauge("gallium_engine_worker_busy_us", scope,
+                   "accumulated execution time on this worker shard")
+        ->Set(static_cast<double>(busy_ns_[w]) / 1000.0);
+  }
+  registry_
+      ->GetGauge("gallium_engine_pinned_flows", {},
+                 "flow-director entries (rewritten flows pinned to a worker)")
+      ->Set(static_cast<double>(steering_.pinned_flows()));
+  registry_
+      ->GetGauge("gallium_engine_global_handoffs", {},
+                 "global mutations handed to the sync core over note rings")
+      ->Set(static_cast<double>(global_handoffs_));
+}
+
+}  // namespace gallium::engine

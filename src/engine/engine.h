@@ -1,0 +1,170 @@
+// The multi-worker run-to-completion packet engine (ROADMAP item 1).
+//
+// Gallium's server half must keep pace with the switch, so the engine
+// applies the standard DPDK-style recipe to the offloaded runtime:
+//
+//   * Burst processing: packets are taken in bursts (default 32) through a
+//     two-pass loop — pass one steers every packet and issues prefetches
+//     for the director slot and packet payload, pass two executes them
+//     run-to-completion, so lookups in pass two hit warm cache lines.
+//   * Per-core shards: each worker owns a complete OffloadedMiddlebox
+//     (host store, switch replica, sync machinery). RSS-style symmetric
+//     5-tuple steering plus a flow director for rewritten flows keeps all
+//     of a flow's map state core-local — no locks on the packet path.
+//   * Shared globals on the sync core: replicated-global registers cannot
+//     shard (every flow reads the same register), so they live in one
+//     GlobalHub; every shard's host store delegates its global accesses
+//     there, reusing sync_queue's rule that global-carrying batches keep
+//     strict inline output commit.
+//   * Zero allocation: shards reuse interpreter scratch (ExecScratch), the
+//     burst loop recycles its packet slots through Outcome::out_packet, and
+//     transfer values use inline storage — so steady-state data packets
+//     allocate nothing.
+//
+// Two execution modes:
+//   * Deterministic (default): packets execute in strict arrival order on
+//     the calling thread; per-packet wall time is accumulated into the
+//     owning worker's busy counter, modeling dedicated cores. Output and
+//     state are bit-identical to a single-core run — this is the mode the
+//     equivalence property tests and the chaos harness use, and the mode
+//     the multi-core throughput figures are derived from.
+//   * Threaded: one OS thread per worker fed by an SPSC ingress ring, with
+//     worker->sync-core mutation handoff over SPSC note rings. Real
+//     parallelism for the TSan job and stress tests; exact cross-shard
+//     global ordering is only guaranteed by the deterministic mode.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/spsc_ring.h"
+#include "engine/steering.h"
+#include "runtime/offloaded_middlebox.h"
+#include "util/inline_vec.h"
+
+namespace gallium::engine {
+
+struct EngineOptions {
+  int workers = 1;
+  int burst = 32;
+  bool threaded = false;
+  // Per-worker ingress ring depth in threaded mode.
+  size_t ring_capacity = 1024;
+  // Options every worker shard is created with. `registry` null means the
+  // engine owns one registry shared by all shards; each shard's instruments
+  // carry a {worker=<i>} label either way.
+  runtime::OffloadedOptions runtime;
+};
+
+struct RunReport {
+  uint64_t packets = 0;
+  uint64_t sends = 0;
+  uint64_t drops = 0;
+  uint64_t errors = 0;
+  uint64_t shed = 0;
+  uint64_t fast_path = 0;
+  // Inline storage: a Run over warm state allocates nothing, and the
+  // alloc_count bench holds the engine to exactly zero per packet.
+  InlineVec<uint64_t, 32> worker_packets;
+  InlineVec<double, 32> worker_busy_us;
+
+  // Aggregate throughput under the dedicated-cores model: every worker runs
+  // in parallel, so the run finishes when the busiest core does.
+  double AggregateMpps() const;
+  double MaxWorkerBusyUs() const;
+};
+
+class Engine {
+ public:
+  // `spec` must outlive the engine (shards keep pointers into it, exactly
+  // like OffloadedMiddlebox::Create).
+  static Result<std::unique_ptr<Engine>> Create(
+      const mbox::MiddleboxSpec& spec, EngineOptions options = {});
+
+  ~Engine();
+
+  // Single-packet path (chaos harness, galliumc traffic loop): steers the
+  // packet to its owning shard and processes it inline, deterministic-mode
+  // semantics regardless of EngineOptions::threaded.
+  runtime::OffloadedMiddlebox::Outcome Process(net::Packet pkt,
+                                               uint64_t now_ms);
+
+  // Batch path: runs the whole trace through the burst loop (deterministic
+  // mode) or the worker threads (threaded mode). now_ms advances by one per
+  // packet starting at start_now_ms. When `sink` is non-null (deterministic
+  // mode only), every sent packet is appended in emission order.
+  RunReport Run(const std::vector<net::Packet>& trace, uint64_t start_now_ms,
+                std::vector<net::Packet>* sink = nullptr);
+
+  // Quiescence point: flushes every shard's sync backlog, re-broadcasts the
+  // shared globals into every switch replica, and publishes engine + shard
+  // metrics onto the registry.
+  void Quiesce();
+
+  int workers() const { return static_cast<int>(shards_.size()); }
+  runtime::OffloadedMiddlebox& shard(int i) { return *shards_[i]; }
+  const FlowSteering& steering() const { return steering_; }
+  telemetry::MetricsRegistry& metrics() { return *registry_; }
+  // Global mutations handed to the sync core over the note rings (threaded
+  // runs only).
+  uint64_t global_handoffs() const { return global_handoffs_; }
+
+ private:
+  class GlobalHub;
+  class GlobalPort;
+  // One global mutation, handed worker -> sync core in threaded mode.
+  struct GlobalNote {
+    ir::StateIndex global = 0;
+    uint64_t value = 0;
+  };
+  // One packet plus its arrival timestamp, dispatcher -> worker.
+  struct WorkItem {
+    net::Packet pkt;
+    uint64_t now_ms = 0;
+  };
+
+  explicit Engine(EngineOptions options);
+
+  // Post-packet bookkeeping shared by Process and the deterministic burst
+  // loop: pin rewritten flows into the director and mirror the shared
+  // globals into every shard's switch replica (the sync core's inline
+  // commit, propagated).
+  void AfterPacket(int owner,
+                   const runtime::OffloadedMiddlebox::Outcome& outcome);
+  void BroadcastGlobals();
+  void Tally(RunReport* report, int owner,
+             const runtime::OffloadedMiddlebox::Outcome& outcome);
+
+  RunReport NewReport() const;
+  RunReport RunDeterministic(const std::vector<net::Packet>& trace,
+                             uint64_t start_now_ms,
+                             std::vector<net::Packet>* sink);
+  RunReport RunThreaded(const std::vector<net::Packet>& trace,
+                        uint64_t start_now_ms);
+
+  EngineOptions options_;
+  FlowSteering steering_;
+  std::vector<std::unique_ptr<runtime::OffloadedMiddlebox>> shards_;
+  std::unique_ptr<GlobalHub> hub_;
+  std::vector<std::unique_ptr<GlobalPort>> ports_;
+  // Worker -> sync-core mutation handoff (threaded mode; one ring per
+  // worker keeps every ring single-producer/single-consumer).
+  std::vector<std::unique_ptr<SpscRing<GlobalNote>>> note_rings_;
+  // Globals resident on the switch (replicated or switch-only placement):
+  // the set BroadcastGlobals mirrors from the hub into every replica.
+  std::vector<ir::StateIndex> broadcast_globals_;
+
+  std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::Histogram* burst_occupancy_ = nullptr;
+
+  // Deterministic burst loop scratch, sized once at Create.
+  std::vector<net::Packet> slots_;
+  std::vector<int> owners_;
+  std::vector<uint64_t> busy_ns_;
+  std::vector<uint64_t> worker_packets_;
+
+  uint64_t global_handoffs_ = 0;
+};
+
+}  // namespace gallium::engine

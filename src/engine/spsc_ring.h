@@ -1,0 +1,77 @@
+// Lock-free single-producer/single-consumer ring.
+//
+// The engine's inter-core channels are all strictly point-to-point — one
+// worker hands mutations to the sync core, the dispatcher hands packets to
+// one worker — so the classic SPSC design applies: a power-of-two slot
+// array indexed by free-running 64-bit positions, one atomic per side, and
+// a cached copy of the peer's index so the common case (ring neither full
+// nor empty) touches no shared cache line at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gallium::engine {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(T v) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Consumer-side emptiness check (exact for the consumer; a snapshot for
+  // anyone else).
+  bool EmptyForConsumer() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Producer-owned line: its index plus its cached view of the consumer's.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer-owned line, symmetrically.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+};
+
+}  // namespace gallium::engine

@@ -1,0 +1,72 @@
+#include "engine/steering.h"
+
+namespace gallium::engine {
+
+namespace {
+
+// Canonical direction: the lexicographically smaller (addr, port) endpoint
+// becomes the source, so a tuple and its reverse collapse to one key for
+// both hashing and director storage.
+net::FiveTuple Canonical(const net::FiveTuple& ft) {
+  const uint64_t src = (static_cast<uint64_t>(ft.saddr) << 16) | ft.sport;
+  const uint64_t dst = (static_cast<uint64_t>(ft.daddr) << 16) | ft.dport;
+  if (src <= dst) return ft;
+  return ft.Reversed();
+}
+
+}  // namespace
+
+uint64_t SymmetricFlowHash(const net::FiveTuple& ft) {
+  return Canonical(ft).Hash();
+}
+
+FlowSteering::FlowSteering(int workers) : workers_(workers < 1 ? 1 : workers) {
+  slots_.resize(256);
+  mask_ = slots_.size() - 1;
+}
+
+int FlowSteering::OwnerOf(const net::FiveTuple& ft) const {
+  const net::FiveTuple key = Canonical(ft);
+  const uint64_t hash = key.Hash();
+  for (size_t i = hash & mask_;; i = (i + 1) & mask_) {
+    const Slot& slot = slots_[i];
+    if (slot.owner < 0) break;  // open addressing: empty slot ends the probe
+    if (slot.ft == key) return slot.owner;
+  }
+  return static_cast<int>(hash % static_cast<uint64_t>(workers_));
+}
+
+void FlowSteering::Pin(const net::FiveTuple& ft, int owner) {
+  const net::FiveTuple key = Canonical(ft);
+  // Grow at 1/2 load so probes stay short and an empty slot always exists.
+  if ((used_ + 1) * 2 > slots_.size()) Grow();
+  for (size_t i = key.Hash() & mask_;; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.owner < 0) {
+      slot.ft = key;
+      slot.owner = owner;
+      ++used_;
+      return;
+    }
+    if (slot.ft == key) {
+      slot.owner = owner;
+      return;
+    }
+  }
+}
+
+const void* FlowSteering::PrefetchSlot(const net::FiveTuple& ft) const {
+  return &slots_[Canonical(ft).Hash() & mask_];
+}
+
+void FlowSteering::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  used_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.owner >= 0) Pin(slot.ft, slot.owner);
+  }
+}
+
+}  // namespace gallium::engine

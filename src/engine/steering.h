@@ -1,0 +1,64 @@
+// RSS-style flow steering for the multi-worker engine.
+//
+// The sharding invariant: every packet of a flow — in both directions —
+// must execute on the same worker, because that worker's shard holds the
+// flow's map state. A symmetric 5-tuple hash covers middleboxes that leave
+// addresses alone (both directions canonicalize to the same tuple). It does
+// NOT cover rewriting middleboxes: MazuNAT emits translated packets whose
+// return traffic arrives keyed by the translation, and the load balancer
+// rewrites the destination to a backend — in both cases the return tuple
+// hashes somewhere unrelated to the forward flow's owner. The exception
+// table ("flow director") fixes that: when a worker emits a packet whose
+// tuple would steer elsewhere, the dispatcher pins that tuple to the
+// emitting worker, so the rewritten flow's return traffic comes home.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace gallium::engine {
+
+// Direction-insensitive flow hash: a tuple and its reverse produce the
+// same value, so request and response traffic of an untranslated flow land
+// on the same worker without any director entry.
+uint64_t SymmetricFlowHash(const net::FiveTuple& ft);
+
+class FlowSteering {
+ public:
+  explicit FlowSteering(int workers);
+
+  int workers() const { return workers_; }
+
+  // The worker that owns this packet's flow: a director hit wins, otherwise
+  // the symmetric hash modulo the worker count. Never allocates.
+  int OwnerOf(const net::FiveTuple& ft) const;
+
+  // Pins `ft` (and, via canonicalization, its reverse) to `owner`.
+  // Re-pinning an already-pinned tuple updates in place, so the steady
+  // state — every established flow already pinned — allocates nothing.
+  void Pin(const net::FiveTuple& ft, int owner);
+
+  // Director slot a packet's lookup will touch; the burst loop prefetches
+  // it in pass one so pass two's OwnerOf hits warm lines.
+  const void* PrefetchSlot(const net::FiveTuple& ft) const;
+
+  size_t pinned_flows() const { return used_; }
+
+ private:
+  struct Slot {
+    net::FiveTuple ft;
+    int32_t owner = -1;  // -1 = empty; slots are never deleted
+  };
+
+  void Grow();
+
+  int workers_;
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace gallium::engine

@@ -121,8 +121,9 @@ bool PayloadContains(const net::Packet& pkt, const std::string& pattern) {
 }  // namespace
 
 ExecResult Interpreter::Run(net::Packet& pkt, StateBackend& state,
-                            uint64_t now_ms) const {
-  return Walk(pkt, state, now_ms, WalkConfig{}, nullptr, nullptr, nullptr);
+                            uint64_t now_ms, ExecScratch* scratch) const {
+  return Walk(pkt, state, now_ms, WalkConfig{}, nullptr, nullptr, nullptr,
+              scratch);
 }
 
 ExecResult Interpreter::RunPartition(
@@ -130,35 +131,43 @@ ExecResult Interpreter::RunPartition(
     const partition::PartitionPlan& plan, Part part,
     const partition::TransferSpec* in_spec, const TransferValues* in_values,
     const partition::TransferSpec* out_spec,
-    const std::vector<bool>* cached_maps) const {
+    const std::vector<bool>* cached_maps, ExecScratch* scratch) const {
   WalkConfig config;
   config.plan = &plan;
   config.part = part;
   config.cached_maps = cached_maps;
-  return Walk(pkt, state, now_ms, config, in_spec, in_values, out_spec);
+  return Walk(pkt, state, now_ms, config, in_spec, in_values, out_spec,
+              scratch);
 }
 
 ExecResult Interpreter::RunServerFull(
     net::Packet& pkt, StateBackend& state, uint64_t now_ms,
     const partition::PartitionPlan& plan,
     const partition::TransferSpec* out_spec,
-    const std::vector<bool>& cached_maps) const {
+    const std::vector<bool>& cached_maps, ExecScratch* scratch) const {
   WalkConfig config;
   config.plan = &plan;
   config.part = Part::kNonOffloaded;
   config.cached_maps = &cached_maps;
   config.full_server = true;
-  return Walk(pkt, state, now_ms, config, nullptr, nullptr, out_spec);
+  return Walk(pkt, state, now_ms, config, nullptr, nullptr, out_spec, scratch);
 }
 
 ExecResult Interpreter::Walk(net::Packet& pkt, StateBackend& state,
                              uint64_t now_ms, const WalkConfig& config,
                              const partition::TransferSpec* in_spec,
                              const TransferValues* in_values,
-                             const partition::TransferSpec* out_spec) const {
+                             const partition::TransferSpec* out_spec,
+                             ExecScratch* scratch) const {
   ExecResult result;
-  std::vector<uint64_t> regs(fn_->num_regs(), 0);
-  std::vector<bool> defined(fn_->num_regs(), false);
+  // Callers in packet loops pass a persistent scratch; vector::assign keeps
+  // the old capacity, so re-walking the same function allocates nothing.
+  ExecScratch local;
+  ExecScratch& s = scratch != nullptr ? *scratch : local;
+  s.regs.assign(fn_->num_regs(), 0);
+  s.defined.assign(fn_->num_regs(), false);
+  std::vector<uint64_t>& regs = s.regs;
+  std::vector<bool>& defined = s.defined;
 
   if (in_spec != nullptr && in_values != nullptr) {
     for (size_t i = 0; i < in_spec->cond_regs.size(); ++i) {
@@ -212,9 +221,10 @@ ExecResult Interpreter::Walk(net::Packet& pkt, StateBackend& state,
   // The pre pass must not traverse loops: loop bodies are server work
   // (rule 5), so re-entering a block means the path's remaining work
   // belongs to the server.
-  std::vector<bool> visited(fn_->num_blocks(), false);
   const bool is_pre_pass =
       config.plan != nullptr && config.part == Part::kPre;
+  std::vector<bool>& visited = s.visited;
+  if (is_pre_pass) visited.assign(fn_->num_blocks(), false);
 
   while (!done) {
     if (is_pre_pass) {
@@ -317,9 +327,10 @@ ExecResult Interpreter::Walk(net::Packet& pkt, StateBackend& state,
           ++result.stats.payload_ops;
           break;
         case Opcode::kMapGet: {
-          StateKey key;
+          StateKey& key = s.key;
+          key.clear();
           for (const ir::Value& v : inst.args) key.push_back(value_of(v));
-          StateValue values;
+          StateValue& values = s.value;
           const bool is_cached_map =
               config.cached_maps != nullptr &&
               inst.state < config.cached_maps->size() &&
@@ -347,8 +358,10 @@ ExecResult Interpreter::Walk(net::Packet& pkt, StateBackend& state,
         case Opcode::kMapPut: {
           const auto& decl = fn_->map(inst.state);
           const size_t nkeys = decl.key_widths.size();
-          StateKey key;
-          StateValue values;
+          StateKey& key = s.key;
+          StateValue& values = s.value;
+          key.clear();
+          values.clear();
           for (size_t a = 0; a < nkeys; ++a) key.push_back(value_of(inst.args[a]));
           for (size_t a = nkeys; a < inst.args.size(); ++a) {
             values.push_back(value_of(inst.args[a]));
@@ -358,7 +371,8 @@ ExecResult Interpreter::Walk(net::Packet& pkt, StateBackend& state,
           break;
         }
         case Opcode::kMapDel: {
-          StateKey key;
+          StateKey& key = s.key;
+          key.clear();
           for (const ir::Value& v : inst.args) key.push_back(value_of(v));
           state.MapErase(inst.state, key);
           ++result.stats.map_updates;

@@ -18,6 +18,7 @@
 #include "partition/plan.h"
 #include "runtime/state.h"
 #include "telemetry/trace.h"
+#include "util/inline_vec.h"
 #include "util/status.h"
 
 namespace gallium::runtime {
@@ -32,10 +33,25 @@ struct Verdict {
 };
 
 // Runtime form of the synthesized transfer header: values parallel to a
-// TransferSpec's cond_regs / var_regs lists.
+// TransferSpec's cond_regs / var_regs lists. Inline storage: the pre pass
+// fills one of these per packet even on the fast path, so it must not
+// heap-allocate (conditions are capped at 32; var lists are bounded by the
+// transfer-byte constraint).
 struct TransferValues {
-  std::vector<uint64_t> cond_values;
-  std::vector<uint64_t> var_values;
+  InlineVec<uint64_t, 32> cond_values;
+  InlineVec<uint64_t, 32> var_values;
+};
+
+// Reusable per-walk buffers. The interpreter's register file and block-visit
+// set are sized by the function, not the packet; a caller that processes
+// packets in a loop passes one of these so the hot path allocates nothing.
+// Null scratch falls back to walk-local buffers (one-shot callers).
+struct ExecScratch {
+  std::vector<uint64_t> regs;
+  std::vector<bool> defined;
+  std::vector<bool> visited;
+  StateKey key;
+  StateValue value;
 };
 
 // Execution counters; the performance model converts these to cycles.
@@ -98,7 +114,8 @@ class Interpreter {
   const ir::Function& function() const { return *fn_; }
 
   // Executes the complete program (software baseline semantics).
-  ExecResult Run(net::Packet& pkt, StateBackend& state, uint64_t now_ms) const;
+  ExecResult Run(net::Packet& pkt, StateBackend& state, uint64_t now_ms,
+                 ExecScratch* scratch = nullptr) const;
 
   // Executes one partition. `in_spec`/`in_values` describe the incoming
   // transfer header (null for the pre pass); `out_spec` the outgoing one.
@@ -111,7 +128,8 @@ class Interpreter {
                           const partition::TransferSpec* in_spec,
                           const TransferValues* in_values,
                           const partition::TransferSpec* out_spec,
-                          const std::vector<bool>* cached_maps = nullptr) const;
+                          const std::vector<bool>* cached_maps = nullptr,
+                          ExecScratch* scratch = nullptr) const;
 
   // Cache-miss recovery pass (§7): runs everything except the post
   // partition against authoritative server state, recording which keys were
@@ -120,7 +138,8 @@ class Interpreter {
                            uint64_t now_ms,
                            const partition::PartitionPlan& plan,
                            const partition::TransferSpec* out_spec,
-                           const std::vector<bool>& cached_maps) const;
+                           const std::vector<bool>& cached_maps,
+                           ExecScratch* scratch = nullptr) const;
 
   // Header-field accessors shared with the switch simulator.
   static uint64_t ReadHeaderField(const net::Packet& pkt, ir::HeaderField f);
@@ -142,7 +161,8 @@ class Interpreter {
                   const WalkConfig& config,
                   const partition::TransferSpec* in_spec,
                   const TransferValues* in_values,
-                  const partition::TransferSpec* out_spec) const;
+                  const partition::TransferSpec* out_spec,
+                  ExecScratch* scratch) const;
 
   const ir::Function* fn_;
 };

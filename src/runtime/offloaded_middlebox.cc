@@ -26,7 +26,9 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
     owned_registry_ = std::make_unique<telemetry::MetricsRegistry>();
     registry_ = owned_registry_.get();
   }
-  const telemetry::LabelSet scope{{"mbox", spec.name}};
+  scope_ = telemetry::LabelSet{{"mbox", spec.name}};
+  for (const auto& label : options_.extra_labels) scope_.push_back(label);
+  const telemetry::LabelSet& scope = scope_;
   auto counter = [&](const char* name, const char* help) {
     return registry_->GetCounter(name, scope, help);
   };
@@ -92,6 +94,7 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
       replicated_globals_[ref.index] = true;
     }
   }
+  recording_.emplace(&server_state_, replicated_maps_, replicated_globals_);
   if (options_.fault_plan != nullptr) {
     injector_ = std::make_unique<FaultInjector>(*options_.fault_plan);
   }
@@ -406,9 +409,9 @@ void OffloadedMiddlebox::PublishSwitchStageMetrics() {
   pushed_packets_fast_ = packets_fast_;
   switch_ops_.Flush();
   server_ops_.Flush();
-  switch_->PublishStageMetrics(registry_, fn_->name());
+  switch_->PublishStageMetrics(registry_, scope_);
   if (options_.sync_queue.enabled()) {
-    const telemetry::LabelSet scope{{"mbox", fn_->name()}};
+    const telemetry::LabelSet& scope = scope_;
     registry_
         ->GetGauge("gallium_sync_backlog_depth", scope,
                    "queued sync batches awaiting the next pump")
@@ -427,7 +430,7 @@ void OffloadedMiddlebox::PublishSwitchStageMetrics() {
         ->Set(static_cast<double>(sync_queue_.enqueued_mutations()));
   }
   if (watchdog_ != nullptr) {
-    const telemetry::LabelSet scope{{"mbox", fn_->name()}};
+    const telemetry::LabelSet& scope = scope_;
     registry_
         ->GetGauge("gallium_watchdog_mode", scope,
                    "0=offloaded 1=degraded 2=resync_pending")
@@ -560,7 +563,8 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
                                         /*in_spec=*/nullptr,
                                         /*in_values=*/nullptr,
                                         &plan_.to_server,
-                                        cache_mode ? &cached_maps_ : nullptr);
+                                        cache_mode ? &cached_maps_ : nullptr,
+                                        &scratch_);
   outcome.switch_stats += pre.stats;
   switch_ops_.Add(ToOpCounts(pre.stats));
   if (active_trace_ != nullptr) [[unlikely]] {
@@ -590,9 +594,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
     ++packets_fast_;
     outcome.fast_path = true;
     outcome.verdict = pre.verdict;
-    if (pre.verdict.kind == Verdict::Kind::kSend) {
-      outcome.out_packet = std::move(pkt);
-    }
+    outcome.out_packet = std::move(pkt);
     ReconcileSwitchGlobals();
     return outcome;
   }
@@ -629,11 +631,12 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
   server_pkt.clear_gallium();
 
   // --- 3. Server: non-offloaded pass with replicated-state recording ----------
-  RecordingStateBackend recording(&server_state_, replicated_maps_,
-                                  replicated_globals_);
+  RecordingStateBackend& recording = *recording_;
+  recording.Clear();
   ExecResult srv = interp_.RunPartition(server_pkt, recording, now_ms, plan_,
                                         Part::kNonOffloaded, &plan_.to_server,
-                                        &in_values1.value(), &plan_.to_switch);
+                                        &in_values1.value(), &plan_.to_switch,
+                                        /*cached_maps=*/nullptr, &scratch_);
   outcome.server_stats += srv.stats;
   server_ops_.Add(ToOpCounts(srv.stats));
   if (active_trace_ != nullptr) [[unlikely]] {
@@ -715,7 +718,8 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
   ExecResult post = interp_.RunPartition(back_pkt, switch_->data_plane(),
                                          now_ms, plan_, Part::kPost,
                                          &plan_.to_switch, &in_values2.value(),
-                                         /*out_spec=*/nullptr);
+                                         /*out_spec=*/nullptr,
+                                         /*cached_maps=*/nullptr, &scratch_);
   outcome.switch_stats += post.stats;
   switch_ops_.Add(ToOpCounts(post.stats));
   if (active_trace_ != nullptr) [[unlikely]] {
@@ -734,9 +738,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
     return outcome;
   }
   outcome.verdict = srv.verdict.decided() ? srv.verdict : post.verdict;
-  if (outcome.verdict.kind == Verdict::Kind::kSend) {
-    outcome.out_packet = std::move(back_pkt);
-  }
+  outcome.out_packet = std::move(back_pkt);
   ReconcileSwitchGlobals();
   return outcome;
 }
@@ -750,7 +752,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessDegraded(
   // The switch is unreachable; the server carries the whole program against
   // the authoritative host store — exactly the SoftwareMiddlebox semantics,
   // so per-flow behavior is indistinguishable from the baseline.
-  ExecResult r = interp_.Run(pkt, server_state_, now_ms);
+  ExecResult r = interp_.Run(pkt, server_state_, now_ms, &scratch_);
   outcome.server_stats += r.stats;
   server_ops_.Add(ToOpCounts(r.stats));
   if (active_trace_ != nullptr) [[unlikely]] {
@@ -765,9 +767,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessDegraded(
     return outcome;
   }
   outcome.verdict = r.verdict;
-  if (r.verdict.kind == Verdict::Kind::kSend) {
-    outcome.out_packet = std::move(pkt);
-  }
+  outcome.out_packet = std::move(pkt);
   // Whatever state this packet touched, the switch replica no longer
   // matches it; repopulate the tables before the switch serves again.
   needs_resync_ = true;
@@ -781,10 +781,11 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
   // packet that the programmable switch does not know how to handle, the
   // middlebox server handles it instead"). The server runs everything but
   // the post partition against its authoritative state.
-  RecordingStateBackend recording(&server_state_, replicated_maps_,
-                                  replicated_globals_);
+  RecordingStateBackend& recording = *recording_;
+  recording.Clear();
   ExecResult srv = interp_.RunServerFull(pkt, recording, now_ms, plan_,
-                                         &plan_.to_switch, cached_maps_);
+                                         &plan_.to_switch, cached_maps_,
+                                         &scratch_);
   outcome.server_stats += srv.stats;
   server_ops_.Add(ToOpCounts(srv.stats));
   if (active_trace_ != nullptr) [[unlikely]] {
@@ -852,7 +853,8 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
   ExecResult post = interp_.RunPartition(pkt, switch_->data_plane(), now_ms,
                                          plan_, Part::kPost,
                                          &plan_.to_switch, &in_values2.value(),
-                                         /*out_spec=*/nullptr);
+                                         /*out_spec=*/nullptr,
+                                         /*cached_maps=*/nullptr, &scratch_);
   outcome.switch_stats += post.stats;
   switch_ops_.Add(ToOpCounts(post.stats));
   if (active_trace_ != nullptr) [[unlikely]] {
@@ -871,9 +873,7 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
     return outcome;
   }
   outcome.verdict = srv.verdict.decided() ? srv.verdict : post.verdict;
-  if (outcome.verdict.kind == Verdict::Kind::kSend) {
-    outcome.out_packet = std::move(pkt);
-  }
+  outcome.out_packet = std::move(pkt);
   ReconcileSwitchGlobals();
   return outcome;
 }

@@ -90,6 +90,10 @@ struct OffloadedOptions {
   // {mbox=<spec.name>}. Null = the middlebox owns a private registry, so
   // independent instances never share counters.
   telemetry::MetricsRegistry* registry = nullptr;
+  // Extra labels appended after {mbox=...} on every instrument this
+  // instance registers. The engine scopes each worker shard's counters
+  // with {worker=<i>} so shards sharing one registry never collide.
+  telemetry::LabelSet extra_labels;
   // Per-packet INT-style tracing: when set, every Process() call commits a
   // PacketTrace recording the pre -> sync-channel -> server -> post hop
   // sequence with op counts and fault events. Null = tracing off; the hot
@@ -115,7 +119,10 @@ class OffloadedMiddlebox {
     ExecStats server_stats;      // non-offloaded pass op counts
     int transfer_bytes_to_server = 0;
     int transfer_bytes_to_switch = 0;
-    net::Packet out_packet;      // valid when verdict is kSend
+    // Meaningful when verdict is kSend; on every decided verdict it carries
+    // the packet back out so batching callers (the engine) can recycle the
+    // buffer instead of re-allocating payload storage per dropped packet.
+    net::Packet out_packet;
   };
 
   // Inline dispatch: with tracing off this compiles down to the plain
@@ -229,6 +236,9 @@ class OffloadedMiddlebox {
   int partition_rounds_ = 1;
   OffloadedOptions options_;
   Interpreter interp_;
+  // Per-instance interpreter buffers: Process is serialized per instance,
+  // so one scratch serves every pass and the packet loop never allocates.
+  ExecScratch scratch_;
   HostStateStore server_state_;
   std::unique_ptr<switchsim::Switch> switch_;
   std::vector<bool> replicated_maps_;
@@ -238,6 +248,9 @@ class OffloadedMiddlebox {
   // into the host store after every completed packet (see
   // ReconcileSwitchGlobals).
   std::vector<ir::StateIndex> switch_only_globals_;
+  // Reusable mutation recorder for the server pass (cleared per trip);
+  // constructed after the replicated sets are known.
+  std::optional<RecordingStateBackend> recording_;
   Rng rng_;
 
   std::unique_ptr<FaultInjector> injector_;
@@ -263,6 +276,9 @@ class OffloadedMiddlebox {
   // did not inject a shared one.
   std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;
   telemetry::MetricsRegistry* registry_ = nullptr;
+  // {mbox=<name>} plus OffloadedOptions::extra_labels — the label scope
+  // every instrument of this instance registers under.
+  telemetry::LabelSet scope_;
   struct Counters {
     telemetry::Counter* packets_total;
     telemetry::Counter* packets_fast;

@@ -21,10 +21,13 @@ bool HostStateStore::MapLookup(ir::StateIndex map, const StateKey& key,
     // Entries are stored as {prefix, prefix_len}; the lookup key is the
     // single address. Scan from the most to the least specific prefix.
     const uint64_t addr = key.empty() ? 0 : key[0];
+    lpm_key_.assign(2, 0);
     for (int len = 32; len >= 0; --len) {
       const uint64_t mask =
           len == 0 ? 0 : (~0ull << (32 - len)) & 0xffffffffull;
-      const auto it = contents.find({addr & mask, static_cast<uint64_t>(len)});
+      lpm_key_[0] = addr & mask;
+      lpm_key_[1] = static_cast<uint64_t>(len);
+      const auto it = contents.find(lpm_key_);
       if (it != contents.end()) {
         *values = it->second;
         return true;
@@ -67,11 +70,24 @@ uint64_t HostStateStore::VectorSize(ir::StateIndex vec) {
 }
 
 uint64_t HostStateStore::GlobalRead(ir::StateIndex global) {
+  if (global < delegated_.size() && delegated_[global] != nullptr) {
+    return delegated_[global]->Read(global);
+  }
   return globals_[global];
 }
 
 void HostStateStore::GlobalWrite(ir::StateIndex global, uint64_t value) {
+  if (global < delegated_.size() && delegated_[global] != nullptr) {
+    delegated_[global]->Write(global, value);
+    return;
+  }
   globals_[global] = value;
+}
+
+void HostStateStore::DelegateGlobal(ir::StateIndex g, GlobalOverlay* overlay) {
+  if (delegated_.size() < globals_.size()) delegated_.resize(globals_.size());
+  overlay->Write(g, globals_[g]);
+  delegated_[g] = overlay;
 }
 
 }  // namespace gallium::runtime

@@ -38,6 +38,18 @@ class StateBackend {
   virtual void GlobalWrite(ir::StateIndex global, uint64_t value) = 0;
 };
 
+// Alternate home for a single global register. When execution is sharded
+// across worker cores, replicated globals cannot live in each shard's
+// private store — every worker must observe the same value for the sync
+// core's inline output commit to stay correct. The engine parks those
+// globals in one shared hub and delegates each shard's accesses to it.
+class GlobalOverlay {
+ public:
+  virtual ~GlobalOverlay() = default;
+  virtual uint64_t Read(ir::StateIndex global) const = 0;
+  virtual void Write(ir::StateIndex global, uint64_t value) = 0;
+};
+
 // Plain in-memory state for a host (the FastClick baseline and the
 // non-offloaded server partition).
 class HostStateStore : public StateBackend {
@@ -67,7 +79,17 @@ class HostStateStore : public StateBackend {
   const std::vector<uint64_t>& vector_contents(ir::StateIndex vec) const {
     return vectors_[vec];
   }
-  uint64_t global_value(ir::StateIndex g) const { return globals_[g]; }
+  uint64_t global_value(ir::StateIndex g) const {
+    if (g < delegated_.size() && delegated_[g] != nullptr) {
+      return delegated_[g]->Read(g);
+    }
+    return globals_[g];
+  }
+
+  // Re-homes one global into `overlay`: all reads and writes (including
+  // global_value, which the resync path uses) go through it from now on.
+  // The overlay is seeded with the store's current value.
+  void DelegateGlobal(ir::StateIndex g, GlobalOverlay* overlay);
 
   size_t MapSize(ir::StateIndex map) const { return maps_[map].size(); }
 
@@ -76,6 +98,8 @@ class HostStateStore : public StateBackend {
   std::vector<std::map<StateKey, StateValue>> maps_;
   std::vector<std::vector<uint64_t>> vectors_;
   std::vector<uint64_t> globals_;
+  std::vector<GlobalOverlay*> delegated_;
+  StateKey lpm_key_;  // lookup scratch: LPM probes must not allocate
 };
 
 // Wraps another backend and records every mutation to a watched subset of

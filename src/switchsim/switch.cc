@@ -129,12 +129,12 @@ void Switch::TouchState(const ir::StateRef& ref, int lookup_hit) {
 }
 
 void Switch::PublishStageMetrics(telemetry::MetricsRegistry* registry,
-                                 const std::string& scope) const {
+                                 const telemetry::LabelSet& base) const {
   auto publish = [&](const char* name, int stage, uint64_t value,
                      const char* help) {
-    registry
-        ->GetGauge(name, {{"mbox", scope}, {"stage", std::to_string(stage)}},
-                   help)
+    telemetry::LabelSet labels = base;
+    labels.push_back({"stage", std::to_string(stage)});
+    registry->GetGauge(name, std::move(labels), help)
         ->Set(static_cast<double>(value));
   };
   for (size_t stage = 0; stage < stage_counters_.size(); ++stage) {
@@ -150,11 +150,11 @@ void Switch::PublishStageMetrics(telemetry::MetricsRegistry* registry,
             "accesses needing a recirculation (stage-order violations)");
   }
   registry
-      ->GetGauge("gallium_switch_pipeline_passes", {{"mbox", scope}},
+      ->GetGauge("gallium_switch_pipeline_passes", base,
                  "pipeline traversals begun")
       ->Set(static_cast<double>(pipeline_passes_));
   registry
-      ->GetGauge("gallium_switch_recirculations", {{"mbox", scope}},
+      ->GetGauge("gallium_switch_recirculations", base,
                  "total stage-order violations across the run")
       ->Set(static_cast<double>(stage_order_violations_));
 }
@@ -374,6 +374,11 @@ double Switch::ResyncFromHost(const runtime::HostStateStore& host,
   last_applied_seq_ = server_seq;
   ++resyncs_;
   return latency_model_.UpdateLatencyUs(touched, rng);
+}
+
+void Switch::SetGlobalRegister(ir::StateIndex g, uint64_t value) {
+  if (registers_[g] == nullptr) return;
+  *registers_[g] = value & ir::WidthMask(fn_->global(g).width);
 }
 
 Switch::ResourceReport Switch::Resources() const {

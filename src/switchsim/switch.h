@@ -131,6 +131,12 @@ class Switch {
   double ResyncFromHost(const runtime::HostStateStore& host,
                         uint64_t server_seq, Rng* rng);
 
+  // Control-plane register poke: writes a global's register directly, with
+  // no data-plane stage accounting. The engine uses it to mirror the sync
+  // core's authoritative global values into every shard's replica between
+  // packets. No-op when the global is not resident.
+  void SetGlobalRegister(ir::StateIndex g, uint64_t value);
+
   uint64_t epoch() const { return epoch_; }
   uint64_t restarts() const { return restarts_; }
   uint64_t resyncs() const { return resyncs_; }
@@ -181,11 +187,16 @@ class Switch {
   }
 
   // Snapshots the per-stage counters (plus passes/recirculation totals)
-  // onto `registry` as gauges labeled {mbox=<scope>, stage=<n>}.
+  // onto `registry` as gauges labeled {<base labels>, stage=<n>}.
   // Idempotent: gauges are Set, not incremented, so republishing after more
-  // traffic just refreshes the values.
+  // traffic just refreshes the values. The LabelSet form lets engine shards
+  // add a {worker=<i>} label so shards sharing a registry never collide.
   void PublishStageMetrics(telemetry::MetricsRegistry* registry,
-                           const std::string& scope) const;
+                           const telemetry::LabelSet& base) const;
+  void PublishStageMetrics(telemetry::MetricsRegistry* registry,
+                           const std::string& scope) const {
+    PublishStageMetrics(registry, telemetry::LabelSet{{"mbox", scope}});
+  }
 
   // --- Resources ---------------------------------------------------------------
   struct ResourceReport {

@@ -1,0 +1,82 @@
+// A small vector with inline storage for the packet hot path.
+//
+// Transfer headers carry a handful of words (the partitioner bounds
+// conditions at 32 and the transfer-byte constraint keeps var lists short),
+// so the runtime representation should not heap-allocate per packet. The
+// first N elements live inside the object; only a pathological spec spills
+// to the heap. The interface is the subset of std::vector the interpreter
+// and header pack/unpack paths use.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace gallium {
+
+template <typename T, size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for plain word types");
+
+ public:
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) { *this = init; }
+  InlineVec& operator=(std::initializer_list<T> init) {
+    clear();
+    for (const T& v : init) push_back(v);
+    return *this;
+  }
+
+  void push_back(T v) {
+    if (size_ < N) {
+      inline_[size_++] = v;
+      return;
+    }
+    if (size_ == N && spill_.size() != N) spill_.assign(inline_, inline_ + N);
+    spill_.push_back(v);
+    ++size_;
+  }
+
+  void assign(size_t n, T v) {
+    clear();
+    for (size_t i = 0; i < n; ++i) push_back(v);
+  }
+
+  // Keeps spill capacity, like std::vector::clear — repeated packets reuse
+  // whatever a spilled spec once grew.
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+
+  T* data() { return size_ <= N ? inline_ : spill_.data(); }
+  const T* data() const { return size_ <= N ? inline_ : spill_.data(); }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T inline_[N];
+  size_t size_ = 0;
+  std::vector<T> spill_;
+};
+
+}  // namespace gallium

@@ -16,6 +16,7 @@
 
 #include <set>
 
+#include "engine/engine.h"
 #include "mbox/middleboxes.h"
 #include "runtime/fault.h"
 #include "runtime/offloaded_middlebox.h"
@@ -238,8 +239,12 @@ struct SoakTotals {
   bool has_replicated_map = false;
 };
 
+// `engine_mode` routes every packet through a single-worker engine::Engine
+// wrapping the same OffloadedOptions instead of a bare OffloadedMiddlebox:
+// the engine's steering, global-hub delegation, and slot plumbing must be
+// invisible to the whole fault/overload matrix.
 void RunOneSoak(const ChaosCase& param, uint64_t plan_seed, bool overload,
-                SoakTotals* totals) {
+                SoakTotals* totals, bool engine_mode = false) {
   auto spec_a = param.build();
   auto spec_b = param.build();
   ASSERT_TRUE(spec_a.ok() && spec_b.ok());
@@ -281,13 +286,29 @@ void RunOneSoak(const ChaosCase& param, uint64_t plan_seed, bool overload,
     options.sync_queue.overflow =
         runtime::SyncQueueOptions::OverflowPolicy::kBackpressure;
   }
-  auto offloaded = OffloadedMiddlebox::Create(*spec_b, options);
-  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+  std::unique_ptr<OffloadedMiddlebox> bare;
+  std::unique_ptr<engine::Engine> eng;
+  OffloadedMiddlebox* box = nullptr;
+  if (engine_mode) {
+    engine::EngineOptions engine_options;
+    engine_options.workers = 1;
+    engine_options.runtime = options;
+    auto created = engine::Engine::Create(*spec_b, engine_options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    eng = std::move(*created);
+    box = &eng->shard(0);
+  } else {
+    auto created = OffloadedMiddlebox::Create(*spec_b, options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    bare = std::move(*created);
+    box = bare.get();
+  }
 
   uint64_t now_ms = 0;
   for (const Packet& original : trace.packets) {
     now_ms += 1;
-    auto off_out = (*offloaded)->Process(original, now_ms);
+    auto off_out = engine_mode ? eng->Process(original, now_ms)
+                               : box->Process(original, now_ms);
     ASSERT_TRUE(off_out.status.ok())
         << off_out.status.ToString() << " pkt=" << original.ToString();
     if (off_out.shed) continue;  // refused before any state was touched
@@ -306,7 +327,7 @@ void RunOneSoak(const ChaosCase& param, uint64_t plan_seed, bool overload,
   }
 
   // Exactly-once batch application, as in the random-plan sweep.
-  auto& device = (*offloaded)->device();
+  auto& device = box->device();
   std::set<uint64_t> applied_seqs;
   for (const auto& [epoch, seq] : device.applied_log()) {
     EXPECT_TRUE(applied_seqs.insert(seq).second)
@@ -315,27 +336,31 @@ void RunOneSoak(const ChaosCase& param, uint64_t plan_seed, bool overload,
   }
 
   // The backlog respected its bound throughout.
-  EXPECT_LE((*offloaded)->sync_backlog().peak_depth(),
+  EXPECT_LE(box->sync_backlog().peak_depth(),
             options.sync_queue.max_backlog_batches)
       << "backlog exceeded its bound";
 
   // Bounded flapping: the dwell makes transitions/packets a hard ceiling.
-  const runtime::HealthWatchdog* dog = (*offloaded)->watchdog();
+  const runtime::HealthWatchdog* dog = box->watchdog();
   ASSERT_NE(dog, nullptr);
   const uint64_t ceiling =
-      (*offloaded)->packets_total() / options.health.min_dwell_packets + 1;
+      box->packets_total() / options.health.min_dwell_packets + 1;
   EXPECT_LE(dog->transitions(), ceiling)
       << "watchdog flapped past the dwell-derived ceiling";
 
   // Once the backlog lands, replicated state converges exactly.
-  (*offloaded)->FlushSyncBacklog();
-  ExpectReplicatedStateMatchesHost(offloaded->get());
+  if (engine_mode) {
+    eng->Quiesce();  // drains the same backlog via the engine's sync core
+  } else {
+    box->FlushSyncBacklog();
+  }
+  ExpectReplicatedStateMatchesHost(box);
 
-  totals->shed += (*offloaded)->packets_shed();
-  totals->backpressure += (*offloaded)->backpressure_events();
-  totals->enqueued += (*offloaded)->sync_backlog().enqueued_mutations();
+  totals->shed += box->packets_shed();
+  totals->backpressure += box->backpressure_events();
+  totals->enqueued += box->sync_backlog().enqueued_mutations();
   totals->transitions += dog->transitions();
-  for (const auto& [ref, placement] : (*offloaded)->plan().state_placement) {
+  for (const auto& [ref, placement] : box->plan().state_placement) {
     if (placement != partition::StatePlacement::kReplicated) continue;
     if (ref.kind == ir::StateRef::Kind::kGlobal) {
       totals->strict_commit_only = true;
@@ -369,6 +394,37 @@ TEST_P(SoakTest, GreyFailureBackpressuresWithoutFlapping) {
   SoakTotals totals;
   for (uint64_t seed = 1; seed <= 3; ++seed) {
     RunOneSoak(GetParam(), seed, /*overload=*/false, &totals);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  if (totals.has_replicated_map && !totals.strict_commit_only) {
+    EXPECT_GT(totals.backpressure, 0u)
+        << "grey runs never blocked a packet at the bound";
+    EXPECT_GT(totals.enqueued, 0u) << "no mutation ever entered the backlog";
+  }
+}
+
+// The engine wrapping a single worker must pass the same soak matrix with
+// the same invariants: steering, hub-delegated globals, and packet-slot
+// recycling are pure plumbing, not semantics.
+TEST_P(SoakTest, EngineModeOverloadSoaksUnchanged) {
+  SoakTotals totals;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RunOneSoak(GetParam(), seed, /*overload=*/true, &totals,
+               /*engine_mode=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  if (totals.has_replicated_map && !totals.strict_commit_only) {
+    EXPECT_GT(totals.shed, 0u)
+        << "overload never drove the backlog to its bound";
+    EXPECT_GT(totals.enqueued, 0u) << "no mutation ever entered the backlog";
+  }
+}
+
+TEST_P(SoakTest, EngineModeGreyFailureSoaksUnchanged) {
+  SoakTotals totals;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RunOneSoak(GetParam(), seed, /*overload=*/false, &totals,
+               /*engine_mode=*/true);
     if (::testing::Test::HasFatalFailure()) return;
   }
   if (totals.has_replicated_map && !totals.strict_commit_only) {

@@ -69,6 +69,7 @@
 
 #include "core/compiler.h"
 #include "cppgen/support.h"
+#include "engine/engine.h"
 #include "ir/printer.h"
 #include "mbox/middleboxes.h"
 #include "net/headers.h"
@@ -126,10 +127,18 @@ void PrintUsage(std::FILE* to) {
       "                [--transfer-bytes N] [--memory-mb N]\n"
       "                [--objective count|weighted] [--optimize] [--print]\n"
       "                [--resources] [--run N] [--chaos-seed S]\n"
+      "                [--workers N] [--burst N]\n"
       "                [--fault-plan KIND:SEED] [--sync-queue DEPTH]\n"
       "                [--pump-interval N] [--shed] [--watchdog]\n"
       "                [--verify] [--campaign] [--mutate CLASS]\n"
       "                [--metrics-out FILE] [--trace-out FILE]\n"
+      "\n"
+      "engine:\n"
+      "  --workers N    drive --run traffic through the multi-worker packet\n"
+      "                 engine with N per-core shards (RSS-style 5-tuple\n"
+      "                 steering, shared globals on the sync core)\n"
+      "  --burst N      burst size for the run-to-completion loop\n"
+      "                 (default 32; implies the engine path)\n"
       "\n"
       "robustness:\n"
       "  --fault-plan KIND:SEED  replay a named fault generator (random,\n"
@@ -180,6 +189,7 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
                uint64_t chaos_seed, bool chaos,
                const std::string& fault_spec,
                const runtime::SyncQueueOptions& sync_queue, bool watchdog,
+               int workers, int burst,
                telemetry::MetricsRegistry* registry,
                telemetry::Tracer* tracer) {
   runtime::FaultPlan plan;
@@ -205,13 +215,6 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
     options.fault_plan = &plan;
     std::printf("  chaos: %s\n", plan.ToString().c_str());
   }
-  auto mbx = runtime::OffloadedMiddlebox::Create(spec, options);
-  if (!mbx.ok()) {
-    std::fprintf(stderr, "galliumc: runtime creation failed: %s\n",
-                 mbx.status().ToString().c_str());
-    return 1;
-  }
-
   Rng rng(chaos_seed ^ 0x5ca1ab1eull);
   workload::TraceOptions trace_options;
   trace_options.num_flows = std::max(8, num_packets / 8);
@@ -219,6 +222,60 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
   const workload::Trace trace = workload::MakeTrace(rng, trace_options);
   if (trace.packets.empty()) {
     std::fprintf(stderr, "galliumc: empty trace\n");
+    return 1;
+  }
+
+  // --workers / --burst: route the traffic through the multi-worker engine
+  // (per-core shards, RSS steering, burst loop) instead of one bare
+  // middlebox. The engine publishes {worker=<i>}-labeled counters into the
+  // same registry --metrics-out dumps.
+  if (workers > 1 || burst > 0) {
+    engine::EngineOptions engine_options;
+    engine_options.workers = std::max(1, workers);
+    engine_options.burst = burst > 0 ? burst : 32;
+    engine_options.runtime = options;
+    auto eng = engine::Engine::Create(spec, engine_options);
+    if (!eng.ok()) {
+      std::fprintf(stderr, "galliumc: engine creation failed: %s\n",
+                   eng.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<net::Packet> traffic;
+    traffic.reserve(static_cast<size_t>(num_packets));
+    for (int i = 0; i < num_packets; ++i) {
+      traffic.push_back(trace.packets[i % trace.packets.size()]);
+    }
+    const engine::RunReport report = (*eng)->Run(traffic, /*start_now_ms=*/1);
+    (*eng)->Quiesce();
+
+    const double fast = report.packets == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(report.fast_path) /
+                                  static_cast<double>(report.packets);
+    std::printf(
+        "  engine: %d workers  burst %d  %llu packets  fast-path %.1f%%  "
+        "sends %llu  drops %llu  shed %llu  errors %llu\n",
+        (*eng)->workers(), engine_options.burst,
+        static_cast<unsigned long long>(report.packets), fast,
+        static_cast<unsigned long long>(report.sends),
+        static_cast<unsigned long long>(report.drops),
+        static_cast<unsigned long long>(report.shed),
+        static_cast<unsigned long long>(report.errors));
+    std::printf("  aggregate: %.2f Mpps (dedicated-cores model)  "
+                "pinned-flows=%zu\n",
+                report.AggregateMpps(), (*eng)->steering().pinned_flows());
+    for (int w = 0; w < (*eng)->workers(); ++w) {
+      std::printf("  worker %d: packets=%llu busy=%.0fus\n", w,
+                  static_cast<unsigned long long>(report.worker_packets[w]),
+                  report.worker_busy_us[w]);
+    }
+    return report.errors == 0 ? 0 : 1;
+  }
+
+  auto mbx = runtime::OffloadedMiddlebox::Create(spec, options);
+  if (!mbx.ok()) {
+    std::fprintf(stderr, "galliumc: runtime creation failed: %s\n",
+                 mbx.status().ToString().c_str());
     return 1;
   }
 
@@ -303,6 +360,8 @@ int main(int argc, char** argv) {
   bool print = false;
   bool resources = false;
   int run_packets = 0;
+  int workers = 0;
+  int burst = 0;
   uint64_t chaos_seed = 0;
   bool chaos = false;
   std::string fault_spec;
@@ -358,6 +417,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       run_packets = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      workers = std::atoi(v);
+      if (workers < 1) return Usage();
+    } else if (arg == "--burst") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      burst = std::atoi(v);
+      if (burst < 1) return Usage();
     } else if (arg == "--chaos-seed") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -549,7 +618,7 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (run_packets > 0) {
     rc = RunTraffic(*spec, run_packets, chaos_seed, chaos, fault_spec,
-                    sync_queue, watchdog, &registry,
+                    sync_queue, watchdog, workers, burst, &registry,
                     trace_out.empty() ? nullptr : &tracer);
   }
   if (!metrics_out.empty()) {
