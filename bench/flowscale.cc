@@ -1,0 +1,395 @@
+// Flow-table scale bench: the flat cuckoo table (src/state/) against the
+// std::map<StateKey, StateValue> it replaced, at paper scale.
+//
+// Gallium's host runtime keys every per-flow map by five-tuple; a CONGA-era
+// datacenter load balancer tracks 10M+ concurrent flows. This bench holds
+// the table library to that bar:
+//
+//   * insert / lookup / erase / expiry throughput (Mops) at 1M and 10M
+//     flows, flat table vs the ordered-map baseline;
+//   * lookup+insert speedup over std::map — gated >= 5x at 10M entries
+//     (bench_flow_speedup_x, pinned acceptance floor, not a measured
+//     machine number);
+//   * peak concurrent flows actually held (bench_flow_peak_flows, gated at
+//     10M) and the p99 lookup probe length in slots
+//     (bench_flow_p99_probe_slots, gated structurally: 2 buckets x 4 slots
+//     = 8 once a drain has settled);
+//   * worst-case single-insert pause, measured per-op on a cold table that
+//     grows through every incremental resize on the way up — the number
+//     that would be tens of milliseconds if a grow were stop-the-world
+//     (informational: wall-clock, machine-dependent);
+//   * a churn section driven by workload/churn: SYN-flood style traffic
+//     replayed as table ops (lookup; miss -> insert; budgeted expiry sweep
+//     every 4096 packets), the access pattern the sync path sees under
+//     attack.
+//
+// Flags: --flows N (top scale, default 10M; also runs N/10), --churn-packets
+// N, --skip-baseline (flat-only; omits the gated speedup series — CI runs
+// the full default).
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "state/flow_table.h"
+#include "util/rng.h"
+#include "workload/churn.h"
+
+namespace {
+
+using gallium::Rng;
+using gallium::state::FlowTable;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kKeyWords = 5;  // five-tuple, one word per field
+constexpr size_t kValueWords = 2;  // {backend/state word, created_ms}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double Mops(uint64_t ops, double seconds) {
+  return seconds <= 0 ? 0 : static_cast<double>(ops) / seconds / 1e6;
+}
+
+// Distinct deterministic keys: word 0 carries the index (uniqueness), the
+// rest is pseudo-random five-tuple filler. Pregenerated into one flat
+// buffer so keygen cost stays out of every timed loop.
+std::vector<uint64_t> MakeKeys(uint64_t flows) {
+  Rng rng(flows * 0x9e3779b97f4a7c15ull + 1);
+  std::vector<uint64_t> keys(flows * kKeyWords);
+  for (uint64_t i = 0; i < flows; ++i) {
+    keys[i * kKeyWords] = i;
+    for (size_t w = 1; w < kKeyWords; ++w) {
+      keys[i * kKeyWords + w] = rng.NextU64();
+    }
+  }
+  return keys;
+}
+
+struct ScaleReport {
+  uint64_t flows = 0;
+  double insert_mops = 0;
+  double lookup_mops = 0;
+  double erase_mops = 0;
+  double expiry_mops = 0;
+  double max_insert_pause_us = 0;
+  double p99_probe_slots = 0;
+  uint64_t peak_flows = 0;
+  uint64_t resizes = 0;
+  double map_insert_mops = 0;  // 0 when baseline skipped
+  double map_lookup_mops = 0;
+  double speedup = 0;
+};
+
+// Random visiting order so lookups don't ride the insert-order prefetch.
+std::vector<uint32_t> ShuffledIndices(uint64_t n, Rng* rng) {
+  std::vector<uint32_t> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  for (uint64_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng->NextBounded(i)]);
+  }
+  return order;
+}
+
+ScaleReport RunScale(uint64_t flows, bool run_baseline) {
+  ScaleReport report;
+  report.flows = flows;
+  Rng rng(flows);
+  const std::vector<uint32_t> order = ShuffledIndices(flows, &rng);
+  const std::vector<uint64_t> keys = MakeKeys(flows);
+  const auto key_at = [&](uint64_t index) {
+    return keys.data() + index * kKeyWords;
+  };
+
+  FlowTable::Config config;
+  config.key_words = kKeyWords;
+  config.value_words = kValueWords;
+  // Cold start: the table earns 10M capacity through incremental resizes.
+  config.initial_capacity = 1 << 16;
+  FlowTable table(config);
+
+  uint64_t value[kValueWords];
+
+  // Insert (throughput pass, no per-op clocks). Half the entries get an
+  // "old" creation stamp so the expiry sweep below has real work.
+  auto start = Clock::now();
+  for (uint64_t i = 0; i < flows; ++i) {
+    value[0] = i;
+    value[1] = (i & 1) ? 1000 : 2000;  // created_ms: odd = old
+    table.Upsert(key_at(i), value);
+  }
+  report.insert_mops = Mops(flows, SecondsSince(start));
+  report.peak_flows = table.size();
+
+  // Settle any in-flight drain (overwrites migrate without changing size)
+  // so the probe-length metric measures the steady state, not a parked
+  // two-generation table.
+  value[0] = 0;
+  value[1] = 2000;
+  while (table.resizing()) table.Upsert(key_at(0), value);
+  report.resizes = table.stats().resizes;
+
+  // Lookup, shuffled order.
+  uint64_t checksum = 0;
+  start = Clock::now();
+  for (uint64_t i = 0; i < flows; ++i) {
+    if (table.Lookup(key_at(order[i]), value)) checksum += value[0];
+  }
+  report.lookup_mops = Mops(flows, SecondsSince(start));
+  if (checksum == 0 && flows > 1) {
+    std::fprintf(stderr, "flowscale: lookup checksum impossibly zero\n");
+    std::exit(1);
+  }
+
+  // p99 probe length over a key sample.
+  {
+    const uint64_t sample = std::min<uint64_t>(flows, 100000);
+    std::vector<int> probes;
+    probes.reserve(sample);
+    for (uint64_t i = 0; i < sample; ++i) {
+      probes.push_back(table.ProbeSlots(key_at(order[i])));
+    }
+    std::sort(probes.begin(), probes.end());
+    report.p99_probe_slots = probes[(sample * 99) / 100];
+  }
+
+  // Expiry: one full sweep dropping the "old" half.
+  start = Clock::now();
+  const uint64_t expired = table.SweepAllExpired(
+      [](const uint64_t*, const uint64_t* v) { return v[1] < 1500; },
+      [](const uint64_t*, const uint64_t*) {});
+  report.expiry_mops = Mops(flows, SecondsSince(start));
+  if (expired != flows / 2) {
+    std::fprintf(stderr, "flowscale: expected %" PRIu64 " expiries, got %" PRIu64 "\n",
+                 flows / 2, expired);
+    std::exit(1);
+  }
+
+  // Erase the survivors (erase attempts on the expired half are misses and
+  // count toward the op rate — that is what churny teardown looks like).
+  start = Clock::now();
+  for (uint64_t i = 0; i < flows; ++i) {
+    table.Erase(key_at(order[i]));
+  }
+  report.erase_mops = Mops(flows, SecondsSince(start));
+  if (table.size() != 0) {
+    std::fprintf(stderr, "flowscale: table not empty after erase pass\n");
+    std::exit(1);
+  }
+
+  // Worst-case single-insert pause, on a fresh cold table so the pass rides
+  // through every incremental grow up to full scale.
+  {
+    FlowTable::Config cold = config;
+    FlowTable pause_table(cold);
+    double max_pause_s = 0;
+    value[1] = 2000;
+    for (uint64_t i = 0; i < flows; ++i) {
+      value[0] = i;
+      const auto op_start = Clock::now();
+      pause_table.Upsert(key_at(i), value);
+      max_pause_s = std::max(max_pause_s, SecondsSince(op_start));
+    }
+    report.max_insert_pause_us = max_pause_s * 1e6;
+  }
+
+  if (run_baseline) {
+    using MapKey = std::vector<uint64_t>;
+    std::map<MapKey, std::vector<uint64_t>> baseline;
+    MapKey map_key(kKeyWords);
+    std::vector<uint64_t> map_value(kValueWords);
+    start = Clock::now();
+    for (uint64_t i = 0; i < flows; ++i) {
+      std::memcpy(map_key.data(), key_at(i), kKeyWords * sizeof(uint64_t));
+      map_value[0] = i;
+      map_value[1] = 2000;
+      baseline[map_key] = map_value;
+    }
+    report.map_insert_mops = Mops(flows, SecondsSince(start));
+    uint64_t map_checksum = 0;
+    start = Clock::now();
+    for (uint64_t i = 0; i < flows; ++i) {
+      std::memcpy(map_key.data(), key_at(order[i]),
+                  kKeyWords * sizeof(uint64_t));
+      const auto it = baseline.find(map_key);
+      if (it != baseline.end()) map_checksum += it->second[0];
+    }
+    report.map_lookup_mops = Mops(flows, SecondsSince(start));
+    if (map_checksum != checksum) {
+      std::fprintf(stderr, "flowscale: baseline checksum diverged\n");
+      std::exit(1);
+    }
+    // Combined lookup+insert rate ratio — the acceptance criterion.
+    const double flat = 2.0 / (1.0 / report.insert_mops +
+                               1.0 / report.lookup_mops);
+    const double ordered = 2.0 / (1.0 / report.map_insert_mops +
+                                  1.0 / report.map_lookup_mops);
+    report.speedup = flat / ordered;
+  }
+  return report;
+}
+
+// Churn section: workload/churn's SYN-flood trace replayed as table ops —
+// lookup every packet's five-tuple, install state on a miss, budgeted
+// expiry sweep every 4096 packets.
+double RunChurn(uint64_t packets, uint64_t* installed, uint64_t* swept) {
+  Rng rng(20260808);
+  gallium::workload::ChurnOptions options;
+  options.num_packets = packets;
+  options.new_flow_fraction = 0.7;
+  options.established_flows = 256;
+  options.burst_period = 4096;
+  options.burst_len = 512;
+  const gallium::workload::Trace trace =
+      gallium::workload::MakeChurnTrace(rng, options);
+
+  FlowTable::Config config;
+  config.key_words = kKeyWords;
+  config.value_words = kValueWords;
+  FlowTable table(config);
+  FlowTable::SweepCursor cursor;
+
+  uint64_t key[kKeyWords];
+  uint64_t value[kValueWords];
+  uint64_t ops = 0;
+  *installed = 0;
+  *swept = 0;
+  const auto start = Clock::now();
+  for (size_t i = 0; i < trace.packets.size(); ++i) {
+    const gallium::net::FiveTuple ft = trace.packets[i].five_tuple();
+    key[0] = ft.saddr;
+    key[1] = ft.daddr;
+    key[2] = ft.sport;
+    key[3] = ft.dport;
+    key[4] = ft.protocol;
+    if (!table.Lookup(key, value)) {
+      value[0] = ft.sport;
+      value[1] = i;  // created at packet index
+      table.Upsert(key, value);
+      ++*installed;
+      ++ops;
+    }
+    ++ops;
+    if ((i & 4095) == 4095) {
+      // Age out flows idle for >64k packets, 2k slots at a time.
+      *swept += table.SweepExpired(
+          &cursor, 2048,
+          [i](const uint64_t*, const uint64_t* v) {
+            return i - v[1] > 65536;
+          },
+          [](const uint64_t*, const uint64_t*) {});
+    }
+  }
+  return Mops(ops, SecondsSince(start));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t top_flows = 10000000;
+  uint64_t churn_packets = 2000000;
+  bool skip_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flows" && i + 1 < argc) {
+      top_flows = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--churn-packets" && i + 1 < argc) {
+      churn_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--skip-baseline") {
+      skip_baseline = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: flowscale [--flows N] [--churn-packets N] "
+                   "[--skip-baseline]\n");
+      return 2;
+    }
+  }
+
+  gallium::bench::RunManifest manifest("flowscale", /*seed=*/top_flows);
+  manifest.SetConfig("top_flows", static_cast<double>(top_flows));
+  manifest.SetConfig("churn_packets", static_cast<double>(churn_packets));
+  manifest.SetConfig("baseline", skip_baseline ? "skipped" : "std::map");
+  manifest.SetConfig("key_words", static_cast<double>(kKeyWords));
+  manifest.SetConfig("value_words", static_cast<double>(kValueWords));
+
+  std::vector<uint64_t> scales;
+  if (top_flows >= 10) scales.push_back(top_flows / 10);
+  scales.push_back(top_flows);
+
+  std::printf("Flat cuckoo flow table vs std::map (key=%zuw value=%zuw)\n",
+              kKeyWords, kValueWords);
+  gallium::bench::PrintRule(100);
+  std::printf("%12s %8s %8s %8s %8s %10s %6s %9s %9s %9s\n", "flows",
+              "ins", "look", "erase", "expire", "maxpause", "p99", "map-ins",
+              "map-look", "speedup");
+  std::printf("%12s %8s %8s %8s %8s %10s %6s %9s %9s %9s\n", "", "Mops",
+              "Mops", "Mops", "Mops", "us", "slots", "Mops", "Mops", "x");
+  gallium::bench::PrintRule(100);
+
+  for (const uint64_t flows : scales) {
+    const ScaleReport r = RunScale(flows, !skip_baseline);
+    std::printf("%12" PRIu64 " %8.2f %8.2f %8.2f %8.2f %10.1f %6.0f %9.3f "
+                "%9.3f %9.2f\n",
+                r.flows, r.insert_mops, r.lookup_mops, r.erase_mops,
+                r.expiry_mops, r.max_insert_pause_us, r.p99_probe_slots,
+                r.map_insert_mops, r.map_lookup_mops, r.speedup);
+    if (r.peak_flows != flows) {
+      std::fprintf(stderr, "flowscale: held %" PRIu64 " of %" PRIu64
+                   " flows\n", r.peak_flows, flows);
+      return 1;
+    }
+    const gallium::telemetry::LabelSet scale_labels = {
+        {"scale", std::to_string(flows)}};
+    // Gated series (see scripts/check_bench_regression.py): the speedup and
+    // peak-flow floors are the issue's acceptance criteria; the p99 probe
+    // length is structural (2 buckets x 4 slots once settled).
+    manifest.RecordResult("bench_flow_peak_flows", scale_labels,
+                          static_cast<double>(r.peak_flows),
+                          "concurrent flows held in the flat table");
+    manifest.RecordResult("bench_flow_p99_probe_slots", scale_labels,
+                          r.p99_probe_slots,
+                          "p99 slots examined per settled lookup");
+    if (!skip_baseline) {
+      manifest.RecordResult(
+          "bench_flow_speedup_x", scale_labels, r.speedup,
+          "flat-table lookup+insert throughput over std::map");
+    }
+    // Informational (machine-dependent wall clock, not gated).
+    manifest.RecordResult("bench_flow_insert_mops", scale_labels,
+                          r.insert_mops, "flat-table insert throughput");
+    manifest.RecordResult("bench_flow_lookup_mops", scale_labels,
+                          r.lookup_mops, "flat-table lookup throughput");
+    manifest.RecordResult("bench_flow_erase_mops", scale_labels,
+                          r.erase_mops, "flat-table erase throughput");
+    manifest.RecordResult("bench_flow_expiry_mops", scale_labels,
+                          r.expiry_mops, "batched-aging sweep throughput");
+    manifest.RecordResult("bench_flow_max_insert_pause_us", scale_labels,
+                          r.max_insert_pause_us,
+                          "worst single-insert pause across all resizes");
+    manifest.RecordResult("bench_flow_resizes", scale_labels,
+                          static_cast<double>(r.resizes),
+                          "incremental grows on the way to peak");
+  }
+  gallium::bench::PrintRule(100);
+
+  uint64_t installed = 0;
+  uint64_t swept = 0;
+  const double churn_mops = RunChurn(churn_packets, &installed, &swept);
+  std::printf("churn: %" PRIu64 " packets, %" PRIu64 " installs, %" PRIu64
+              " aged out, %.2f Mops\n",
+              churn_packets, installed, swept, churn_mops);
+  manifest.RecordResult("bench_flow_churn_mops",
+                        {{"packets", std::to_string(churn_packets)}},
+                        churn_mops,
+                        "table op throughput replaying the SYN-flood trace");
+
+  manifest.Write();
+  return 0;
+}

@@ -23,17 +23,25 @@ import sys
 # bench_engine_scaling_x is measured (wall-clock, best-of-N trials); its
 # checked-in baseline is pinned at the 3.0 acceptance floor rather than a
 # measured value, so the gate enforces "still scales >= ~3x at 4 workers"
-# instead of chasing machine-specific throughput.
+# instead of chasing machine-specific throughput. The bench_flow_* series
+# from bench/flowscale follow the same pinned-floor convention:
+# bench_flow_speedup_x >= 5x over std::map at 10M entries and
+# bench_flow_peak_flows = 10M are the flow-table acceptance criteria;
+# bench_flow_p99_probe_slots is structural (2 buckets x 4 slots once a
+# resize has settled), not wall-clock, so it gates tightly on any machine.
 HIGHER_IS_BETTER = {
     "bench_throughput_gbps",
     "bench_fast_path_fraction",
     "bench_engine_scaling_x",
+    "bench_flow_speedup_x",
+    "bench_flow_peak_flows",
 }
 LOWER_IS_BETTER = {
     "bench_allocs_per_packet",
     "bench_sync_latency_us",
     "bench_backlog_latency_per_packet_us",
     "bench_latency_us",
+    "bench_flow_p99_probe_slots",
 }
 
 

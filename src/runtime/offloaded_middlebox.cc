@@ -16,7 +16,7 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
       plan_(std::move(plan)),
       options_(options),
       interp_(*spec.fn),
-      server_state_(*spec.fn),
+      server_state_(*spec.fn, options.flow_capacity),
       replicated_maps_(spec.fn->maps().size(), false),
       replicated_globals_(spec.fn->globals().size(), false),
       rng_(options.rng_seed) {
@@ -881,19 +881,49 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessCacheMiss(
 Result<int> OffloadedMiddlebox::CollectIdleFlows(ir::StateIndex flows_map,
                                                  ir::StateIndex created_map,
                                                  uint64_t now_ms,
-                                                 uint64_t timeout_ms) {
+                                                 uint64_t timeout_ms,
+                                                 uint64_t max_scan_slots) {
   std::vector<StateKey> expired;
-  for (const auto& [key, value] : server_state_.map_contents(created_map)) {
-    if (!value.empty() && now_ms - value[0] >= timeout_ms) {
-      expired.push_back(key);
+  state::FlowTable* created = server_state_.flow_table(created_map);
+  if (created != nullptr) {
+    // Sweep the flat table directly: expired entries are erased from
+    // created_map in place (no snapshot, no per-entry rehash), and the keys
+    // collected for the flows_map erase + switch sync below.
+    const bool has_stamp = created->value_words() > 0;
+    const size_t kw = created->key_words();
+    const auto pred = [&](const uint64_t*, const uint64_t* value) {
+      return has_stamp && now_ms - value[0] >= timeout_ms;
+    };
+    const auto on_expire = [&](const uint64_t* key, const uint64_t*) {
+      expired.emplace_back(key, key + kw);
+    };
+    if (max_scan_slots == 0) {
+      created->SweepAllExpired(pred, on_expire);
+    } else {
+      if (aging_cursor_map_ != created_map) {
+        aging_cursor_ = state::FlowTable::SweepCursor{};
+        aging_cursor_map_ = created_map;
+      }
+      created->SweepExpired(&aging_cursor_, max_scan_slots, pred, on_expire);
+    }
+  } else {
+    // LPM-backed created_map — not a flow map in practice; keep the
+    // snapshot scan for completeness.
+    for (const auto& [key, value] : server_state_.map_contents(created_map)) {
+      if (!value.empty() && now_ms - value[0] >= timeout_ms) {
+        expired.push_back(key);
+      }
+    }
+    for (const StateKey& key : expired) {
+      server_state_.MapErase(created_map, key);
     }
   }
   if (expired.empty()) return 0;
 
   std::vector<RecordingStateBackend::MapMutation> mutations;
+  mutations.reserve(expired.size() * 2);
   for (const StateKey& key : expired) {
     server_state_.MapErase(flows_map, key);
-    server_state_.MapErase(created_map, key);
     mutations.push_back(
         RecordingStateBackend::MapMutation{flows_map, key, {}, true});
     mutations.push_back(

@@ -53,6 +53,12 @@ struct OffloadedOptions {
   // server reprocesses the packet from scratch, then refreshes the cache.
   uint64_t cache_entries_per_table = 0;
 
+  // Pre-sizes every exact-match host map's flow table for this many
+  // entries (galliumc --flow-capacity). 0 = start small and grow
+  // incrementally under churn. Sizing up front avoids mid-run resize
+  // migrations when the flow population is known (e.g. 10M-flow runs).
+  uint64_t flow_capacity = 0;
+
   // Fault injection: when set, the switch<->server data links run framed
   // (seq + checksum, retransmit + dedup) through the plan's FaultyChannels,
   // the control-plane sync path is subject to the plan's loss/delay rates,
@@ -148,9 +154,16 @@ class OffloadedMiddlebox {
   // creation time in `created_map` is older than `timeout_ms`, from both
   // `flows_map` and `created_map`, and synchronizes the switch. Returns the
   // number of collected flows.
+  //
+  // Aging is a batched sweep over the created_map flow table (erase in
+  // place, no snapshot). `max_scan_slots` bounds the slots examined per
+  // call: 0 sweeps the whole table (legacy stop-the-world semantics);
+  // a positive budget resumes from a persistent cursor, amortizing expiry
+  // across maintenance ticks at 10M-flow scale.
   Result<int> CollectIdleFlows(ir::StateIndex flows_map,
                                ir::StateIndex created_map, uint64_t now_ms,
-                               uint64_t timeout_ms);
+                               uint64_t timeout_ms,
+                               uint64_t max_scan_slots = 0);
 
   // If the switch restarted behind our back or its replicated state is
   // suspect (failed sync, degraded interval), rebuild it from the
@@ -265,6 +278,12 @@ class OffloadedMiddlebox {
   // Set when switch state may be stale (degraded packets were processed or
   // a sync batch could not be delivered); cleared by ResyncSwitch.
   bool needs_resync_ = false;
+
+  // Batched-aging cursor for CollectIdleFlows' budgeted sweeps. Keyed to
+  // the created_map it last swept: callers alternate maps rarely enough
+  // that a reset on switch is harmless (aging is eventual).
+  state::FlowTable::SweepCursor aging_cursor_;
+  ir::StateIndex aging_cursor_map_ = 0;
 
   // Bounded coalescing control-plane backlog (empty/idle in legacy mode).
   CoalescingSyncQueue sync_queue_;

@@ -5,13 +5,23 @@
 // plane uses match-action tables and registers with write-back semantics
 // (switchsim::SwitchStateBackend). Both implement the same interface so the
 // semantics of a map lookup are identical on either device.
+//
+// Exact-match maps live on flat cuckoo flow tables (state::FlowTable):
+// inline key/value storage, O(1) lookups, incremental resize — sized for
+// 10M+ concurrent flows. LPM maps keep the ordered-map representation (the
+// lookup is a longest-prefix probe ladder, not a hash). Iteration over a
+// flow table is UNORDERED; any consumer that needs determinism goes through
+// map_contents(), which returns an explicitly sorted snapshot.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "ir/function.h"
+#include "state/flow_table.h"
 #include "util/status.h"
 
 namespace gallium::runtime {
@@ -54,7 +64,10 @@ class GlobalOverlay {
 // non-offloaded server partition).
 class HostStateStore : public StateBackend {
  public:
-  explicit HostStateStore(const ir::Function& fn);
+  // `flow_capacity` preallocates each exact-match map's flow table for that
+  // many entries (galliumc --flow-capacity); 0 picks a small default and
+  // lets the tables grow incrementally under churn.
+  explicit HostStateStore(const ir::Function& fn, uint64_t flow_capacity = 0);
 
   bool MapLookup(ir::StateIndex map, const StateKey& key,
                  StateValue* values) override;
@@ -66,13 +79,27 @@ class HostStateStore : public StateBackend {
   uint64_t GlobalRead(ir::StateIndex global) override;
   void GlobalWrite(ir::StateIndex global, uint64_t value) override;
 
-  // Direct access for configuration and tests.
-  std::map<StateKey, StateValue>& map_contents(ir::StateIndex map) {
-    return maps_[map];
+  // Deterministic (sorted) snapshot of one map's contents, for tests,
+  // serialization, and equivalence checks. Flow-table iteration order is
+  // arbitrary; this is the explicit sort that keeps snapshot comparisons
+  // stable. O(n log n) and allocating — never on the packet path.
+  std::map<StateKey, StateValue> map_contents(ir::StateIndex map) const;
+
+  // Unordered visit of one map's entries without materializing a snapshot
+  // (resync paths). The key/value references are only valid inside `fn`.
+  void ForEachMapEntry(
+      ir::StateIndex map,
+      const std::function<void(const StateKey&, const StateValue&)>& fn) const;
+
+  // The flat flow table backing an exact-match map — batched-aging sweeps
+  // and benches reach through this. Null for LPM maps.
+  state::FlowTable* flow_table(ir::StateIndex map) {
+    return maps_[map].flat.get();
   }
-  const std::map<StateKey, StateValue>& map_contents(ir::StateIndex map) const {
-    return maps_[map];
+  const state::FlowTable* flow_table(ir::StateIndex map) const {
+    return maps_[map].flat.get();
   }
+
   std::vector<uint64_t>& vector_contents(ir::StateIndex vec) {
     return vectors_[vec];
   }
@@ -91,11 +118,21 @@ class HostStateStore : public StateBackend {
   // The overlay is seeded with the store's current value.
   void DelegateGlobal(ir::StateIndex g, GlobalOverlay* overlay);
 
-  size_t MapSize(ir::StateIndex map) const { return maps_[map].size(); }
+  size_t MapSize(ir::StateIndex map) const {
+    const MapStore& ms = maps_[map];
+    return ms.flat != nullptr ? ms.flat->size() : ms.lpm.size();
+  }
 
  private:
+  // Exact maps sit on the flat cuckoo table; LPM maps keep the ordered map
+  // (entries are {prefix, prefix_len} pairs probed most-specific-first).
+  struct MapStore {
+    std::unique_ptr<state::FlowTable> flat;
+    std::map<StateKey, StateValue> lpm;
+  };
+
   const ir::Function* fn_;
-  std::vector<std::map<StateKey, StateValue>> maps_;
+  std::vector<MapStore> maps_;
   std::vector<std::vector<uint64_t>> vectors_;
   std::vector<uint64_t> globals_;
   std::vector<GlobalOverlay*> delegated_;

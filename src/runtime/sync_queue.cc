@@ -2,29 +2,75 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace gallium::runtime {
+
+namespace {
+constexpr uint64_t kMinIndexSlots = 256;  // power of two
+}  // namespace
+
+uint64_t CoalescingSyncQueue::HashOf(ir::StateIndex map,
+                                     const StateKey& key) const {
+  // Fold the map index into the seed so the same flow key queued under two
+  // maps (flows + creation times) lands in different probe sequences.
+  return HashWords(key.data(), key.size(),
+                   0x9e3779b97f4a7c15ull ^ (0x100000001b3ull * (map + 1)));
+}
+
+uint64_t* CoalescingSyncQueue::FindIndexSlot(uint64_t hash, ir::StateIndex map,
+                                             const StateKey& key) {
+  const uint64_t mask = map_index_.size() - 1;
+  uint64_t slot = hash & mask;
+  for (;;) {
+    uint64_t pos = map_index_[slot];
+    if (pos == 0) return &map_index_[slot];
+    const PendingMap& p = pending_maps_[pos - 1];
+    if (p.hash == hash && p.mutation.map == map && p.mutation.key == key) {
+      return &map_index_[slot];
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+void CoalescingSyncQueue::GrowIndex() {
+  const uint64_t target =
+      std::max<uint64_t>(kMinIndexSlots, map_index_.size() * 2);
+  map_index_.assign(target, 0);
+  const uint64_t mask = target - 1;
+  for (uint64_t pos = 0; pos < pending_maps_.size(); ++pos) {
+    uint64_t slot = pending_maps_[pos].hash & mask;
+    while (map_index_[slot] != 0) slot = (slot + 1) & mask;
+    map_index_[slot] = pos + 1;
+  }
+}
 
 void CoalescingSyncQueue::Enqueue(const std::vector<MapMutation>& maps,
                                   const std::vector<GlobalMutation>& globals) {
   for (const MapMutation& m : maps) {
-    auto key = std::make_pair(m.map, m.key);
-    auto it = pending_maps_.find(key);
-    if (it == pending_maps_.end()) {
-      pending_maps_.emplace(std::move(key), std::make_pair(next_rank_++, m));
+    // Keep the index under ~70% load (linear probing stays short).
+    if ((pending_maps_.size() + 1) * 10 >= map_index_.size() * 7) GrowIndex();
+    const uint64_t hash = HashOf(m.map, m.key);
+    uint64_t* slot = FindIndexSlot(hash, m.map, m.key);
+    if (*slot == 0) {
+      pending_maps_.push_back(PendingMap{hash, m});
+      *slot = pending_maps_.size();
     } else {
       // Last-writer-wins: the queued mutation to this key is superseded.
-      // The arrival rank is kept — per-key ordering collapses to "the final
+      // The arrival slot is kept — per-key ordering collapses to "the final
       // value", which is the only thing the switch ever needed to see.
-      it->second.second = m;
+      pending_maps_[*slot - 1].mutation = m;
       ++coalesced_mutations_;
     }
   }
   for (const GlobalMutation& g : globals) {
-    auto it = pending_globals_.find(g.global);
-    if (it == pending_globals_.end()) {
-      pending_globals_.emplace(g.global, std::make_pair(next_rank_++, g));
+    if (g.global >= global_slot_.size()) global_slot_.resize(g.global + 1, 0);
+    uint32_t& pos = global_slot_[g.global];
+    if (pos == 0) {
+      pending_globals_.push_back(g);
+      pos = static_cast<uint32_t>(pending_globals_.size());
     } else {
-      it->second.second = g;
+      pending_globals_[pos - 1] = g;
       ++coalesced_mutations_;
     }
   }
@@ -38,28 +84,17 @@ void CoalescingSyncQueue::DrainInto(std::vector<MapMutation>* maps,
                                     std::vector<GlobalMutation>* globals) {
   maps->clear();
   globals->clear();
-  std::vector<std::pair<uint64_t, MapMutation>> ordered_maps;
-  ordered_maps.reserve(pending_maps_.size());
-  for (auto& [key, ranked] : pending_maps_) {
-    ordered_maps.push_back(std::move(ranked));
-  }
-  std::sort(ordered_maps.begin(), ordered_maps.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  maps->reserve(ordered_maps.size());
-  for (auto& [rank, m] : ordered_maps) maps->push_back(std::move(m));
+  // The dense vectors already hold the batch in first-touch order.
+  maps->reserve(pending_maps_.size());
+  for (PendingMap& p : pending_maps_) maps->push_back(std::move(p.mutation));
+  *globals = pending_globals_;
 
-  std::vector<std::pair<uint64_t, GlobalMutation>> ordered_globals;
-  ordered_globals.reserve(pending_globals_.size());
-  for (auto& [idx, ranked] : pending_globals_) {
-    ordered_globals.push_back(ranked);
-  }
-  std::sort(ordered_globals.begin(), ordered_globals.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  globals->reserve(ordered_globals.size());
-  for (auto& [rank, g] : ordered_globals) globals->push_back(g);
-
+  // clear() keeps the vector/index capacity — draining at steady state
+  // costs zero allocations on the next fill.
   pending_maps_.clear();
+  std::fill(map_index_.begin(), map_index_.end(), 0);
   pending_globals_.clear();
+  std::fill(global_slot_.begin(), global_slot_.end(), 0);
   drained_batches_ += depth_;
   depth_ = 0;
 }
@@ -67,7 +102,9 @@ void CoalescingSyncQueue::DrainInto(std::vector<MapMutation>* maps,
 void CoalescingSyncQueue::ClearForResync() {
   cleared_mutations_ += pending_maps_.size() + pending_globals_.size();
   pending_maps_.clear();
+  std::fill(map_index_.begin(), map_index_.end(), 0);
   pending_globals_.clear();
+  std::fill(global_slot_.begin(), global_slot_.end(), 0);
   depth_ = 0;
 }
 

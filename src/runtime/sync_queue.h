@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "runtime/state.h"
@@ -50,8 +49,9 @@ struct SyncQueueOptions {
   bool enabled() const { return max_backlog_batches > 0; }
 };
 
-// The backlog itself: an ordered per-key view of every queued mutation.
-// Single-writer, like the rest of the per-instance runtime.
+// The backlog itself: a hashed per-key view of every queued mutation, kept
+// in first-touch arrival order. Single-writer, like the rest of the
+// per-instance runtime.
 class CoalescingSyncQueue {
  public:
   using MapMutation = RecordingStateBackend::MapMutation;
@@ -88,13 +88,33 @@ class CoalescingSyncQueue {
   uint64_t cleared_mutations() const { return cleared_mutations_; }
 
  private:
-  // Map mutations keyed by (map, key); globals by index. The int payload is
-  // the arrival rank used to emit the drained batch in first-touch order.
-  std::map<std::pair<ir::StateIndex, StateKey>, std::pair<uint64_t, MapMutation>>
-      pending_maps_;
-  std::map<ir::StateIndex, std::pair<uint64_t, GlobalMutation>>
-      pending_globals_;
-  uint64_t next_rank_ = 0;
+  // Pending mutations live in dense vectors in first-touch arrival order —
+  // DrainInto emits them by a straight move, no sort. A later write to a
+  // queued key overwrites its vector slot in place (last-writer-wins,
+  // arrival position preserved). The lookup that used to be an O(log n)
+  // ordered-map find per mutation is an open-addressing hash index over the
+  // map vector (slot stores position+1; keys are compared against the
+  // pending mutation itself, so the index holds no key storage). Globals
+  // are dense small integers and index directly. Drains and clears retain
+  // capacity: at steady state under churn the queue never allocates.
+  struct PendingMap {
+    uint64_t hash;
+    MapMutation mutation;
+  };
+
+  uint64_t HashOf(ir::StateIndex map, const StateKey& key) const;
+  // Probes the index for (map, key): returns the slot holding its
+  // position+1, or the empty slot where it would be inserted (*slot == 0).
+  uint64_t* FindIndexSlot(uint64_t hash, ir::StateIndex map,
+                          const StateKey& key);
+  // Doubles (or initializes) the index and re-registers every pending
+  // mutation. Positions are stable, so this is hash-only work.
+  void GrowIndex();
+
+  std::vector<PendingMap> pending_maps_;
+  std::vector<uint64_t> map_index_;  // power-of-two open addressing
+  std::vector<GlobalMutation> pending_globals_;
+  std::vector<uint32_t> global_slot_;  // global -> position+1
 
   uint64_t depth_ = 0;
   uint64_t peak_depth_ = 0;

@@ -1,0 +1,381 @@
+#include "state/flow_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gallium::state {
+
+namespace {
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FlowTable::FlowTable(Config config)
+    : key_words_(config.key_words),
+      value_words_(config.value_words),
+      max_load_factor_(config.max_load_factor),
+      migrate_buckets_per_op_(std::max(1, config.migrate_buckets_per_op)),
+      max_kick_chain_(std::max(1, config.max_kick_chain)),
+      hash_seed_(config.hash_seed) {
+  const uint64_t want_entries = std::max<uint64_t>(1, config.initial_capacity);
+  const uint64_t want_buckets = NextPow2(
+      (static_cast<uint64_t>(static_cast<double>(want_entries) /
+                             max_load_factor_) +
+       kSlotsPerBucket - 1) /
+      kSlotsPerBucket);
+  AllocateGen(&cur_, want_buckets);
+  carry_key_.resize(key_words_);
+  carry_value_.resize(value_words_);
+}
+
+void FlowTable::AllocateGen(Gen* g, uint64_t num_buckets) {
+  g->num_buckets = num_buckets;
+  const uint64_t slots = g->slots();
+  g->tags.assign(slots, 0);
+  // Default-initialized on purpose: a slot's hash/key/value words are only
+  // read when its tag is set, and WriteSlot fills them first.
+  g->hashes.reset(new uint64_t[slots]);
+  g->keys.reset(new uint64_t[slots * key_words_]);
+  g->values.reset(new uint64_t[slots * value_words_]);
+}
+
+uint64_t FlowTable::FindInGen(const Gen& g, uint64_t h,
+                              const uint64_t* key) const {
+  if (g.num_buckets == 0) return ~0ull;
+  const uint8_t tag = TagOf(h);
+  const uint64_t b1 = BucketA(h, g.num_buckets);
+  for (int i = 0; i < kSlotsPerBucket; ++i) {
+    const uint64_t slot = b1 * kSlotsPerBucket + i;
+    if (g.tags[slot] == tag && g.hashes[slot] == h && KeyEquals(g, slot, key)) {
+      return slot;
+    }
+  }
+  const uint64_t b2 = BucketB(h, g.num_buckets);
+  if (b2 != b1) {
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      const uint64_t slot = b2 * kSlotsPerBucket + i;
+      if (g.tags[slot] == tag && g.hashes[slot] == h &&
+          KeyEquals(g, slot, key)) {
+        return slot;
+      }
+    }
+  }
+  return ~0ull;
+}
+
+int FlowTable::FindStash(uint64_t h, const uint64_t* key) const {
+  for (size_t i = 0; i < stash_hashes_.size(); ++i) {
+    if (stash_hashes_[i] == h &&
+        (key_words_ == 0 ||
+         std::memcmp(stash_keys_.data() + i * key_words_, key,
+                     key_words_ * sizeof(uint64_t)) == 0)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void FlowTable::EraseStash(size_t idx) {
+  const size_t last = stash_hashes_.size() - 1;
+  if (idx != last) {
+    stash_hashes_[idx] = stash_hashes_[last];
+    std::copy_n(stash_keys_.data() + last * key_words_, key_words_,
+                stash_keys_.data() + idx * key_words_);
+    std::copy_n(stash_values_.data() + last * value_words_, value_words_,
+                stash_values_.data() + idx * value_words_);
+  }
+  stash_hashes_.pop_back();
+  stash_keys_.resize(last * key_words_);
+  stash_values_.resize(last * value_words_);
+}
+
+bool FlowTable::Lookup(const uint64_t* key, uint64_t* value_out) const {
+  const uint64_t h = Hash(key);
+  uint64_t slot = FindInGen(cur_, h, key);
+  const Gen* g = &cur_;
+  if (slot == ~0ull && old_.num_buckets != 0) {
+    slot = FindInGen(old_, h, key);
+    g = &old_;
+  }
+  if (slot != ~0ull) {
+    if (value_out != nullptr && value_words_ != 0) {
+      std::copy_n(ValueAt(*g, slot), value_words_, value_out);
+    }
+    return true;
+  }
+  const int si = FindStash(h, key);
+  if (si < 0) return false;
+  if (value_out != nullptr && value_words_ != 0) {
+    std::copy_n(stash_values_.data() +
+                    static_cast<size_t>(si) * value_words_,
+                value_words_, value_out);
+  }
+  return true;
+}
+
+int FlowTable::ProbeSlots(const uint64_t* key) const {
+  const uint64_t h = Hash(key);
+  int probes = 0;
+  for (const Gen* g : {&cur_, &old_}) {
+    if (g->num_buckets == 0) continue;
+    const uint64_t b1 = BucketA(h, g->num_buckets);
+    const uint64_t b2 = BucketB(h, g->num_buckets);
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      ++probes;
+      const uint64_t slot = b1 * kSlotsPerBucket + i;
+      if (g->tags[slot] != 0 && g->hashes[slot] == h &&
+          KeyEquals(*g, slot, key)) {
+        return probes;
+      }
+    }
+    if (b2 != b1) {
+      for (int i = 0; i < kSlotsPerBucket; ++i) {
+        ++probes;
+        const uint64_t slot = b2 * kSlotsPerBucket + i;
+        if (g->tags[slot] != 0 && g->hashes[slot] == h &&
+            KeyEquals(*g, slot, key)) {
+          return probes;
+        }
+      }
+    }
+  }
+  probes += static_cast<int>(stash_hashes_.size());
+  return probes;
+}
+
+void FlowTable::WriteSlot(Gen* g, uint64_t slot, uint64_t h,
+                          const uint64_t* key, const uint64_t* value) {
+  g->tags[slot] = TagOf(h);
+  g->hashes[slot] = h;
+  if (key_words_ != 0) std::copy_n(key, key_words_, KeyAt(*g, slot));
+  if (value_words_ != 0) std::copy_n(value, value_words_, ValueAt(*g, slot));
+}
+
+bool FlowTable::InsertIntoGen(Gen* g, uint64_t h, const uint64_t* key,
+                              const uint64_t* value) {
+  // Fast path: an empty slot in either candidate bucket.
+  const uint64_t b1 = BucketA(h, g->num_buckets);
+  const uint64_t b2 = BucketB(h, g->num_buckets);
+  for (const uint64_t b : {b1, b2}) {
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      const uint64_t slot = b * kSlotsPerBucket + i;
+      if (g->tags[slot] == 0) {
+        WriteSlot(g, slot, h, key, value);
+        return true;
+      }
+    }
+    if (b2 == b1) break;
+  }
+
+  // Cuckoo walk: carry the incoming entry, displacing a rotating victim
+  // from the target bucket until an empty slot turns up or the bound hits.
+  carry_hash_ = h;
+  if (key_words_ != 0) std::copy_n(key, key_words_, carry_key_.data());
+  if (value_words_ != 0) std::copy_n(value, value_words_, carry_value_.data());
+  uint64_t bucket = b1;
+  for (int chain = 0; chain < max_kick_chain_; ++chain) {
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      const uint64_t slot = bucket * kSlotsPerBucket + i;
+      if (g->tags[slot] == 0) {
+        WriteSlot(g, slot, carry_hash_, carry_key_.data(),
+                  carry_value_.data());
+        stats_.max_kick_chain = std::max<uint64_t>(stats_.max_kick_chain,
+                                                   static_cast<uint64_t>(chain));
+        return true;
+      }
+    }
+    const uint64_t victim =
+        bucket * kSlotsPerBucket + (victim_rr_++ & (kSlotsPerBucket - 1));
+    std::swap(carry_hash_, g->hashes[victim]);
+    g->tags[victim] = TagOf(g->hashes[victim]);
+    if (key_words_ != 0) {
+      std::swap_ranges(carry_key_.begin(), carry_key_.end(), KeyAt(*g, victim));
+    }
+    if (value_words_ != 0) {
+      std::swap_ranges(carry_value_.begin(), carry_value_.end(),
+                       ValueAt(*g, victim));
+    }
+    ++stats_.kicks;
+    bucket = AltBucket(carry_hash_, bucket, g->num_buckets);
+  }
+  stats_.max_kick_chain =
+      std::max<uint64_t>(stats_.max_kick_chain,
+                         static_cast<uint64_t>(max_kick_chain_));
+  return false;  // carry_* holds the leftover entry; caller stashes it
+}
+
+void FlowTable::StashCarry() {
+  stash_hashes_.push_back(carry_hash_);
+  stash_keys_.insert(stash_keys_.end(), carry_key_.begin(), carry_key_.end());
+  stash_values_.insert(stash_values_.end(), carry_value_.begin(),
+                       carry_value_.end());
+  ++stats_.stash_spills;
+  stats_.stash_peak = std::max<uint64_t>(stats_.stash_peak,
+                                         stash_hashes_.size());
+}
+
+void FlowTable::TryDrainStash() {
+  for (size_t i = stash_hashes_.size(); i-- > 0;) {
+    const uint64_t h = stash_hashes_[i];
+    // Copy out first: EraseStash moves the tail entry into this index, and
+    // InsertIntoGen may itself fail and refill carry_*.
+    if (key_words_ != 0) {
+      std::copy_n(stash_keys_.data() + i * key_words_, key_words_,
+                  carry_key_.data());
+    }
+    if (value_words_ != 0) {
+      std::copy_n(stash_values_.data() + i * value_words_, value_words_,
+                  carry_value_.data());
+    }
+    const uint64_t b1 = BucketA(h, cur_.num_buckets);
+    const uint64_t b2 = BucketB(h, cur_.num_buckets);
+    bool placed = false;
+    for (const uint64_t b : {b1, b2}) {
+      for (int s = 0; s < kSlotsPerBucket && !placed; ++s) {
+        const uint64_t slot = b * kSlotsPerBucket + s;
+        if (cur_.tags[slot] == 0) {
+          WriteSlot(&cur_, slot, h, carry_key_.data(), carry_value_.data());
+          placed = true;
+        }
+      }
+      if (placed || b2 == b1) break;
+    }
+    if (placed) EraseStash(i);
+  }
+}
+
+void FlowTable::MaybeGrow() {
+  const double limit =
+      max_load_factor_ * static_cast<double>(cur_.slots());
+  if (static_cast<double>(size_ + 1) <= limit) return;
+  if (resizing()) {
+    // Can't hold three generations; push the drain harder instead. With a
+    // 2x growth factor the drain always finishes long before the new
+    // generation fills, so this burst stays rare and bounded.
+    ++stats_.forced_migration_bursts;
+    MigrateSome(migrate_buckets_per_op_ * 4);
+    if (resizing()) return;
+  }
+  StartResize(size_ + 1);
+}
+
+void FlowTable::StartResize(uint64_t min_entries) {
+  assert(!resizing());
+  uint64_t new_buckets = cur_.num_buckets * 2;
+  while (static_cast<double>(min_entries) >
+         max_load_factor_ *
+             static_cast<double>(new_buckets * kSlotsPerBucket)) {
+    new_buckets *= 2;
+  }
+  old_ = std::move(cur_);
+  cur_ = Gen{};
+  AllocateGen(&cur_, new_buckets);
+  migrate_pos_ = 0;
+  ++generation_;
+  ++stats_.resizes;
+}
+
+void FlowTable::FinishResize() {
+  old_.Reset();
+  migrate_pos_ = 0;
+  ++generation_;
+  TryDrainStash();
+}
+
+void FlowTable::MigrateSome(int buckets) {
+  if (!resizing()) return;
+  for (int n = 0; n < buckets; ++n) {
+    if (migrate_pos_ >= old_.num_buckets) break;
+    const uint64_t base = migrate_pos_ * kSlotsPerBucket;
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      const uint64_t slot = base + i;
+      if (old_.tags[slot] == 0) continue;
+      if (!InsertIntoGen(&cur_, old_.hashes[slot], KeyAt(old_, slot),
+                         ValueAt(old_, slot))) {
+        StashCarry();
+      }
+      old_.tags[slot] = 0;
+    }
+    ++migrate_pos_;
+    ++stats_.migrated_buckets;
+  }
+  if (migrate_pos_ >= old_.num_buckets) FinishResize();
+}
+
+void FlowTable::Upsert(const uint64_t* key, const uint64_t* value) {
+  MigrateSome(migrate_buckets_per_op_);
+  const uint64_t h = Hash(key);
+  uint64_t slot = FindInGen(cur_, h, key);
+  if (slot != ~0ull) {
+    if (value_words_ != 0) std::copy_n(value, value_words_, ValueAt(cur_, slot));
+    return;
+  }
+  if (old_.num_buckets != 0) {
+    slot = FindInGen(old_, h, key);
+    if (slot != ~0ull) {
+      if (value_words_ != 0) {
+        std::copy_n(value, value_words_, ValueAt(old_, slot));
+      }
+      return;
+    }
+  }
+  const int si = FindStash(h, key);
+  if (si >= 0) {
+    if (value_words_ != 0) {
+      std::copy_n(value, value_words_,
+                  stash_values_.data() + static_cast<size_t>(si) * value_words_);
+    }
+    return;
+  }
+
+  MaybeGrow();
+  ++size_;
+  if (!InsertIntoGen(&cur_, h, key, value)) {
+    StashCarry();
+    // A failed walk means the active generation is effectively saturated
+    // around this key's buckets; schedule a grow so the stash drains.
+    if (!resizing()) StartResize(size_);
+  }
+}
+
+bool FlowTable::Erase(const uint64_t* key) {
+  MigrateSome(migrate_buckets_per_op_);
+  const uint64_t h = Hash(key);
+  uint64_t slot = FindInGen(cur_, h, key);
+  if (slot != ~0ull) {
+    cur_.tags[slot] = 0;
+    --size_;
+    return true;
+  }
+  if (old_.num_buckets != 0) {
+    slot = FindInGen(old_, h, key);
+    if (slot != ~0ull) {
+      old_.tags[slot] = 0;
+      --size_;
+      return true;
+    }
+  }
+  const int si = FindStash(h, key);
+  if (si >= 0) {
+    EraseStash(static_cast<size_t>(si));
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+void FlowTable::Clear() {
+  std::fill(cur_.tags.begin(), cur_.tags.end(), 0);
+  old_.Reset();
+  migrate_pos_ = 0;
+  ++generation_;
+  stash_hashes_.clear();
+  stash_keys_.clear();
+  stash_values_.clear();
+  size_ = 0;
+}
+
+}  // namespace gallium::state

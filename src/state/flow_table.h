@@ -1,0 +1,315 @@
+// Flat, open-addressing cuckoo flow table sized for 10M+ concurrent flows.
+//
+// Every host-side per-flow map in the repro used to sit on
+// std::map<StateKey, StateValue>: one heap node per entry and an O(log n)
+// pointer chase per lookup, which caps tables at paper scale and wrecks the
+// zero-alloc engine story the moment flows churn. This table is the
+// replacement: a 2-choice bucketed cuckoo hash with *inline* key/value
+// storage (structure-of-arrays, no per-entry heap nodes), so a lookup is
+// one hash, two bucket probes of four slots each, and a word compare — all
+// in at most three cache lines.
+//
+// Three properties the runtime depends on:
+//
+//  * Bounded kick chains. Inserts displace at most Config::max_kick_chain
+//    entries; when the random walk fails, the leftover entry parks in a
+//    small stash (checked by every lookup) instead of looping, and a grow
+//    is scheduled. No insert ever takes unbounded time.
+//
+//  * Incremental (non-stop-the-world) resize. A grow allocates the new
+//    bucket array and then migrates at most migrate_buckets_per_op buckets
+//    per mutating operation; lookups probe both generations while the drain
+//    is in flight. No packet ever eats a full rehash — the worst-case
+//    per-op pause is O(migrate_buckets_per_op), gated by bench/flowscale.
+//
+//  * Batched aging. SweepExpired walks the slot array from a caller-held
+//    cursor, testing and erasing expired entries in place, at most
+//    max_slots per call — CollectIdleFlows amortizes expiry across calls
+//    instead of an O(n) stop-the-world scan.
+//
+// Single-writer, like the per-shard state it backs. Deterministic for a
+// given operation sequence (the victim rotation is a plain counter, not an
+// RNG), so equivalence snapshots stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace gallium::state {
+
+class FlowTable {
+ public:
+  static constexpr int kSlotsPerBucket = 4;
+
+  struct Config {
+    size_t key_words = 1;
+    size_t value_words = 1;
+    // Entries the table should hold before its first grow. Rounded up to a
+    // power-of-two bucket count at max_load_factor.
+    uint64_t initial_capacity = 256;
+    double max_load_factor = 0.85;
+    // Buckets migrated from the draining generation per mutating op.
+    int migrate_buckets_per_op = 8;
+    // Cuckoo random-walk bound before the carried entry goes to the stash.
+    int max_kick_chain = 128;
+    uint64_t hash_seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  struct Stats {
+    uint64_t resizes = 0;
+    uint64_t migrated_buckets = 0;
+    uint64_t kicks = 0;            // total displacements
+    uint64_t max_kick_chain = 0;   // longest single walk
+    uint64_t stash_spills = 0;     // kick walks that ended in the stash
+    uint64_t stash_peak = 0;
+    uint64_t forced_migration_bursts = 0;  // grow wanted while still draining
+  };
+
+  explicit FlowTable(Config config);
+
+  size_t key_words() const { return key_words_; }
+  size_t value_words() const { return value_words_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool resizing() const { return old_.num_buckets != 0; }
+  // Slots across both live generations (capacity before the next grow is
+  // max_load_factor * the current generation's share).
+  uint64_t capacity_slots() const {
+    return (cur_.num_buckets + old_.num_buckets) * kSlotsPerBucket;
+  }
+  const Stats& stats() const { return stats_; }
+
+  // Point ops. Keys/values are raw word spans of key_words()/value_words().
+  // Lookup copies the value into value_out (may be null to test presence
+  // only) and never allocates; it also never migrates (it is const), so
+  // read-only phases leave an in-flight drain parked — harmless, lookups
+  // probe both generations.
+  bool Lookup(const uint64_t* key, uint64_t* value_out) const;
+  bool Contains(const uint64_t* key) const { return Lookup(key, nullptr); }
+  // Insert-or-overwrite. Allocates only when a grow starts (amortized).
+  void Upsert(const uint64_t* key, const uint64_t* value);
+  bool Erase(const uint64_t* key);
+  void Clear();
+
+  // Slots this key's lookup examines right now (occupied-slot compares +
+  // empty probes, both generations + stash). Diagnostic for the p99 probe
+  // metric in bench/flowscale.
+  int ProbeSlots(const uint64_t* key) const;
+
+  // --- Batched aging ---------------------------------------------------------
+  // The cursor is generation-stamped: a resize invalidates it (slot indices
+  // move), and the sweep restarts from 0 — aging is eventual, not exact, so
+  // a restarted pass only delays expiry by one cycle.
+  struct SweepCursor {
+    uint64_t generation = ~0ull;
+    uint64_t next_slot = 0;
+  };
+
+  // Visits up to max_slots slots starting at *cursor; for each occupied
+  // slot, pred(key, value) == true expires the entry: on_expire(key, value)
+  // runs first, then the slot is erased in place. At the end of the slot
+  // space the (tiny) stash is swept too and the cursor wraps to 0. Returns
+  // the number of entries expired this call.
+  template <typename Pred, typename OnExpire>
+  uint64_t SweepExpired(SweepCursor* cursor, uint64_t max_slots, Pred&& pred,
+                        OnExpire&& on_expire);
+
+  // One full pass over every entry (both generations + stash), expiring all
+  // entries pred selects. The stop-the-world convenience used by callers
+  // that kept the legacy CollectIdleFlows semantics.
+  template <typename Pred, typename OnExpire>
+  uint64_t SweepAllExpired(Pred&& pred, OnExpire&& on_expire);
+
+  // Unordered visit of every live entry: fn(key, value).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const;
+
+ private:
+  // One open-addressing generation: power-of-two buckets of 4 slots, all
+  // storage flat. tag 0 = empty; otherwise (hash >> 56) | 1. Only the
+  // 1-byte tag array is eagerly zeroed on allocation — hashes/keys/values
+  // are default-initialized (valid iff the tag is set), so growing a 10M
+  // table costs a ~1B/slot memset plus page mapping, not a full zero-fill
+  // of the key/value storage.
+  struct Gen {
+    uint64_t num_buckets = 0;
+    std::vector<uint8_t> tags;
+    std::unique_ptr<uint64_t[]> hashes;
+    std::unique_ptr<uint64_t[]> keys;    // slot * key_words
+    std::unique_ptr<uint64_t[]> values;  // slot * value_words
+    uint64_t slots() const { return num_buckets * kSlotsPerBucket; }
+    void Reset() {
+      num_buckets = 0;
+      tags.clear();
+      tags.shrink_to_fit();
+      hashes.reset();
+      keys.reset();
+      values.reset();
+    }
+  };
+
+  uint64_t Hash(const uint64_t* key) const {
+    return HashWords(key, key_words_, hash_seed_);
+  }
+  static uint8_t TagOf(uint64_t h) {
+    return static_cast<uint8_t>((h >> 56) | 1);
+  }
+  static uint64_t BucketA(uint64_t h, uint64_t num_buckets) {
+    return h & (num_buckets - 1);
+  }
+  static uint64_t BucketB(uint64_t h, uint64_t num_buckets) {
+    return HashMix64(h) & (num_buckets - 1);
+  }
+  // The other candidate bucket of an entry with hash h currently in
+  // `bucket`. Degenerate when both candidates coincide (alt == bucket).
+  static uint64_t AltBucket(uint64_t h, uint64_t bucket, uint64_t num_buckets) {
+    const uint64_t a = BucketA(h, num_buckets);
+    const uint64_t b = BucketB(h, num_buckets);
+    return bucket == a ? b : a;
+  }
+
+  const uint64_t* KeyAt(const Gen& g, uint64_t slot) const {
+    return g.keys.get() + slot * key_words_;
+  }
+  uint64_t* KeyAt(Gen& g, uint64_t slot) {
+    return g.keys.get() + slot * key_words_;
+  }
+  const uint64_t* ValueAt(const Gen& g, uint64_t slot) const {
+    return g.values.get() + slot * value_words_;
+  }
+  uint64_t* ValueAt(Gen& g, uint64_t slot) {
+    return g.values.get() + slot * value_words_;
+  }
+  bool KeyEquals(const Gen& g, uint64_t slot, const uint64_t* key) const {
+    return key_words_ == 0 ||
+           std::memcmp(KeyAt(g, slot), key, key_words_ * sizeof(uint64_t)) == 0;
+  }
+
+  // Slot of `key` in `g`, or ~0ull.
+  uint64_t FindInGen(const Gen& g, uint64_t h, const uint64_t* key) const;
+  // Places (h, key, value) into `g`, kicking as needed. On failure the
+  // final displaced entry is left in the carry_* scratch and false returns;
+  // the caller must stash it (the walk already mutated the table).
+  bool InsertIntoGen(Gen* g, uint64_t h, const uint64_t* key,
+                     const uint64_t* value);
+  void WriteSlot(Gen* g, uint64_t slot, uint64_t h, const uint64_t* key,
+                 const uint64_t* value);
+
+  void AllocateGen(Gen* g, uint64_t num_buckets);
+  void MaybeGrow();
+  void StartResize(uint64_t min_entries);
+  void FinishResize();
+  // Migrates up to `buckets` buckets of the draining generation.
+  void MigrateSome(int buckets);
+  void StashCarry();
+  void TryDrainStash();
+
+  int FindStash(uint64_t h, const uint64_t* key) const;
+  void EraseStash(size_t idx);
+
+  size_t key_words_;
+  size_t value_words_;
+  double max_load_factor_;
+  int migrate_buckets_per_op_;
+  int max_kick_chain_;
+  uint64_t hash_seed_;
+
+  Gen cur_;
+  Gen old_;                    // draining generation; num_buckets 0 = none
+  uint64_t migrate_pos_ = 0;   // next old_ bucket to migrate
+  // Bumped by every StartResize/FinishResize — invalidates sweep cursors.
+  uint64_t generation_ = 0;
+
+  size_t size_ = 0;
+  uint32_t victim_rr_ = 0;  // deterministic kick-victim rotation
+
+  // Overflow stash: entries whose kick walk exceeded the bound. Checked by
+  // every lookup; drained back into the table as migration frees space.
+  std::vector<uint64_t> stash_hashes_;
+  std::vector<uint64_t> stash_keys_;    // idx * key_words
+  std::vector<uint64_t> stash_values_;  // idx * value_words
+
+  // Kick-walk carry (preallocated; the hot path never allocates).
+  uint64_t carry_hash_ = 0;
+  std::vector<uint64_t> carry_key_;
+  std::vector<uint64_t> carry_value_;
+
+  Stats stats_;
+};
+
+// --- Template bodies ----------------------------------------------------------
+
+template <typename Pred, typename OnExpire>
+uint64_t FlowTable::SweepExpired(SweepCursor* cursor, uint64_t max_slots,
+                                 Pred&& pred, OnExpire&& on_expire) {
+  if (cursor->generation != generation_) {
+    cursor->generation = generation_;
+    cursor->next_slot = 0;
+  }
+  // The sweep's index space is the draining generation's slots followed by
+  // the current generation's.
+  const uint64_t old_slots = old_.slots();
+  const uint64_t total = old_slots + cur_.slots();
+  uint64_t expired = 0;
+  uint64_t visited = 0;
+  uint64_t pos = cursor->next_slot;
+  while (visited < max_slots && pos < total) {
+    Gen& g = pos < old_slots ? old_ : cur_;
+    const uint64_t slot = pos < old_slots ? pos : pos - old_slots;
+    if (g.tags[slot] != 0 &&
+        pred(KeyAt(g, slot), ValueAt(g, slot))) {
+      on_expire(KeyAt(g, slot), ValueAt(g, slot));
+      g.tags[slot] = 0;
+      --size_;
+      ++expired;
+    }
+    ++visited;
+    ++pos;
+  }
+  if (pos >= total) {
+    // End of the slot space: sweep the stash (bounded and tiny) and wrap.
+    for (size_t i = stash_hashes_.size(); i-- > 0;) {
+      const uint64_t* key = stash_keys_.data() + i * key_words_;
+      uint64_t* value = stash_values_.data() + i * value_words_;
+      if (pred(key, value)) {
+        on_expire(key, value);
+        EraseStash(i);
+        --size_;
+        ++expired;
+      }
+    }
+    pos = 0;
+  }
+  cursor->next_slot = pos;
+  return expired;
+}
+
+template <typename Pred, typename OnExpire>
+uint64_t FlowTable::SweepAllExpired(Pred&& pred, OnExpire&& on_expire) {
+  SweepCursor cursor;
+  cursor.generation = generation_;
+  cursor.next_slot = 0;
+  const uint64_t total = old_.slots() + cur_.slots();
+  return SweepExpired(&cursor, total == 0 ? 1 : total, pred, on_expire);
+}
+
+template <typename Fn>
+void FlowTable::ForEach(Fn&& fn) const {
+  for (const Gen* g : {&old_, &cur_}) {
+    const uint64_t slots = g->slots();
+    for (uint64_t slot = 0; slot < slots; ++slot) {
+      if (g->tags[slot] != 0) fn(KeyAt(*g, slot), ValueAt(*g, slot));
+    }
+  }
+  for (size_t i = 0; i < stash_hashes_.size(); ++i) {
+    fn(stash_keys_.data() + i * key_words_,
+       stash_values_.data() + i * value_words_);
+  }
+}
+
+}  // namespace gallium::state

@@ -354,12 +354,14 @@ double Switch::ResyncFromHost(const runtime::HostStateStore& host,
     // through the server anyway, which repopulates the cache as a side
     // effect. Full tables get the complete authoritative contents.
     if (table->fifo_eviction()) continue;
-    for (const auto& [key, value] :
-         host.map_contents(static_cast<ir::StateIndex>(i))) {
-      // The snapshot is bounded by the table capacity by construction: the
-      // server map and the full-size table share max_entries.
-      (void)table->InsertMain(key, value);
-    }
+    // Unordered visit — no sorted snapshot; the map is bounded by the table
+    // capacity by construction (the server map and the full-size table
+    // share max_entries), and full tables don't care about insert order.
+    host.ForEachMapEntry(
+        static_cast<ir::StateIndex>(i),
+        [&](const runtime::StateKey& key, const runtime::StateValue& value) {
+          (void)table->InsertMain(key, value);
+        });
   }
   for (size_t i = 0; i < vector_tables_.size(); ++i) {
     if (vector_tables_[i] == nullptr) continue;

@@ -1,6 +1,52 @@
 #include "switchsim/table.h"
 
+#include <algorithm>
+
 namespace gallium::switchsim {
+
+ExactMatchTable::ExactMatchTable(std::string name, size_t key_words,
+                                 size_t value_words, uint64_t max_entries,
+                                 MatchKind match_kind)
+    : name_(std::move(name)),
+      // LPM entries are stored under {prefix, prefix_len}; data-plane
+      // lookups still present a single address word.
+      key_words_(match_kind == MatchKind::kLpm ? 2 : key_words),
+      value_words_(value_words),
+      max_entries_(max_entries),
+      match_kind_(match_kind) {
+  if (match_kind_ == MatchKind::kExact) {
+    state::FlowTable::Config config;
+    config.key_words = key_words_;
+    config.value_words = value_words_;
+    // Start small and grow incrementally toward max_entries — switch tables
+    // are declared at paper-scale capacities that most runs never fill.
+    config.initial_capacity = std::min<uint64_t>(
+        std::max<uint64_t>(max_entries_, 16), 1024);
+    flat_ = std::make_unique<state::FlowTable>(config);
+  }
+}
+
+bool ExactMatchTable::MainContains(const TableKey& key) const {
+  if (flat_ != nullptr) {
+    return key.size() == key_words_ && flat_->Contains(key.data());
+  }
+  return main_.count(key) > 0;
+}
+
+void ExactMatchTable::MainUpsert(const TableKey& key, const TableValue& value) {
+  if (flat_ != nullptr) {
+    flat_->Upsert(key.data(), value.data());
+    return;
+  }
+  main_[key] = value;
+}
+
+bool ExactMatchTable::MainErase(const TableKey& key) {
+  if (flat_ != nullptr) {
+    return key.size() == key_words_ && flat_->Erase(key.data());
+  }
+  return main_.erase(key) > 0;
+}
 
 bool ExactMatchTable::Lookup(const TableKey& key, TableValue* value) const {
   if (match_kind_ == MatchKind::kLpm) {
@@ -41,12 +87,15 @@ bool ExactMatchTable::Lookup(const TableKey& key, TableValue* value) const {
       return true;
     }
   }
-  const auto it = main_.find(key);
-  if (it == main_.end()) {
+  if (key.size() != key_words_) {
     value->assign(value_words_, 0);
     return false;
   }
-  *value = it->second;
+  value->resize(value_words_);
+  if (!flat_->Lookup(key.data(), value->data())) {
+    std::fill(value->begin(), value->end(), 0);
+    return false;
+  }
   return true;
 }
 
@@ -71,7 +120,7 @@ Status ExactMatchTable::Stage(const TableKey& key,
 Status ExactMatchTable::ApplyStagedToMain() {
   for (auto& [key, value] : write_back_) {
     if (value.has_value()) {
-      if (main_.size() >= max_entries_ && !main_.count(key)) {
+      if (size() >= max_entries_ && !MainContains(key)) {
         if (!fifo_eviction_) {
           return ResourceExhausted("table " + name_ + ": table full (" +
                                    std::to_string(max_entries_) +
@@ -79,10 +128,10 @@ Status ExactMatchTable::ApplyStagedToMain() {
         }
         EvictOldest();
       }
-      if (!main_.count(key)) insertion_order_.push_back(key);
-      main_[key] = *value;
+      if (fifo_eviction_ && !MainContains(key)) insertion_order_.push_back(key);
+      MainUpsert(key, *value);
     } else {
-      main_.erase(key);
+      MainErase(key);
     }
   }
   write_back_.clear();
@@ -93,7 +142,7 @@ void ExactMatchTable::EvictOldest() {
   while (!insertion_order_.empty()) {
     const TableKey victim = insertion_order_.front();
     insertion_order_.erase(insertion_order_.begin());
-    if (main_.erase(victim) > 0) {
+    if (MainErase(victim)) {
       ++evictions_;
       return;
     }
@@ -107,14 +156,14 @@ Status ExactMatchTable::InsertMain(const TableKey& key,
   if (key.size() != key_words_ || value.size() != value_words_) {
     return InvalidArgument("table " + name_ + ": arity mismatch");
   }
-  if (main_.size() >= max_entries_ && !main_.count(key)) {
+  if (size() >= max_entries_ && !MainContains(key)) {
     if (!fifo_eviction_) {
       return ResourceExhausted("table " + name_ + ": table full");
     }
     EvictOldest();
   }
-  if (!main_.count(key)) insertion_order_.push_back(key);
-  main_[key] = value;
+  if (fifo_eviction_ && !MainContains(key)) insertion_order_.push_back(key);
+  MainUpsert(key, value);
   return Status::Ok();
 }
 

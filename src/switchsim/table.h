@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "state/flow_table.h"
 #include "util/status.h"
 
 namespace gallium::switchsim {
@@ -30,20 +32,15 @@ class ExactMatchTable {
   enum class MatchKind : uint8_t { kExact, kLpm };
 
   ExactMatchTable(std::string name, size_t key_words, size_t value_words,
-                  uint64_t max_entries, MatchKind match_kind = MatchKind::kExact)
-      : name_(std::move(name)),
-        // LPM entries are stored under {prefix, prefix_len}; data-plane
-        // lookups still present a single address word.
-        key_words_(match_kind == MatchKind::kLpm ? 2 : key_words),
-        value_words_(value_words),
-        max_entries_(max_entries),
-        match_kind_(match_kind) {}
+                  uint64_t max_entries, MatchKind match_kind = MatchKind::kExact);
 
   MatchKind match_kind() const { return match_kind_; }
 
   const std::string& name() const { return name_; }
   uint64_t max_entries() const { return max_entries_; }
-  size_t size() const { return main_.size(); }
+  size_t size() const {
+    return flat_ != nullptr ? flat_->size() : main_.size();
+  }
 
   // --- Data plane ------------------------------------------------------------
   // Lookup honoring the use-write-back bit. A staged deletion hides the main
@@ -65,6 +62,7 @@ class ExactMatchTable {
   // Drops every entry (main + staged) and clears the use-write-back bit —
   // what a switch restart or a pre-resync wipe does to the table.
   void Clear() {
+    if (flat_ != nullptr) flat_->Clear();
     main_.clear();
     write_back_.clear();
     insertion_order_.clear();
@@ -83,6 +81,11 @@ class ExactMatchTable {
  private:
   // Makes room for one more entry (cache mode only).
   void EvictOldest();
+  // Main-table primitives bridging the two storages (flat for exact tables,
+  // ordered map for LPM).
+  bool MainContains(const TableKey& key) const;
+  void MainUpsert(const TableKey& key, const TableValue& value);
+  bool MainErase(const TableKey& key);
 
   std::string name_;
   size_t key_words_;
@@ -93,8 +96,16 @@ class ExactMatchTable {
   bool fifo_eviction_ = false;
   uint64_t evictions_ = 0;
 
+  // Exact tables keep their main entries on the flat cuckoo table (inline
+  // storage, O(1) lookups at 10M+ entries); LPM tables keep the ordered map
+  // (the lookup ladder probes {prefix, len} keys most-specific-first).
+  // Exactly one of the two is populated.
+  std::unique_ptr<state::FlowTable> flat_;
   std::map<TableKey, TableValue> main_;
   std::vector<TableKey> insertion_order_;  // FIFO for cache eviction
+  // The write-back shadow stays ordered: it is capped small (max_entries/4)
+  // and ApplyStagedToMain's deterministic iteration keeps the eviction FIFO
+  // reproducible across runs.
   // nullopt value = staged deletion.
   std::map<TableKey, std::optional<TableValue>> write_back_;
 };

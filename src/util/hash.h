@@ -1,0 +1,40 @@
+// Fast non-cryptographic hashing over u64 word sequences.
+//
+// StateKeys (and switch TableKeys) are short vectors of u64 words — a
+// five-tuple is at most five words, most flow keys are one or two. The flat
+// flow tables in src/state/ hash them on every lookup, so the hash must be
+// a handful of multiply/xor rounds, not a byte-oriented streaming hash.
+// This is the wyhash/murmur-finalizer construction: one 128-bit-free
+// multiply-xor fold per word plus a final avalanche. It is deterministic
+// across runs and platforms (no address-space or random_device input) so
+// equivalence snapshots and seeded tests stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gallium {
+
+// splitmix64 finalizer — full avalanche of one 64-bit word.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Hash of `n` words with a seed. Word-order sensitive; an empty sequence
+// hashes to a seed-dependent constant (maps with zero-word keys still get a
+// valid single slot).
+inline uint64_t HashWords(const uint64_t* words, size_t n,
+                          uint64_t seed = 0x9e3779b97f4a7c15ull) {
+  uint64_t h = seed ^ (static_cast<uint64_t>(n) * 0x9e3779b97f4a7c15ull);
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ HashMix64(words[i])) * 0xff51afd7ed558ccdull;
+  }
+  return HashMix64(h);
+}
+
+}  // namespace gallium

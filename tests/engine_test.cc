@@ -12,6 +12,7 @@
 #include "mbox/middleboxes.h"
 #include "net/packet.h"
 #include "util/rng.h"
+#include "workload/churn.h"
 #include "workload/packet_gen.h"
 
 namespace gallium::engine {
@@ -225,6 +226,52 @@ TEST(ShardedEquivalenceTest, Proxy) {
 
 TEST(ShardedEquivalenceTest, TrojanDetector) {
   CheckShardedEquivalence(mbox::BuildTrojanDetector(), "TrojanDetector");
+}
+
+// Same property, but hammering the flat flow tables: a churn-heavy trace
+// (most packets open fresh flows) against a flow_capacity of 2, so every
+// shard's tables grow through repeated incremental resizes mid-run. The
+// 4-worker output must still be bit-identical to 1-worker — resize
+// migrations, kick chains, and stash traffic are invisible to the packets.
+TEST(ShardedEquivalenceTest, LoadBalancerUnderChurnWithTinyTables) {
+  auto spec_or = mbox::BuildLoadBalancer();
+  ASSERT_TRUE(spec_or.ok()) << spec_or.status().ToString();
+  mbox::MiddleboxSpec spec = std::move(*spec_or);
+
+  Rng rng(20260808);
+  workload::ChurnOptions churn;
+  churn.num_packets = 4000;
+  churn.new_flow_fraction = 0.8;
+  churn.established_flows = 24;
+  churn.burst_period = 500;
+  churn.burst_len = 64;
+  churn.ingress_port = mbox::kPortInternal;
+  const workload::Trace trace = workload::MakeChurnTrace(rng, churn);
+  ASSERT_FALSE(trace.packets.empty());
+
+  RunReport reports[2];
+  std::vector<net::Packet> sinks[2];
+  const int worker_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    EngineOptions options;
+    options.workers = worker_counts[i];
+    options.burst = 32;
+    options.runtime.flow_capacity = 2;  // force mid-run table growth
+    auto eng = Engine::Create(spec, options);
+    ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+    reports[i] = (*eng)->Run(trace.packets, /*start_now_ms=*/1, &sinks[i]);
+    (*eng)->Quiesce();
+    EXPECT_EQ(reports[i].packets, trace.packets.size());
+    EXPECT_EQ(reports[i].errors, 0u);
+  }
+
+  EXPECT_EQ(reports[0].sends, reports[1].sends);
+  EXPECT_EQ(reports[0].drops, reports[1].drops);
+  ASSERT_EQ(sinks[0].size(), sinks[1].size());
+  for (size_t i = 0; i < sinks[0].size(); ++i) {
+    ASSERT_EQ(sinks[0][i].Serialize(), sinks[1][i].Serialize())
+        << "emitted packet " << i << " diverged between 1w and 4w";
+  }
 }
 
 // ---------------------------------------------------------------------------

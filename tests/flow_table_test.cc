@@ -1,0 +1,290 @@
+// Differential property tests for the flat cuckoo flow table: every
+// operation sequence must agree with a std::map reference model, including
+// sequences that straddle incremental resizes, exhaust kick chains into the
+// stash, and age entries through budgeted sweeps. The table's whole value
+// proposition is "std::map semantics at 100x the speed", so the reference
+// model is the specification.
+#include "state/flow_table.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace gallium::state {
+namespace {
+
+using Key = std::vector<uint64_t>;
+using Value = std::vector<uint64_t>;
+
+Value LookupOrEmpty(const FlowTable& table, const Key& key) {
+  Value out(table.value_words());
+  if (!table.Lookup(key.data(), out.data())) return {};
+  return out;
+}
+
+// Full-state comparison: every reference entry is in the table with the
+// right value, and the table holds nothing else.
+void ExpectSameContents(const FlowTable& table,
+                        const std::map<Key, Value>& reference) {
+  ASSERT_EQ(table.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    Value got(table.value_words());
+    ASSERT_TRUE(table.Lookup(key.data(), got.data()))
+        << "key missing from flow table";
+    ASSERT_EQ(got, value);
+  }
+  size_t visited = 0;
+  table.ForEach([&](const uint64_t* key, const uint64_t* value) {
+    ++visited;
+    const Key k(key, key + table.key_words());
+    const auto it = reference.find(k);
+    ASSERT_NE(it, reference.end()) << "flow table holds an unexpected key";
+    ASSERT_EQ(Value(value, value + table.value_words()), it->second);
+  });
+  ASSERT_EQ(visited, reference.size());
+}
+
+TEST(FlowTableTest, BasicInsertLookupErase) {
+  FlowTable::Config config;
+  config.key_words = 2;
+  config.value_words = 1;
+  FlowTable table(config);
+
+  const Key k1 = {1, 2};
+  const Key k2 = {1, 3};
+  const Value v1 = {42};
+  const Value v2 = {43};
+
+  EXPECT_FALSE(table.Contains(k1.data()));
+  table.Upsert(k1.data(), v1.data());
+  EXPECT_TRUE(table.Contains(k1.data()));
+  EXPECT_FALSE(table.Contains(k2.data()));
+  EXPECT_EQ(LookupOrEmpty(table, k1), v1);
+  EXPECT_EQ(table.size(), 1u);
+
+  table.Upsert(k1.data(), v2.data());  // overwrite, not a second entry
+  EXPECT_EQ(LookupOrEmpty(table, k1), v2);
+  EXPECT_EQ(table.size(), 1u);
+
+  EXPECT_TRUE(table.Erase(k1.data()));
+  EXPECT_FALSE(table.Erase(k1.data()));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.Contains(k1.data()));
+}
+
+TEST(FlowTableTest, LookupNeverMutatesConstTable) {
+  FlowTable::Config config;
+  config.initial_capacity = 4;
+  FlowTable table(config);
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t key = i;
+    const uint64_t value = i * 3;
+    table.Upsert(&key, &value);
+  }
+  const FlowTable& view = table;
+  const bool was_resizing = view.resizing();
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t key = i;
+    uint64_t out = 0;
+    EXPECT_TRUE(view.Lookup(&key, &out));
+    EXPECT_EQ(out, i * 3);
+  }
+  // A parked drain stays parked across const lookups.
+  EXPECT_EQ(view.resizing(), was_resizing);
+}
+
+// The core property: a long random op sequence against a tiny initial
+// capacity (so the table is mid-resize for much of the run) matches the
+// reference model exactly, at checkpoints and at the end.
+TEST(FlowTableTest, DifferentialRandomOpsAcrossResizes) {
+  FlowTable::Config config;
+  config.key_words = 2;
+  config.value_words = 2;
+  config.initial_capacity = 4;       // first grow after a handful of inserts
+  config.migrate_buckets_per_op = 1; // stretch resizes across many ops
+  FlowTable table(config);
+  std::map<Key, Value> reference;
+
+  Rng rng(1234);
+  const uint64_t keyspace = 5000;
+  for (int op = 0; op < 200000; ++op) {
+    const Key key = {rng.NextBounded(keyspace), rng.NextBounded(7)};
+    const uint64_t roll = rng.NextBounded(100);
+    if (roll < 55) {
+      const Value value = {rng.NextU64(), static_cast<uint64_t>(op)};
+      table.Upsert(key.data(), value.data());
+      reference[key] = value;
+    } else if (roll < 80) {
+      EXPECT_EQ(table.Erase(key.data()), reference.erase(key) > 0);
+    } else {
+      const auto it = reference.find(key);
+      Value got(table.value_words());
+      const bool hit = table.Lookup(key.data(), got.data());
+      ASSERT_EQ(hit, it != reference.end()) << "presence diverged at op " << op;
+      if (hit) ASSERT_EQ(got, it->second);
+    }
+    ASSERT_EQ(table.size(), reference.size());
+    if (op % 20000 == 19999) ExpectSameContents(table, reference);
+  }
+  ExpectSameContents(table, reference);
+  EXPECT_GT(table.stats().resizes, 0u);
+  EXPECT_GT(table.stats().migrated_buckets, 0u);
+}
+
+// Degenerate kick bound: nearly every displaced insert lands in the stash,
+// which forces the stash-probing lookup path and the post-resize drain to
+// carry the correctness load.
+TEST(FlowTableTest, DifferentialWithTinyKickChains) {
+  FlowTable::Config config;
+  config.key_words = 1;
+  config.value_words = 1;
+  config.initial_capacity = 4;
+  config.max_kick_chain = 1;
+  FlowTable table(config);
+  std::map<Key, Value> reference;
+
+  Rng rng(77);
+  for (int op = 0; op < 50000; ++op) {
+    const Key key = {rng.NextBounded(600)};
+    if (rng.NextBool(0.65)) {
+      const Value value = {rng.NextU64()};
+      table.Upsert(key.data(), value.data());
+      reference[key] = value;
+    } else {
+      EXPECT_EQ(table.Erase(key.data()), reference.erase(key) > 0);
+    }
+    ASSERT_EQ(table.size(), reference.size());
+  }
+  ExpectSameContents(table, reference);
+  EXPECT_GT(table.stats().stash_spills, 0u);
+}
+
+TEST(FlowTableTest, SweepAllExpiredRemovesExactlyThePredicatedEntries) {
+  FlowTable::Config config;
+  config.key_words = 1;
+  config.value_words = 1;
+  FlowTable table(config);
+  std::map<Key, Value> reference;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const Value value = {i % 3};  // expire the i%3==0 third
+    table.Upsert(&i, value.data());
+    reference[{i}] = value;
+  }
+
+  std::vector<Key> expired;
+  const uint64_t count = table.SweepAllExpired(
+      [](const uint64_t*, const uint64_t* value) { return value[0] == 0; },
+      [&](const uint64_t* key, const uint64_t*) {
+        expired.push_back({key[0]});
+      });
+  EXPECT_EQ(count, expired.size());
+  for (const Key& key : expired) {
+    EXPECT_EQ(reference.at(key)[0], 0u);
+    reference.erase(key);
+  }
+  ExpectSameContents(table, reference);
+  for (const auto& [key, value] : reference) EXPECT_NE(value[0], 0u);
+}
+
+// Budgeted sweeps with churn in between: aging is eventual, so after enough
+// budgeted calls with no further inserts every expired entry must be gone —
+// even though resizes invalidated the cursor along the way.
+TEST(FlowTableTest, BudgetedSweepsConvergeUnderChurn) {
+  FlowTable::Config config;
+  config.key_words = 1;
+  config.value_words = 1;
+  config.initial_capacity = 8;
+  FlowTable table(config);
+  std::map<Key, Value> reference;
+  Rng rng(99);
+
+  FlowTable::SweepCursor cursor;
+  auto pred = [](const uint64_t*, const uint64_t* value) {
+    return value[0] == 1;  // value word 1 = expired
+  };
+  uint64_t swept_total = 0;
+  for (int round = 0; round < 400; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      const Key key = {rng.NextBounded(4096)};
+      const Value value = {rng.NextBounded(2)};
+      table.Upsert(key.data(), value.data());
+      reference[key] = value;
+    }
+    swept_total += table.SweepExpired(
+        &cursor, /*max_slots=*/32, pred,
+        [&](const uint64_t* key, const uint64_t*) {
+          ASSERT_EQ(reference.erase({key[0]}), 1u);
+        });
+    ASSERT_EQ(table.size(), reference.size());
+  }
+  // Quiesce: no more inserts, sweep until a full extra pass finds nothing.
+  for (int round = 0; round < 100000 && table.size() > 0; ++round) {
+    const uint64_t n = table.SweepExpired(
+        &cursor, /*max_slots=*/64, pred,
+        [&](const uint64_t* key, const uint64_t*) {
+          ASSERT_EQ(reference.erase({key[0]}), 1u);
+        });
+    swept_total += n;
+    if (cursor.next_slot == 0 &&
+        std::none_of(reference.begin(), reference.end(),
+                     [](const auto& kv) { return kv.second[0] == 1; })) {
+      break;
+    }
+  }
+  EXPECT_GT(swept_total, 0u);
+  for (const auto& [key, value] : reference) EXPECT_EQ(value[0], 0u);
+  ExpectSameContents(table, reference);
+}
+
+TEST(FlowTableTest, ClearEmptiesAndTableRemainsUsable) {
+  FlowTable::Config config;
+  config.initial_capacity = 4;
+  FlowTable table(config);
+  for (uint64_t i = 0; i < 500; ++i) table.Upsert(&i, &i);
+  EXPECT_EQ(table.size(), 500u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.resizing());
+  for (uint64_t i = 0; i < 500; ++i) EXPECT_FALSE(table.Contains(&i));
+  const uint64_t key = 7, value = 9;
+  table.Upsert(&key, &value);
+  EXPECT_EQ(table.size(), 1u);
+  uint64_t out = 0;
+  EXPECT_TRUE(table.Lookup(&key, &out));
+  EXPECT_EQ(out, 9u);
+}
+
+TEST(FlowTableTest, ProbeSlotsIsSmallAndBounded) {
+  FlowTable::Config config;
+  config.initial_capacity = 1 << 14;
+  FlowTable table(config);
+  Rng rng(5);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t key = rng.NextU64();
+    table.Upsert(&key, &key);
+    keys.push_back(key);
+  }
+  ASSERT_FALSE(table.resizing());
+  for (const uint64_t key : keys) {
+    // Steady state: at most both candidate buckets (2 * 4 slots) plus the
+    // (empty) stash.
+    EXPECT_LE(table.ProbeSlots(&key), 2 * FlowTable::kSlotsPerBucket);
+  }
+}
+
+TEST(FlowTableTest, HashWordsIsOrderAndSeedSensitive) {
+  const uint64_t a[2] = {1, 2};
+  const uint64_t b[2] = {2, 1};
+  EXPECT_NE(HashWords(a, 2), HashWords(b, 2));
+  EXPECT_NE(HashWords(a, 2, 1), HashWords(a, 2, 2));
+  EXPECT_NE(HashWords(a, 1), HashWords(a, 2));
+}
+
+}  // namespace
+}  // namespace gallium::state

@@ -127,7 +127,7 @@ void PrintUsage(std::FILE* to) {
       "                [--transfer-bytes N] [--memory-mb N]\n"
       "                [--objective count|weighted] [--optimize] [--print]\n"
       "                [--resources] [--run N] [--chaos-seed S]\n"
-      "                [--workers N] [--burst N]\n"
+      "                [--workers N] [--burst N] [--flow-capacity N]\n"
       "                [--fault-plan KIND:SEED] [--sync-queue DEPTH]\n"
       "                [--pump-interval N] [--shed] [--watchdog]\n"
       "                [--verify] [--campaign] [--mutate CLASS]\n"
@@ -139,6 +139,10 @@ void PrintUsage(std::FILE* to) {
       "                 steering, shared globals on the sync core)\n"
       "  --burst N      burst size for the run-to-completion loop\n"
       "                 (default 32; implies the engine path)\n"
+      "  --flow-capacity N  pre-size every exact-match host map's flat flow\n"
+      "                 table for N entries (default: grow incrementally);\n"
+      "                 set to the expected concurrent-flow population for\n"
+      "                 resize-free steady state\n"
       "\n"
       "robustness:\n"
       "  --fault-plan KIND:SEED  replay a named fault generator (random,\n"
@@ -189,7 +193,7 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
                uint64_t chaos_seed, bool chaos,
                const std::string& fault_spec,
                const runtime::SyncQueueOptions& sync_queue, bool watchdog,
-               int workers, int burst,
+               int workers, int burst, uint64_t flow_capacity,
                telemetry::MetricsRegistry* registry,
                telemetry::Tracer* tracer) {
   runtime::FaultPlan plan;
@@ -198,6 +202,7 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
   options.tracer = tracer;
   options.sync_queue = sync_queue;
   options.health.enabled = watchdog;
+  options.flow_capacity = flow_capacity;
   if (!fault_spec.empty()) {
     auto parsed = runtime::FaultPlanFromSpec(
         fault_spec, static_cast<uint64_t>(num_packets));
@@ -362,6 +367,7 @@ int main(int argc, char** argv) {
   int run_packets = 0;
   int workers = 0;
   int burst = 0;
+  uint64_t flow_capacity = 0;
   uint64_t chaos_seed = 0;
   bool chaos = false;
   std::string fault_spec;
@@ -427,6 +433,11 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       burst = std::atoi(v);
       if (burst < 1) return Usage();
+    } else if (arg == "--flow-capacity") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      flow_capacity = std::strtoull(v, nullptr, 10);
+      if (flow_capacity == 0) return Usage();
     } else if (arg == "--chaos-seed") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -618,7 +629,8 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (run_packets > 0) {
     rc = RunTraffic(*spec, run_packets, chaos_seed, chaos, fault_spec,
-                    sync_queue, watchdog, workers, burst, &registry,
+                    sync_queue, watchdog, workers, burst, flow_capacity,
+                    &registry,
                     trace_out.empty() ? nullptr : &tracer);
   }
   if (!metrics_out.empty()) {
