@@ -42,6 +42,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 #include "bench_common.h"
 #include "engine/engine.h"
+#include "telemetry/flight_recorder.h"
 #include "workload/packet_gen.h"
 
 int main() {
@@ -58,6 +59,13 @@ int main() {
   // generation doubling may allocate on insert, and is exempt because it
   // cannot fire in the established-flow measured window.
   manifest.SetConfig("flow_table_growth_allocs_exempt", 1);
+  // The flight recorder is always on (the engine wires every shard into
+  // FlightRecorder::Default()), so the zero-allocs gate below covers
+  // recording-enabled runs — there is no recording-off configuration to
+  // hide behind. The per-packet event rate is gated alongside it: steady
+  // established-flow traffic must record nothing (events fire on episodes —
+  // mode changes, resizes, backpressure — not per packet).
+  manifest.SetConfig("flight_recorder_enabled", 1);
 
   std::printf(
       "Steady-state allocations per packet (engine, %d workers, burst 32)\n",
@@ -121,8 +129,12 @@ int main() {
     now_ms += measured.size();
 
     const unsigned long long before = g_allocs;
+    const uint64_t events_before =
+        telemetry::FlightRecorder::Default().events_recorded();
     const engine::RunReport report = (*eng)->Run(measured, now_ms + 1);
     const unsigned long long delta = g_allocs - before;
+    const uint64_t events_delta =
+        telemetry::FlightRecorder::Default().events_recorded() - events_before;
     if (report.errors != 0) {
       std::printf("%-18s PROCESS ERROR\n", entry.display_name.c_str());
       return 1;
@@ -134,6 +146,10 @@ int main() {
     manifest.RecordResult("bench_allocs_per_packet",
                           {{"mbox", entry.display_name}}, per_packet,
                           "global operator-new calls per steady-state packet");
+    manifest.RecordResult(
+        "bench_flight_events_per_packet", {{"mbox", entry.display_name}},
+        static_cast<double>(events_delta) / kMeasuredPackets,
+        "flight-recorder events per steady-state packet (recording on)");
   }
   bench::PrintRule(60);
   std::printf("steady-state data-packet window: %s\n",

@@ -38,6 +38,7 @@ HIGHER_IS_BETTER = {
 }
 LOWER_IS_BETTER = {
     "bench_allocs_per_packet",
+    "bench_flight_events_per_packet",
     "bench_sync_latency_us",
     "bench_backlog_latency_per_packet_us",
     "bench_latency_us",

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "telemetry/flight_recorder.h"
+
 namespace gallium::engine {
 
 using runtime::OffloadedMiddlebox;
@@ -85,16 +87,25 @@ Result<std::unique_ptr<Engine>> Engine::Create(const mbox::MiddleboxSpec& spec,
     eng->owned_registry_ = std::make_unique<telemetry::MetricsRegistry>();
     eng->registry_ = eng->owned_registry_.get();
   }
+  eng->mbox_name_ = spec.name;
   eng->burst_occupancy_ = eng->registry_->GetHistogram(
       "gallium_engine_burst_occupancy", {{"mbox", spec.name}},
       {1, 2, 4, 8, 16, 24, 32, 64},
       "packets per burst through the run-to-completion loop");
+  eng->flight_ = opts.runtime.flight != nullptr
+                     ? opts.runtime.flight
+                     : &telemetry::FlightRecorder::Default();
 
   eng->hub_ = std::make_unique<GlobalHub>(spec.fn->globals().size());
   for (int w = 0; w < opts.workers; ++w) {
     runtime::OffloadedOptions shard_opts = opts.runtime;
     shard_opts.registry = eng->registry_;
     shard_opts.extra_labels.push_back({"worker", std::to_string(w)});
+    // Lane 0 is the dispatcher / sync core; each worker shard records its
+    // runtime events on its own lane so a postmortem dump reads as one
+    // timeline row per core.
+    shard_opts.flight = eng->flight_;
+    shard_opts.flight_lane = static_cast<uint16_t>(w + 1);
     // Worker 0 keeps the caller's seed, so a one-worker engine models the
     // same latencies as a bare OffloadedMiddlebox with the same options.
     shard_opts.rng_seed = opts.runtime.rng_seed + static_cast<uint64_t>(w);
@@ -132,6 +143,21 @@ Result<std::unique_ptr<Engine>> Engine::Create(const mbox::MiddleboxSpec& spec,
   eng->owners_.resize(static_cast<size_t>(opts.burst));
   eng->busy_ns_.assign(static_cast<size_t>(opts.workers), 0);
   eng->worker_packets_.assign(static_cast<size_t>(opts.workers), 0);
+
+  if (opts.threaded) {
+    // Ingress-ring depth instrumentation (threaded mode only: deterministic
+    // runs never queue). Histograms are created here, not in the dispatch
+    // loop, so the threaded run itself stays allocation-free.
+    for (int w = 0; w < opts.workers; ++w) {
+      eng->ring_occupancy_.push_back(eng->registry_->GetHistogram(
+          "gallium_engine_ring_occupancy",
+          {{"mbox", spec.name}, {"worker", std::to_string(w)}},
+          {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
+          "ingress ring occupancy seen by the dispatcher after each push"));
+    }
+    eng->ring_high_water_.assign(static_cast<size_t>(opts.workers), 0);
+    eng->ring_next_record_.assign(static_cast<size_t>(opts.workers), 8);
+  }
   return eng;
 }
 
@@ -333,6 +359,24 @@ RunReport Engine::RunThreaded(const std::vector<net::Packet>& trace,
       std::this_thread::yield();
       item = WorkItem{trace[i], start_now_ms + i};
     }
+    // Track ring depth from the producer side. The high-water event fires
+    // only on power-of-two crossings of a fresh maximum, so a congested run
+    // leaves a handful of escalation marks on lane 0 instead of a flood.
+    const uint64_t occ =
+        static_cast<uint64_t>(ingress[owner]->SizeForProducer());
+    ring_occupancy_[static_cast<size_t>(owner)]->Observe(
+        static_cast<double>(occ));
+    auto& high = ring_high_water_[static_cast<size_t>(owner)];
+    if (occ > high) {
+      high = occ;
+      auto& next = ring_next_record_[static_cast<size_t>(owner)];
+      if (occ >= next) {
+        while (next <= occ) next <<= 1;
+        flight_->Record(0, telemetry::EventId::kEngineRingHighWater,
+                        static_cast<uint64_t>(owner), occ,
+                        ingress[owner]->capacity());
+      }
+    }
     drain_notes();
   }
   stop.store(true, std::memory_order_release);
@@ -368,8 +412,12 @@ void Engine::Quiesce() {
     shard->PublishSwitchStageMetrics();
   }
   BroadcastGlobals();
+  // Engine gauges share the shard instruments' {mbox, worker} convention so
+  // gallium-top (and any Prometheus join) can line worker rows up against
+  // the per-shard runtime series without label gymnastics.
   for (size_t w = 0; w < shards_.size(); ++w) {
-    const telemetry::LabelSet scope{{"worker", std::to_string(w)}};
+    const telemetry::LabelSet scope{{"mbox", mbox_name_},
+                                    {"worker", std::to_string(w)}};
     registry_
         ->GetGauge("gallium_engine_worker_packets", scope,
                    "packets executed by this worker shard")
@@ -378,13 +426,19 @@ void Engine::Quiesce() {
         ->GetGauge("gallium_engine_worker_busy_us", scope,
                    "accumulated execution time on this worker shard")
         ->Set(static_cast<double>(busy_ns_[w]) / 1000.0);
+    if (w < ring_high_water_.size()) {
+      registry_
+          ->GetGauge("gallium_engine_ring_high_water", scope,
+                     "deepest ingress-ring occupancy seen by the dispatcher")
+          ->Set(static_cast<double>(ring_high_water_[w]));
+    }
   }
   registry_
-      ->GetGauge("gallium_engine_pinned_flows", {},
+      ->GetGauge("gallium_engine_pinned_flows", {{"mbox", mbox_name_}},
                  "flow-director entries (rewritten flows pinned to a worker)")
       ->Set(static_cast<double>(steering_.pinned_flows()));
   registry_
-      ->GetGauge("gallium_engine_global_handoffs", {},
+      ->GetGauge("gallium_engine_global_handoffs", {{"mbox", mbox_name_}},
                  "global mutations handed to the sync core over note rings")
       ->Set(static_cast<double>(global_handoffs_));
 }

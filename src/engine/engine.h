@@ -35,6 +35,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/spsc_ring.h"
@@ -157,6 +158,17 @@ class Engine {
   std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;
   telemetry::MetricsRegistry* registry_ = nullptr;
   telemetry::Histogram* burst_occupancy_ = nullptr;
+  // Flight recorder shared with every shard (lane 0 = the engine's
+  // dispatcher / sync-core control loop, worker w records on lane w+1).
+  telemetry::FlightRecorder* flight_ = nullptr;
+  // Per-worker threaded-mode ingress instrumentation: occupancy histogram
+  // plus the high-water mark (and the next power-of-two occupancy at which
+  // a kEngineRingHighWater event fires, so a slow climb does not flood the
+  // ring with one event per packet).
+  std::vector<telemetry::Histogram*> ring_occupancy_;
+  std::vector<uint64_t> ring_high_water_;
+  std::vector<uint64_t> ring_next_record_;
+  std::string mbox_name_;
 
   // Deterministic burst loop scratch, sized once at Create.
   std::vector<net::Packet> slots_;

@@ -56,6 +56,14 @@ class SpscRing {
 
   size_t capacity() const { return mask_ + 1; }
 
+  // Producer-side occupancy (exact for the producer; a snapshot for anyone
+  // else). The dispatcher reads this right after a push to track ring
+  // high-water marks without touching the consumer's cached line.
+  size_t SizeForProducer() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_relaxed) -
+                               head_.load(std::memory_order_acquire));
+  }
+
   // Consumer-side emptiness check (exact for the consumer; a snapshot for
   // anyone else).
   bool EmptyForConsumer() const {

@@ -1,5 +1,7 @@
 #include "runtime/health.h"
 
+#include "telemetry/flight_recorder.h"
+
 namespace gallium::runtime {
 
 const char* HealthWatchdog::ModeName(Mode mode) {
@@ -37,6 +39,16 @@ void HealthWatchdog::RecordObservation(bool success, double latency_us) {
     consecutive_successes_ = 0;
     ++consecutive_misses_;
     ++probes_missed_;
+    // Record the first miss of a run and the threshold crossing — not every
+    // miss of a long outage, which would just wrap the lane with noise.
+    if (options_.recorder != nullptr &&
+        (consecutive_misses_ == 1 ||
+         consecutive_misses_ == options_.miss_enter_threshold)) {
+      options_.recorder->Record(
+          options_.flight_lane, telemetry::EventId::kProbeMiss,
+          static_cast<uint64_t>(consecutive_misses_),
+          static_cast<uint64_t>(ewma_us_));
+    }
     // A miss is worst-case latency evidence: pull the EWMA toward the entry
     // threshold so sustained loss trips the detector even when the few
     // answered probes are fast.
@@ -78,10 +90,17 @@ void HealthWatchdog::NotifyResynced() {
 }
 
 void HealthWatchdog::SwitchMode(Mode next) {
+  const Mode from = mode_;
   mode_ = next;
   packets_in_mode_ = 0;
   packets_since_probe_ = 0;
   ++transitions_;
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(options_.flight_lane,
+                              telemetry::EventId::kWatchdogModeChange,
+                              static_cast<uint64_t>(from),
+                              static_cast<uint64_t>(next), transitions_);
+  }
 }
 
 }  // namespace gallium::runtime

@@ -33,6 +33,10 @@
 #include <cstdint>
 #include <string>
 
+namespace gallium::telemetry {
+class FlightRecorder;
+}  // namespace gallium::telemetry
+
 namespace gallium::runtime {
 
 struct HealthOptions {
@@ -51,6 +55,10 @@ struct HealthOptions {
   double ewma_alpha = 0.3;
   // Minimum packets spent in a mode before the next transition.
   uint64_t min_dwell_packets = 32;
+  // Flight recorder for mode-transition / probe-miss events (null = none;
+  // the offloaded runtime wires its own lane through here).
+  telemetry::FlightRecorder* recorder = nullptr;
+  uint16_t flight_lane = 0;
 };
 
 class HealthWatchdog {

@@ -98,8 +98,24 @@ OffloadedMiddlebox::OffloadedMiddlebox(const mbox::MiddleboxSpec& spec,
   if (options_.fault_plan != nullptr) {
     injector_ = std::make_unique<FaultInjector>(*options_.fault_plan);
   }
+  flight_ = options_.flight != nullptr ? options_.flight
+                                       : &telemetry::FlightRecorder::Default();
+  flight_lane_ = options_.flight_lane;
   if (options_.health.enabled) {
+    // The watchdog records its own mode-change / probe-miss events on this
+    // instance's lane.
+    options_.health.recorder = flight_;
+    options_.health.flight_lane = flight_lane_;
     watchdog_ = std::make_unique<HealthWatchdog>(options_.health);
+  }
+  // Exact-match host maps get per-map instruments scoped {mbox,...,map} and
+  // record resize/stash/sweep transitions on this instance's lane.
+  for (ir::StateIndex m = 0; m < fn_->maps().size(); ++m) {
+    state::FlowTable* table = server_state_.flow_table(m);
+    if (table == nullptr) continue;
+    telemetry::LabelSet labels = scope_;
+    labels.push_back({"map", fn_->maps()[m].name});
+    table->AttachTelemetry(registry_, labels, flight_, flight_lane_);
   }
 }
 
@@ -246,6 +262,8 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
       // retransmit timeout, then back off.
       c_.sync_retries->Increment();
       RecordFault("sync.retry");
+      flight_->Record(flight_lane_, telemetry::EventId::kSyncRetry,
+                      static_cast<uint64_t>(attempt), batch.seq);
       total_us += timeout_us;
       timeout_us = std::min(timeout_us * options_.sync_policy.backoff_factor,
                             options_.sync_policy.max_backoff_us);
@@ -253,6 +271,8 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
     if (injector_ != nullptr && injector_->DropBatch()) {
       c_.batches_dropped->Increment();
       RecordFault("sync.batch_drop");
+      flight_->Record(flight_lane_, telemetry::EventId::kSyncBatchDrop,
+                      batch.seq);
       continue;
     }
     if (injector_ != nullptr) total_us += injector_->SyncDelayUs();
@@ -266,6 +286,8 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
       // mark past it — it can never be double-applied).
       c_.switch_restarts->Increment();
       RecordFault("switch.restart", "stale epoch on sync");
+      flight_->Record(flight_lane_, telemetry::EventId::kSwitchRestart,
+                      switch_->epoch());
       needs_resync_ = true;
       total_us += ResyncSwitch();
       *committed = true;
@@ -279,6 +301,8 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
       // delivered as a duplicate and acked idempotently.
       c_.acks_dropped->Increment();
       RecordFault("sync.ack_drop");
+      flight_->Record(flight_lane_, telemetry::EventId::kSyncAckDrop,
+                      batch.seq);
       continue;
     }
     *committed = true;
@@ -291,6 +315,8 @@ Result<double> OffloadedMiddlebox::SyncReplicated(
   // next use.
   c_.sync_failures->Increment();
   RecordFault("sync.failure", "retry budget exhausted");
+  flight_->Record(flight_lane_, telemetry::EventId::kSyncFailure, batch.seq,
+                  static_cast<uint64_t>(options_.sync_policy.max_sync_attempts));
   needs_resync_ = true;
   return total_us;
 }
@@ -299,7 +325,10 @@ double OffloadedMiddlebox::ResyncSwitch() {
   // The snapshot below carries the full host store, so every queued-but-
   // undelivered mutation is subsumed; delivering them afterwards would
   // reorder behind the snapshot.
+  const uint64_t backlog_cleared = sync_queue_.depth();
   sync_queue_.ClearForResync();
+  flight_->Record(flight_lane_, telemetry::EventId::kResyncBegin,
+                  backlog_cleared);
   const double latency_us =
       switch_->ResyncFromHost(server_state_, next_sync_seq_, &rng_);
   known_epoch_ = switch_->epoch();
@@ -307,6 +336,12 @@ double OffloadedMiddlebox::ResyncSwitch() {
   c_.resyncs->Increment();
   c_.resync_latency_us->Observe(latency_us);
   RecordFault("resync");
+  uint64_t replayed = 0;
+  for (ir::StateIndex m = 0; m < replicated_maps_.size(); ++m) {
+    if (replicated_maps_[m]) replayed += server_state_.MapSize(m);
+  }
+  flight_->Record(flight_lane_, telemetry::EventId::kResyncEnd,
+                  static_cast<uint64_t>(latency_us), replayed);
   return latency_us;
 }
 
@@ -321,12 +356,15 @@ void OffloadedMiddlebox::EnsureSwitchCoherent() {
   if (switch_->epoch() != known_epoch_) {
     c_.switch_restarts->Increment();
     RecordFault("switch.restart", "epoch bump on heartbeat");
+    flight_->Record(flight_lane_, telemetry::EventId::kSwitchRestart,
+                    switch_->epoch());
     needs_resync_ = true;
   }
   if (needs_resync_) ResyncSwitch();
 }
 
 Status OffloadedMiddlebox::PumpSyncBacklog(double* latency_out) {
+  const uint64_t depth_before = sync_queue_.depth();
   std::vector<RecordingStateBackend::MapMutation> maps;
   std::vector<RecordingStateBackend::GlobalMutation> globals;
   sync_queue_.DrainInto(&maps, &globals);
@@ -335,6 +373,9 @@ Status OffloadedMiddlebox::PumpSyncBacklog(double* latency_out) {
   bool committed = false;
   auto latency = SyncReplicated(maps, globals, &committed);
   if (!latency.ok()) return latency.status();
+  flight_->Record(flight_lane_, telemetry::EventId::kSyncBacklogPump,
+                  maps.size() + globals.size(),
+                  static_cast<uint64_t>(*latency), depth_before);
   // A pump is control-plane evidence just like a heartbeat: its outcome and
   // latency feed the failure detector.
   if (watchdog_ != nullptr) watchdog_->RecordObservation(committed, *latency);
@@ -443,10 +484,21 @@ void OffloadedMiddlebox::PublishSwitchStageMetrics() {
         ->GetGauge("gallium_watchdog_probes_sent", scope, "heartbeats sent")
         ->Set(static_cast<double>(watchdog_->probes_sent()));
     registry_
+        ->GetGauge("gallium_watchdog_probes_missed", scope,
+                   "heartbeats lost or unanswered")
+        ->Set(static_cast<double>(watchdog_->probes_missed()));
+    registry_
         ->GetGauge("gallium_watchdog_latency_ewma_us", scope,
                    "smoothed control-plane latency the detector sees")
         ->Set(watchdog_->latency_ewma_us());
   }
+  // Flow-table occupancy gauges + bounded probe-length sample per map, and
+  // the recorder's own ring self-metrics.
+  for (ir::StateIndex m = 0; m < fn_->maps().size(); ++m) {
+    state::FlowTable* table = server_state_.flow_table(m);
+    if (table != nullptr) table->PublishMetrics();
+  }
+  flight_->PublishMetrics(registry_);
 }
 
 OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessTraced(
@@ -473,8 +525,29 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
   bool switch_down = false;
   if (injector_ != nullptr) {
     injector_->BeginPacket(pkt_index);
-    if (injector_->TakeRestart(pkt_index)) switch_->Restart();
+    if (injector_->TakeRestart(pkt_index)) {
+      switch_->Restart();
+      flight_->Record(flight_lane_, telemetry::EventId::kSwitchRestart,
+                      switch_->epoch());
+    }
     switch_down = injector_->SwitchDown(pkt_index);
+    // Fault-window edges: the injector folds its windows per packet; the
+    // recorder keeps the transitions so a postmortem can line counter
+    // movement up against when the substrate actually went grey.
+    if (injector_->InGreyWindow() != in_grey_window_) {
+      in_grey_window_ = !in_grey_window_;
+      flight_->Record(flight_lane_,
+                      in_grey_window_ ? telemetry::EventId::kGreyWindowBegin
+                                      : telemetry::EventId::kGreyWindowEnd,
+                      pkt_index);
+    }
+    if (switch_down != in_outage_) {
+      in_outage_ = switch_down;
+      flight_->Record(flight_lane_,
+                      in_outage_ ? telemetry::EventId::kOutageBegin
+                                 : telemetry::EventId::kOutageEnd,
+                      pkt_index);
+    }
   }
 
   if (watchdog_ != nullptr) {
@@ -504,6 +577,13 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
     return ProcessDegraded(std::move(pkt), now_ms);
   }
 
+  // This packet takes the offloaded path: close any open degraded episode.
+  if (degraded_streak_ != 0) {
+    flight_->Record(flight_lane_, telemetry::EventId::kDegradedExit,
+                    degraded_streak_);
+    degraded_streak_ = 0;
+  }
+
   if (options_.sync_queue.enabled()) {
     // Bounded-backlog admission control. The shed happens before this packet
     // touches any state or crosses any link, so a shed packet is invisible
@@ -514,6 +594,12 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
           SyncQueueOptions::OverflowPolicy::kShedIngress) {
         c_.packets_shed->Increment();
         RecordFault("overload.shed", "backlog at bound; refused at ingress");
+        // Episode edges, not per-shed events: a sustained overload sheds
+        // thousands of packets and would wrap the lane with noise.
+        if (shed_streak_++ == 0) {
+          flight_->Record(flight_lane_, telemetry::EventId::kShedEpisodeBegin,
+                          sync_queue_.depth());
+        }
         outcome.shed = true;
         outcome.verdict.kind = Verdict::Kind::kDrop;
         return outcome;
@@ -522,6 +608,8 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
       // legacy-style control-plane wait to get the backlog under the bound.
       c_.backpressure_events->Increment();
       RecordFault("overload.backpressure", "inline drain at the bound");
+      flight_->Record(flight_lane_, telemetry::EventId::kSyncBackpressure,
+                      sync_queue_.depth());
       double wait_us = 0;
       Status drained = PumpSyncBacklog(&wait_us);
       outcome.sync_latency_us += wait_us;
@@ -529,6 +617,12 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessInner(net::Packet&& pkt,
         outcome.status = drained;
         return outcome;
       }
+    }
+    // This packet was admitted: close any open shed episode.
+    if (shed_streak_ != 0) {
+      flight_->Record(flight_lane_, telemetry::EventId::kShedEpisodeEnd,
+                      shed_streak_);
+      shed_streak_ = 0;
     }
     // Scheduled pump: deliver the coalesced backlog every pump interval so
     // switch staleness is bounded by pump_interval_packets.
@@ -749,6 +843,10 @@ OffloadedMiddlebox::Outcome OffloadedMiddlebox::ProcessDegraded(
   outcome.degraded = true;
   c_.degraded_packets->Increment();
   RecordFault("degraded", "switch down; software-only fallback");
+  if (degraded_streak_++ == 0) {
+    flight_->Record(flight_lane_, telemetry::EventId::kDegradedEnter,
+                    packets_total_);
+  }
   // The switch is unreachable; the server carries the whole program against
   // the authoritative host store — exactly the SoftwareMiddlebox semantics,
   // so per-flow behavior is indistinguishable from the baseline.

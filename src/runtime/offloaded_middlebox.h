@@ -33,6 +33,7 @@
 #include "runtime/sync.h"
 #include "runtime/sync_queue.h"
 #include "switchsim/switch.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/rng.h"
@@ -105,6 +106,14 @@ struct OffloadedOptions {
   // sequence with op counts and fault events. Null = tracing off; the hot
   // path then takes a single branch per packet.
   telemetry::Tracer* tracer = nullptr;
+
+  // Always-on black-box: transition events (watchdog mode changes, shed
+  // episodes, resizes, fault windows) land on this recorder's `flight_lane`.
+  // Null falls back to FlightRecorder::Default() — recording is never off,
+  // it only changes which ring the events land in. The engine assigns each
+  // worker shard its own lane (worker w -> lane w+1).
+  telemetry::FlightRecorder* flight = nullptr;
+  uint16_t flight_lane = 0;
 };
 
 class OffloadedMiddlebox {
@@ -328,6 +337,16 @@ class OffloadedMiddlebox {
   uint64_t packets_fast_ = 0;
   mutable uint64_t pushed_packets_total_ = 0;
   mutable uint64_t pushed_packets_fast_ = 0;
+
+  // Flight recorder (never null — defaults to FlightRecorder::Default())
+  // plus the edge-detection state the transition events derive from. All
+  // single-writer, like the rest of the per-instance packet state.
+  telemetry::FlightRecorder* flight_ = nullptr;
+  uint16_t flight_lane_ = 0;
+  bool in_grey_window_ = false;
+  bool in_outage_ = false;
+  uint64_t shed_streak_ = 0;      // consecutive packets shed at ingress
+  uint64_t degraded_streak_ = 0;  // consecutive packets served degraded
 
   // Trace context of the packet currently inside Process(); hops and fault
   // events recorded by the pass/link/sync helpers attach here. Null when

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "telemetry/flight_recorder.h"
 
 namespace gallium::state {
 
@@ -10,6 +13,13 @@ uint64_t NextPow2(uint64_t x) {
   uint64_t p = 1;
   while (p < x) p <<= 1;
   return p;
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 }  // namespace
 
@@ -184,6 +194,9 @@ bool FlowTable::InsertIntoGen(Gen* g, uint64_t h, const uint64_t* key,
                   carry_value_.data());
         stats_.max_kick_chain = std::max<uint64_t>(stats_.max_kick_chain,
                                                    static_cast<uint64_t>(chain));
+        if (kick_chain_hist_ != nullptr) {
+          kick_chain_hist_->Observe(static_cast<double>(chain));
+        }
         return true;
       }
     }
@@ -204,6 +217,9 @@ bool FlowTable::InsertIntoGen(Gen* g, uint64_t h, const uint64_t* key,
   stats_.max_kick_chain =
       std::max<uint64_t>(stats_.max_kick_chain,
                          static_cast<uint64_t>(max_kick_chain_));
+  if (kick_chain_hist_ != nullptr) {
+    kick_chain_hist_->Observe(static_cast<double>(max_kick_chain_));
+  }
   return false;  // carry_* holds the leftover entry; caller stashes it
 }
 
@@ -215,6 +231,12 @@ void FlowTable::StashCarry() {
   ++stats_.stash_spills;
   stats_.stash_peak = std::max<uint64_t>(stats_.stash_peak,
                                          stash_hashes_.size());
+  if (stash_spill_counter_ != nullptr) stash_spill_counter_->Increment();
+  if (recorder_ != nullptr) {
+    recorder_->Record(flight_lane_, telemetry::EventId::kFlowTableStashSpill,
+                      stash_hashes_.size(),
+                      static_cast<uint64_t>(max_kick_chain_));
+  }
 }
 
 void FlowTable::TryDrainStash() {
@@ -256,6 +278,11 @@ void FlowTable::MaybeGrow() {
     // 2x growth factor the drain always finishes long before the new
     // generation fills, so this burst stays rare and bounded.
     ++stats_.forced_migration_bursts;
+    if (recorder_ != nullptr) {
+      recorder_->Record(flight_lane_,
+                        telemetry::EventId::kFlowTableForcedMigration,
+                        static_cast<uint64_t>(migrate_buckets_per_op_ * 4));
+    }
     MigrateSome(migrate_buckets_per_op_ * 4);
     if (resizing()) return;
   }
@@ -264,6 +291,7 @@ void FlowTable::MaybeGrow() {
 
 void FlowTable::StartResize(uint64_t min_entries) {
   assert(!resizing());
+  const uint64_t t0 = resize_pause_hist_ != nullptr ? NowUs() : 0;
   uint64_t new_buckets = cur_.num_buckets * 2;
   while (static_cast<double>(min_entries) >
          max_load_factor_ *
@@ -276,6 +304,13 @@ void FlowTable::StartResize(uint64_t min_entries) {
   migrate_pos_ = 0;
   ++generation_;
   ++stats_.resizes;
+  if (resize_pause_hist_ != nullptr) {
+    resize_pause_hist_->Observe(static_cast<double>(NowUs() - t0));
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(flight_lane_, telemetry::EventId::kFlowTableResizeBegin,
+                      old_.num_buckets, cur_.num_buckets, size_);
+  }
 }
 
 void FlowTable::FinishResize() {
@@ -283,10 +318,15 @@ void FlowTable::FinishResize() {
   migrate_pos_ = 0;
   ++generation_;
   TryDrainStash();
+  if (recorder_ != nullptr) {
+    recorder_->Record(flight_lane_, telemetry::EventId::kFlowTableResizeEnd,
+                      stats_.migrated_buckets, stash_hashes_.size());
+  }
 }
 
 void FlowTable::MigrateSome(int buckets) {
   if (!resizing()) return;
+  const uint64_t t0 = resize_pause_hist_ != nullptr ? NowUs() : 0;
   for (int n = 0; n < buckets; ++n) {
     if (migrate_pos_ >= old_.num_buckets) break;
     const uint64_t base = migrate_pos_ * kSlotsPerBucket;
@@ -301,6 +341,9 @@ void FlowTable::MigrateSome(int buckets) {
     }
     ++migrate_pos_;
     ++stats_.migrated_buckets;
+  }
+  if (resize_pause_hist_ != nullptr) {
+    resize_pause_hist_->Observe(static_cast<double>(NowUs() - t0));
   }
   if (migrate_pos_ >= old_.num_buckets) FinishResize();
 }
@@ -376,6 +419,93 @@ void FlowTable::Clear() {
   stash_keys_.clear();
   stash_values_.clear();
   size_ = 0;
+}
+
+void FlowTable::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                                const telemetry::LabelSet& labels,
+                                telemetry::FlightRecorder* recorder,
+                                uint16_t lane) {
+  recorder_ = recorder;
+  flight_lane_ = lane;
+  if (registry == nullptr) return;
+  const std::vector<double> chain_bounds = {0, 1, 2, 4, 8, 16, 32, 64, 128};
+  const std::vector<double> probe_bounds = {1, 2, 4, 8, 12, 16, 24, 32};
+  const std::vector<double> scan_bounds = {16,   64,    256,   1024,
+                                           4096, 16384, 65536, 262144};
+  kick_chain_hist_ = registry->GetHistogram(
+      "gallium_flow_kick_chain_len", labels, chain_bounds,
+      "cuckoo displacements per insert that left the fast path");
+  resize_pause_hist_ = registry->GetHistogram(
+      "gallium_flow_resize_pause_us", labels,
+      telemetry::DefaultLatencyBucketsUs(),
+      "wall-clock pause of one grow allocation or migration burst");
+  probe_len_hist_ = registry->GetHistogram(
+      "gallium_flow_probe_len", labels, probe_bounds,
+      "slots examined per lookup (sampled at scrape points)");
+  sweep_scan_hist_ = registry->GetHistogram(
+      "gallium_flow_sweep_scan_slots", labels, scan_bounds,
+      "slots visited per budgeted SweepExpired batch");
+  sweep_batches_ =
+      registry->GetCounter("gallium_flow_sweep_batches_total", labels,
+                           "budgeted aging sweep batches run");
+  sweep_expired_ =
+      registry->GetCounter("gallium_flow_sweep_expired_total", labels,
+                           "entries expired by aging sweeps");
+  stash_spill_counter_ =
+      registry->GetCounter("gallium_flow_stash_spills_total", labels,
+                           "kick walks that ended in the overflow stash");
+  size_gauge_ = registry->GetGauge("gallium_flow_table_size", labels,
+                                   "live entries");
+  capacity_gauge_ = registry->GetGauge("gallium_flow_table_capacity_slots",
+                                       labels, "slots across generations");
+  occupancy_gauge_ = registry->GetGauge("gallium_flow_table_occupancy", labels,
+                                        "size / capacity_slots");
+  stash_gauge_ = registry->GetGauge("gallium_flow_table_stash_size", labels,
+                                    "entries parked in the overflow stash");
+  resizes_gauge_ = registry->GetGauge("gallium_flow_table_resizes", labels,
+                                      "incremental resizes started");
+  PublishMetrics();
+}
+
+void FlowTable::PublishMetrics(int probe_samples) {
+  if (size_gauge_ == nullptr) return;
+  size_gauge_->Set(static_cast<double>(size_));
+  capacity_gauge_->Set(static_cast<double>(capacity_slots()));
+  occupancy_gauge_->Set(
+      capacity_slots() == 0
+          ? 0.0
+          : static_cast<double>(size_) / static_cast<double>(capacity_slots()));
+  stash_gauge_->Set(static_cast<double>(stash_hashes_.size()));
+  resizes_gauge_->Set(static_cast<double>(stats_.resizes));
+  // Probe-length sample: walk occupied slots from the front of each
+  // generation, bounded both in samples taken and slots scanned so a 10M
+  // table never pays a full pass at a scrape point.
+  if (probe_len_hist_ == nullptr || probe_samples <= 0) return;
+  int sampled = 0;
+  uint64_t scanned = 0;
+  const uint64_t scan_budget = static_cast<uint64_t>(probe_samples) * 64;
+  for (const Gen* g : {&cur_, &old_}) {
+    const uint64_t slots = g->slots();
+    for (uint64_t slot = 0;
+         slot < slots && sampled < probe_samples && scanned < scan_budget;
+         ++slot, ++scanned) {
+      if (g->tags[slot] == 0) continue;
+      probe_len_hist_->Observe(static_cast<double>(ProbeSlots(KeyAt(*g, slot))));
+      ++sampled;
+    }
+  }
+}
+
+void FlowTable::RecordSweep(uint64_t visited, uint64_t expired) {
+  if (sweep_batches_ != nullptr) {
+    sweep_batches_->Increment();
+    sweep_expired_->Increment(expired);
+    sweep_scan_hist_->Observe(static_cast<double>(visited));
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(flight_lane_, telemetry::EventId::kFlowTableSweep,
+                      visited, expired);
+  }
 }
 
 }  // namespace gallium::state

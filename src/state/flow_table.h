@@ -38,7 +38,12 @@
 #include <memory>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "util/hash.h"
+
+namespace gallium::telemetry {
+class FlightRecorder;
+}  // namespace gallium::telemetry
 
 namespace gallium::state {
 
@@ -128,6 +133,22 @@ class FlowTable {
   // Unordered visit of every live entry: fn(key, value).
   template <typename Fn>
   void ForEach(Fn&& fn) const;
+
+  // --- Telemetry -------------------------------------------------------------
+  // Attaches registry instruments (kick-chain / resize-pause / probe-length /
+  // sweep histograms, sweep + stash counters, occupancy gauges — all under
+  // `labels`) and a flight-recorder lane for resize/stash/sweep transition
+  // events. Either pointer may be null. Call once at setup; the hot path
+  // only ever touches the cached instrument pointers, so an unattached
+  // table costs a handful of null checks on the cold branches.
+  void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                       const telemetry::LabelSet& labels,
+                       telemetry::FlightRecorder* recorder, uint16_t lane);
+
+  // Scrape-point refresh: occupancy/stash/resize gauges plus a bounded
+  // probe-length sample (up to `probe_samples` resident entries). Never on
+  // the packet path — walks slots, O(probe_samples) probes.
+  void PublishMetrics(int probe_samples = 64);
 
  private:
   // One open-addressing generation: power-of-two buckets of 4 slots, all
@@ -240,6 +261,23 @@ class FlowTable {
   std::vector<uint64_t> carry_value_;
 
   Stats stats_;
+
+  // Telemetry (all null until AttachTelemetry; see its comment).
+  void RecordSweep(uint64_t visited, uint64_t expired);
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  uint16_t flight_lane_ = 0;
+  telemetry::Histogram* kick_chain_hist_ = nullptr;
+  telemetry::Histogram* resize_pause_hist_ = nullptr;
+  telemetry::Histogram* probe_len_hist_ = nullptr;
+  telemetry::Histogram* sweep_scan_hist_ = nullptr;
+  telemetry::Counter* sweep_batches_ = nullptr;
+  telemetry::Counter* sweep_expired_ = nullptr;
+  telemetry::Counter* stash_spill_counter_ = nullptr;
+  telemetry::Gauge* size_gauge_ = nullptr;
+  telemetry::Gauge* capacity_gauge_ = nullptr;
+  telemetry::Gauge* occupancy_gauge_ = nullptr;
+  telemetry::Gauge* stash_gauge_ = nullptr;
+  telemetry::Gauge* resizes_gauge_ = nullptr;
 };
 
 // --- Template bodies ----------------------------------------------------------
@@ -286,6 +324,7 @@ uint64_t FlowTable::SweepExpired(SweepCursor* cursor, uint64_t max_slots,
     pos = 0;
   }
   cursor->next_slot = pos;
+  RecordSweep(visited, expired);
   return expired;
 }
 

@@ -22,6 +22,22 @@ std::string CanonicalKey(const std::string& name, const LabelSet& labels) {
   return key;
 }
 
+// Prometheus text-exposition label values escape backslash, double quote,
+// and newline (and nothing else) — the spec's exact set.
+std::string PromEscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size() + 8);
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderLabels(const LabelSet& labels) {
   if (labels.empty()) return "";
   std::ostringstream out;
@@ -30,7 +46,7 @@ std::string RenderLabels(const LabelSet& labels) {
   for (const auto& [k, v] : labels) {
     if (!first) out << ",";
     first = false;
-    out << k << "=\"" << v << "\"";
+    out << k << "=\"" << PromEscapeLabelValue(v) << "\"";
   }
   out << "}";
   return out.str();

@@ -14,13 +14,18 @@
 //      replicated switch table equals the server's authoritative map.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "engine/engine.h"
 #include "mbox/middleboxes.h"
 #include "runtime/fault.h"
 #include "runtime/offloaded_middlebox.h"
 #include "runtime/software_middlebox.h"
+#include "telemetry/flight_recorder.h"
 #include "workload/churn.h"
 #include "workload/packet_gen.h"
 
@@ -691,3 +696,35 @@ TEST(FaultPlanGenerator, IsDeterministicAndCoversRecoveryPaths) {
 
 }  // namespace
 }  // namespace gallium
+
+namespace {
+
+// Postmortem hook: a failing chaos test dumps the process-wide flight
+// recorder, so the exact watchdog/sync/fault event stream that led to the
+// failure survives next to the seeded FaultPlan reproduction handle. CI
+// sets GALLIUM_FLIGHT_DUMP_DIR and uploads whatever lands there.
+class FlightDumpOnFailure : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    const char* dir = std::getenv("GALLIUM_FLIGHT_DUMP_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+    path += "/flight_";
+    std::string test = std::string(info.test_suite_name()) + "_" + info.name();
+    for (char& c : test) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    path += test + ".json";
+    if (gallium::telemetry::FlightRecorder::Default().DumpToFile(path)) {
+      std::fprintf(stderr, "chaos_test: wrote flight dump %s\n", path.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightDumpOnFailure);
+  return RUN_ALL_TESTS();
+}

@@ -377,12 +377,16 @@ TEST(EngineTest, PublishesPerWorkerTelemetry) {
       "gallium_engine_burst_occupancy", {{"mbox", spec->name}},
       {1, 2, 4, 8, 16, 24, 32, 64}, "");
   EXPECT_EQ(hist->Count(), (trace.packets.size() + 7) / 8);  // bursts of 8
+  // Worker gauges carry the unified {mbox, worker} label convention so
+  // per-worker series from every subsystem join on the same scope.
   const double per_worker_packets =
       eng.metrics()
-          .GetGauge("gallium_engine_worker_packets", {{"worker", "0"}}, "")
+          .GetGauge("gallium_engine_worker_packets",
+                    {{"mbox", spec->name}, {"worker", "0"}}, "")
           ->Value() +
       eng.metrics()
-          .GetGauge("gallium_engine_worker_packets", {{"worker", "1"}}, "")
+          .GetGauge("gallium_engine_worker_packets",
+                    {{"mbox", spec->name}, {"worker", "1"}}, "")
           ->Value();
   EXPECT_EQ(per_worker_packets, static_cast<double>(report.packets));
 }

@@ -16,6 +16,7 @@
 #include "perf/harness.h"
 #include "runtime/offloaded_middlebox.h"
 #include "sim/event_queue.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/timeline.h"
 #include "telemetry/trace.h"
@@ -180,6 +181,175 @@ TEST(OpCounts, RecorderRoundTripsThroughRegistry) {
   expected += counts;
   EXPECT_EQ(recorder.Totals(), expected);
   EXPECT_EQ(expected.Total(), 30);
+}
+
+// The exposition escaping contract: inside a Prometheus label value only
+// backslash, double-quote, and newline are escaped — and nothing else.
+TEST(Registry, PrometheusLabelValueEscaping) {
+  telemetry::MetricsRegistry registry;
+  registry
+      .GetCounter("esc_total",
+                  {{"path", "a\\b"}, {"quote", "say \"hi\""}, {"nl", "x\ny"}})
+      ->Increment();
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quote=\"say \\\"hi\\\"\""), std::string::npos) << text;
+  EXPECT_NE(text.find("nl=\"x\\ny\""), std::string::npos) << text;
+  // The raw newline must not survive into the sample line (it would split
+  // the exposition mid-sample).
+  EXPECT_EQ(text.find("x\ny"), std::string::npos);
+  // Values that need no escaping pass through verbatim.
+  registry.GetCounter("plain_total", {{"mbox", "nat"}})->Increment();
+  EXPECT_NE(registry.ToPrometheusText().find("plain_total{mbox=\"nat\"} 1"),
+            std::string::npos);
+}
+
+// An empty label set renders as a bare sample name — no `{}`.
+TEST(Registry, EmptyLabelSetRendersBareName) {
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("bare_total", {})->Increment(3);
+  registry.GetGauge("bare_gauge", {})->Set(1.5);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("bare_total 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("bare_gauge 1.5"), std::string::npos) << text;
+  EXPECT_EQ(text.find("bare_total{"), std::string::npos) << text;
+}
+
+// Histogram text exposition: cumulative buckets ending at +Inf, the +Inf
+// bucket equal to _count, and _sum carrying the observed total.
+TEST(Registry, PrometheusHistogramExpansion) {
+  telemetry::MetricsRegistry registry;
+  telemetry::Histogram* h =
+      registry.GetHistogram("exp_us", {{"mbox", "nat"}}, {1.0, 5.0, 10.0});
+  for (double v : {0.5, 0.7, 3.0, 7.0, 100.0}) h->Observe(v);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("exp_us_bucket{mbox=\"nat\",le=\"1\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exp_us_bucket{mbox=\"nat\",le=\"5\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exp_us_bucket{mbox=\"nat\",le=\"10\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exp_us_bucket{mbox=\"nat\",le=\"+Inf\"} 5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exp_us_count{mbox=\"nat\"} 5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exp_us_sum{mbox=\"nat\"} 111.2"), std::string::npos)
+      << text;
+}
+
+// --- Flight recorder ------------------------------------------------------------
+
+TEST(FlightRecorder, RecordsAndSnapshotsInSeqOrder) {
+  telemetry::FlightRecorder recorder(/*lanes=*/3, /*capacity_per_lane=*/16);
+  recorder.Record(1, telemetry::EventId::kWatchdogModeChange, 0, 1, 1);
+  recorder.Record(2, telemetry::EventId::kSyncBackpressure, 4);
+  recorder.Record(0, telemetry::EventId::kEngineRingHighWater, 1, 32, 256);
+  EXPECT_EQ(recorder.events_recorded(), 3u);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Merged across lanes, ordered by the global sequence number.
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].lane, 1u);
+  EXPECT_EQ(events[1].lane, 2u);
+  EXPECT_EQ(events[1].args[0], 4u);
+  EXPECT_EQ(events[2].lane, 0u);
+  EXPECT_EQ(events[2].args[2], 256u);
+  EXPECT_LE(events[0].ts_ns, events[2].ts_ns);
+}
+
+TEST(FlightRecorder, WrapsOverwritingOldestAndCountsDrops) {
+  telemetry::FlightRecorder recorder(/*lanes=*/1, /*capacity_per_lane=*/8);
+  for (uint64_t i = 0; i < 20; ++i) {
+    recorder.Record(0, telemetry::EventId::kSyncRetry, i);
+  }
+  EXPECT_EQ(recorder.events_recorded(), 20u);
+  EXPECT_EQ(recorder.events_dropped(), 12u);
+  EXPECT_EQ(recorder.LaneOccupancy(0), 8u);
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The ring keeps the newest events: 12..19.
+  EXPECT_EQ(events.front().args[0], 12u);
+  EXPECT_EQ(events.back().args[0], 19u);
+}
+
+TEST(FlightRecorder, OutOfRangeLaneClampsToControlLane) {
+  telemetry::FlightRecorder recorder(/*lanes=*/2, /*capacity_per_lane=*/8);
+  recorder.Record(99, telemetry::EventId::kSwitchRestart, 7);
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].lane, 0u);
+}
+
+TEST(FlightRecorder, JsonDumpCarriesVersionNamesAndArgs) {
+  telemetry::FlightRecorder recorder(/*lanes=*/2, /*capacity_per_lane=*/8);
+  recorder.Record(1, telemetry::EventId::kWatchdogModeChange, 0, 1, 1);
+  recorder.Record(0, telemetry::EventId::kFlowTableResizeBegin, 64, 128, 200);
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"events_recorded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"watchdog.mode_change\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flow_table.resize_begin\""),
+            std::string::npos);
+  // Named args only: the mode-change event maps from/to/transitions.
+  EXPECT_NE(json.find("\"from\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"to\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"old_buckets\":64"), std::string::npos);
+  EXPECT_NE(json.find("\"new_buckets\":128"), std::string::npos);
+}
+
+TEST(FlightRecorder, ChromeTimelineNamesOccupiedLanes) {
+  telemetry::FlightRecorder recorder(/*lanes=*/4, /*capacity_per_lane=*/8);
+  recorder.Record(0, telemetry::EventId::kSwitchRestart, 1);
+  recorder.Record(2, telemetry::EventId::kDegradedEnter, 100);
+  const std::string json = recorder.ToChromeJson();
+  EXPECT_NE(json.find("\"lane 0 (control)\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"worker 1\""), std::string::npos) << json;
+  // Lane 1 and 3 are empty: no thread_name metadata for them.
+  EXPECT_EQ(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"worker 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flight\""), std::string::npos);
+}
+
+TEST(FlightRecorder, PublishMetricsExportsGauges) {
+  telemetry::FlightRecorder recorder(/*lanes=*/2, /*capacity_per_lane=*/8);
+  recorder.Record(1, telemetry::EventId::kResyncBegin, 3);
+  telemetry::MetricsRegistry registry;
+  recorder.PublishMetrics(&registry);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("gallium_flight_events_recorded 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gallium_flight_ring_occupancy{lane=\"1\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(FlightRecorder, DefaultIsProcessWideSingleton) {
+  telemetry::FlightRecorder& a = telemetry::FlightRecorder::Default();
+  telemetry::FlightRecorder& b = telemetry::FlightRecorder::Default();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.lanes(), 1u);
+}
+
+TEST(FlightRecorder, EventNamesCoverEveryId) {
+  for (int id = 0;
+       id < static_cast<int>(telemetry::EventId::kNumEventIds); ++id) {
+    const char* name =
+        telemetry::EventName(static_cast<telemetry::EventId>(id));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown") << "EventId " << id;
+    // Every event names at least its first argument.
+    EXPECT_NE(
+        telemetry::EventArgName(static_cast<telemetry::EventId>(id), 0),
+        nullptr)
+        << "EventId " << id;
+  }
 }
 
 // --- Tracer & timeline ---------------------------------------------------------

@@ -1,0 +1,351 @@
+// gallium-top — a live text dashboard over a galliumc metrics file.
+//
+// Points at the Prometheus text (or JSON-suffixed, but .prom is the native
+// format here) file a running `galliumc --run N --workers W --metrics-out
+// FILE --metrics-every K` rewrites at every quiescence point, and renders
+// one row per worker shard: packets, throughput (delta-based Mpps between
+// refreshes), sync-backlog depth, watchdog health state, and flow-table
+// occupancy. The footer shows the engine-wide gauges (pinned flows, global
+// handoffs) and the flight recorder's event counts.
+//
+// The join works because every engine and shard series carries the same
+// {mbox, worker} label pair — the label convention the exporter and the
+// engine agreed on. No network, no scrape: the file IS the interface, so
+// the tool also works on a dump taken from a dead run.
+//
+// Usage:
+//   gallium_top FILE [--interval-ms N] [--iterations N] [--once]
+//               [--no-clear]
+//
+//   --once          render a single frame and exit (CI smoke mode)
+//   --iterations N  render N frames, then exit
+//   --interval-ms N refresh period (default 1000)
+//   --no-clear      append frames instead of redrawing in place
+//
+// Exit codes: 0 rendered at least one frame; 1 the file never appeared or
+// never parsed; 2 usage error.
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Series {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+// One parsed metrics file.
+struct Snapshot {
+  std::vector<Series> series;
+
+  const Series* Find(const std::string& name,
+                     const std::map<std::string, std::string>& labels) const {
+    for (const auto& s : series) {
+      if (s.name != name) continue;
+      bool match = true;
+      for (const auto& [k, v] : labels) {
+        auto it = s.labels.find(k);
+        if (it == s.labels.end() || it->second != v) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return &s;
+    }
+    return nullptr;
+  }
+
+  double Value(const std::string& name,
+               const std::map<std::string, std::string>& labels,
+               double fallback = 0) const {
+    const Series* s = Find(name, labels);
+    return s == nullptr ? fallback : s->value;
+  }
+};
+
+// Prometheus text exposition parser, inverse of the exporter's escaping
+// rules: inside a label value only `\\`, `\"`, and `\n` are escapes.
+bool ParseLine(const std::string& line, Series* out) {
+  size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (i >= line.size() || line[i] == '#') return false;
+  const size_t name_start = i;
+  while (i < line.size() && line[i] != '{' && !std::isspace(
+                                static_cast<unsigned char>(line[i])))
+    ++i;
+  out->name = line.substr(name_start, i - name_start);
+  out->labels.clear();
+  if (out->name.empty()) return false;
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      const size_t key_start = i;
+      while (i < line.size() && line[i] != '=') ++i;
+      if (i >= line.size()) return false;
+      const std::string key = line.substr(key_start, i - key_start);
+      ++i;  // '='
+      if (i >= line.size() || line[i] != '"') return false;
+      ++i;  // opening quote
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          const char esc = line[i + 1];
+          if (esc == 'n') {
+            value.push_back('\n');
+          } else {
+            value.push_back(esc);  // \\ and \" unescape to the raw char
+          }
+          i += 2;
+        } else {
+          value.push_back(line[i++]);
+        }
+      }
+      if (i >= line.size()) return false;
+      ++i;  // closing quote
+      out->labels[key] = value;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') return false;
+    ++i;
+  }
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (i >= line.size()) return false;
+  char* end = nullptr;
+  out->value = std::strtod(line.c_str() + i, &end);
+  return end != line.c_str() + i;
+}
+
+bool LoadSnapshot(const std::string& path, Snapshot* snap) {
+  std::ifstream in(path);
+  if (!in) return false;
+  snap->series.clear();
+  std::string line;
+  Series s;
+  while (std::getline(in, line)) {
+    if (ParseLine(line, &s)) snap->series.push_back(s);
+  }
+  return !snap->series.empty();
+}
+
+const char* ModeName(double mode) {
+  if (mode == 0) return "offloaded";
+  if (mode == 1) return "DEGRADED";
+  if (mode == 2) return "resync";
+  return "?";
+}
+
+// One dashboard row: a worker shard (or a bare single-core runtime, which
+// renders as worker "-").
+struct RowKey {
+  std::string mbox;
+  std::string worker;
+  bool operator<(const RowKey& o) const {
+    if (mbox != o.mbox) return mbox < o.mbox;
+    if (worker.size() != o.worker.size())
+      return worker.size() < o.worker.size();
+    return worker < o.worker;
+  }
+};
+
+void RenderFrame(const Snapshot& snap, const Snapshot& prev, bool have_prev,
+                 double interval_s) {
+  // Rows come from the engine's worker gauges when an engine ran, else
+  // from the runtime's packet counters (bare --run).
+  std::set<RowKey> rows;
+  bool engine = false;
+  for (const auto& s : snap.series) {
+    if (s.name == "gallium_engine_worker_packets") {
+      rows.insert({s.labels.count("mbox") ? s.labels.at("mbox") : "?",
+                   s.labels.count("worker") ? s.labels.at("worker") : "-"});
+      engine = true;
+    }
+  }
+  if (rows.empty()) {
+    for (const auto& s : snap.series) {
+      if (s.name == "gallium_packets_total") {
+        rows.insert({s.labels.count("mbox") ? s.labels.at("mbox") : "?",
+                     s.labels.count("worker") ? s.labels.at("worker") : "-"});
+      }
+    }
+  }
+
+  std::printf("%-8s %-6s %12s %8s %9s %-10s %7s %9s\n", "MBOX", "WORK",
+              "PACKETS", "MPPS", "BACKLOG", "HEALTH", "FLOW%", "RINGPEAK");
+  for (const auto& row : rows) {
+    std::map<std::string, std::string> scope{{"mbox", row.mbox}};
+    if (row.worker != "-") scope["worker"] = row.worker;
+    const char* pkts_series =
+        engine ? "gallium_engine_worker_packets" : "gallium_packets_total";
+    const char* busy_series = "gallium_engine_worker_busy_us";
+    const double packets = snap.Value(pkts_series, scope);
+
+    // Delta-based throughput: packets this refresh over busy time this
+    // refresh (dedicated-cores model). Falls back to the cumulative rate on
+    // the first frame.
+    std::string mpps = "-";
+    const Series* busy = snap.Find(busy_series, scope);
+    if (busy != nullptr) {
+      double dp = packets, db = busy->value;
+      if (have_prev) {
+        dp -= prev.Value(pkts_series, scope);
+        db -= prev.Value(busy_series, scope);
+      }
+      if (db > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", dp / db);
+        mpps = buf;
+      }
+    }
+
+    const Series* backlog = snap.Find("gallium_sync_backlog_depth", scope);
+    const Series* mode = snap.Find("gallium_watchdog_mode", scope);
+
+    // Flow-table occupancy: worst map owned by this shard.
+    double occupancy = -1;
+    for (const auto& s : snap.series) {
+      if (s.name != "gallium_flow_table_occupancy") continue;
+      bool match = true;
+      for (const auto& [k, v] : scope) {
+        auto it = s.labels.find(k);
+        if (it == s.labels.end() || it->second != v) {
+          match = false;
+          break;
+        }
+      }
+      if (match) occupancy = std::max(occupancy, s.value);
+    }
+    std::string flow = "-";
+    if (occupancy >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", 100.0 * occupancy);
+      flow = buf;
+    }
+
+    const Series* ring = snap.Find("gallium_engine_ring_high_water", scope);
+    char backlog_buf[32] = "-";
+    if (backlog != nullptr) {
+      std::snprintf(backlog_buf, sizeof(backlog_buf), "%.0f",
+                    backlog->value);
+    }
+    char ring_buf[32] = "-";
+    if (ring != nullptr) {
+      std::snprintf(ring_buf, sizeof(ring_buf), "%.0f", ring->value);
+    }
+    std::printf("%-8s %-6s %12.0f %8s %9s %-10s %7s %9s\n", row.mbox.c_str(),
+                row.worker.c_str(), packets, mpps.c_str(), backlog_buf,
+                mode != nullptr ? ModeName(mode->value) : "-", flow.c_str(),
+                ring_buf);
+  }
+
+  const Series* pinned = nullptr;
+  const Series* handoffs = nullptr;
+  const Series* recorded = nullptr;
+  const Series* dropped = nullptr;
+  for (const auto& s : snap.series) {
+    if (s.name == "gallium_engine_pinned_flows") pinned = &s;
+    if (s.name == "gallium_engine_global_handoffs") handoffs = &s;
+    if (s.name == "gallium_flight_events_recorded") recorded = &s;
+    if (s.name == "gallium_flight_events_dropped") dropped = &s;
+  }
+  std::printf("\npinned-flows=%.0f  global-handoffs=%.0f  "
+              "flight-events=%.0f (dropped %.0f)  refresh=%.1fs\n",
+              pinned != nullptr ? pinned->value : 0,
+              handoffs != nullptr ? handoffs->value : 0,
+              recorded != nullptr ? recorded->value : 0,
+              dropped != nullptr ? dropped->value : 0, interval_s);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gallium_top FILE [--interval-ms N] [--iterations N] "
+               "[--once] [--no-clear]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string path = argv[1];
+  int interval_ms = 1000;
+  int iterations = -1;  // -1 = until the file stops changing twice in a row
+  bool clear = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      iterations = 1;
+    } else if (arg == "--no-clear") {
+      clear = false;
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+      if (interval_ms < 1) return Usage();
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      iterations = std::atoi(argv[++i]);
+      if (iterations < 1) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+
+  Snapshot snap, prev;
+  bool have_prev = false;
+  int rendered = 0;
+  int stale_frames = 0;
+  for (int frame = 0; iterations < 0 || frame < iterations; ++frame) {
+    if (!LoadSnapshot(path, &snap)) {
+      if (rendered == 0 && frame < 10 && iterations != 1) {
+        // The producing run may not have written its first scrape yet.
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+        continue;
+      }
+      if (rendered == 0) {
+        std::fprintf(stderr, "gallium-top: cannot parse %s\n", path.c_str());
+        return 1;
+      }
+      break;
+    }
+    if (clear && iterations != 1) std::printf("\x1b[2J\x1b[H");
+    std::printf("gallium-top — %s\n\n", path.c_str());
+    RenderFrame(snap, prev, have_prev, interval_ms / 1000.0);
+    std::fflush(stdout);
+    ++rendered;
+
+    if (iterations < 0) {
+      // Unattended mode: exit once the producer has clearly stopped
+      // (two refreshes with no change), so CI and scripts never hang.
+      bool changed = !have_prev || snap.series.size() != prev.series.size();
+      if (!changed) {
+        for (size_t i = 0; i < snap.series.size(); ++i) {
+          if (snap.series[i].value != prev.series[i].value ||
+              snap.series[i].name != prev.series[i].name) {
+            changed = true;
+            break;
+          }
+        }
+      }
+      stale_frames = changed ? 0 : stale_frames + 1;
+      if (stale_frames >= 2) break;
+    }
+    prev = snap;
+    have_prev = true;
+    if (iterations < 0 || frame + 1 < iterations) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return rendered > 0 ? 0 : 1;
+}

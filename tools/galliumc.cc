@@ -16,6 +16,7 @@
 //            [--pump-interval N] [--shed] [--watchdog]
 //            [--verify] [--campaign] [--mutate CLASS]
 //            [--metrics-out FILE] [--trace-out FILE]
+//            [--metrics-every N] [--flight-dump FILE]
 //
 //   <middlebox> ∈ {minilb, nat, lb, firewall, proxy, trojan, router}
 //
@@ -45,6 +46,14 @@
 // Chrome trace-event JSON (loadable in Perfetto / chrome://tracing), every
 // hop priced by the calibrated cost model.
 //
+// --flight-dump FILE serializes the always-on flight recorder (watchdog
+// transitions, sync backpressure/shed episodes, flow-table resizes, ring
+// high-water marks) after the run — FILE as versioned JSON plus
+// FILE.trace.json as a Perfetto timeline. SIGUSR2 triggers the same dump
+// mid-run at the next packet boundary. --metrics-every N (engine path)
+// quiesces and rewrites --metrics-out every N packets so a live gallium-top
+// can watch the counters move.
+//
 // --verify gates the compile on translation validation (symbolic path
 // equivalence of the composed pre/server/post pipeline against the source
 // IR) plus the offload-safety lint suite. --campaign additionally runs the
@@ -61,6 +70,7 @@
 //   4  verification failure: translation validation rejected the plan, an
 //      error-severity lint fired, or a mutation campaign missed a mutant
 //      (JSON diagnostic with per-finding details on stderr)
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -78,6 +88,7 @@
 #include "runtime/health.h"
 #include "runtime/offloaded_middlebox.h"
 #include "runtime/sync_queue.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "verify/mutation.h"
@@ -86,6 +97,35 @@
 namespace {
 
 using namespace gallium;
+
+// SIGUSR2 asks the running tool for a flight-recorder dump at the next
+// packet boundary — the live-postmortem path an operator uses against a
+// wedged run. The handler only flips the flag; all I/O happens on the
+// traffic loop's thread.
+volatile std::sig_atomic_t g_flight_dump_requested = 0;
+
+void OnFlightDumpSignal(int) { g_flight_dump_requested = 1; }
+
+bool DumpFlightRecorder(const std::string& path) {
+  if (!telemetry::FlightRecorder::Default().DumpToFile(path)) {
+    std::fprintf(stderr, "galliumc: cannot write flight dump %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("  wrote flight dump to %s (+ %s.trace.json)\n", path.c_str(),
+              path.c_str());
+  return true;
+}
+
+// Services a pending SIGUSR2 request, if any.
+void MaybeDumpFlightRecorder(const std::string& path) {
+  if (g_flight_dump_requested == 0) return;
+  g_flight_dump_requested = 0;
+  (void)DumpFlightRecorder(path.empty() ? "gallium_flight_dump.json" : path);
+}
+
+bool WriteMetricsFile(telemetry::MetricsRegistry* registry,
+                      const std::string& path);
 
 Result<mbox::MiddleboxSpec> BuildByName(const std::string& name) {
   if (name == "minilb") return mbox::BuildMiniLb();
@@ -119,6 +159,14 @@ bool WriteFile(const std::string& path, const std::string& contents) {
   return true;
 }
 
+bool WriteMetricsFile(telemetry::MetricsRegistry* registry,
+                      const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+  return WriteFile(path,
+                   json ? registry->ToJson() : registry->ToPrometheusText());
+}
+
 void PrintUsage(std::FILE* to) {
   std::fprintf(
       to,
@@ -132,6 +180,7 @@ void PrintUsage(std::FILE* to) {
       "                [--pump-interval N] [--shed] [--watchdog]\n"
       "                [--verify] [--campaign] [--mutate CLASS]\n"
       "                [--metrics-out FILE] [--trace-out FILE]\n"
+      "                [--metrics-every N] [--flight-dump FILE]\n"
       "\n"
       "engine:\n"
       "  --workers N    drive --run traffic through the multi-worker packet\n"
@@ -163,6 +212,14 @@ void PrintUsage(std::FILE* to) {
       "                      otherwise\n"
       "  --trace-out FILE    write per-packet traces of the --run traffic\n"
       "                      as Chrome trace-event JSON (Perfetto-loadable)\n"
+      "  --metrics-every N   (engine path) quiesce and rewrite --metrics-out\n"
+      "                      every N packets, so gallium-top can watch the\n"
+      "                      run live\n"
+      "  --flight-dump FILE  serialize the always-on flight recorder after\n"
+      "                      the run: FILE holds the versioned JSON dump and\n"
+      "                      FILE.trace.json the Perfetto timeline; SIGUSR2\n"
+      "                      forces a dump mid-run at the next packet\n"
+      "                      boundary\n"
       "\n"
       "verification:\n"
       "  --verify         gate the compile on translation validation +\n"
@@ -194,6 +251,8 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
                const std::string& fault_spec,
                const runtime::SyncQueueOptions& sync_queue, bool watchdog,
                int workers, int burst, uint64_t flow_capacity,
+               int metrics_every, const std::string& metrics_out,
+               const std::string& flight_dump,
                telemetry::MetricsRegistry* registry,
                telemetry::Tracer* tracer) {
   runtime::FaultPlan plan;
@@ -250,8 +309,39 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
     for (int i = 0; i < num_packets; ++i) {
       traffic.push_back(trace.packets[i % trace.packets.size()]);
     }
-    const engine::RunReport report = (*eng)->Run(traffic, /*start_now_ms=*/1);
-    (*eng)->Quiesce();
+
+    // --metrics-every N: run in N-packet chunks, quiescing and rewriting
+    // --metrics-out after each, so a live gallium-top (or anything tailing
+    // the file) sees the counters advance while traffic is still flowing.
+    const size_t chunk = metrics_every > 0
+                             ? static_cast<size_t>(metrics_every)
+                             : traffic.size();
+    engine::RunReport report;
+    report.worker_packets.assign(static_cast<size_t>((*eng)->workers()), 0);
+    report.worker_busy_us.assign(static_cast<size_t>((*eng)->workers()), 0.0);
+    std::vector<net::Packet> slice;
+    for (size_t base = 0; base < traffic.size(); base += chunk) {
+      const size_t n = std::min(chunk, traffic.size() - base);
+      slice.assign(traffic.begin() + static_cast<long>(base),
+                   traffic.begin() + static_cast<long>(base + n));
+      const engine::RunReport part =
+          (*eng)->Run(slice, /*start_now_ms=*/1 + base);
+      report.packets += part.packets;
+      report.sends += part.sends;
+      report.drops += part.drops;
+      report.errors += part.errors;
+      report.shed += part.shed;
+      report.fast_path += part.fast_path;
+      for (int w = 0; w < (*eng)->workers(); ++w) {
+        report.worker_packets[w] += part.worker_packets[w];
+        report.worker_busy_us[w] += part.worker_busy_us[w];
+      }
+      (*eng)->Quiesce();
+      if (metrics_every > 0 && !metrics_out.empty()) {
+        (void)WriteMetricsFile(registry, metrics_out);
+      }
+      MaybeDumpFlightRecorder(flight_dump);
+    }
 
     const double fast = report.packets == 0
                             ? 0.0
@@ -288,6 +378,7 @@ int RunTraffic(const mbox::MiddleboxSpec& spec, int num_packets,
   int processed = 0, degraded = 0, synced = 0, errors = 0;
   double sync_latency_total = 0;
   while (processed < num_packets) {
+    MaybeDumpFlightRecorder(flight_dump);
     const net::Packet& pkt =
         trace.packets[processed % trace.packets.size()];
     now_ms += 1;
@@ -377,6 +468,8 @@ int main(int argc, char** argv) {
   std::string mutate_class;
   std::string metrics_out;
   std::string trace_out;
+  std::string flight_dump;
+  int metrics_every = 0;
   core::CompileOptions options;
 
   for (int i = 2; i < argc; ++i) {
@@ -479,6 +572,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       trace_out = v;
+    } else if (arg == "--flight-dump") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      flight_dump = v;
+    } else if (arg == "--metrics-every") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      metrics_every = std::atoi(v);
+      if (metrics_every < 1) return Usage();
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -628,21 +730,24 @@ int main(int argc, char** argv) {
   }
   int rc = 0;
   if (run_packets > 0) {
+    std::signal(SIGUSR2, OnFlightDumpSignal);
     rc = RunTraffic(*spec, run_packets, chaos_seed, chaos, fault_spec,
                     sync_queue, watchdog, workers, burst, flow_capacity,
-                    &registry,
+                    metrics_every, metrics_out, flight_dump, &registry,
                     trace_out.empty() ? nullptr : &tracer);
   }
   if (!metrics_out.empty()) {
     const bool json = metrics_out.size() >= 5 &&
                       metrics_out.rfind(".json") == metrics_out.size() - 5;
-    if (!WriteFile(metrics_out,
-                   json ? registry.ToJson() : registry.ToPrometheusText())) {
+    if (!WriteMetricsFile(&registry, metrics_out)) {
       return 1;
     }
     std::printf("  wrote metrics (%s, %zu series) to %s\n",
                 json ? "json" : "prometheus", registry.size(),
                 metrics_out.c_str());
+  }
+  if (!flight_dump.empty() && !DumpFlightRecorder(flight_dump)) {
+    return 1;
   }
   if (!trace_out.empty()) {
     // Stamp every hop with the cost model and lay the packets out
